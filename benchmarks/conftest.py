@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive simulations (characterizing all seven services, the three
+A/B case studies, the cross-generation IPC runs) execute once per session;
+each benchmark then times the figure-regeneration step itself and asserts
+the reproduced shape against the paper's published data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import characterize_all, characterize_across_generations
+from repro.validation import (
+    simulate_aes_ni,
+    simulate_cache3_encryption,
+    simulate_remote_inference,
+)
+
+
+@pytest.fixture(scope="session")
+def runs7():
+    """All seven characterized services (GenC)."""
+    return characterize_all(seed=2020, requests_target=300)
+
+
+@pytest.fixture(scope="session")
+def generation_runs():
+    """Cache1 characterized on GenA/GenB/GenC."""
+    return characterize_across_generations(seed=2020, requests_target=300)
+
+
+@pytest.fixture(scope="session")
+def case_study_abs():
+    """The three simulated A/B case studies."""
+    return {
+        "aes-ni": simulate_aes_ni(requests=400),
+        "encryption": simulate_cache3_encryption(requests=400),
+        "inference": simulate_remote_inference(requests=300),
+    }

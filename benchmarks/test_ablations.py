@@ -1,0 +1,83 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper artifacts; they quantify the modelling decisions so
+regressions in the model's behaviour (not just its headline numbers) are
+caught:
+
+* threading design (Fig. 20's Sync / Sync-OS / Async columns generalized),
+* selective offload vs offload-everything (Cache3's constraint),
+* accelerator queueing (the paper's Q = 0 assumption),
+* kernel complexity (the g**beta extension),
+* pipelined vs unpipelined transfers,
+* offload batching (the remote-inference strategy).
+"""
+
+import pytest
+
+from repro.application import (
+    complexity_sensitivity,
+    pipelining_benefit,
+    queueing_sensitivity,
+    selective_vs_offload_all,
+    threading_design_comparison,
+)
+from repro.core import (
+    AcceleratorSpec,
+    BatchingPolicy,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+    batch_size_sweep,
+)
+
+
+def test_ablation_threading_designs(benchmark):
+    results = benchmark(threading_design_comparison)
+    speedups = {design: r.speedup for design, r in results.items()}
+    assert speedups[ThreadingDesign.ASYNC] >= speedups[ThreadingDesign.SYNC]
+    assert speedups[ThreadingDesign.SYNC] >= speedups[ThreadingDesign.SYNC_OS]
+
+
+def test_ablation_selective_offload(benchmark):
+    ablation = benchmark(selective_vs_offload_all, ThreadingDesign.SYNC)
+    assert ablation.selective.speedup >= ablation.offload_all.speedup
+    assert ablation.threshold_bytes == pytest.approx(425, abs=5)
+
+
+def test_ablation_queueing(benchmark):
+    curve = benchmark(queueing_sensitivity, (0.0, 0.25, 0.5, 0.75, 0.9))
+    speedups = [s for _, s in curve]
+    assert speedups == sorted(speedups, reverse=True)
+    # By 90% utilization the queueing has eaten a visible share of the
+    # Q = 0 projection.
+    assert speedups[-1] < speedups[0]
+
+
+def test_ablation_complexity(benchmark):
+    results = benchmark(complexity_sensitivity, (0.5, 1.0, 2.0))
+    thresholds = {beta: t for beta, (t, _) in results.items()}
+    assert thresholds[2.0] < thresholds[1.0] < thresholds[0.5]
+
+
+def test_ablation_pipelining(benchmark):
+    unpipelined, pipelined = benchmark(pipelining_benefit)
+    assert pipelined.speedup >= unpipelined.speedup
+
+
+def test_ablation_batching(benchmark):
+    scenario = OffloadScenario(
+        kernel=KernelProfile(2.5e9, 0.52, 1000),
+        accelerator=AcceleratorSpec(1.0, Placement.REMOTE),
+        costs=OffloadCosts(dispatch_cycles=250_000, thread_switch_cycles=12_500),
+        design=ThreadingDesign.ASYNC_DISTINCT_THREAD,
+    )
+    sweep = benchmark(batch_size_sweep, scenario, (1, 2, 8, 32, 128))
+    speedups = [p.speedup for p in sweep]
+    waits = [p.assembly_wait_cycles for p in sweep]
+    assert speedups == sorted(speedups)
+    assert waits == sorted(waits)
+    # Large batches approach the Amdahl ceiling (alpha = 0.52 -> 108.3%)
+    # since the dispatch cost fully amortizes.
+    assert (speedups[-1] - 1) * 100 == pytest.approx(108.3, abs=2)

@@ -1,0 +1,48 @@
+"""Application-level validation bench: the analytical call-graph model
+matches the DES at low load, and queueing emerges at high load.
+
+Not a paper figure; it validates the end-to-end accounting the paper uses
+for remote accelerators (case study 3's latency narrative).
+"""
+
+import pytest
+
+from repro.topology import (
+    ApplicationSimConfig,
+    default_application_graph,
+    simulate_application,
+)
+
+
+def run_low_load():
+    graph = default_application_graph()
+    result = simulate_application(
+        graph,
+        ApplicationSimConfig(cores_per_service=4, arrivals_per_unit=200,
+                             window_cycles=8.0e7),
+    )
+    return graph, result
+
+
+def test_application_low_load_matches_analytical(benchmark):
+    graph, result = benchmark.pedantic(run_low_load, rounds=1, iterations=1)
+    assert result.mean_latency_cycles == pytest.approx(
+        graph.end_to_end_latency(), rel=1e-6
+    )
+
+
+def test_application_high_load_queueing(benchmark):
+    graph = default_application_graph()
+
+    def run():
+        return simulate_application(
+            graph,
+            ApplicationSimConfig(cores_per_service=2,
+                                 arrivals_per_unit=1_200,
+                                 window_cycles=6.0e7),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    analytical = graph.end_to_end_latency()
+    assert result.mean_latency_cycles > 1.5 * analytical
+    assert result.p99_latency_cycles > result.mean_latency_cycles

@@ -1,0 +1,29 @@
+"""E-F1 -- Fig. 1: application logic vs orchestration cycles.
+
+Regenerates the seven-service split and checks the paper's headline shape:
+orchestration can significantly dominate, with Web at only ~18%
+application logic.
+"""
+
+import pytest
+
+from repro.characterization import fig1_orchestration_split
+from repro.paperdata.breakdowns import FB_SERVICES, ORCHESTRATION_SPLIT
+
+
+def regenerate(runs):
+    return {name: fig1_orchestration_split(run) for name, run in runs.items()}
+
+
+def test_fig01_orchestration(benchmark, runs7):
+    rows = benchmark(regenerate, runs7)
+
+    assert set(rows) == set(FB_SERVICES)
+    for service, split in rows.items():
+        published = ORCHESTRATION_SPLIT[service]
+        assert split["application_logic"] == pytest.approx(
+            published["application_logic"], abs=4
+        ), service
+    # Headline shape: Web, Cache1, Cache2 are orchestration-dominated.
+    for service in ("web", "cache1", "cache2"):
+        assert rows[service]["orchestration"] > 70

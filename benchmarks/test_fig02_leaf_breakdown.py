@@ -1,0 +1,38 @@
+"""E-F2 -- Fig. 2: cycles per leaf-function category.
+
+Regenerates the seven measured service rows plus the published SPEC/Google
+reference rows, and checks shape preservation (dominant category and small
+L1 distance) per service.
+"""
+
+import pytest
+
+from repro.characterization import (
+    compare_breakdown,
+    fig2_leaf_breakdown,
+    fig2_reference_rows,
+)
+from repro.paperdata.breakdowns import FB_SERVICES, LEAF_BREAKDOWN
+from repro.paperdata.categories import LeafCategory as L
+
+
+def regenerate(runs):
+    rows = {name: fig2_leaf_breakdown(run) for name, run in runs.items()}
+    rows.update(fig2_reference_rows())
+    return rows
+
+
+def test_fig02_leaf_breakdown(benchmark, runs7):
+    rows = benchmark(regenerate, runs7)
+
+    assert len(rows) == 12  # 7 services + 4 SPEC + Google
+    for service in FB_SERVICES:
+        comparison = compare_breakdown(
+            service, "fig2", rows[service], LEAF_BREAKDOWN[service]
+        )
+        assert comparison.l1 < 0.06, (service, comparison.l1)
+        assert comparison.dominant_match, service
+    # Headline shapes: memory and kernel significant; caches kernel-heavy.
+    assert rows["web"][L.MEMORY] == pytest.approx(37, abs=4)
+    assert rows["cache1"][L.KERNEL] == pytest.approx(44, abs=4)
+    assert rows["cache1"][L.SSL] == pytest.approx(6, abs=2)

@@ -1,0 +1,29 @@
+"""E-F3 -- Fig. 3: memory leaf-function sub-breakdown.
+
+Copies and allocations are measured from the simulated kernels; the
+remaining split follows the published proportions.  The headline shape:
+memory copies are by far the greatest consumers of memory cycles.
+"""
+
+import pytest
+
+from repro.characterization import fig3_memory_breakdown
+from repro.paperdata.breakdowns import FB_SERVICES, MEMORY_BREAKDOWN
+
+
+def regenerate(runs):
+    return {name: fig3_memory_breakdown(run) for name, run in runs.items()}
+
+
+def test_fig03_memory_leaves(benchmark, runs7):
+    rows = benchmark(regenerate, runs7)
+
+    for service in FB_SERVICES:
+        breakdown = rows[service]
+        assert sum(breakdown.values()) == pytest.approx(100, abs=1)
+        assert breakdown["copy"] == pytest.approx(
+            MEMORY_BREAKDOWN[service]["copy"], abs=7
+        ), service
+        assert breakdown["copy"] == max(breakdown.values()), service
+    # Feed1's copies dominate its memory cycles (~73%).
+    assert rows["feed1"]["copy"] == pytest.approx(73, abs=7)

@@ -1,0 +1,36 @@
+"""E-F4 -- Fig. 4: memory-copy cycles attributed to functionalities.
+
+Fully measured via per-origin kernel attribution in the simulator.  The
+headline shape: significant diversity in which functionality performs the
+copies (Web pre/post-processing-leaning, Cache2 I/O-heavy, Feed services
+application-logic-heavy).
+"""
+
+import pytest
+
+from repro.characterization import fig4_copy_origins
+from repro.paperdata.breakdowns import COPY_ORIGINS, FB_SERVICES
+
+
+def regenerate(runs):
+    return {name: fig4_copy_origins(run) for name, run in runs.items()}
+
+
+def test_fig04_copy_origins(benchmark, runs7):
+    rows = benchmark(regenerate, runs7)
+
+    for service in FB_SERVICES:
+        measured = rows[service]
+        published = COPY_ORIGINS[service]
+        for origin, value in published.items():
+            assert measured.get(origin, 0.0) == pytest.approx(value, abs=7), (
+                service, origin,
+            )
+    # Diversity headline: dominant origins differ across services.
+    dominants = {
+        service: max(rows[service], key=rows[service].get)
+        for service in FB_SERVICES
+    }
+    assert len(set(dominants.values())) >= 2
+    assert dominants["feed2"] == "application_logic"
+    assert rows["cache2"]["io"] > rows["feed1"].get("io", 0.0)

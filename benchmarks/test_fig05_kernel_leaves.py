@@ -1,0 +1,32 @@
+"""E-F5 -- Fig. 5: kernel leaf-function sub-breakdown.
+
+The measured quantity is each service's kernel-leaf net share; the split
+within it follows the published proportions.  Headline shapes: caches have
+the highest kernel overheads, Cache1 scheduler-heavy, Cache2 network-heavy.
+"""
+
+import pytest
+
+from repro.characterization import fig5_kernel_breakdown
+from repro.paperdata.breakdowns import FB_SERVICES, LEAF_BREAKDOWN
+from repro.paperdata.categories import LeafCategory as L
+
+
+def regenerate(runs):
+    return {name: fig5_kernel_breakdown(run) for name, run in runs.items()}
+
+
+def test_fig05_kernel_leaves(benchmark, runs7):
+    rows = benchmark(regenerate, runs7)
+
+    nets = {}
+    for service in FB_SERVICES:
+        breakdown = dict(rows[service])
+        nets[service] = breakdown.pop("_net_percent_of_total")
+        assert sum(breakdown.values()) == pytest.approx(100, abs=0.5)
+        assert nets[service] == pytest.approx(
+            LEAF_BREAKDOWN[service][L.KERNEL], abs=4
+        ), service
+    assert nets["cache1"] > nets["cache2"] > nets["web"] > nets["feed1"]
+    assert rows["cache1"]["scheduler"] == 32
+    assert rows["cache2"]["network"] == 46

@@ -1,0 +1,31 @@
+"""E-F6 -- Fig. 6: synchronization-function sub-breakdown.
+
+Headline shape: Cache's us-scale services deliberately spin (spin locks
+dominate their synchronization cycles) while the ms-scale services block on
+mutexes and atomics.
+"""
+
+import pytest
+
+from repro.characterization import fig6_sync_breakdown
+from repro.paperdata.breakdowns import FB_SERVICES, LEAF_BREAKDOWN
+from repro.paperdata.categories import LeafCategory as L
+
+
+def regenerate(runs):
+    return {name: fig6_sync_breakdown(run) for name, run in runs.items()}
+
+
+def test_fig06_sync_leaves(benchmark, runs7):
+    rows = benchmark(regenerate, runs7)
+
+    for service in FB_SERVICES:
+        breakdown = dict(rows[service])
+        net = breakdown.pop("_net_percent_of_total")
+        assert net == pytest.approx(
+            LEAF_BREAKDOWN[service][L.SYNCHRONIZATION], abs=3
+        ), service
+    assert rows["cache1"]["spin_lock"] >= 80
+    assert rows["cache2"]["spin_lock"] >= 60
+    for service in ("web", "feed1", "feed2", "ads1", "ads2"):
+        assert rows[service]["spin_lock"] == 0, service

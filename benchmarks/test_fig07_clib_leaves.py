@@ -1,0 +1,30 @@
+"""E-F7 -- Fig. 7: C-library sub-breakdown.
+
+Headline shapes: ML services are vector-operation heavy (large feature
+vectors); Web is string- and hash-table-heavy (URL endpoint parsing,
+response merging).
+"""
+
+import pytest
+
+from repro.characterization import fig7_clib_breakdown
+from repro.paperdata.breakdowns import FB_SERVICES, LEAF_BREAKDOWN
+from repro.paperdata.categories import LeafCategory as L
+
+
+def regenerate(runs):
+    return {name: fig7_clib_breakdown(run) for name, run in runs.items()}
+
+
+def test_fig07_clib_leaves(benchmark, runs7):
+    rows = benchmark(regenerate, runs7)
+
+    for service in FB_SERVICES:
+        breakdown = dict(rows[service])
+        net = breakdown.pop("_net_percent_of_total")
+        assert net == pytest.approx(
+            LEAF_BREAKDOWN[service][L.C_LIBRARIES], abs=4
+        ), service
+    for service in ("feed2", "ads1", "ads2"):
+        assert rows[service]["vectors"] >= 30, service
+    assert rows["web"]["strings"] + rows["web"]["hash_tables"] >= 50

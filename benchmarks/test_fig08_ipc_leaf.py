@@ -1,0 +1,37 @@
+"""E-F8 -- Fig. 8: Cache1 per-core IPC per leaf category, GenA -> GenC.
+
+The same workload is profiled on three platform IPC models; measured
+category IPC is the ratio of aggregated instructions to cycles.  Headline
+shapes: every category uses < half of GenC's peak IPC 4.0; kernel IPC is
+lowest and scales poorly; C libraries scale well; GenB -> GenC gains are
+small outside C libraries.
+"""
+
+import pytest
+
+from repro.characterization import (
+    fig8_leaf_ipc,
+    genb_to_genc_gain,
+    peak_utilization,
+    scaling_factor,
+)
+from repro.paperdata.categories import LeafCategory as L
+from repro.paperdata.ipc import FIG8_LEAF_IPC
+
+
+def test_fig08_ipc_leaf(benchmark, generation_runs):
+    data = benchmark(fig8_leaf_ipc, generation_runs)
+
+    for category, by_generation in data.items():
+        for generation, measured in by_generation.items():
+            assert measured == pytest.approx(
+                FIG8_LEAF_IPC[category][generation], rel=1e-6
+            )
+        assert peak_utilization(by_generation["GenC"]) < 0.5
+    kernel = data[L.KERNEL]
+    assert all(kernel[g] == min(v[g] for v in data.values())
+               for g in ("GenA", "GenB", "GenC"))
+    assert scaling_factor(data[L.C_LIBRARIES]) > scaling_factor(data[L.KERNEL])
+    for category, by_generation in data.items():
+        if category is not L.C_LIBRARIES:
+            assert genb_to_genc_gain(by_generation) < 1.15, category

@@ -1,0 +1,41 @@
+"""E-F9 -- Fig. 9: cycles per microservice functionality.
+
+The central characterization figure.  Checks all seven measured rows
+against the published breakdown with shape metrics, plus the prose
+anchors: Web's 18% application logic and 23% logging, Cache2's 52% I/O,
+and the ML services' 33-58% inference shares.
+"""
+
+import pytest
+
+from repro.characterization import compare_breakdown, fig9_functionality_breakdown
+from repro.paperdata.breakdowns import FB_SERVICES, FUNCTIONALITY_BREAKDOWN
+from repro.paperdata.categories import FunctionalityCategory as F
+
+
+def regenerate(runs):
+    return {name: fig9_functionality_breakdown(run) for name, run in runs.items()}
+
+
+def test_fig09_functionality(benchmark, runs7):
+    rows = benchmark(regenerate, runs7)
+
+    for service in FB_SERVICES:
+        comparison = compare_breakdown(
+            service, "fig9", rows[service], FUNCTIONALITY_BREAKDOWN[service]
+        )
+        assert comparison.l1 < 0.06, (service, comparison.l1)
+        assert comparison.dominant_match, service
+        assert comparison.rank_tau > 0.7, service
+
+    assert rows["web"][F.APPLICATION_LOGIC] == pytest.approx(18, abs=3)
+    assert rows["web"][F.LOGGING] == pytest.approx(23, abs=3)
+    assert rows["cache2"][F.IO] == pytest.approx(52, abs=4)
+    assert rows["feed1"][F.PREDICTION_RANKING] == pytest.approx(33, abs=3)
+    assert rows["ads2"][F.PREDICTION_RANKING] == pytest.approx(58, abs=4)
+    # Orchestration ranges for the ML services (42% - 67%).
+    for service in ("feed1", "feed2", "ads1", "ads2"):
+        orchestration = 100 - rows[service][F.PREDICTION_RANKING] - rows[
+            service
+        ].get(F.APPLICATION_LOGIC, 0.0)
+        assert 38 <= orchestration <= 70, service

@@ -1,0 +1,35 @@
+"""E-F10 -- Fig. 10: Cache1 per-core IPC per functionality, GenA -> GenC.
+
+Headline shapes: I/O IPC stays low across generations because I/O cycles
+are kernel-leaf dominated; application-logic (key-value) IPC improves
+little because it is memory-bound.
+"""
+
+import pytest
+
+from repro.characterization import (
+    fig10_functionality_ipc,
+    fig8_leaf_ipc,
+    scaling_factor,
+)
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+
+
+def test_fig10_ipc_functionality(benchmark, generation_runs):
+    data = benchmark(fig10_functionality_ipc, generation_runs)
+
+    leaf = fig8_leaf_ipc(generation_runs)
+    io = data[F.IO]
+    # I/O IPC is low in absolute terms and tracks the kernel leaf IPC.
+    assert all(value < 1.0 for value in io.values())
+    for generation in ("GenA", "GenB", "GenC"):
+        assert io[generation] < 2.2 * leaf[L.KERNEL][generation]
+    # I/O and application logic scale worse than C libraries.
+    clib_scaling = scaling_factor(leaf[L.C_LIBRARIES])
+    assert scaling_factor(io) < clib_scaling
+    assert scaling_factor(data[F.APPLICATION_LOGIC]) < clib_scaling
+    # Serialization sits between (mixed memory/C-library leaves).
+    assert (
+        io["GenC"]
+        < data[F.SERIALIZATION]["GenC"]
+    )

@@ -1,0 +1,21 @@
+"""E-F15 -- Fig. 15: CDF of bytes encrypted in Cache1.
+
+Headline shapes: < 512 B dominates; the AES-NI break-even granularity sits
+at ~1 B, so effectively every encryption offload improves speedup.
+"""
+
+import pytest
+
+from repro.characterization import fig15_encryption_cdf
+from repro.workloads import build_workload
+
+
+def test_fig15_encryption_cdf(benchmark):
+    figure = benchmark(fig15_encryption_cdf)
+
+    series = dict(figure.series["cache1"])
+    assert series["256B-512B"] >= 0.9  # <512 B frequently encrypted
+    marker = figure.markers["aes-ni-breakeven"]
+    assert marker <= 4.0
+    distribution = build_workload("cache1").granularity_distribution("encryption")
+    assert distribution.count_fraction_at_least(marker) >= 0.93

@@ -1,0 +1,36 @@
+"""E-F19 -- Fig. 19: CDF of bytes compressed in Feed1 and Cache1.
+
+Headline shapes: Feed1 compresses much larger granularities than Cache1;
+the off-chip Sync/Async break-evens sit near 425 B with ~64% of Feed1's
+compressions above them; the Sync-OS break-even lands in the 2K-4K band.
+"""
+
+import pytest
+
+from repro.characterization import fig19_compression_cdf
+from repro.paperdata.projections import (
+    FEED1_LUCRATIVE_FRACTION,
+    FEED1_OFFCHIP_SYNC_BREAKEVEN_BYTES,
+)
+from repro.workloads import build_workload
+
+
+def test_fig19_compression_cdf(benchmark):
+    figure = benchmark(fig19_compression_cdf)
+
+    feed1 = dict(figure.series["feed1"])
+    cache1 = dict(figure.series["cache1"])
+    for label in feed1:
+        assert feed1[label] <= cache1[label] + 1e-9, label
+
+    assert figure.markers["off-chip-sync"] == pytest.approx(
+        FEED1_OFFCHIP_SYNC_BREAKEVEN_BYTES, abs=5
+    )
+    assert figure.markers["on-chip"] < figure.markers["off-chip-async"]
+    assert 2048 <= figure.markers["off-chip-sync-os"] <= 4096
+
+    distribution = build_workload("feed1").granularity_distribution("compression")
+    lucrative = distribution.count_fraction_at_least(
+        figure.markers["off-chip-sync"]
+    )
+    assert lucrative == pytest.approx(FEED1_LUCRATIVE_FRACTION, abs=0.06)

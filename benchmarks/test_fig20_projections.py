@@ -1,0 +1,37 @@
+"""E-T7 / E-F20 -- Table 7 and Fig. 20: projected speedups for the
+recommended accelerations (compression, memory copy, memory allocation).
+
+Reproduces every printed bar to the printed precision, and checks Fig.
+20's shape: performance bounds from offload overheads keep every strategy
+below the ideal, with Sync-OS worst off-chip.
+"""
+
+import pytest
+
+from repro.application import fig20_comparison, fig20_table
+
+
+def test_fig20_projections(benchmark):
+    comparison = benchmark(fig20_comparison)
+
+    for overhead, rows in comparison.items():
+        for strategy, (ours, paper) in rows.items():
+            if paper is not None:
+                assert ours == pytest.approx(paper, abs=0.15), (
+                    overhead, strategy,
+                )
+
+    table = fig20_table()
+    compression = table["compression"]
+    speedups = {label: s for label, (s, _) in compression.strategies.items()}
+    assert compression.ideal_speedup_pct > max(speedups.values())
+    assert speedups["Off-chip: Sync-OS"] == min(speedups.values())
+    assert speedups["On-chip: Sync"] == max(speedups.values())
+
+    # Memory copy: on-chip acceleration yields significant gains (12.7%).
+    copy_speedup, _ = table["memory-copy"].strategies["On-chip: Sync"]
+    assert copy_speedup == pytest.approx(12.7, abs=0.15)
+
+    # Memory allocation: modest (1.86%) because alpha and A are small.
+    alloc_speedup, _ = table["memory-allocation"].strategies["On-chip: Sync"]
+    assert alloc_speedup == pytest.approx(1.86, abs=0.05)

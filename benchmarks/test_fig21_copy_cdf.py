@@ -1,0 +1,27 @@
+"""E-F21 -- Fig. 21: CDF of memory-copy sizes across services.
+
+Headline shape: most microservices frequently copy small (< 512 B)
+granularities, and Ads1's on-chip break-even is small enough that most
+copies remain worth accelerating.
+"""
+
+import math
+
+import pytest
+
+from repro.characterization import fig21_copy_cdf
+from repro.paperdata.breakdowns import FB_SERVICES
+from repro.workloads import build_workload
+
+
+def test_fig21_copy_cdf(benchmark):
+    figure = benchmark(fig21_copy_cdf)
+
+    assert set(figure.series) == set(FB_SERVICES)
+    for service, series in figure.series.items():
+        assert dict(series)["256B-512B"] >= 0.5, service
+
+    marker = figure.markers["ads1-on-chip-breakeven"]
+    assert math.isfinite(marker) and marker < 128
+    distribution = build_workload("ads1").granularity_distribution("memcpy")
+    assert distribution.count_fraction_at_least(marker) > 0.5

@@ -1,0 +1,25 @@
+"""E-F22 -- Fig. 22: CDF of memory-allocation sizes across services.
+
+Headline shape: most microservices perform small allocations (typically
+< 512 B); Cache1 -- the service with the highest allocation overhead --
+has a finite on-chip break-even within the plotted range.
+"""
+
+import math
+
+import pytest
+
+from repro.characterization import fig22_allocation_cdf
+from repro.paperdata.breakdowns import FB_SERVICES
+
+
+def test_fig22_alloc_cdf(benchmark):
+    figure = benchmark(fig22_allocation_cdf)
+
+    assert set(figure.series) == set(FB_SERVICES)
+    for service, series in figure.series.items():
+        assert dict(series)["256B-512B"] >= 0.8, service
+
+    marker = figure.markers["cache1-on-chip-breakeven"]
+    assert math.isfinite(marker)
+    assert marker < 4096

@@ -1,0 +1,58 @@
+"""Performance micro-benchmarks of the library's hot paths.
+
+Not a paper artifact -- these track that the model evaluates in
+microseconds (it must be cheap enough for design-space sweeps) and that
+the simulator sustains a healthy event rate.
+"""
+
+import numpy as np
+
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+    sweep,
+)
+from repro.simulator import SimulationConfig, run_simulation
+from repro.simulator.service import Microservice
+from repro.workloads import build_workload
+
+SCENARIO = OffloadScenario(
+    kernel=KernelProfile(2.3e9, 0.15, 15_008, cycles_per_byte=5.62),
+    accelerator=AcceleratorSpec(27.0, Placement.OFF_CHIP),
+    costs=OffloadCosts(interface_cycles=2_300, thread_switch_cycles=5_750),
+    design=ThreadingDesign.SYNC,
+)
+
+
+def test_model_evaluation_speed(benchmark):
+    model = Accelerometer()
+    result = benchmark(model.evaluate, SCENARIO)
+    assert result.speedup > 1.0
+
+
+def test_design_space_sweep_speed(benchmark):
+    values = list(np.geomspace(1.5, 256, 64))
+    result = benchmark(sweep, SCENARIO, "A", values)
+    assert len(result.points) == 64
+
+
+def test_simulator_event_rate(benchmark):
+    workload = build_workload("cache1")
+    rng = np.random.default_rng(0)
+
+    def build(engine, cpu, metrics):
+        service = Microservice(engine, cpu, metrics, name="cache1")
+        return service, workload.request_factory(rng)
+
+    config = SimulationConfig(num_cores=2, window_cycles=2.0e6)
+
+    def run():
+        return run_simulation(build, config)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.completed_requests > 50

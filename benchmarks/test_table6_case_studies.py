@@ -1,0 +1,71 @@
+"""E-T6 -- Table 6 and Figs. 16-18: the three validation case studies.
+
+For each study: the Accelerometer estimate reproduces the paper's printed
+value, the simulated A/B experiment matches the model closely (the
+reproduction's analogue of the paper's <= 3.7 pp production-validation
+claim), and the accelerated functionality breakdowns shift the way Figs.
+16-18 show.
+"""
+
+import pytest
+
+from repro.paperdata.case_studies import (
+    CACHE1_FREED_CYCLES_PCT,
+    TABLE6_CASE_STUDIES,
+)
+from repro.paperdata.categories import FunctionalityCategory as F
+from repro.validation import functionality_shift, model_estimate
+
+
+def estimate_all():
+    return {
+        record.name: model_estimate(record) for record in TABLE6_CASE_STUDIES
+    }
+
+
+def test_table6_model_estimates(benchmark):
+    estimates = benchmark(estimate_all)
+
+    by_name = {record.name: record for record in TABLE6_CASE_STUDIES}
+    assert estimates["aes-ni"].speedup_percent == pytest.approx(15.7, abs=0.1)
+    assert estimates["encryption"].speedup_percent == pytest.approx(8.6, abs=0.05)
+    assert estimates["inference"].speedup_percent == pytest.approx(72.39, abs=0.01)
+    for name, estimate in estimates.items():
+        record = by_name[name]
+        error = abs(estimate.speedup_percent - record.real_speedup_pct)
+        assert error <= 3.8, name  # the paper's <= 3.7% claim
+
+
+def test_table6_simulated_ab(benchmark, case_study_abs):
+    def measure():
+        return {
+            name: result.speedup_percent
+            for name, result in case_study_abs.items()
+        }
+
+    simulated = benchmark(measure)
+    estimates = estimate_all()
+    for name, simulated_pct in simulated.items():
+        assert simulated_pct == pytest.approx(
+            estimates[name].speedup_percent, abs=1.0
+        ), name
+
+
+def test_fig16_aes_ni_breakdown_shift(benchmark, case_study_abs):
+    shift = benchmark(functionality_shift, case_study_abs["aes-ni"])
+    assert shift.freed_cycle_fraction * 100 == pytest.approx(
+        CACHE1_FREED_CYCLES_PCT, abs=2
+    )
+    assert shift.reduction_pct(F.IO) == pytest.approx(73, abs=8)
+
+
+def test_fig17_cache3_breakdown_shift(benchmark, case_study_abs):
+    shift = benchmark(functionality_shift, case_study_abs["encryption"])
+    assert shift.reduction_pct(F.IO) == pytest.approx(35.7, abs=10)
+    assert shift.freed_cycle_fraction > 0.05
+
+
+def test_fig18_ads1_breakdown_shift(benchmark, case_study_abs):
+    shift = benchmark(functionality_shift, case_study_abs["inference"])
+    assert shift.reduction_pct(F.PREDICTION_RANKING) == pytest.approx(100.0)
+    assert shift.accelerated.get(F.IO, 0.0) > shift.baseline.get(F.IO, 0.0)

@@ -1,0 +1,24 @@
+"""Validation-surface bench: the model matches the simulator everywhere.
+
+Beyond the three published case-study points, sweep a grid over threading
+designs x kernel fractions x interface latencies and assert the
+sim-vs-model error stays well inside the paper's <= 3.7 pp claim at every
+cell.
+"""
+
+import pytest
+
+from repro.validation import validation_matrix
+
+
+def test_validation_matrix(benchmark):
+    summary = benchmark.pedantic(validation_matrix, rounds=1, iterations=1)
+    assert len(summary.cells) == 24
+    assert summary.max_error_pp < 1.0
+    assert summary.mean_error_pp < 0.4
+    # Per-design worst cells also bounded.
+    by_design = {}
+    for cell in summary.cells:
+        by_design.setdefault(cell.design, []).append(cell.error_pp)
+    for design, errors in by_design.items():
+        assert max(errors) < 1.0, design

@@ -1,0 +1,109 @@
+"""Architect's workflow: explore a compression-accelerator design space.
+
+The paper's second stated use case: "architects can make better
+accelerator design decisions and estimate realistic gains by being aware
+of the offload overheads due to microservice design."
+
+This script starts from Feed1's calibrated compression kernel and asks:
+
+1. How does speedup scale with the accelerator's peak capability ``A``
+   on-chip vs off-chip?  (Off-chip plateaus early: the PCIe latency, not
+   the engine, becomes the bound.)
+2. How fast must an off-chip engine be to beat the on-chip option?
+3. How does each threading design cope with the PCIe latency?
+4. How much headroom does the device need before queueing erodes the
+   gains?
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.application import queueing_sensitivity, threading_design_comparison
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+    crossover,
+    selective_profile,
+    sweep,
+)
+from repro.workloads import build_workload
+
+
+def base_scenarios():
+    """On-chip and off-chip scenarios for Feed1's compression kernel."""
+    workload = build_workload("feed1")
+    kernel = workload.kernel_profile("compression")
+    distribution = workload.granularity_distribution("compression")
+
+    onchip = OffloadScenario(
+        kernel=kernel,
+        accelerator=AcceleratorSpec(5.0, Placement.ON_CHIP),
+        costs=OffloadCosts(),
+        design=ThreadingDesign.SYNC,
+    )
+    offchip_accel = AcceleratorSpec(27.0, Placement.OFF_CHIP)
+    offchip_costs = OffloadCosts(interface_cycles=2_300, thread_switch_cycles=5_750)
+    offchip = OffloadScenario(
+        kernel=selective_profile(
+            kernel, distribution, ThreadingDesign.SYNC, offchip_accel,
+            offchip_costs, weight_alpha_by="bytes",
+        ),
+        accelerator=offchip_accel,
+        costs=offchip_costs,
+        design=ThreadingDesign.SYNC,
+    )
+    return onchip, offchip
+
+
+def main() -> None:
+    onchip, offchip = base_scenarios()
+
+    # 1. Speedup vs accelerator capability.
+    a_values = [1.5, 2, 4, 8, 16, 32, 64, 128]
+    print("Speedup vs peak accelerator capability A (Feed1 compression):")
+    print(f"  {'A':>6s} {'on-chip':>9s} {'off-chip':>9s}")
+    onchip_sweep = sweep(onchip, "A", a_values)
+    offchip_sweep = sweep(offchip, "A", a_values)
+    for (a, on), (_, off) in zip(onchip_sweep.speedups(), offchip_sweep.speedups()):
+        print(f"  {a:6.1f} {(on - 1) * 100:8.2f}% {(off - 1) * 100:8.2f}%")
+    print("  -> off-chip plateaus: the PCIe transfer, not A, is the bound.")
+
+    # 2. Where (if anywhere) does off-chip overtake on-chip?
+    crossing = crossover(onchip, offchip, "A", list(np.geomspace(1.5, 4096, 200)))
+    if crossing is None:
+        print("\nNo crossover: off-chip never beats on-chip for this kernel.")
+    else:
+        print(f"\nOff-chip catches on-chip at A >= {crossing:.0f}.")
+
+    # 3. Threading designs against the PCIe latency.
+    print("\nThreading designs for the off-chip device (selective offload):")
+    for design, result in threading_design_comparison().items():
+        print(
+            f"  {design.value:24s} speedup {result.speedup_percent:6.2f}%  "
+            f"latency {result.latency_reduction_percent:6.2f}%"
+        )
+
+    # 4. Queueing: how much does sharing the device cost?
+    print("\nSpeedup vs device utilization (M/M/1 queueing):")
+    for utilization, speedup_pct in queueing_sensitivity((0.0, 0.25, 0.5, 0.75, 0.9)):
+        print(f"  rho = {utilization:4.2f}  ->  {speedup_pct:6.2f}%")
+
+    # 5. Latency-SLO check: Sync-OS throughput wins can cost latency.
+    model = Accelerometer()
+    sync_os = dataclasses.replace(offchip, design=ThreadingDesign.SYNC_OS)
+    print(
+        f"\nSync-OS trade: speedup {(model.speedup(sync_os) - 1) * 100:.2f}% "
+        f"vs latency {(model.latency_reduction(sync_os) - 1) * 100:.2f}% "
+        "(check your SLO before over-subscribing threads)."
+    )
+
+
+if __name__ == "__main__":
+    main()

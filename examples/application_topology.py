@@ -1,0 +1,84 @@
+"""Application view: what acceleration does to end-to-end latency.
+
+Builds a representative application call graph (Web fanning out to the
+feed, ads, and cache pipelines) and compares two ways of accelerating
+Ads1's inference:
+
+* the paper's production choice -- a *remote* CPU: +68.7% Ads1 throughput,
+  but every request absorbs a ~10 ms network hop that lands in the
+  application's end-to-end latency;
+* an on-chip inference engine with the same coverage: smaller fleet win,
+  no end-to-end penalty.
+
+Run:  python examples/application_topology.py
+"""
+
+from repro.core import (
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+)
+from repro.fleet import default_fleet, fleet_projection
+from repro.topology import (
+    ServiceAcceleration,
+    apply_accelerations,
+    default_application_graph,
+)
+
+
+def remote_plan() -> ServiceAcceleration:
+    return ServiceAcceleration(
+        service="ads1",
+        scenario=OffloadScenario(
+            kernel=KernelProfile(2.5e9, 0.52, 10),
+            accelerator=AcceleratorSpec(1.0, Placement.REMOTE),
+            costs=OffloadCosts(dispatch_cycles=25_000_000,
+                               thread_switch_cycles=12_500),
+            design=ThreadingDesign.ASYNC_DISTINCT_THREAD,
+        ),
+        extra_request_delay_cycles=25_000_000.0,  # ~10 ms at 2.5 GHz
+    )
+
+
+def onchip_plan() -> ServiceAcceleration:
+    return ServiceAcceleration(
+        service="ads1",
+        scenario=OffloadScenario(
+            kernel=KernelProfile(2.5e9, 0.52, 10_000),
+            accelerator=AcceleratorSpec(5.0, Placement.ON_CHIP),
+            costs=OffloadCosts(dispatch_cycles=100),
+            design=ThreadingDesign.SYNC,
+        ),
+    )
+
+
+def main() -> None:
+    graph = default_application_graph()
+    baseline_ms = graph.end_to_end_latency() / 2.0e6  # ~2 GHz hosts
+    print(f"application end-to-end latency (baseline): {baseline_ms:.2f} ms")
+    print(f"critical path: {' -> '.join(graph.critical_path())}")
+
+    fleet = default_fleet(100_000)
+    for label, plan in (("remote CPU", remote_plan()),
+                        ("on-chip engine", onchip_plan())):
+        impact = apply_accelerations(graph, {"ads1": plan})
+        servers = fleet_projection(
+            fleet, {"ads1": impact.throughput_speedups["ads1"]}
+        )
+        accelerated_ms = impact.accelerated_latency_cycles / 2.0e6
+        print(f"\n=== Ads1 inference via {label} ===")
+        print(f"  Ads1 throughput speedup: "
+              f"{(impact.throughput_speedups['ads1'] - 1) * 100:6.2f}%")
+        print(f"  servers freed fleet-wide: {servers.servers_freed:,.0f}")
+        print(f"  end-to-end latency: {accelerated_ms:.2f} ms "
+              f"({impact.end_to_end_latency_change_pct:+.1f}%)")
+        if not impact.improves_end_to_end_latency:
+            print("  -> throughput bought with end-to-end latency: check "
+                  "the SLO (paper Sec. 4, case study 3)")
+
+
+if __name__ == "__main__":
+    main()

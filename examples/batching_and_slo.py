@@ -1,0 +1,92 @@
+"""Advanced analysis: performance bounds, batching, and latency SLOs.
+
+Walks the remote-inference decision (the paper's third case study) the
+way a service operator would:
+
+1. Decompose the plan's cycles to find the binding constraint.
+2. Use the sensitivity report to see which parameter estimate matters.
+3. Size the offload batch: throughput wants big batches, the latency SLO
+   wants small ones -- find the window where both are satisfied.
+4. Check the final plan against the SLO including the network hop.
+
+Run:  python examples/batching_and_slo.py
+"""
+
+from repro.application import check_slo
+from repro.core import (
+    AcceleratorSpec,
+    BatchingPolicy,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+    bound_report,
+    min_profitable_batch_size,
+    project_batched,
+    sensitivity,
+)
+
+# Per-invocation view of the Ads1 remote-inference offload: ~1000
+# requests/s, each with one inference whose dispatch costs ~250k cycles of
+# extra I/O, plus a 12.5k-cycle response-thread switch.
+SCENARIO = OffloadScenario(
+    kernel=KernelProfile(
+        total_cycles=2.5e9, kernel_fraction=0.52, offloads_per_unit=1_000
+    ),
+    accelerator=AcceleratorSpec(1.0, Placement.REMOTE),
+    costs=OffloadCosts(dispatch_cycles=250_000, thread_switch_cycles=12_500),
+    design=ThreadingDesign.ASYNC_DISTINCT_THREAD,
+)
+
+REQUEST_CYCLES = 2.5e6          # one Ads1 request
+NETWORK_DELAY = 25_000_000.0    # ~10 ms at 2.5 GHz
+SLO_CYCLES = 87_500_000.0       # 35 ms at 2.5 GHz
+
+
+def main() -> None:
+    # 1. Where does the unbatched plan lose its cycles?
+    print("=== performance bounds, unbatched ===")
+    print(bound_report(SCENARIO))
+
+    # 2. Which estimate should we double-check before committing?
+    report = sensitivity(SCENARIO)
+    print("\n=== sensitivity (d log S / d log p) ===")
+    for name, value in report.ranked()[:4]:
+        print(f"  {name:6s} {value:+7.3f}")
+
+    # 3. Batch sizing: throughput vs batch-assembly latency.
+    minimum = min_profitable_batch_size(SCENARIO)
+    print(f"\nminimum profitable batch size: {minimum}")
+    print(f"{'B':>6s} {'speedup':>9s} {'assembly wait':>15s} {'meets SLO':>10s}")
+    chosen = None
+    for batch in (1, 4, 16, 64, 100, 256, 1024):
+        projection = project_batched(SCENARIO, BatchingPolicy(batch))
+        check = check_slo(
+            projection.result.scenario,
+            baseline_latency_cycles=REQUEST_CYCLES,
+            slo_cycles=SLO_CYCLES,
+            extra_delay_cycles=NETWORK_DELAY + projection.assembly_wait_cycles,
+        )
+        marker = "yes" if check.admissible else "NO"
+        print(
+            f"{batch:6d} {projection.result.speedup_percent:8.2f}% "
+            f"{projection.assembly_wait_cycles:12.0f} cy {marker:>10s}"
+        )
+        if check.admissible:
+            chosen = (batch, projection)
+
+    # 4. The verdict.
+    if chosen is None:
+        print("\nNo batch size meets the SLO -- keep inference local.")
+        return
+    batch, projection = chosen
+    print(
+        f"\nLargest SLO-admissible batch: {batch} "
+        f"(speedup {projection.result.speedup_percent:.1f}%, "
+        f"paper's production point: ~100-request batches, 68.7% speedup)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Operator's workflow: characterize services and project fleet-wide gains.
+
+The paper's first stated use case: "data center operators can project
+fleet-wide gains from optimizing key service overheads."
+
+This script characterizes three representative services at peak load on
+the simulated substrate (Web, Feed1, Cache1), prints their functionality
+and leaf breakdowns (Figs. 9 and 2), identifies the biggest *common*
+orchestration overhead, projects per-service speedups from accelerating
+it, and rolls the result up to fleet capacity.
+
+Run:  python examples/characterize_services.py
+"""
+
+from repro.characterization import (
+    characterize,
+    fig1_orchestration_split,
+    fig2_leaf_breakdown,
+    fig9_functionality_breakdown,
+)
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+)
+from repro.fleet import default_fleet, fleet_projection
+from repro.paperdata.categories import FunctionalityCategory as F
+from repro.profiling import render_bars
+from repro.workloads import build_workload
+
+SERVICES = ("web", "feed1", "cache1")
+
+
+def main() -> None:
+    runs = {name: characterize(name, requests_target=200, seed=7)
+            for name in SERVICES}
+
+    # ------------------------------------------------------------------
+    # 1. How do these services spend their cycles?
+    # ------------------------------------------------------------------
+    for name, run in runs.items():
+        split = fig1_orchestration_split(run)
+        print(
+            f"\n=== {name}: {split['orchestration']:.0f}% orchestration, "
+            f"{split['application_logic']:.0f}% application logic ==="
+        )
+        print(render_bars(fig9_functionality_breakdown(run),
+                          title="functionality breakdown:"))
+        print(render_bars(fig2_leaf_breakdown(run), title="leaf breakdown:"))
+
+    # ------------------------------------------------------------------
+    # 2. Pick a common overhead: compression appears in all three.
+    # ------------------------------------------------------------------
+    print("\nCompression share per service (a common orchestration overhead):")
+    speedups = {}
+    model = Accelerometer()
+    for name, run in runs.items():
+        shares = run.profile.functionality_shares()
+        print(f"  {name:8s} {shares.get(F.COMPRESSION, 0.0) * 100:5.1f}%")
+        workload = build_workload(name)
+        scenario = OffloadScenario(
+            kernel=workload.kernel_profile("compression"),
+            accelerator=AcceleratorSpec(5.0, Placement.ON_CHIP),
+            costs=OffloadCosts(),
+            design=ThreadingDesign.SYNC,
+        )
+        speedups[name] = model.speedup(scenario)
+
+    # ------------------------------------------------------------------
+    # 3. Project the fleet-wide capacity relief.
+    # ------------------------------------------------------------------
+    print("\nPer-service speedup from an on-chip compression unit (A = 5):")
+    for name, value in speedups.items():
+        print(f"  {name:8s} {(value - 1) * 100:5.2f}%")
+
+    fleet = default_fleet(total_servers=100_000)
+    projection = fleet_projection(fleet, speedups)
+    print(
+        f"\nFleet of {fleet.total_servers:,.0f} servers: accelerating "
+        f"compression on {', '.join(SERVICES)} frees "
+        f"{projection.servers_freed:,.0f} servers "
+        f"({projection.capacity_gain_percent:.2f}% capacity gain)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Model validation workflow: A/B-test an acceleration on the simulator.
+
+Mirrors the paper's Sec.-4 methodology end to end for the AES-NI case
+study: estimate speedup with the Accelerometer model, measure it with an
+A/B experiment (two identical simulated deployments differing only in the
+accelerator), and compare the functionality breakdowns the way Fig. 16
+does.
+
+Run:  python examples/validate_against_simulator.py
+"""
+
+from repro.paperdata.case_studies import CACHE1_AES_NI_STUDY
+from repro.paperdata.categories import FunctionalityCategory
+from repro.validation import (
+    functionality_shift,
+    model_estimate,
+    simulate_aes_ni,
+)
+
+
+def main() -> None:
+    record = CACHE1_AES_NI_STUDY
+
+    # Step 1-3 of the paper's validation recipe: identify lucrative
+    # offload sizes, count them, and estimate speedup with the model.
+    estimate = model_estimate(record)
+    print("Accelerometer estimate (from Table-6 parameters):")
+    print(f"  speedup: {estimate.speedup_percent:.2f}%  "
+          f"(paper prints {record.estimated_speedup_pct}%)")
+
+    # Step 4: measure the real speedup via A/B testing -- here, paired
+    # simulator runs that differ only in the AES-NI offload.
+    ab = simulate_aes_ni(num_cores=4, requests=800)
+    print("\nSimulated A/B experiment:")
+    print(f"  baseline throughput:    {ab.baseline.throughput * 1e6:.2f} req/Mcycle")
+    print(f"  accelerated throughput: {ab.accelerated.throughput * 1e6:.2f} req/Mcycle")
+    print(f"  measured speedup:       {ab.speedup_percent:.2f}%")
+    print(f"  model-vs-measured error: "
+          f"{abs(estimate.speedup_percent - ab.speedup_percent):.2f} pp "
+          f"(paper's production error: "
+          f"{abs(record.estimated_speedup_pct - record.real_speedup_pct):.1f} pp)")
+
+    # Step 5: functionality breakdown before/after (Fig. 16).
+    shift = functionality_shift(ab)
+    print(f"\nFunctionality shift (Fig. 16): "
+          f"{shift.freed_cycle_fraction * 100:.1f}% of cycles freed")
+    baseline = shift.baseline_shares_pct()
+    accelerated = shift.accelerated_shares_pct()
+    for category in FunctionalityCategory:
+        before = baseline.get(category, 0.0)
+        after = accelerated.get(category, 0.0)
+        if before > 0.1 or after > 0.1:
+            print(f"  {category.value:26s} {before:5.1f}% -> {after:5.1f}%")
+    print(f"  secure-IO reduction: {shift.reduction_pct(FunctionalityCategory.IO):.1f}%"
+          "  (paper: 73%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-shot reproduction: tests, benchmarks, figures, data, and report.
+# Usage: scripts/reproduce.sh [output-dir]
+set -euo pipefail
+OUT="${1:-artifacts}"
+mkdir -p "$OUT"
+
+echo "== unit/integration/property tests =="
+python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1
+
+echo "== benchmark harness (one bench per table/figure) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 \
+  | tee "$OUT/bench_output.txt" | tail -1
+
+echo "== figures (SVG) =="
+python -m repro render --output "$OUT/figures"
+
+echo "== figure data (CSV) =="
+python -m repro export-data --output "$OUT/data"
+
+echo "== full markdown report =="
+python -m repro report --output "$OUT/report.md"
+
+echo "artifacts in $OUT/"

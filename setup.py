@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment used for the reproduction has no network access and lacks
+the ``wheel`` package, so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work offline.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

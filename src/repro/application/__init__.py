@@ -1,0 +1,76 @@
+"""Application of the Accelerometer model (Sec. 5): Table-7 projections,
+Fig. 20, and ablations over the modelling choices."""
+
+from .ablations import (
+    SelectiveOffloadAblation,
+    complexity_sensitivity,
+    pipelining_benefit,
+    queueing_sensitivity,
+    selective_vs_offload_all,
+    threading_design_comparison,
+)
+from .latency_study import (
+    LatencyStudyConfig,
+    LoadPoint,
+    latency_vs_load,
+    run_load_point,
+)
+from .oversubscription import (
+    OversubscriptionPoint,
+    OversubscriptionStudyConfig,
+    oversubscription_study,
+    run_point,
+    saturation_level,
+)
+from .recommendations import (
+    Recommendation,
+    best_recommendation,
+    quantify_recommendations,
+    rank_recommendations,
+)
+from .slo import (
+    SloCheck,
+    check_slo,
+    max_thread_switch_for_slo,
+    remote_delay_budget,
+)
+from .projections import (
+    OverheadProjection,
+    fig20_comparison,
+    fig20_table,
+    project_overhead,
+    project_row,
+    scenario_for_projection,
+)
+
+__all__ = [
+    "LatencyStudyConfig",
+    "LoadPoint",
+    "OverheadProjection",
+    "OversubscriptionPoint",
+    "OversubscriptionStudyConfig",
+    "oversubscription_study",
+    "run_point",
+    "saturation_level",
+    "Recommendation",
+    "SloCheck",
+    "best_recommendation",
+    "quantify_recommendations",
+    "rank_recommendations",
+    "latency_vs_load",
+    "run_load_point",
+    "check_slo",
+    "max_thread_switch_for_slo",
+    "remote_delay_budget",
+    "SelectiveOffloadAblation",
+    "complexity_sensitivity",
+    "fig20_comparison",
+    "fig20_table",
+    "pipelining_benefit",
+    "project_overhead",
+    "project_row",
+    "queueing_sensitivity",
+    "scenario_for_projection",
+    "selective_vs_offload_all",
+    "threading_design_comparison",
+]

@@ -1,0 +1,120 @@
+"""Applying the Accelerometer model (Sec. 5, Table 7, Fig. 20).
+
+Projects speedup and latency reduction for the paper's three acceleration
+recommendations -- compression, memory copy, and memory allocation -- under
+every studied strategy, reproducing Fig. 20's bars from Table 7's
+parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..core import (
+    Accelerometer,
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    ProjectionResult,
+    amdahl_ceiling,
+)
+from ..paperdata.projections import (
+    FIG20_EXPECTED_SPEEDUPS,
+    PROJECTION_PARAMETERS,
+    ProjectionParameters,
+)
+
+
+def scenario_for_projection(params: ProjectionParameters) -> OffloadScenario:
+    """Map one Table-7 row onto an Accelerometer scenario.
+
+    Off-chip rows offload only the lucrative subset of invocations, so the
+    kernel fraction is the count-scaled ``effective_alpha`` (see
+    :mod:`repro.paperdata.projections`).
+    """
+    return OffloadScenario(
+        kernel=KernelProfile(
+            total_cycles=params.total_cycles,
+            kernel_fraction=params.effective_alpha,
+            offloads_per_unit=params.offloads_per_unit,
+        ),
+        accelerator=AcceleratorSpec(
+            peak_speedup=params.peak_speedup, placement=params.placement
+        ),
+        costs=OffloadCosts(
+            interface_cycles=params.interface_cycles,
+            thread_switch_cycles=params.thread_switch_cycles,
+        ),
+        design=params.design,
+    )
+
+
+def project_row(params: ProjectionParameters) -> ProjectionResult:
+    """Evaluate one Table-7 row."""
+    return Accelerometer().evaluate(scenario_for_projection(params))
+
+
+@dataclasses.dataclass(frozen=True)
+class OverheadProjection:
+    """All Fig.-20 bars for one overhead."""
+
+    overhead: str
+    service: str
+    ideal_speedup_pct: float
+    #: {strategy label: (speedup %, latency reduction %)}
+    strategies: Dict[str, Tuple[float, float]]
+
+
+def project_overhead(overhead: str) -> OverheadProjection:
+    """Project every studied strategy for one overhead
+    ("compression", "memory-copy", or "memory-allocation")."""
+    rows = [p for p in PROJECTION_PARAMETERS if p.overhead == overhead]
+    if not rows:
+        raise KeyError(f"no projection parameters for overhead {overhead!r}")
+    strategies: Dict[str, Tuple[float, float]] = {}
+    for params in rows:
+        result = project_row(params)
+        strategies[params.label] = (
+            result.speedup_percent,
+            result.latency_reduction_percent,
+        )
+    ideal = (amdahl_ceiling(rows[0].alpha) - 1.0) * 100.0
+    return OverheadProjection(
+        overhead=overhead,
+        service=rows[0].service,
+        ideal_speedup_pct=ideal,
+        strategies=strategies,
+    )
+
+
+def fig20_table() -> Dict[str, OverheadProjection]:
+    """Fig. 20: projections for all three overheads."""
+    overheads = []
+    for params in PROJECTION_PARAMETERS:
+        if params.overhead not in overheads:
+            overheads.append(params.overhead)
+    return {overhead: project_overhead(overhead) for overhead in overheads}
+
+
+def fig20_comparison() -> Dict[str, Dict[str, Tuple[float, Optional[float]]]]:
+    """(ours, paper) speedup pairs per overhead and strategy, for the
+    EXPERIMENTS.md paper-vs-measured index."""
+    label_map = {
+        "On-chip: Sync": "on-chip",
+        "Off-chip: Sync": "off-chip-sync",
+        "Off-chip: Sync-OS": "off-chip-sync-os",
+        "Off-chip: Async": "off-chip-async",
+    }
+    out: Dict[str, Dict[str, Tuple[float, Optional[float]]]] = {}
+    for overhead, projection in fig20_table().items():
+        published = FIG20_EXPECTED_SPEEDUPS[overhead]
+        rows: Dict[str, Tuple[float, Optional[float]]] = {
+            "ideal": (projection.ideal_speedup_pct, published.get("ideal"))
+        }
+        for label, (speedup_pct, _) in projection.strategies.items():
+            key = label_map[label]
+            rows[key] = (speedup_pct, published.get(key))
+        out[overhead] = rows
+    return out

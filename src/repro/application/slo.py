@@ -1,0 +1,141 @@
+"""Latency-SLO admission checks for acceleration plans.
+
+The paper: "service operators can use the ... latency reduction equation
+to ensure that the latency SLO is not violated" -- Sync-OS in particular
+can buy throughput at a per-request latency *slowdown*, and remote
+offloads add network traversal delay (Ads1 pays ~10 ms) that never shows
+in host cycles.  These helpers answer the operator questions directly:
+does this plan meet the SLO, and how much thread-switch or network
+overhead can we afford before it does not?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..core.model import Accelerometer
+from ..core.params import OffloadScenario
+from ..core.strategies import Placement, ThreadingDesign
+from ..errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class SloCheck:
+    """Outcome of checking one plan against a latency SLO."""
+
+    scenario: OffloadScenario
+    baseline_latency_cycles: float
+    slo_cycles: float
+    projected_latency_cycles: float
+    extra_delay_cycles: float
+
+    @property
+    def admissible(self) -> bool:
+        return self.projected_latency_cycles <= self.slo_cycles
+
+    @property
+    def headroom_cycles(self) -> float:
+        """Positive when under the SLO; negative when violating it."""
+        return self.slo_cycles - self.projected_latency_cycles
+
+    @property
+    def latency_change_pct(self) -> float:
+        """Projected per-request latency change vs baseline (negative =
+        faster)."""
+        return (
+            self.projected_latency_cycles / self.baseline_latency_cycles - 1.0
+        ) * 100.0
+
+
+def check_slo(
+    scenario: OffloadScenario,
+    baseline_latency_cycles: float,
+    slo_cycles: float,
+    extra_delay_cycles: float = 0.0,
+    model: Optional[Accelerometer] = None,
+) -> SloCheck:
+    """Project the accelerated per-request latency and compare to the SLO.
+
+    *extra_delay_cycles* captures delay outside the host-cycle model --
+    chiefly the network traversal of remote offloads (the paper's ~10 ms
+    for Ads1), expressed in host-clock cycles for unit consistency.
+    """
+    if baseline_latency_cycles <= 0:
+        raise ParameterError("baseline latency must be positive")
+    if slo_cycles <= 0:
+        raise ParameterError("SLO must be positive")
+    if extra_delay_cycles < 0:
+        raise ParameterError("extra delay must be non-negative")
+    model = model or Accelerometer()
+    reduction = model.latency_reduction(scenario)
+    projected = baseline_latency_cycles / reduction + extra_delay_cycles
+    return SloCheck(
+        scenario=scenario,
+        baseline_latency_cycles=baseline_latency_cycles,
+        slo_cycles=slo_cycles,
+        projected_latency_cycles=projected,
+        extra_delay_cycles=extra_delay_cycles,
+    )
+
+
+def max_thread_switch_for_slo(
+    scenario: OffloadScenario,
+    baseline_latency_cycles: float,
+    slo_cycles: float,
+) -> float:
+    """Largest ``o1`` a Sync-OS (or distinct-thread) plan can afford while
+    meeting the SLO.
+
+    The latency denominator (eqn. 5) is linear in ``o1``:
+    ``1/CL' = (1 - a) + a/A + (n/C)(o0 + L + Q) + (n/C) o1``, and the SLO
+    requires ``baseline / reduction <= slo``, i.e.
+    ``denominator <= slo / baseline``.  Returns ``inf`` when the SLO is
+    satisfied for any ``o1`` magnitude the equation permits and 0 when it
+    cannot be met even at ``o1 = 0``.
+    """
+    if scenario.design not in (
+        ThreadingDesign.SYNC_OS,
+        ThreadingDesign.ASYNC_DISTINCT_THREAD,
+    ):
+        raise ParameterError(
+            "o1 bound is only meaningful for sync-os or "
+            "async-distinct-thread designs"
+        )
+    if baseline_latency_cycles <= 0 or slo_cycles <= 0:
+        raise ParameterError("latency quantities must be positive")
+    kernel = scenario.kernel
+    costs = scenario.costs
+    c = kernel.total_cycles
+    n = kernel.offloads_per_unit
+    alpha = kernel.kernel_fraction
+    base_denominator = (
+        (1.0 - alpha)
+        + alpha / scenario.accelerator.peak_speedup
+        + n / c * costs.dispatch_total
+    )
+    # baseline * denominator <= slo  =>  denominator <= slo / baseline
+    budget = slo_cycles / baseline_latency_cycles - base_denominator
+    if budget < 0:
+        return 0.0
+    if n == 0:
+        return float("inf")
+    return budget * c / n
+
+
+def remote_delay_budget(
+    scenario: OffloadScenario,
+    baseline_latency_cycles: float,
+    slo_cycles: float,
+    model: Optional[Accelerometer] = None,
+) -> float:
+    """How much network traversal delay (in cycles) a remote offload can
+    add before violating the SLO.  Negative values mean the plan already
+    violates the SLO with zero network delay."""
+    if scenario.accelerator.placement is not Placement.REMOTE:
+        raise ParameterError("delay budget applies to remote placements")
+    model = model or Accelerometer()
+    check = check_slo(
+        scenario, baseline_latency_cycles, slo_cycles, 0.0, model
+    )
+    return check.headroom_cycles

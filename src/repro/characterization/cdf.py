@@ -1,0 +1,149 @@
+"""Granularity CDFs with break-even markers (Figs. 15, 19, 21, 22).
+
+Each function returns the cumulative distribution over the figure's byte
+bins for the relevant services, plus the break-even granularities the
+paper annotates (e.g. Fig. 19's on-chip, off-chip Sync/Async, and off-chip
+Sync-OS markers for Feed1 compression).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.breakeven import min_profitable_granularity
+from ..core.params import AcceleratorSpec, OffloadCosts
+from ..core.strategies import Placement, ThreadingDesign
+from ..paperdata.cdfs import (
+    ALLOCATION_BINS,
+    COMPRESSION_BINS,
+    COPY_BINS,
+    ENCRYPTION_BINS,
+)
+from ..workloads import build_workload
+
+
+@dataclasses.dataclass(frozen=True)
+class CdfFigure:
+    """One CDF figure: per-service cumulative fractions over shared bins."""
+
+    bins: Tuple[float, ...]
+    #: {service: [(bin label, cumulative fraction), ...]}
+    series: Dict[str, List[Tuple[str, float]]]
+    #: {marker label: granularity in bytes}
+    markers: Dict[str, float]
+
+
+def _series_for(
+    services: Sequence[str], kernel: str, bins: Sequence[float]
+) -> Dict[str, List[Tuple[str, float]]]:
+    series = {}
+    for service in services:
+        workload = build_workload(service)
+        distribution = workload.granularity_distribution(kernel)
+        series[service] = distribution.binned_cdf(list(bins))
+    return series
+
+
+def fig15_encryption_cdf(
+    aes_costs: Optional[OffloadCosts] = None,
+    aes_speedup: float = 6.0,
+) -> CdfFigure:
+    """Fig. 15: CDF of bytes encrypted in Cache1, with the minimum AES-NI
+    granularity for speedup > 1 marked (the paper finds ~1 B)."""
+    workload = build_workload("cache1")
+    costs = aes_costs or OffloadCosts(dispatch_cycles=10, interface_cycles=3)
+    accelerator = AcceleratorSpec(peak_speedup=aes_speedup, placement=Placement.ON_CHIP)
+    threshold = min_profitable_granularity(
+        ThreadingDesign.SYNC,
+        workload.kernel_profile("encryption").cycles_per_byte,
+        accelerator,
+        costs,
+    )
+    return CdfFigure(
+        bins=tuple(ENCRYPTION_BINS),
+        series=_series_for(("cache1",), "encryption", ENCRYPTION_BINS),
+        markers={"aes-ni-breakeven": threshold},
+    )
+
+
+def fig19_compression_cdf(
+    onchip_speedup: float = 5.0,
+    offchip_speedup: float = 27.0,
+    offchip_transfer_cycles: float = 2_300.0,
+    thread_switch_cycles: float = 5_750.0,
+) -> CdfFigure:
+    """Fig. 19: CDF of bytes compressed in Feed1 and Cache1, with Feed1's
+    on-chip and off-chip (Sync/Async and Sync-OS) break-even markers."""
+    feed1 = build_workload("feed1")
+    cycles_per_byte = feed1.kernel_profile("compression").cycles_per_byte
+    onchip = AcceleratorSpec(onchip_speedup, Placement.ON_CHIP)
+    offchip = AcceleratorSpec(offchip_speedup, Placement.OFF_CHIP)
+    onchip_costs = OffloadCosts()
+    offchip_costs = OffloadCosts(
+        interface_cycles=offchip_transfer_cycles,
+        thread_switch_cycles=thread_switch_cycles,
+    )
+    markers = {
+        "on-chip": min_profitable_granularity(
+            ThreadingDesign.SYNC, cycles_per_byte, onchip, onchip_costs
+        ),
+        "off-chip-sync": min_profitable_granularity(
+            ThreadingDesign.SYNC, cycles_per_byte, offchip, offchip_costs
+        ),
+        "off-chip-async": min_profitable_granularity(
+            ThreadingDesign.ASYNC, cycles_per_byte, offchip, offchip_costs
+        ),
+        "off-chip-sync-os": min_profitable_granularity(
+            ThreadingDesign.SYNC_OS, cycles_per_byte, offchip, offchip_costs
+        ),
+    }
+    return CdfFigure(
+        bins=tuple(COMPRESSION_BINS),
+        series=_series_for(("feed1", "cache1"), "compression", COMPRESSION_BINS),
+        markers=markers,
+    )
+
+
+def fig21_copy_cdf(
+    onchip_speedup: float = 4.0,
+    dispatch_cycles: float = 20.0,
+) -> CdfFigure:
+    """Fig. 21: CDF of memory-copy sizes across all seven services, with
+    Ads1's on-chip break-even marked."""
+    from ..paperdata.breakdowns import FB_SERVICES
+
+    ads1 = build_workload("ads1")
+    threshold = min_profitable_granularity(
+        ThreadingDesign.SYNC,
+        ads1.kernel_profile("memcpy").cycles_per_byte,
+        AcceleratorSpec(onchip_speedup, Placement.ON_CHIP),
+        OffloadCosts(dispatch_cycles=dispatch_cycles),
+    )
+    return CdfFigure(
+        bins=tuple(COPY_BINS),
+        series=_series_for(FB_SERVICES, "memcpy", COPY_BINS),
+        markers={"ads1-on-chip-breakeven": threshold},
+    )
+
+
+def fig22_allocation_cdf(
+    onchip_speedup: float = 1.5,
+    dispatch_cycles: float = 20.0,
+) -> CdfFigure:
+    """Fig. 22: CDF of allocation sizes across all seven services, with
+    Cache1's on-chip break-even marked."""
+    from ..paperdata.breakdowns import FB_SERVICES
+
+    cache1 = build_workload("cache1")
+    threshold = min_profitable_granularity(
+        ThreadingDesign.SYNC,
+        cache1.kernel_profile("allocation").cycles_per_byte,
+        AcceleratorSpec(onchip_speedup, Placement.ON_CHIP),
+        OffloadCosts(dispatch_cycles=dispatch_cycles),
+    )
+    return CdfFigure(
+        bins=tuple(ALLOCATION_BINS),
+        series=_series_for(FB_SERVICES, "allocation", ALLOCATION_BINS),
+        markers={"cache1-on-chip-breakeven": threshold},
+    )

@@ -1,0 +1,158 @@
+"""Regeneration of the characterization figures (Figs. 1-7, 9).
+
+Every function returns plain ``{row: {column: percent}}`` data, matching
+the corresponding figure's rows and columns, computed from a
+:class:`CharacterizationRun` where the substrate measures the quantity
+directly, and combined with the published sub-splits where the figure's
+resolution is below the simulator's attribution (noted per function).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..errors import ProfileError
+from ..paperdata.breakdowns import (
+    CLIB_BREAKDOWN,
+    KERNEL_BREAKDOWN,
+    LEAF_BREAKDOWN,
+    MEMORY_BREAKDOWN,
+    SYNC_BREAKDOWN,
+)
+from ..paperdata.categories import (
+    CORE_CATEGORIES,
+    FunctionalityCategory,
+    LeafCategory,
+)
+from .pipeline import CharacterizationRun
+
+
+def fig1_orchestration_split(run: CharacterizationRun) -> Dict[str, float]:
+    """Fig. 1: application-logic vs orchestration cycles (measured)."""
+    shares = run.profile.functionality_shares()
+    core = sum(
+        share for category, share in shares.items() if category in CORE_CATEGORIES
+    )
+    return {
+        "application_logic": core * 100.0,
+        "orchestration": (1.0 - core) * 100.0,
+    }
+
+
+def fig2_leaf_breakdown(run: CharacterizationRun) -> Dict[LeafCategory, float]:
+    """Fig. 2: % of cycles per leaf category (measured)."""
+    return {
+        category: share * 100.0
+        for category, share in run.profile.leaf_shares().items()
+    }
+
+
+def fig2_reference_rows() -> Dict[str, Dict[LeafCategory, float]]:
+    """Fig. 2's SPEC CPU2006 and Google reference rows (published data;
+    those workloads are outside the simulated fleet)."""
+    rows = {}
+    for name in ("473.astar", "471.omnetpp", "403.gcc", "400.perlbench", "google"):
+        rows[name] = {cat: float(v) for cat, v in LEAF_BREAKDOWN[name].items()}
+    return rows
+
+
+def fig3_memory_breakdown(run: CharacterizationRun) -> Dict[str, float]:
+    """Fig. 3: % of *memory* cycles per memory function.
+
+    Copy and allocation shares are measured (the simulator tracks those
+    kernels); the free/move/set/compare split of the remaining memory
+    cycles uses the published Fig.-3 proportions, since the substrate does
+    not model them as separate kernels.
+    """
+    metrics = run.simulation.metrics
+    memory_total = run.profile.leaf[LeafCategory.MEMORY].cycles
+    if memory_total <= 0:
+        raise ProfileError(f"{run.service}: no memory cycles measured")
+    copy = metrics.kernel_cycles.get("memcpy", 0.0)
+    alloc = metrics.kernel_cycles.get("allocation", 0.0)
+    residual = max(memory_total - copy - alloc, 0.0)
+    published = MEMORY_BREAKDOWN[run.service]
+    other_keys = ("free", "move", "set", "compare")
+    published_other_total = sum(published[k] for k in other_keys)
+    result = {
+        "copy": copy / memory_total * 100.0,
+        "alloc": alloc / memory_total * 100.0,
+    }
+    for key in other_keys:
+        weight = (
+            published[key] / published_other_total if published_other_total else 0.0
+        )
+        result[key] = residual * weight / memory_total * 100.0
+    return result
+
+
+def fig4_copy_origins(run: CharacterizationRun) -> Dict[str, float]:
+    """Fig. 4: % of memory-copy cycles per originating functionality
+    (fully measured via per-origin kernel attribution)."""
+    shares = run.simulation.metrics.kernel_origin_shares("memcpy")
+    if not shares:
+        raise ProfileError(f"{run.service}: no memcpy cycles measured")
+    mapping = {
+        FunctionalityCategory.IO: "io",
+        FunctionalityCategory.IO_PROCESSING: "io_prepost",
+        FunctionalityCategory.SERIALIZATION: "serialization",
+        FunctionalityCategory.APPLICATION_LOGIC: "application_logic",
+    }
+    return {
+        mapping.get(origin, origin.value): share * 100.0
+        for origin, share in shares.items()
+    }
+
+
+def _sub_breakdown(
+    run: CharacterizationRun,
+    leaf: LeafCategory,
+    published: Mapping[str, float],
+) -> Dict[str, float]:
+    """Published sub-split scaled by the measured leaf-category total.
+
+    Used for figures whose resolution (individual kernel functions,
+    synchronization primitives, C-library families) sits below the
+    simulator's leaf attribution: the *measured* quantity is the leaf
+    total; the split within it is the published one.
+    """
+    shares = run.profile.leaf_shares()
+    total = shares.get(leaf, 0.0) * 100.0
+    published_total = sum(published.values())
+    if published_total == 0:
+        return {key: 0.0 for key in published}
+    return {
+        key: value / published_total * 100.0 for key, value in published.items()
+    } | {"_net_percent_of_total": total}
+
+
+def fig5_kernel_breakdown(run: CharacterizationRun) -> Dict[str, float]:
+    """Fig. 5: kernel leaf sub-breakdown (published split, measured net)."""
+    return _sub_breakdown(
+        run, LeafCategory.KERNEL, KERNEL_BREAKDOWN[run.service]
+    )
+
+
+def fig6_sync_breakdown(run: CharacterizationRun) -> Dict[str, float]:
+    """Fig. 6: synchronization sub-breakdown (published split, measured
+    net)."""
+    return _sub_breakdown(
+        run, LeafCategory.SYNCHRONIZATION, SYNC_BREAKDOWN[run.service]
+    )
+
+
+def fig7_clib_breakdown(run: CharacterizationRun) -> Dict[str, float]:
+    """Fig. 7: C-library sub-breakdown (published split, measured net)."""
+    return _sub_breakdown(
+        run, LeafCategory.C_LIBRARIES, CLIB_BREAKDOWN[run.service]
+    )
+
+
+def fig9_functionality_breakdown(
+    run: CharacterizationRun,
+) -> Dict[FunctionalityCategory, float]:
+    """Fig. 9: % of cycles per microservice functionality (measured)."""
+    return {
+        category: share * 100.0
+        for category, share in run.profile.functionality_shares().items()
+    }

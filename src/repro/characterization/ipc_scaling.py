@@ -1,0 +1,107 @@
+"""IPC-scaling studies across CPU generations (Figs. 8 and 10).
+
+The same Cache1 workload is characterized on GenA, GenB, and GenC IPC
+models; per-category IPC is recovered from the aggregated instruction and
+cycle counts, the ratio-of-aggregates computation of Sec. 2.2.  The
+functions also compute the derived quantities the paper's prose calls out
+(generation-over-generation scaling factors, peak-IPC utilization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ProfileError
+from ..paperdata.categories import FunctionalityCategory, LeafCategory
+from ..paperdata.platforms import PLATFORMS
+from .pipeline import CharacterizationRun, characterize
+
+GENERATIONS: Tuple[str, ...] = ("GenA", "GenB", "GenC")
+
+#: Leaf categories Fig. 8 plots.
+FIG8_CATEGORIES: Tuple[LeafCategory, ...] = (
+    LeafCategory.MEMORY,
+    LeafCategory.KERNEL,
+    LeafCategory.ZSTD,
+    LeafCategory.SSL,
+    LeafCategory.C_LIBRARIES,
+)
+
+#: Functionality categories Fig. 10 plots.
+FIG10_CATEGORIES: Tuple[FunctionalityCategory, ...] = (
+    FunctionalityCategory.IO,
+    FunctionalityCategory.IO_PROCESSING,
+    FunctionalityCategory.SERIALIZATION,
+    FunctionalityCategory.APPLICATION_LOGIC,
+)
+
+
+def characterize_across_generations(
+    service: str = "cache1",
+    seed: int = 2020,
+    **kwargs,
+) -> Dict[str, CharacterizationRun]:
+    """Run the same service once per CPU generation.
+
+    The same seed is used for every generation so the workload is
+    identical and only the platform's IPC differs -- the paper's
+    same-service, different-hardware comparison.
+    """
+    return {
+        generation: characterize(service, platform=generation, seed=seed, **kwargs)
+        for generation in GENERATIONS
+    }
+
+
+def fig8_leaf_ipc(
+    runs: Optional[Dict[str, CharacterizationRun]] = None,
+    categories: Sequence[LeafCategory] = FIG8_CATEGORIES,
+) -> Dict[LeafCategory, Dict[str, float]]:
+    """Fig. 8: Cache1 per-core IPC per leaf category per generation."""
+    runs = runs or characterize_across_generations()
+    result: Dict[LeafCategory, Dict[str, float]] = {}
+    for category in categories:
+        result[category] = {
+            generation: run.profile.leaf_ipc(category)
+            for generation, run in runs.items()
+        }
+    return result
+
+
+def fig10_functionality_ipc(
+    runs: Optional[Dict[str, CharacterizationRun]] = None,
+    categories: Sequence[FunctionalityCategory] = FIG10_CATEGORIES,
+) -> Dict[FunctionalityCategory, Dict[str, float]]:
+    """Fig. 10: Cache1 per-core IPC per functionality per generation."""
+    runs = runs or characterize_across_generations()
+    result: Dict[FunctionalityCategory, Dict[str, float]] = {}
+    for category in categories:
+        result[category] = {
+            generation: run.profile.functionality_ipc(category)
+            for generation, run in runs.items()
+        }
+    return result
+
+
+def scaling_factor(ipc_by_generation: Dict[str, float]) -> float:
+    """IPC gain from the oldest to the newest generation."""
+    first, last = GENERATIONS[0], GENERATIONS[-1]
+    if first not in ipc_by_generation or last not in ipc_by_generation:
+        raise ProfileError("need GenA and GenC IPC values")
+    return ipc_by_generation[last] / ipc_by_generation[first]
+
+
+def genb_to_genc_gain(ipc_by_generation: Dict[str, float]) -> float:
+    """The GenB -> GenC step the paper flags as 'typically small'."""
+    return ipc_by_generation["GenC"] / ipc_by_generation["GenB"]
+
+
+def peak_utilization(ipc: float, platform: str = "GenC") -> float:
+    """Fraction of the platform's theoretical peak IPC in use.
+
+    The paper: "each leaf function type uses less than half of the
+    theoretical execution bandwidth of a GenC CPU (theoretical peak IPC of
+    4.0)".
+    """
+    peak = PLATFORMS[platform].peak_ipc
+    return ipc / peak

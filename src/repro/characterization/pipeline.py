@@ -1,0 +1,90 @@
+"""End-to-end characterization pipeline.
+
+``characterize(service)`` is the reproduction's equivalent of the paper's
+Sec.-2.2 methodology: run the calibrated workload in the simulator at peak
+load (closed loop, all cores busy), expand the measured cycle attribution
+into Strobelight-style call traces, tag and bucket them, and return both
+the raw simulator measurements and the aggregated
+:class:`~repro.profiling.profiler.ExecutionProfile`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..profiling import (
+    ExecutionProfile,
+    IPCModel,
+    StackSampler,
+    capture_trace_profile,
+)
+from ..simulator import SimulationConfig, SimulationResult, run_simulation
+from ..simulator.service import Microservice
+from ..workloads import ServiceWorkload, build_workload
+
+
+@dataclasses.dataclass
+class CharacterizationRun:
+    """One characterized service: simulation result plus profile."""
+
+    workload: ServiceWorkload
+    simulation: SimulationResult
+    profile: ExecutionProfile
+
+    @property
+    def service(self) -> str:
+        return self.workload.name
+
+
+def characterize(
+    service: str,
+    platform: str = "GenC",
+    num_cores: int = 4,
+    window_cycles: Optional[float] = None,
+    seed: int = 2020,
+    requests_target: int = 400,
+) -> CharacterizationRun:
+    """Characterize one service on one platform.
+
+    The default window is sized so roughly *requests_target* requests
+    complete per core -- enough for the Poisson kernel sampling to settle
+    near its calibrated means without making us-scale services slow to
+    simulate.
+    """
+    workload = build_workload(service)
+    if window_cycles is None:
+        window_cycles = workload.request_cycles * requests_target
+    rng = np.random.default_rng(seed)
+
+    def build(engine, cpu, metrics):
+        microservice = Microservice(engine, cpu, metrics, name=service)
+        return microservice, workload.request_factory(rng)
+
+    config = SimulationConfig(
+        num_cores=num_cores, threads_per_core=1, window_cycles=window_cycles
+    )
+    result = run_simulation(build, config)
+    ipc_model = IPCModel(platform=platform)
+    sampler = StackSampler(workload.trace_templates())
+    profile = capture_trace_profile(
+        result.metrics, sampler, ipc_model, service=service
+    )
+    return CharacterizationRun(
+        workload=workload, simulation=result, profile=profile
+    )
+
+
+def characterize_all(
+    services=None, platform: str = "GenC", seed: int = 2020, **kwargs
+) -> Dict[str, CharacterizationRun]:
+    """Characterize several services (default: the seven of Fig. 9)."""
+    from ..paperdata.breakdowns import FB_SERVICES
+
+    services = tuple(services or FB_SERVICES)
+    return {
+        service: characterize(service, platform=platform, seed=seed + i, **kwargs)
+        for i, service in enumerate(services)
+    }

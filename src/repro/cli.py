@@ -1,0 +1,714 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage (installed as ``accelerometer``, also ``python -m repro``)::
+
+    accelerometer fig9                # functionality breakdown, all services
+    accelerometer fig8                # Cache1 leaf IPC across generations
+    accelerometer table6              # the three validation case studies
+    accelerometer fig20               # Table-7 / Fig-20 projections
+    accelerometer project --alpha 0.15 --a 5 --design sync ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Placement, ThreadingDesign, project
+
+
+def _print(text: str) -> None:
+    print(text)
+
+
+# ---------------------------------------------------------------------------
+# Figure commands.
+# ---------------------------------------------------------------------------
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from .paperdata import PLATFORMS
+
+    _print("Table 1: CPU platform attributes")
+    for name, spec in PLATFORMS.items():
+        cores = " or ".join(str(c) for c in spec.cores_per_socket)
+        llc = " or ".join(f"{m:g}" for m in spec.llc_mib)
+        _print(
+            f"  {name}: {spec.microarchitecture}, {cores} cores/socket, "
+            f"SMT {spec.smt}, L2 {spec.l2_kib} KiB, LLC {llc} MiB"
+        )
+
+
+def _cmd_table4(args: argparse.Namespace) -> None:
+    from .paperdata import FINDINGS
+
+    _print("Table 4: findings and acceleration opportunities")
+    for finding in FINDINGS:
+        _print(f"  - {finding.finding} (Sec. {', '.join(finding.sections)})")
+        _print(f"      => {finding.opportunity}")
+    if getattr(args, "measured", False):
+        from .characterization import characterize_all, findings_report
+
+        services = args.services.split(",") if args.services else None
+        runs = characterize_all(services, seed=args.seed)
+        _print("")
+        _print(findings_report(runs))
+
+
+def _characterize_services(args: argparse.Namespace):
+    from .characterization import characterize_all
+
+    services = args.services.split(",") if args.services else None
+    return characterize_all(services, seed=args.seed)
+
+
+def _cmd_fig1(args: argparse.Namespace) -> None:
+    from .characterization import fig1_orchestration_split
+    from .profiling import render_table
+
+    runs = _characterize_services(args)
+    rows = {name: fig1_orchestration_split(run) for name, run in runs.items()}
+    _print(render_table(rows, ["application_logic", "orchestration"],
+                        title="Fig. 1: application logic vs orchestration (% cycles)"))
+
+
+def _cmd_fig2(args: argparse.Namespace) -> None:
+    from .characterization import fig2_leaf_breakdown, fig2_reference_rows
+    from .paperdata.categories import LeafCategory
+    from .profiling import render_table
+
+    runs = _characterize_services(args)
+    rows = {name: fig2_leaf_breakdown(run) for name, run in runs.items()}
+    if not args.services:
+        rows.update(fig2_reference_rows())
+    _print(render_table(rows, list(LeafCategory),
+                        title="Fig. 2: leaf-category cycle breakdown (%)"))
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    from .characterization import fig3_memory_breakdown
+    from .profiling import render_table
+
+    runs = _characterize_services(args)
+    rows = {name: fig3_memory_breakdown(run) for name, run in runs.items()}
+    _print(render_table(rows, ["copy", "free", "alloc", "move", "set", "compare"],
+                        title="Fig. 3: memory leaf breakdown (% of memory cycles)"))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    from .characterization import fig4_copy_origins
+    from .profiling import render_table
+
+    runs = _characterize_services(args)
+    rows = {name: fig4_copy_origins(run) for name, run in runs.items()}
+    _print(render_table(rows, ["io", "io_prepost", "serialization", "application_logic"],
+                        title="Fig. 4: memory-copy origins (% of copy cycles)"))
+
+
+def _sub_breakdown_cmd(args: argparse.Namespace, figure: str) -> None:
+    from .characterization import (
+        fig5_kernel_breakdown,
+        fig6_sync_breakdown,
+        fig7_clib_breakdown,
+    )
+    from .profiling import render_table
+
+    producers = {
+        "fig5": (fig5_kernel_breakdown, "Fig. 5: kernel leaf breakdown (%)"),
+        "fig6": (fig6_sync_breakdown, "Fig. 6: synchronization breakdown (%)"),
+        "fig7": (fig7_clib_breakdown, "Fig. 7: C-library breakdown (%)"),
+    }
+    produce, title = producers[figure]
+    runs = _characterize_services(args)
+    rows = {name: produce(run) for name, run in runs.items()}
+    columns: List[str] = []
+    for breakdown in rows.values():
+        for key in breakdown:
+            if key not in columns:
+                columns.append(key)
+    _print(render_table(rows, columns, title=title))
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    from .characterization import (
+        characterize_across_generations,
+        fig10_functionality_ipc,
+        fig8_leaf_ipc,
+    )
+
+    runs = characterize_across_generations(seed=args.seed)
+    _print("Fig. 8: Cache1 per-core IPC per leaf category")
+    for category, by_gen in fig8_leaf_ipc(runs).items():
+        cells = "  ".join(f"{gen}={ipc:.2f}" for gen, ipc in by_gen.items())
+        _print(f"  {category.value:16s} {cells}")
+    _print("Fig. 10: Cache1 per-core IPC per functionality")
+    for category, by_gen in fig10_functionality_ipc(runs).items():
+        cells = "  ".join(f"{gen}={ipc:.2f}" for gen, ipc in by_gen.items())
+        _print(f"  {category.value:24s} {cells}")
+
+
+def _cmd_fig9(args: argparse.Namespace) -> None:
+    from .characterization import fig9_functionality_breakdown
+    from .paperdata.categories import FunctionalityCategory
+    from .profiling import render_table
+
+    runs = _characterize_services(args)
+    rows = {name: fig9_functionality_breakdown(run) for name, run in runs.items()}
+    _print(render_table(rows, list(FunctionalityCategory),
+                        title="Fig. 9: functionality cycle breakdown (%)"))
+
+
+def _print_cdf(figure) -> None:
+    from .units import format_bytes
+
+    for service, series in figure.series.items():
+        _print(f"  {service}:")
+        for label, cumulative in series:
+            _print(f"    {label:>12s}  {cumulative:5.3f}")
+    for marker, value in figure.markers.items():
+        _print(f"  marker {marker}: {format_bytes(value)}")
+
+
+def _cmd_fig15(args: argparse.Namespace) -> None:
+    from .characterization import fig15_encryption_cdf
+
+    _print("Fig. 15: CDF of bytes encrypted (Cache1)")
+    _print_cdf(fig15_encryption_cdf())
+
+
+def _cmd_fig19(args: argparse.Namespace) -> None:
+    from .characterization import fig19_compression_cdf
+
+    _print("Fig. 19: CDF of bytes compressed (Feed1, Cache1)")
+    _print_cdf(fig19_compression_cdf())
+
+
+def _cmd_fig21(args: argparse.Namespace) -> None:
+    from .characterization import fig21_copy_cdf
+
+    _print("Fig. 21: CDF of memory-copy sizes")
+    _print_cdf(fig21_copy_cdf())
+
+
+def _cmd_fig22(args: argparse.Namespace) -> None:
+    from .characterization import fig22_allocation_cdf
+
+    _print("Fig. 22: CDF of allocation sizes")
+    _print_cdf(fig22_allocation_cdf())
+
+
+def _cmd_table6(args: argparse.Namespace) -> None:
+    from .validation import run_all_case_studies
+
+    _print("Table 6: case-study validation (model vs simulated A/B)")
+    _print(f"{'study':12s} {'model':>8s} {'simulated':>10s} "
+           f"{'paper est':>10s} {'paper real':>11s} {'|m-s|':>7s}")
+    for name, outcome in run_all_case_studies().items():
+        _print(
+            f"{name:12s} {outcome.model_speedup_pct:7.2f}% "
+            f"{outcome.simulated_speedup_pct:9.2f}% "
+            f"{outcome.paper_estimated_pct:9.2f}% "
+            f"{outcome.paper_real_pct:10.2f}% "
+            f"{outcome.model_vs_simulation_error:6.2f}pp"
+        )
+
+
+def _cmd_fig20(args: argparse.Namespace) -> None:
+    from .application import fig20_comparison
+
+    _print("Fig. 20 / Table 7: projected speedups (ours vs paper, %)")
+    for overhead, rows in fig20_comparison().items():
+        _print(f"  {overhead}:")
+        for strategy, (ours, paper) in rows.items():
+            paper_text = f"{paper:6.2f}" if paper is not None else "   n/a"
+            _print(f"    {strategy:18s} ours {ours:6.2f}   paper {paper_text}")
+
+
+def _cmd_fig16(args: argparse.Namespace) -> None:
+    from .paperdata.categories import FunctionalityCategory
+    from .validation import (
+        functionality_shift,
+        simulate_aes_ni,
+        simulate_cache3_encryption,
+        simulate_remote_inference,
+    )
+
+    experiments = {
+        "fig16 (Cache1 + AES-NI)": simulate_aes_ni,
+        "fig17 (Cache3 + encryption device)": simulate_cache3_encryption,
+        "fig18 (Ads1 + remote inference)": simulate_remote_inference,
+    }
+    for title, runner in experiments.items():
+        shift = functionality_shift(runner())
+        _print(f"{title}: freed {shift.freed_cycle_fraction * 100:.1f}% of cycles")
+        baseline = shift.baseline_shares_pct()
+        accelerated = shift.accelerated_shares_pct()
+        for category in FunctionalityCategory:
+            before = baseline.get(category, 0.0)
+            after = accelerated.get(category, 0.0)
+            if before > 0.05 or after > 0.05:
+                _print(f"    {category.value:26s} {before:5.1f}% -> {after:5.1f}%")
+
+
+def _cmd_project(args: argparse.Namespace) -> None:
+    result = project(
+        total_cycles=args.c,
+        kernel_fraction=args.alpha,
+        offloads_per_unit=args.n,
+        peak_speedup=args.a,
+        design=ThreadingDesign(args.design),
+        placement=Placement(args.placement),
+        dispatch_cycles=args.o0,
+        interface_cycles=args.l,
+        queue_cycles=args.q,
+        thread_switch_cycles=args.o1,
+    )
+    _print(f"speedup:           {result.speedup_percent:8.2f}%")
+    _print(f"latency reduction: {result.latency_reduction_percent:8.2f}%")
+    _print(f"ideal (Amdahl):    {(result.ideal_speedup - 1) * 100:8.2f}%")
+
+
+def _build_project_scenario(args: argparse.Namespace):
+    from .core import (
+        AcceleratorSpec,
+        KernelProfile,
+        OffloadCosts,
+        OffloadScenario,
+    )
+
+    return OffloadScenario(
+        kernel=KernelProfile(
+            total_cycles=args.c,
+            kernel_fraction=args.alpha,
+            offloads_per_unit=args.n,
+            cycles_per_byte=args.cb,
+        ),
+        accelerator=AcceleratorSpec(args.a, Placement(args.placement)),
+        costs=OffloadCosts(
+            dispatch_cycles=args.o0,
+            interface_cycles=args.l,
+            queue_cycles=args.q,
+            thread_switch_cycles=args.o1,
+        ),
+        design=ThreadingDesign(args.design),
+    )
+
+
+def _cmd_bounds(args: argparse.Namespace) -> None:
+    from .core import bound_report
+
+    _print(bound_report(_build_project_scenario(args)))
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> None:
+    from .core import sensitivity
+
+    report = sensitivity(_build_project_scenario(args))
+    _print(f"speedup: {(report.speedup - 1) * 100:.2f}%")
+    _print("elasticities d(log S)/d(log p), largest first:")
+    for name, value in report.ranked():
+        _print(f"  {name:6s} {value:+8.4f}")
+    _print(f"most sensitive overhead: {report.most_sensitive_overhead()}")
+
+
+def _cmd_batch(args: argparse.Namespace) -> None:
+    from .core import BatchingPolicy, min_profitable_batch_size, project_batched
+
+    scenario = _build_project_scenario(args)
+    minimum = min_profitable_batch_size(scenario)
+    if minimum is None:
+        _print("no batch size yields speedup > 1 for this scenario")
+        return
+    _print(f"minimum profitable batch size: {minimum}")
+    for size in sorted({1, minimum, 2 * minimum, 8 * minimum}):
+        projection = project_batched(scenario, BatchingPolicy(size))
+        _print(
+            f"  B={size:6d}  speedup {projection.result.speedup_percent:7.2f}%"
+            f"  assembly wait {projection.assembly_wait_cycles:12.0f} cycles"
+        )
+
+
+def _cmd_capacity(args: argparse.Namespace) -> None:
+    from .fleet import plan_capacity
+
+    plan = plan_capacity(
+        offload_rate=args.n,
+        service_cycles=args.service_cycles,
+        total_cycles=args.c,
+        queue_budget_cycles=args.q_budget,
+        max_utilization=args.max_util,
+    )
+    _print(f"engines per host:   {plan.engines}")
+    _print(f"utilization:        {plan.utilization * 100:.1f}%")
+    _print(f"expected Q:         {plan.expected_queue_cycles:.0f} cycles/offload")
+
+
+def _cmd_workloads(args: argparse.Namespace) -> None:
+    from .workloads import all_workloads
+
+    _print(f"{'service':9s} {'req cycles':>11s} {'kernels':>40s}")
+    for name, workload in all_workloads().items():
+        kernels = ", ".join(
+            f"{k}(n={int(v.offloads_per_unit):,})"
+            for k, v in workload.kernels.items()
+        )
+        _print(f"{name:9s} {workload.request_cycles:11,.0f} {kernels:>40s}")
+
+
+def _cmd_demand_risk(args: argparse.Namespace) -> None:
+    from .fleet import DemandScenario, demand_risk_sweep
+
+    forecast = DemandScenario(mean_rate=args.mean_rate)
+    growths = [float(g) for g in args.growths.split(",")]
+    _print(f"{'realized growth':>15s} {'mean util':>10s} "
+           f"{'stranded':>9s} {'shortfall h':>12s}")
+    for growth, outcome in demand_risk_sweep(
+        forecast, growths, args.service_cycles
+    ):
+        _print(
+            f"{growth:15.2f} {outcome.mean_utilization * 100:9.1f}% "
+            f"{outcome.stranded_fraction * 100:8.1f}% "
+            f"{outcome.shortfall_hours:12d}"
+        )
+
+
+def _cmd_params(args: argparse.Namespace) -> None:
+    from .paperdata.table5 import TABLE5_PARAMETERS
+
+    _print("Table 5: Accelerometer model parameters")
+    for parameter in TABLE5_PARAMETERS:
+        _print(f"  {parameter.symbol:6s} [{parameter.units:6s}] "
+               f"{parameter.description}")
+        _print(f"         -> {parameter.api_field}")
+
+
+def _cmd_export_data(args: argparse.Namespace) -> None:
+    from .characterization import characterize_across_generations, characterize_all
+    from .export import export_figure_data
+
+    services = args.services.split(",") if args.services else None
+    runs = characterize_all(services, seed=args.seed,
+                            requests_target=args.requests)
+    generation_runs = None
+    if not args.skip_ipc:
+        generation_runs = characterize_across_generations(
+            seed=args.seed, requests_target=args.requests
+        )
+    for name, path in export_figure_data(args.output, runs,
+                                         generation_runs).items():
+        _print(f"wrote {path}")
+
+
+def _cmd_validate_matrix(args: argparse.Namespace) -> None:
+    from .validation import validation_matrix
+
+    summary = validation_matrix()
+    _print(f"{'design':24s} {'alpha':>6s} {'L':>7s} {'model':>8s} "
+           f"{'sim':>8s} {'|err|':>7s}")
+    for cell in summary.cells:
+        _print(
+            f"{cell.design.value:24s} {cell.alpha:6.2f} "
+            f"{cell.interface_cycles:7.0f} {cell.model_speedup_pct:7.2f}% "
+            f"{cell.simulated_speedup_pct:7.2f}% {cell.error_pp:6.2f}pp"
+        )
+    _print(f"max error {summary.max_error_pp:.2f} pp, "
+           f"mean {summary.mean_error_pp:.2f} pp over {len(summary.cells)} cells")
+
+
+def _cmd_oversubscription(args: argparse.Namespace) -> None:
+    from .application import oversubscription_study, saturation_level
+
+    points = oversubscription_study()
+    _print(f"{'threads/core':>12s} {'throughput':>12s} {'mean lat':>10s} "
+           f"{'p99 lat':>10s}")
+    for point in points:
+        _print(
+            f"{point.threads_per_core:12d} "
+            f"{point.throughput_per_mcycle:10.1f}/M "
+            f"{point.mean_latency_cycles:10.0f} "
+            f"{point.p99_latency_cycles:10.0f}"
+        )
+    _print(f"throughput saturates at {saturation_level(points)} threads/core")
+
+
+def _cmd_render(args: argparse.Namespace) -> None:
+    from .characterization import characterize_across_generations, characterize_all
+    from .viz import render_all
+
+    services = args.services.split(",") if args.services else None
+    runs = characterize_all(services, seed=args.seed,
+                            requests_target=args.requests)
+    generation_runs = None
+    if not args.skip_ipc:
+        generation_runs = characterize_across_generations(
+            seed=args.seed, requests_target=args.requests
+        )
+    written = render_all(args.output, runs, generation_runs)
+    for name, path in written.items():
+        _print(f"wrote {path}")
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> None:
+    from .config import load_scenarios
+    from .core import Accelerometer
+
+    model = Accelerometer()
+    _print(f"{'scenario':24s} {'speedup':>9s} {'latency':>9s}")
+    for name, scenario in load_scenarios(args.config):
+        result = model.evaluate(scenario)
+        _print(
+            f"{name:24s} {result.speedup_percent:8.2f}% "
+            f"{result.latency_reduction_percent:8.2f}%"
+        )
+
+
+def _cmd_example_config(args: argparse.Namespace) -> None:
+    from .config import dump_example
+
+    dump_example(args.output)
+    _print(f"wrote example configuration to {args.output}")
+
+
+def _cmd_recommend(args: argparse.Namespace) -> None:
+    from .application import quantify_recommendations
+
+    services = args.services.split(",") if args.services else ["cache1"]
+    for service in services:
+        _print(f"{service}:")
+        options = quantify_recommendations(service)
+        for key, rec in sorted(
+            options.items(), key=lambda kv: -kv[1].projected_speedup_pct
+        ):
+            _print(
+                f"  {key:20s} {rec.projected_speedup_pct:6.2f}%  "
+                f"({rec.mechanism})"
+            )
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from .reports import generate_report
+
+    text = generate_report(seed=args.seed, requests_target=args.requests)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        _print(f"wrote {args.output}")
+    else:
+        _print(text)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    from .fleet import default_fleet, fleet_projection
+
+    speedups = {}
+    for item in args.speedups.split(","):
+        service, _, value = item.partition("=")
+        speedups[service.strip()] = float(value)
+    projection = fleet_projection(default_fleet(args.servers), speedups)
+    _print(f"fleet capacity gain: {projection.capacity_gain_percent:.2f}%")
+    _print(f"servers freed:       {projection.servers_freed:,.0f} "
+           f"of {projection.composition.total_servers:,.0f}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="accelerometer",
+        description="Regenerate tables and figures from the Accelerometer "
+        "paper (ASPLOS 2020) on the simulated substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, func, help_text: str, characterizes: bool = False):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(func=func)
+        p.add_argument("--seed", type=int, default=2020)
+        if characterizes:
+            p.add_argument(
+                "--services", default="",
+                help="comma-separated service subset (default: all seven)",
+            )
+        return p
+
+    add("table1", _cmd_table1, "CPU platform attributes")
+    add("table5", _cmd_params, "model parameter glossary")
+    add("params", _cmd_params, "alias of table5")
+    table4 = add("table4", _cmd_table4, "findings summary",
+                 characterizes=True)
+    table4.add_argument(
+        "--measured", action="store_true",
+        help="also re-derive the findings from simulated characterization",
+    )
+    add("fig1", _cmd_fig1, "app logic vs orchestration", characterizes=True)
+    add("fig2", _cmd_fig2, "leaf breakdown", characterizes=True)
+    add("fig3", _cmd_fig3, "memory leaf breakdown", characterizes=True)
+    add("fig4", _cmd_fig4, "memory copy origins", characterizes=True)
+    add("fig5", lambda a: _sub_breakdown_cmd(a, "fig5"), "kernel breakdown",
+        characterizes=True)
+    add("fig6", lambda a: _sub_breakdown_cmd(a, "fig6"), "sync breakdown",
+        characterizes=True)
+    add("fig7", lambda a: _sub_breakdown_cmd(a, "fig7"), "C-library breakdown",
+        characterizes=True)
+    add("fig8", _cmd_fig8, "IPC scaling (also prints fig10)")
+    add("fig9", _cmd_fig9, "functionality breakdown", characterizes=True)
+    add("fig10", _cmd_fig8, "IPC scaling (alias of fig8)")
+    add("fig15", _cmd_fig15, "encryption granularity CDF")
+    add("fig16", _cmd_fig16, "case-study breakdown shifts (figs 16-18)")
+    add("fig17", _cmd_fig16, "alias of fig16")
+    add("fig18", _cmd_fig16, "alias of fig16")
+    add("fig19", _cmd_fig19, "compression granularity CDF")
+    add("fig21", _cmd_fig21, "memory-copy granularity CDF")
+    add("fig22", _cmd_fig22, "allocation granularity CDF")
+    add("table6", _cmd_table6, "case-study validation")
+    add("fig20", _cmd_fig20, "projection table (Table 7)")
+    add("table7", _cmd_fig20, "alias of fig20")
+
+    def add_scenario_arguments(p, require_core=True):
+        p.add_argument("--c", type=float, default=2.0e9,
+                       help="total host cycles C")
+        p.add_argument("--alpha", type=float, required=require_core,
+                       help="kernel fraction")
+        p.add_argument("--n", type=float, required=require_core,
+                       help="offloads per unit")
+        p.add_argument("--a", type=float, required=require_core,
+                       help="peak speedup A")
+        p.add_argument("--o0", type=float, default=0.0, help="dispatch cycles")
+        p.add_argument("--l", type=float, default=0.0,
+                       help="interface cycles L")
+        p.add_argument("--q", type=float, default=0.0, help="queue cycles Q")
+        p.add_argument("--o1", type=float, default=0.0,
+                       help="thread switch cycles")
+        p.add_argument("--cb", type=float, default=None,
+                       help="cycles per byte Cb")
+        p.add_argument("--design", default="sync",
+                       choices=[d.value for d in ThreadingDesign])
+        p.add_argument("--placement", default="off-chip",
+                       choices=[pl.value for pl in Placement])
+
+    p = sub.add_parser("project", help="evaluate a custom scenario")
+    p.set_defaults(func=_cmd_project)
+    add_scenario_arguments(p)
+
+    p = sub.add_parser(
+        "bounds", help="performance-bound decomposition for a scenario"
+    )
+    p.set_defaults(func=_cmd_bounds)
+    add_scenario_arguments(p)
+
+    p = sub.add_parser(
+        "sensitivity", help="parameter elasticities for a scenario"
+    )
+    p.set_defaults(func=_cmd_sensitivity)
+    add_scenario_arguments(p)
+
+    p = sub.add_parser("batch", help="batch-size analysis for a scenario")
+    p.set_defaults(func=_cmd_batch)
+    add_scenario_arguments(p)
+
+    p = sub.add_parser(
+        "capacity", help="accelerator engines needed for an offload load"
+    )
+    p.set_defaults(func=_cmd_capacity)
+    p.add_argument("--n", type=float, required=True, help="offloads per unit")
+    p.add_argument("--service-cycles", type=float, required=True,
+                   help="accelerator service time per offload")
+    p.add_argument("--c", type=float, default=2.0e9, help="cycles per unit")
+    p.add_argument("--q-budget", type=float, default=None,
+                   help="max mean queue delay in cycles")
+    p.add_argument("--max-util", type=float, default=0.6)
+
+    p = sub.add_parser(
+        "workloads", help="list the calibrated service workloads"
+    )
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser(
+        "demand-risk",
+        help="accelerator-investment risk across realized-demand scenarios",
+    )
+    p.set_defaults(func=_cmd_demand_risk)
+    p.add_argument("--mean-rate", type=float, default=100_000.0)
+    p.add_argument("--service-cycles", type=float, default=10_000.0)
+    p.add_argument("--growths", default="0.4,0.7,1.0,1.5,2.5")
+
+    p = sub.add_parser(
+        "export-data", help="export figure data (published + measured) as CSV"
+    )
+    p.set_defaults(func=_cmd_export_data)
+    p.add_argument("--output", default="data")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--services", default="")
+    p.add_argument("--skip-ipc", action="store_true")
+
+    p = sub.add_parser(
+        "validate-matrix",
+        help="sim-vs-model error grid across designs and parameters",
+    )
+    p.set_defaults(func=_cmd_validate_matrix)
+
+    p = sub.add_parser(
+        "oversubscription",
+        help="measured throughput/latency vs threads per core (Sync-OS)",
+    )
+    p.set_defaults(func=_cmd_oversubscription)
+
+    p = sub.add_parser("render", help="render the figures as SVG files")
+    p.set_defaults(func=_cmd_render)
+    p.add_argument("--output", default="figures")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--services", default="",
+                   help="comma-separated service subset (default: all seven)")
+    p.add_argument("--skip-ipc", action="store_true",
+                   help="skip the three-generation IPC figures")
+
+    p = sub.add_parser(
+        "evaluate",
+        help="evaluate scenarios from a JSON configuration file "
+        "(the original artifact's workflow)",
+    )
+    p.set_defaults(func=_cmd_evaluate)
+    p.add_argument("--config", required=True, help="path to the JSON file")
+
+    p = sub.add_parser(
+        "example-config", help="write an example scenario configuration"
+    )
+    p.set_defaults(func=_cmd_example_config)
+    p.add_argument("--output", default="accelerometer-scenarios.json")
+
+    p = sub.add_parser(
+        "recommend", help="quantify Table-4 recommendations per service"
+    )
+    p.set_defaults(func=_cmd_recommend)
+    p.add_argument("--services", default="",
+                   help="comma-separated services (default: cache1)")
+
+    p = sub.add_parser(
+        "report", help="run the full evaluation and emit a markdown report"
+    )
+    p.set_defaults(func=_cmd_report)
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--requests", type=int, default=200,
+                   help="requests per core per characterization run")
+    p.add_argument("--output", default="",
+                   help="write to a file instead of stdout")
+
+    p = sub.add_parser("fleet", help="fleet-wide projection")
+    p.set_defaults(func=_cmd_fleet)
+    p.add_argument("--servers", type=float, default=100_000)
+    p.add_argument("--speedups", required=True,
+                   help="per-service speedups, e.g. 'web=1.05,cache1=1.14'")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Configuration-file driven model evaluation.
+
+The paper's artifact runs Accelerometer in three steps: "(a) identify
+model parameters for the accelerator under test, (b) input these model
+parameters into a configuration file, and (c) run the Accelerometer model
+for these model parameters".  This module implements that workflow for
+the reproduction: a JSON configuration holds one or more scenarios using
+the paper's parameter names, and ``accelerometer evaluate --config``
+projects each one.
+
+Example configuration::
+
+    {
+      "scenarios": [
+        {
+          "name": "aes-ni-cache1",
+          "C": 2.0e9, "alpha": 0.165844, "n": 298951, "A": 6,
+          "o0": 10, "L": 3, "Q": 0, "o1": 0,
+          "design": "sync", "placement": "on-chip"
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .core import (
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+)
+from .errors import ParameterError
+
+#: Accepted keys per scenario, with (required, default).
+_SCENARIO_KEYS = {
+    "name": (False, None),
+    "C": (True, None),
+    "alpha": (True, None),
+    "n": (True, None),
+    "A": (True, None),
+    "o0": (False, 0.0),
+    "L": (False, 0.0),
+    "Q": (False, 0.0),
+    "o1": (False, 0.0),
+    "Cb": (False, None),
+    "beta": (False, 1.0),
+    "design": (False, "sync"),
+    "placement": (False, "off-chip"),
+    "driver_awaits_ack": (False, True),
+}
+
+
+def scenario_from_mapping(mapping: Dict) -> Tuple[str, OffloadScenario]:
+    """Build one scenario from a parameter mapping (paper symbol names)."""
+    unknown = set(mapping) - set(_SCENARIO_KEYS)
+    if unknown:
+        raise ParameterError(
+            f"unknown scenario keys: {sorted(unknown)}; "
+            f"accepted: {sorted(_SCENARIO_KEYS)}"
+        )
+    values = {}
+    for key, (required, default) in _SCENARIO_KEYS.items():
+        if key in mapping:
+            values[key] = mapping[key]
+        elif required:
+            raise ParameterError(f"scenario is missing required key {key!r}")
+        else:
+            values[key] = default
+    try:
+        design = ThreadingDesign(values["design"])
+    except ValueError as error:
+        raise ParameterError(
+            f"unknown design {values['design']!r}; choose from "
+            f"{[d.value for d in ThreadingDesign]}"
+        ) from error
+    try:
+        placement = Placement(values["placement"])
+    except ValueError as error:
+        raise ParameterError(
+            f"unknown placement {values['placement']!r}; choose from "
+            f"{[p.value for p in Placement]}"
+        ) from error
+    scenario = OffloadScenario(
+        kernel=KernelProfile(
+            total_cycles=float(values["C"]),
+            kernel_fraction=float(values["alpha"]),
+            offloads_per_unit=float(values["n"]),
+            cycles_per_byte=(
+                float(values["Cb"]) if values["Cb"] is not None else None
+            ),
+            complexity_exponent=float(values["beta"]),
+        ),
+        accelerator=AcceleratorSpec(
+            peak_speedup=float(values["A"]), placement=placement
+        ),
+        costs=OffloadCosts(
+            dispatch_cycles=float(values["o0"]),
+            interface_cycles=float(values["L"]),
+            queue_cycles=float(values["Q"]),
+            thread_switch_cycles=float(values["o1"]),
+        ),
+        design=design,
+        driver_awaits_ack=bool(values["driver_awaits_ack"]),
+    )
+    name = values["name"] or f"{design.value}-{placement.value}"
+    return name, scenario
+
+
+def load_scenarios(path: Union[str, Path]) -> List[Tuple[str, OffloadScenario]]:
+    """Load every scenario from a JSON configuration file.
+
+    The file may contain either a top-level ``{"scenarios": [...]}`` list
+    or a single scenario object.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ParameterError(f"configuration file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ParameterError(f"invalid JSON in {path}: {error}") from error
+    if isinstance(payload, dict) and "scenarios" in payload:
+        entries = payload["scenarios"]
+        if not isinstance(entries, list) or not entries:
+            raise ParameterError('"scenarios" must be a non-empty list')
+    elif isinstance(payload, dict):
+        entries = [payload]
+    else:
+        raise ParameterError(
+            "configuration must be an object or contain a 'scenarios' list"
+        )
+    scenarios = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ParameterError(f"scenario #{index} is not an object")
+        scenarios.append(scenario_from_mapping(entry))
+    return scenarios
+
+
+def dump_example(path: Union[str, Path]) -> None:
+    """Write an example configuration (Table 6's three case studies)."""
+    example = {
+        "scenarios": [
+            {
+                "name": "aes-ni-cache1",
+                "C": 2.0e9, "alpha": 0.165844, "n": 298_951, "A": 6,
+                "o0": 10, "L": 3,
+                "design": "sync", "placement": "on-chip",
+            },
+            {
+                "name": "encryption-cache3",
+                "C": 2.3e9, "alpha": 0.19154, "n": 101_863, "A": 1e9,
+                "L": 2_530,
+                "design": "async-no-response", "placement": "off-chip",
+            },
+            {
+                "name": "inference-ads1",
+                "C": 2.5e9, "alpha": 0.52, "n": 10, "A": 1,
+                "o0": 25_000_000, "o1": 12_500,
+                "design": "async-distinct-thread", "placement": "remote",
+            },
+        ]
+    }
+    Path(path).write_text(json.dumps(example, indent=2) + "\n")

@@ -1,0 +1,158 @@
+"""The Accelerometer analytical model (the paper's primary contribution).
+
+Public API::
+
+    from repro.core import (
+        Accelerometer, OffloadScenario, KernelProfile, AcceleratorSpec,
+        OffloadCosts, ThreadingDesign, Placement, project,
+    )
+"""
+
+from .baselines import LogCA, amdahl_ceiling, amdahl_speedup
+from .batching import (
+    BatchedProjection,
+    BatchingPolicy,
+    batch_size_sweep,
+    batched_scenario,
+    min_profitable_batch_size,
+    project_batched,
+)
+from .bounds import (
+    BindingConstraint,
+    CycleDecomposition,
+    GranularityLandmarks,
+    bound_report,
+    decompose,
+    granularity_landmarks,
+)
+from .breakeven import (
+    aggregate_offload_margin,
+    min_profitable_granularity,
+    offload_is_profitable,
+    speedup_breakeven_table,
+)
+from .complexity import (
+    ComplexityClass,
+    KernelComplexity,
+    classify,
+    fit_power_law,
+    fit_quality,
+)
+from .granularity import (
+    GranularityDistribution,
+    lucrative_subset,
+    selective_profile,
+)
+from .model import Accelerometer, ProjectionResult, project
+from .multikernel import (
+    FusedPlan,
+    KernelPlan,
+    combined_speedup,
+    fused_speedup,
+    fusion_benefit,
+)
+from .params import AcceleratorSpec, KernelProfile, OffloadCosts, OffloadScenario
+from .queueing import (
+    QueueModel,
+    empirical_mean_wait,
+    md1_wait_cycles,
+    mm1_wait_cycles,
+    mmk_wait_cycles,
+    utilization,
+)
+from .sensitivity import (
+    SENSITIVITY_PARAMETERS,
+    SensitivityReport,
+    sensitivity,
+    verify_elasticity_numerically,
+)
+from .uncertainty import (
+    ParameterRange,
+    SpeedupInterval,
+    monte_carlo_speedup,
+    speedup_interval,
+)
+from .strategies import (
+    BLOCKING_DESIGNS,
+    NONBLOCKING_DESIGNS,
+    Placement,
+    ResponseHandling,
+    ThreadingDesign,
+    design_for_response,
+)
+from .sweep import (
+    SWEEPABLE_PARAMETERS,
+    SweepPoint,
+    SweepResult,
+    compare_designs,
+    crossover,
+    sweep,
+)
+
+__all__ = [
+    "Accelerometer",
+    "AcceleratorSpec",
+    "BLOCKING_DESIGNS",
+    "BatchedProjection",
+    "BatchingPolicy",
+    "BindingConstraint",
+    "CycleDecomposition",
+    "FusedPlan",
+    "GranularityLandmarks",
+    "KernelPlan",
+    "ParameterRange",
+    "SpeedupInterval",
+    "monte_carlo_speedup",
+    "speedup_interval",
+    "SENSITIVITY_PARAMETERS",
+    "SensitivityReport",
+    "batch_size_sweep",
+    "batched_scenario",
+    "bound_report",
+    "combined_speedup",
+    "decompose",
+    "fused_speedup",
+    "fusion_benefit",
+    "granularity_landmarks",
+    "min_profitable_batch_size",
+    "project_batched",
+    "sensitivity",
+    "verify_elasticity_numerically",
+    "ComplexityClass",
+    "GranularityDistribution",
+    "KernelComplexity",
+    "KernelProfile",
+    "LogCA",
+    "NONBLOCKING_DESIGNS",
+    "OffloadCosts",
+    "OffloadScenario",
+    "Placement",
+    "ProjectionResult",
+    "QueueModel",
+    "ResponseHandling",
+    "SWEEPABLE_PARAMETERS",
+    "SweepPoint",
+    "SweepResult",
+    "ThreadingDesign",
+    "aggregate_offload_margin",
+    "amdahl_ceiling",
+    "amdahl_speedup",
+    "classify",
+    "compare_designs",
+    "crossover",
+    "design_for_response",
+    "empirical_mean_wait",
+    "fit_power_law",
+    "fit_quality",
+    "lucrative_subset",
+    "md1_wait_cycles",
+    "min_profitable_granularity",
+    "mm1_wait_cycles",
+    "mmk_wait_cycles",
+    "offload_is_profitable",
+    "project",
+    "selective_profile",
+    "speedup_breakeven_table",
+    "sweep",
+    "utilization",
+]

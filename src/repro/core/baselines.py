@@ -1,0 +1,131 @@
+"""Baseline analytical models the paper compares against / extends.
+
+Two baselines matter for the paper's positioning:
+
+* **Amdahl's law** -- the classic ceiling on whole-application speedup from
+  accelerating a fraction ``alpha`` of the work.
+* **LogCA** (Altaf & Wood, ISCA 2017) -- a per-kernel accelerator model
+  parameterized by Latency, overhead, granularity, Computational index and
+  Acceleration.  LogCA assumes the host blocks during the offload; the
+  Accelerometer model generalizes it with threading designs.
+
+Accelerometer's Sync equation should agree with LogCA-under-Amdahl when the
+same parameters are plugged into both -- a consistency check our test suite
+enforces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import ParameterError
+
+
+def amdahl_speedup(alpha: float, local_speedup: float) -> float:
+    """Amdahl's law: total speedup when a fraction *alpha* of the work is
+    sped up by *local_speedup*."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ParameterError(f"alpha must be in [0, 1], got {alpha}")
+    if local_speedup <= 0:
+        raise ParameterError(f"local_speedup must be > 0, got {local_speedup}")
+    return 1.0 / ((1.0 - alpha) + alpha / local_speedup)
+
+
+def amdahl_ceiling(alpha: float) -> float:
+    """The limit of :func:`amdahl_speedup` as the local speedup grows."""
+    if not 0.0 <= alpha < 1.0:
+        raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+    return 1.0 / (1.0 - alpha)
+
+
+@dataclasses.dataclass(frozen=True)
+class LogCA:
+    """The LogCA model for one kernel offload.
+
+    Parameters follow the LogCA paper, expressed in host cycles:
+
+    * ``latency``: cycles to move one offload to the accelerator (their L).
+    * ``overhead``: host-side setup cycles per offload (their o).
+    * ``computational_index``: host cycles per byte of kernel work (their C).
+    * ``acceleration``: peak accelerator speedup (their A).
+    * ``beta``: kernel complexity exponent (kernel cost ~ C * g**beta).
+
+    Time on host for a g-byte kernel: ``T0(g) = C * g**beta``.
+    Time with the (synchronous, unpipelined) accelerator:
+    ``T1(g) = o + L + C * g**beta / A``.
+    """
+
+    latency: float
+    overhead: float
+    computational_index: float
+    acceleration: float
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ParameterError("latency must be >= 0")
+        if self.overhead < 0:
+            raise ParameterError("overhead must be >= 0")
+        if self.computational_index <= 0:
+            raise ParameterError("computational_index must be > 0")
+        if self.acceleration <= 0:
+            raise ParameterError("acceleration must be > 0")
+        if self.beta <= 0:
+            raise ParameterError("beta must be > 0")
+
+    def host_time(self, granularity: float) -> float:
+        """Unaccelerated kernel time ``T0(g)``."""
+        if granularity < 0:
+            raise ParameterError("granularity must be >= 0")
+        return self.computational_index * granularity**self.beta
+
+    def accelerated_time(self, granularity: float) -> float:
+        """Accelerated kernel time ``T1(g)`` with the host blocked."""
+        return self.overhead + self.latency + self.host_time(granularity) / self.acceleration
+
+    def kernel_speedup(self, granularity: float) -> float:
+        """Per-kernel speedup ``T0(g) / T1(g)``."""
+        t1 = self.accelerated_time(granularity)
+        if t1 == 0:
+            return math.inf
+        return self.host_time(granularity) / t1
+
+    def g_breakeven(self) -> float:
+        """Granularity where ``T0(g) == T1(g)`` (speedup crosses 1).
+
+        LogCA calls this ``g1``.  Returns ``inf`` when acceleration <= 1
+        with positive overheads.
+        """
+        shrink = 1.0 - 1.0 / self.acceleration
+        total_overhead = self.overhead + self.latency
+        if total_overhead == 0:
+            return 0.0
+        if shrink <= 0:
+            return math.inf
+        return (total_overhead / (self.computational_index * shrink)) ** (1.0 / self.beta)
+
+    def g_half_peak(self) -> float:
+        """Granularity reaching half the peak speedup ``A/2``.
+
+        LogCA calls this ``g_{A/2}``; it indicates how quickly a design
+        approaches its peak.  Solving ``T0/T1 = A/2`` gives
+        ``C * g**beta = A * (o + L)`` for the unpipelined model.
+        """
+        total_overhead = self.overhead + self.latency
+        if total_overhead == 0:
+            return 0.0
+        return (
+            self.acceleration * total_overhead / self.computational_index
+        ) ** (1.0 / self.beta)
+
+    def application_speedup(self, alpha: float, granularity: float) -> float:
+        """LogCA folded through Amdahl: the whole-app speedup when the
+        kernel is fraction *alpha* of execution and offloads are g-sized.
+
+        This is the "prior model" view the paper extends: it matches
+        Accelerometer's Sync equation when the same per-offload overheads
+        are used, because LogCA assumes the CPU waits during the offload.
+        """
+        local = self.kernel_speedup(granularity)
+        return amdahl_speedup(alpha, local)

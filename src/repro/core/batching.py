@@ -1,0 +1,150 @@
+"""Offload batching: amortizing per-offload overheads across requests.
+
+The remote-inference case study (Sec. 4) "carefully batch[es] inference
+operations and offload[s] them to the remote CPU only when the batch size
+is large enough to overcome network overheads".  This module models that
+decision: batching ``B`` kernel invocations into one offload divides the
+per-offload overheads by ``B`` on the throughput side but adds *batch
+assembly delay* on the latency side (early arrivals wait for the batch to
+fill).
+
+Given a per-invocation arrival rate ``r`` (invocations per time unit) and
+batch size ``B``, the mean assembly wait for a uniformly-positioned
+invocation is ``(B - 1) / (2 r)`` time units (= cycles when ``r`` is per
+cycle-unit ``C``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Tuple
+
+from ..errors import ParameterError
+from .model import Accelerometer, ProjectionResult
+from .params import OffloadScenario
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchingPolicy:
+    """How invocations are grouped into offloads."""
+
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ParameterError("batch_size must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchedProjection:
+    """Projection for a batched offload configuration."""
+
+    policy: BatchingPolicy
+    result: ProjectionResult
+    #: Mean cycles an invocation waits for its batch to fill.
+    assembly_wait_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        return self.result.speedup
+
+    @property
+    def effective_latency_penalty_cycles(self) -> float:
+        """Assembly wait is pure latency: it never consumes host cycles
+        but delays every batched invocation's response."""
+        return self.assembly_wait_cycles
+
+
+def batched_scenario(
+    scenario: OffloadScenario, policy: BatchingPolicy
+) -> OffloadScenario:
+    """Transform a per-invocation scenario into its batched equivalent.
+
+    ``n`` drops by the batch factor; the per-offload overheads stay fixed
+    (that is the whole point -- they are paid once per batch); the kernel
+    fraction is unchanged (the same cycles are offloaded, in bigger
+    pieces).
+    """
+    batched_kernel = dataclasses.replace(
+        scenario.kernel,
+        offloads_per_unit=scenario.kernel.offloads_per_unit / policy.batch_size,
+    )
+    return dataclasses.replace(scenario, kernel=batched_kernel)
+
+
+def project_batched(
+    scenario: OffloadScenario,
+    policy: BatchingPolicy,
+    model: Optional[Accelerometer] = None,
+) -> BatchedProjection:
+    """Evaluate a batched configuration, including assembly delay."""
+    model = model or Accelerometer()
+    transformed = batched_scenario(scenario, policy)
+    result = model.evaluate(transformed)
+    rate = scenario.kernel.offloads_per_unit / scenario.kernel.total_cycles
+    if rate > 0:
+        assembly_wait = (policy.batch_size - 1) / (2.0 * rate)
+    else:
+        assembly_wait = 0.0
+    return BatchedProjection(
+        policy=policy, result=result, assembly_wait_cycles=assembly_wait
+    )
+
+
+def min_profitable_batch_size(
+    scenario: OffloadScenario, model: Optional[Accelerometer] = None
+) -> Optional[int]:
+    """Smallest batch size at which the offload yields speedup > 1.
+
+    The case-study condition: offload "only when the batch size is large
+    enough to overcome network overheads".  Returns None when even
+    unbounded batching cannot help (the offload saves nothing).
+    """
+    model = model or Accelerometer()
+    kernel = scenario.kernel
+    # Per-invocation saving on the host (throughput side):
+    if kernel.offloads_per_unit <= 0 or kernel.kernel_fraction <= 0:
+        return None
+    saving_per_invocation = kernel.kernel_cycles / kernel.offloads_per_unit
+    from .strategies import ThreadingDesign
+
+    overhead = scenario.costs.dispatch_total
+    if scenario.design is ThreadingDesign.SYNC:
+        saving_per_invocation -= (
+            kernel.kernel_cycles
+            / kernel.offloads_per_unit
+            / scenario.accelerator.peak_speedup
+        )
+    elif scenario.design is ThreadingDesign.SYNC_OS:
+        overhead = scenario.costs.dispatch_cycles + (
+            scenario.effective_handoff_cycles
+        ) + 2.0 * scenario.costs.thread_switch_cycles
+    elif scenario.design.value == "async-distinct-thread":
+        overhead += scenario.costs.thread_switch_cycles
+    if saving_per_invocation <= 0:
+        return None
+    batch = max(1, math.ceil(overhead / saving_per_invocation + 1e-12))
+    # The bound above makes the *marginal* batch profitable; verify and
+    # walk up if rounding left us short.
+    while batch < 10_000_000:
+        projection = project_batched(scenario, BatchingPolicy(batch), model)
+        if projection.speedup > 1.0:
+            return batch
+        batch *= 2
+    return None
+
+
+def batch_size_sweep(
+    scenario: OffloadScenario,
+    batch_sizes: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
+    model: Optional[Accelerometer] = None,
+) -> Tuple[BatchedProjection, ...]:
+    """Evaluate several batch sizes: speedup grows monotonically with B
+    while the assembly wait grows linearly -- the throughput/latency
+    trade the case study navigated."""
+    model = model or Accelerometer()
+    return tuple(
+        project_batched(scenario, BatchingPolicy(size), model)
+        for size in batch_sizes
+    )

@@ -1,0 +1,208 @@
+"""Performance-bound analysis for acceleration scenarios.
+
+The paper's pitch is that Accelerometer "identifies performance bounds
+early in the hardware design phase": an accelerator can be limited by its
+own capability (``A``), by the host cycles that were never offloaded
+(Amdahl), or by the offload overheads (``o0 + L + Q``, thread switches).
+This module decomposes a scenario's projected cycles into those terms and
+names the binding constraint -- the Accelerometer analogue of reading a
+Roofline plot, plus LogCA's ``g_1`` and ``g_{A/2}`` landmarks computed for
+each threading design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Dict
+
+from ..errors import ParameterError
+from .breakeven import min_profitable_granularity
+from .model import Accelerometer
+from .params import OffloadScenario
+from .strategies import ThreadingDesign
+
+
+class BindingConstraint(enum.Enum):
+    """What limits the projected speedup."""
+
+    #: The non-kernel host work dominates: even a perfect accelerator
+    #: barely helps (Amdahl-bound).
+    SERIAL_FRACTION = "serial-fraction"
+
+    #: Accelerator service time dominates the accelerated kernel path
+    #: (only possible for designs that wait on the device).
+    ACCELERATOR_CAPABILITY = "accelerator-capability"
+
+    #: Per-offload dispatch/transfer/queue overheads dominate.
+    OFFLOAD_OVERHEAD = "offload-overhead"
+
+    #: Thread-switch costs dominate (Sync-OS / distinct-thread designs).
+    THREAD_SWITCHING = "thread-switching"
+
+
+@dataclasses.dataclass(frozen=True)
+class CycleDecomposition:
+    """Where the accelerated execution's host cycles go, per time unit.
+
+    All terms are fractions of the unaccelerated cycles ``C``, so they sum
+    to ``CS / C`` (the reciprocal of the speedup).
+    """
+
+    scenario: OffloadScenario
+    serial_fraction: float
+    accelerator_fraction: float
+    dispatch_fraction: float
+    switching_fraction: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.serial_fraction
+            + self.accelerator_fraction
+            + self.dispatch_fraction
+            + self.switching_fraction
+        )
+
+    @property
+    def speedup(self) -> float:
+        return 1.0 / self.total
+
+    def overhead_terms(self) -> Dict[BindingConstraint, float]:
+        """The non-serial terms, keyed by their constraint."""
+        return {
+            BindingConstraint.ACCELERATOR_CAPABILITY: self.accelerator_fraction,
+            BindingConstraint.OFFLOAD_OVERHEAD: self.dispatch_fraction,
+            BindingConstraint.THREAD_SWITCHING: self.switching_fraction,
+        }
+
+    @property
+    def binding_constraint(self) -> BindingConstraint:
+        """The largest single term of the accelerated execution.
+
+        When the serial fraction exceeds every overhead term the design is
+        Amdahl-bound: improving the accelerator or its interface cannot
+        help much; only offloading *more* of the service can.
+        """
+        overheads = self.overhead_terms()
+        worst = max(overheads, key=lambda key: overheads[key])
+        if self.serial_fraction >= overheads[worst]:
+            return BindingConstraint.SERIAL_FRACTION
+        return worst
+
+    def improvement_headroom(self) -> float:
+        """Speedup still on the table if every offload-induced term
+        vanished (the gap to the Amdahl ceiling), as a ratio >= 1."""
+        if self.serial_fraction <= 0:
+            return math.inf
+        return self.speedup_at_ceiling / self.speedup
+
+    @property
+    def speedup_at_ceiling(self) -> float:
+        if self.serial_fraction <= 0:
+            return math.inf
+        return 1.0 / self.serial_fraction
+
+
+def decompose(scenario: OffloadScenario) -> CycleDecomposition:
+    """Decompose a scenario's projected ``CS`` into its constituent terms.
+
+    The decomposition mirrors the denominators of eqns. (1), (3), and (6):
+    which terms appear depends on the threading design.
+    """
+    kernel = scenario.kernel
+    costs = scenario.costs
+    c = kernel.total_cycles
+    n = kernel.offloads_per_unit
+    alpha = kernel.kernel_fraction
+    design = scenario.design
+
+    serial = 1.0 - alpha
+    dispatch = n / c * (costs.dispatch_cycles + scenario.effective_handoff_cycles)
+    accelerator = 0.0
+    switching = 0.0
+    if design is ThreadingDesign.SYNC:
+        accelerator = alpha / scenario.accelerator.peak_speedup
+    elif design is ThreadingDesign.SYNC_OS:
+        switching = n / c * 2.0 * costs.thread_switch_cycles
+    elif design is ThreadingDesign.ASYNC_DISTINCT_THREAD:
+        switching = n / c * costs.thread_switch_cycles
+    decomposition = CycleDecomposition(
+        scenario=scenario,
+        serial_fraction=serial,
+        accelerator_fraction=accelerator,
+        dispatch_fraction=dispatch,
+        switching_fraction=switching,
+    )
+    # Consistency with the model proper (guards against drift).
+    model_speedup = Accelerometer().speedup(scenario)
+    if not math.isclose(decomposition.speedup, model_speedup, rel_tol=1e-9):
+        raise ParameterError(
+            "internal inconsistency: decomposition disagrees with the model "
+            f"({decomposition.speedup} vs {model_speedup})"
+        )
+    return decomposition
+
+
+@dataclasses.dataclass(frozen=True)
+class GranularityLandmarks:
+    """LogCA-style landmarks for one scenario's kernel.
+
+    * ``g_breakeven`` -- smallest profitable offload (eqns. 2/4/7).
+    * ``g_half_gain`` -- granularity where one offload realizes half of
+      its asymptotic per-offload cycle saving.
+    """
+
+    g_breakeven: float
+    g_half_gain: float
+
+
+def granularity_landmarks(scenario: OffloadScenario) -> GranularityLandmarks:
+    """Compute the landmarks for *scenario* (requires ``Cb``)."""
+    kernel = scenario.kernel
+    if kernel.cycles_per_byte is None:
+        raise ParameterError("granularity landmarks require Cb (cycles_per_byte)")
+    costs = scenario.costs
+    design = scenario.design
+    breakeven = min_profitable_granularity(
+        design,
+        kernel.cycles_per_byte,
+        scenario.accelerator,
+        costs,
+        beta=kernel.complexity_exponent,
+    )
+    # Asymptotic per-byte saving: for Sync the host keeps paying the
+    # accelerator's share; for non-blocking designs the full byte cost is
+    # saved.  Half-gain: saving(g) = Cb*g*s - overhead = 0.5 * Cb*g*s
+    # => g = 2 * overhead / (Cb * s), i.e. twice the break-even.
+    if math.isinf(breakeven):
+        return GranularityLandmarks(g_breakeven=breakeven, g_half_gain=breakeven)
+    return GranularityLandmarks(
+        g_breakeven=breakeven,
+        g_half_gain=breakeven * 2.0 ** (1.0 / kernel.complexity_exponent),
+    )
+
+
+def bound_report(scenario: OffloadScenario) -> str:
+    """Human-readable performance-bound summary for one scenario."""
+    decomposition = decompose(scenario)
+    lines = [
+        f"design: {scenario.design.value}  "
+        f"placement: {scenario.accelerator.placement.value}",
+        f"speedup: {(decomposition.speedup - 1) * 100:.2f}%  "
+        f"(Amdahl ceiling {(decomposition.speedup_at_ceiling - 1) * 100:.2f}%)",
+        "cycle decomposition (fractions of unaccelerated C):",
+        f"  serial (non-kernel)   {decomposition.serial_fraction:8.4f}",
+        f"  accelerator wait      {decomposition.accelerator_fraction:8.4f}",
+        f"  dispatch (o0+L+Q)     {decomposition.dispatch_fraction:8.4f}",
+        f"  thread switching      {decomposition.switching_fraction:8.4f}",
+        f"binding constraint: {decomposition.binding_constraint.value}",
+    ]
+    if scenario.kernel.cycles_per_byte is not None:
+        landmarks = granularity_landmarks(scenario)
+        lines.append(
+            f"g_breakeven: {landmarks.g_breakeven:.1f} B   "
+            f"g_half_gain: {landmarks.g_half_gain:.1f} B"
+        )
+    return "\n".join(lines)

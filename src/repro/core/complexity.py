@@ -1,0 +1,137 @@
+"""Kernel complexity modeling (the paper's ``g**beta`` extension).
+
+Eqn. (2) "can be extended to model the kernel's complexity (e.g.,
+sub-linear, linear, or super-linear) using g^beta".  This module gives the
+named complexity classes and helpers to fit ``beta`` from measured
+(granularity, cycles) pairs -- the scaling study the paper could not run on
+production systems.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+class ComplexityClass(enum.Enum):
+    """Named kernel complexity regimes."""
+
+    SUB_LINEAR = "sub-linear"
+    LINEAR = "linear"
+    SUPER_LINEAR = "super-linear"
+
+
+def classify(beta: float, tolerance: float = 0.05) -> ComplexityClass:
+    """Classify a fitted exponent, treating |beta - 1| <= tolerance as linear."""
+    if beta <= 0:
+        raise ParameterError(f"beta must be > 0, got {beta}")
+    if abs(beta - 1.0) <= tolerance:
+        return ComplexityClass.LINEAR
+    return ComplexityClass.SUB_LINEAR if beta < 1.0 else ComplexityClass.SUPER_LINEAR
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelComplexity:
+    """A power-law kernel cost model: ``cycles(g) = cycles_per_byte * g**beta``."""
+
+    cycles_per_byte: float
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_byte <= 0:
+            raise ParameterError("cycles_per_byte must be > 0")
+        if self.beta <= 0:
+            raise ParameterError("beta must be > 0")
+
+    def host_cycles(self, granularity_bytes: float) -> float:
+        if granularity_bytes < 0:
+            raise ParameterError("granularity must be >= 0")
+        return self.cycles_per_byte * granularity_bytes**self.beta
+
+    def accelerator_cycles(self, granularity_bytes: float, peak_speedup: float) -> float:
+        if peak_speedup <= 0:
+            raise ParameterError("peak_speedup must be > 0")
+        return self.host_cycles(granularity_bytes) / peak_speedup
+
+    @property
+    def complexity_class(self) -> ComplexityClass:
+        return classify(self.beta)
+
+
+def fit_power_law(
+    granularities: Sequence[float], cycles: Sequence[float]
+) -> KernelComplexity:
+    """Least-squares fit of ``cycles = Cb * g**beta`` in log-log space.
+
+    This is the scaling-study tool: feed it microbenchmark measurements of
+    kernel cost at several granularities to recover ``Cb`` and ``beta``.
+    """
+    if len(granularities) != len(cycles):
+        raise ParameterError("granularities and cycles must have equal length")
+    if len(granularities) < 2:
+        raise ParameterError("need at least two measurement points to fit")
+    g = np.asarray(granularities, dtype=float)
+    c = np.asarray(cycles, dtype=float)
+    if np.any(g <= 0) or np.any(c <= 0):
+        raise ParameterError("measurements must be strictly positive")
+    log_g = np.log(g)
+    log_c = np.log(c)
+    beta, log_cb = np.polyfit(log_g, log_c, 1)
+    return KernelComplexity(cycles_per_byte=float(math.exp(log_cb)), beta=float(beta))
+
+
+def fit_quality(
+    model: KernelComplexity,
+    granularities: Sequence[float],
+    cycles: Sequence[float],
+) -> float:
+    """R-squared of a fitted complexity model in log-log space."""
+    g = np.asarray(granularities, dtype=float)
+    c = np.asarray(cycles, dtype=float)
+    predicted = np.log(model.cycles_per_byte) + model.beta * np.log(g)
+    observed = np.log(c)
+    residual = float(np.sum((observed - predicted) ** 2))
+    total = float(np.sum((observed - observed.mean()) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def breakeven_shift_under_complexity(
+    base_threshold_linear: float, beta: float
+) -> float:
+    """Translate a linear-kernel break-even granularity to exponent *beta*.
+
+    If ``Cb * g >= overhead`` breaks even at ``g0`` for a linear kernel,
+    the same overhead with cost ``Cb * g**beta`` breaks even at
+    ``g0 ** (1/beta)`` -- super-linear kernels amortize offload overheads
+    at smaller granularities.
+    """
+    if base_threshold_linear < 0:
+        raise ParameterError("threshold must be >= 0")
+    if beta <= 0:
+        raise ParameterError("beta must be > 0")
+    return base_threshold_linear ** (1.0 / beta)
+
+
+def pairwise_exponent_estimates(
+    granularities: Sequence[float], cycles: Sequence[float]
+) -> Tuple[float, ...]:
+    """Per-adjacent-pair beta estimates, useful for spotting regime changes
+    (e.g. a kernel that is linear until the working set spills the LLC)."""
+    if len(granularities) != len(cycles) or len(granularities) < 2:
+        raise ParameterError("need two equal-length sequences of >= 2 points")
+    estimates = []
+    for (g0, c0), (g1, c1) in zip(
+        zip(granularities, cycles), zip(granularities[1:], cycles[1:])
+    ):
+        if g0 <= 0 or g1 <= 0 or c0 <= 0 or c1 <= 0 or g0 == g1:
+            raise ParameterError("points must be positive with distinct g")
+        estimates.append(math.log(c1 / c0) / math.log(g1 / g0))
+    return tuple(estimates)

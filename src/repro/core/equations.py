@@ -1,0 +1,251 @@
+"""The Accelerometer equations (paper Sec. 3, eqns. 1-8) as pure functions.
+
+Every function takes the paper's scalar parameters directly and returns a
+multiplicative factor (1.0 means "no change"; 1.157 means a 15.7% gain).
+:mod:`repro.core.model` wraps these in a typed, scenario-driven API; the raw
+functions exist so tests and notebooks can exercise each published equation
+in isolation.
+
+Notation (paper Table 5)::
+
+    C      total host cycles per fixed time unit
+    alpha  fraction of C spent in the kernel
+    A      peak accelerator speedup
+    n      offloads per time unit
+    o0     per-offload kernel setup cycles
+    L      per-offload interface transfer cycles
+    Q      per-offload queueing cycles
+    o1     one thread-switch overhead in cycles
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+
+def _validate_common(c: float, alpha: float, n: float) -> None:
+    if c <= 0:
+        raise ParameterError(f"C must be > 0, got {c}")
+    if not 0.0 <= alpha <= 1.0:
+        raise ParameterError(f"alpha must be in [0, 1], got {alpha}")
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+
+
+def _validate_overheads(**overheads: float) -> None:
+    for name, value in overheads.items():
+        if value < 0:
+            raise ParameterError(f"{name} must be >= 0, got {value}")
+
+
+def _validate_accel(a: float) -> None:
+    if a <= 0:
+        raise ParameterError(f"A must be > 0, got {a}")
+
+
+def sync_speedup(
+    c: float, alpha: float, a: float, n: float, o0: float, l: float, q: float
+) -> float:
+    """Eqn. (1): Sync throughput speedup ``C / CS``.
+
+    The blocked host core waits out the accelerator's ``alpha*C/A`` cycles,
+    so they remain on the critical path alongside the per-offload
+    overheads ``n * (o0 + L + Q)``.
+    """
+    _validate_common(c, alpha, n)
+    _validate_accel(a)
+    _validate_overheads(o0=o0, L=l, Q=q)
+    denominator = (1.0 - alpha) + alpha / a + (n / c) * (o0 + l + q)
+    return 1.0 / denominator
+
+
+def sync_latency_reduction(
+    c: float, alpha: float, a: float, n: float, o0: float, l: float, q: float
+) -> float:
+    """Eqn. (1) applied to latency: for Sync, ``CS == CL`` so the latency
+    reduction equals the throughput speedup."""
+    return sync_speedup(c, alpha, a, n, o0, l, q)
+
+
+def sync_os_speedup(
+    c: float, alpha: float, n: float, o0: float, l: float, q: float, o1: float
+) -> float:
+    """Eqn. (3): Sync-OS throughput speedup.
+
+    The core switches to another runnable thread while the offload is in
+    flight, so accelerator cycles vanish from ``CS``; instead each offload
+    pays two thread switches (away and back), ``2 * o1``.  ``L + Q``
+    should be passed as 0 when the device driver does not await an offload
+    acknowledgement or the accelerator is remote.
+    """
+    _validate_common(c, alpha, n)
+    _validate_overheads(o0=o0, L=l, Q=q, o1=o1)
+    denominator = (1.0 - alpha) + (n / c) * (o0 + l + q + 2.0 * o1)
+    return 1.0 / denominator
+
+
+def sync_os_latency_reduction(
+    c: float,
+    alpha: float,
+    a: float,
+    n: float,
+    o0: float,
+    l: float,
+    q: float,
+    o1: float,
+) -> float:
+    """Eqn. (5): Sync-OS per-request latency reduction.
+
+    A request's own critical path still includes the accelerator cycles
+    ``alpha*C/A`` plus one thread-switch ``o1`` per offload (the switch
+    back onto the blocked thread when the response arrives).
+    """
+    _validate_common(c, alpha, n)
+    _validate_accel(a)
+    _validate_overheads(o0=o0, L=l, Q=q, o1=o1)
+    denominator = (1.0 - alpha) + alpha / a + (n / c) * (o0 + l + q + o1)
+    return 1.0 / denominator
+
+
+def async_speedup(
+    c: float, alpha: float, n: float, o0: float, l: float, q: float
+) -> float:
+    """Eqn. (6): Async throughput speedup (same thread picks up response).
+
+    The host thread keeps running, so neither accelerator cycles nor
+    thread switches appear in ``CS``; only the dispatch overheads do.
+    """
+    _validate_common(c, alpha, n)
+    _validate_overheads(o0=o0, L=l, Q=q)
+    denominator = (1.0 - alpha) + (n / c) * (o0 + l + q)
+    return 1.0 / denominator
+
+
+def async_latency_reduction(
+    c: float, alpha: float, a: float, n: float, o0: float, l: float, q: float
+) -> float:
+    """Eqn. (8): Async per-request latency reduction.
+
+    The request is not complete until the accelerator finishes, so
+    ``alpha*C/A`` stays in ``CL`` even though it left ``CS``.
+    """
+    _validate_common(c, alpha, n)
+    _validate_accel(a)
+    _validate_overheads(o0=o0, L=l, Q=q)
+    denominator = (1.0 - alpha) + alpha / a + (n / c) * (o0 + l + q)
+    return 1.0 / denominator
+
+
+def async_distinct_thread_speedup(
+    c: float, alpha: float, n: float, o0: float, l: float, q: float, o1: float
+) -> float:
+    """Async offload whose response is consumed by a dedicated thread.
+
+    The paper: "the speedup equation is the same as (3) with only one
+    thread switching overhead o1".
+    """
+    _validate_common(c, alpha, n)
+    _validate_overheads(o0=o0, L=l, Q=q, o1=o1)
+    denominator = (1.0 - alpha) + (n / c) * (o0 + l + q + o1)
+    return 1.0 / denominator
+
+
+def async_distinct_thread_latency_reduction(
+    c: float,
+    alpha: float,
+    a: float,
+    n: float,
+    o0: float,
+    l: float,
+    q: float,
+    o1: float,
+) -> float:
+    """Latency reduction for async-distinct-thread: "the latency reduction
+    equation remains the same as (5)"."""
+    return sync_os_latency_reduction(c, alpha, a, n, o0, l, q, o1)
+
+
+def ideal_speedup(alpha: float) -> float:
+    """Amdahl's-law ceiling: speedup with an infinitely fast, free
+    accelerator (``A -> inf``, zero offload overheads)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ParameterError(f"alpha must be in [0, 1], got {alpha}")
+    if alpha == 1.0:
+        raise ParameterError("alpha == 1 gives an unbounded ideal speedup")
+    return 1.0 / (1.0 - alpha)
+
+
+# ---------------------------------------------------------------------------
+# Per-offload profitability conditions (eqns. 2, 4, 7 and their latency
+# counterparts).  Each returns the margin in host cycles: positive means
+# the offload helps.
+# ---------------------------------------------------------------------------
+
+
+def _host_cost(cb: float, g: float, beta: float) -> float:
+    if cb <= 0:
+        raise ParameterError(f"Cb must be > 0, got {cb}")
+    if g < 0:
+        raise ParameterError(f"g must be >= 0, got {g}")
+    if beta <= 0:
+        raise ParameterError(f"beta must be > 0, got {beta}")
+    return cb * g**beta
+
+
+def sync_offload_margin(
+    cb: float, g: float, a: float, o0: float, l: float, q: float, beta: float = 1.0
+) -> float:
+    """Eqn. (2) margin: ``Cb*g^beta - (Cb*g^beta/A + o0 + L + Q)``."""
+    _validate_accel(a)
+    _validate_overheads(o0=o0, L=l, Q=q)
+    host = _host_cost(cb, g, beta)
+    return host - (host / a + o0 + l + q)
+
+
+def sync_os_offload_margin(
+    cb: float, g: float, o0: float, l: float, q: float, o1: float, beta: float = 1.0
+) -> float:
+    """Eqn. (4) margin: ``Cb*g^beta - (o0 + L + Q + 2*o1)``."""
+    _validate_overheads(o0=o0, L=l, Q=q, o1=o1)
+    return _host_cost(cb, g, beta) - (o0 + l + q + 2.0 * o1)
+
+
+def async_offload_margin(
+    cb: float, g: float, o0: float, l: float, q: float, beta: float = 1.0
+) -> float:
+    """Eqn. (7) margin: ``Cb*g^beta - (o0 + L + Q)``."""
+    _validate_overheads(o0=o0, L=l, Q=q)
+    return _host_cost(cb, g, beta) - (o0 + l + q)
+
+
+def sync_os_latency_margin(
+    cb: float,
+    g: float,
+    a: float,
+    o0: float,
+    l: float,
+    q: float,
+    o1: float,
+    beta: float = 1.0,
+) -> float:
+    """Sync-OS latency condition: ``Cb*g > Cb*g/A + (o0 + L + Q + o1)``."""
+    _validate_accel(a)
+    _validate_overheads(o0=o0, L=l, Q=q, o1=o1)
+    host = _host_cost(cb, g, beta)
+    return host - (host / a + o0 + l + q + o1)
+
+
+def async_latency_margin(
+    cb: float,
+    g: float,
+    a: float,
+    o0: float,
+    l: float,
+    q: float,
+    beta: float = 1.0,
+) -> float:
+    """Async latency condition: ``Cb*g > Cb*g/A + (o0 + L + Q)``."""
+    _validate_accel(a)
+    _validate_overheads(o0=o0, L=l, Q=q)
+    host = _host_cost(cb, g, beta)
+    return host - (host / a + o0 + l + q)

@@ -1,0 +1,227 @@
+"""The Accelerometer model: scenario-driven speedup and latency projection.
+
+This is the library's central API.  Given an :class:`OffloadScenario`
+(kernel profile + accelerator + per-offload costs + threading design),
+:class:`Accelerometer` evaluates the paper's equations (1), (3), (5), (6),
+(8) -- choosing the right one for the threading design and accelerator
+placement -- and reports both the throughput speedup ``C/CS`` and the
+per-request latency reduction ``C/CL``.
+
+Example (paper Table 6, AES-NI for Cache1)::
+
+    >>> from repro.core import (Accelerometer, AcceleratorSpec, KernelProfile,
+    ...                         OffloadCosts, OffloadScenario, Placement,
+    ...                         ThreadingDesign)
+    >>> scenario = OffloadScenario(
+    ...     kernel=KernelProfile(total_cycles=2.0e9, kernel_fraction=0.165844,
+    ...                          offloads_per_unit=298_951),
+    ...     accelerator=AcceleratorSpec(peak_speedup=6, placement=Placement.ON_CHIP),
+    ...     costs=OffloadCosts(dispatch_cycles=10, interface_cycles=3),
+    ...     design=ThreadingDesign.SYNC,
+    ... )
+    >>> round((Accelerometer().speedup(scenario) - 1) * 100, 1)
+    15.8
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..errors import ParameterError
+from . import equations
+from .params import AcceleratorSpec, KernelProfile, OffloadCosts, OffloadScenario
+from .strategies import Placement, ThreadingDesign
+
+
+@dataclasses.dataclass(frozen=True)
+class ProjectionResult:
+    """Everything the model projects for one scenario."""
+
+    scenario: OffloadScenario
+
+    #: Throughput speedup ``C / CS`` (1.0 = no change).
+    speedup: float
+
+    #: Per-request latency reduction ``C / CL`` (1.0 = no change).
+    latency_reduction: float
+
+    #: Amdahl ceiling ``1 / (1 - alpha)`` for this kernel.
+    ideal_speedup: float
+
+    #: Fraction of host cycles freed per time unit (``1 - CS/C``); this is
+    #: what Figs. 16-18 visualize as the shrunken accelerated breakdown.
+    freed_cycle_fraction: float
+
+    @property
+    def speedup_percent(self) -> float:
+        """Speedup as the paper prints it (15.7 for a 1.157x gain)."""
+        return (self.speedup - 1.0) * 100.0
+
+    @property
+    def latency_reduction_percent(self) -> float:
+        return (self.latency_reduction - 1.0) * 100.0
+
+    @property
+    def improves_throughput(self) -> bool:
+        return self.speedup > 1.0
+
+    @property
+    def reduces_latency(self) -> bool:
+        return self.latency_reduction > 1.0
+
+    @property
+    def trades_latency_for_throughput(self) -> bool:
+        """True in the regime the paper flags for Sync-OS: a throughput
+        gain bought at a per-request latency slowdown."""
+        return self.improves_throughput and self.latency_reduction < 1.0
+
+
+class Accelerometer:
+    """Evaluator for the Accelerometer analytical model.
+
+    The class is stateless; it exists to group the projection entry points
+    and to host alternative queueing hooks (see
+    :meth:`speedup_with_queueing_distribution`).
+    """
+
+    def speedup(self, scenario: OffloadScenario) -> float:
+        """Throughput speedup ``C / CS`` for *scenario*."""
+        k = scenario.kernel
+        costs = scenario.costs
+        c, alpha, n = k.total_cycles, k.kernel_fraction, k.offloads_per_unit
+        a = scenario.accelerator.peak_speedup
+        o0 = costs.dispatch_cycles
+        o1 = costs.thread_switch_cycles
+        design = scenario.design
+
+        if design is ThreadingDesign.SYNC:
+            return equations.sync_speedup(
+                c, alpha, a, n, o0, costs.interface_cycles, costs.queue_cycles
+            )
+        if design is ThreadingDesign.SYNC_OS:
+            handoff = scenario.effective_handoff_cycles
+            return equations.sync_os_speedup(c, alpha, n, o0, handoff, 0.0, o1)
+        if design is ThreadingDesign.ASYNC:
+            return equations.async_speedup(
+                c, alpha, n, o0, costs.interface_cycles, costs.queue_cycles
+            )
+        if design is ThreadingDesign.ASYNC_DISTINCT_THREAD:
+            return equations.async_distinct_thread_speedup(
+                c, alpha, n, o0, costs.interface_cycles, costs.queue_cycles, o1
+            )
+        if design is ThreadingDesign.ASYNC_NO_RESPONSE:
+            return equations.async_speedup(
+                c, alpha, n, o0, costs.interface_cycles, costs.queue_cycles
+            )
+        raise ParameterError(f"unknown threading design: {design!r}")
+
+    def latency_reduction(self, scenario: OffloadScenario) -> float:
+        """Per-request latency reduction ``C / CL`` for *scenario*."""
+        k = scenario.kernel
+        costs = scenario.costs
+        c, alpha, n = k.total_cycles, k.kernel_fraction, k.offloads_per_unit
+        a = scenario.accelerator.peak_speedup
+        o0 = costs.dispatch_cycles
+        l, q = costs.interface_cycles, costs.queue_cycles
+        o1 = costs.thread_switch_cycles
+        design = scenario.design
+
+        if design is ThreadingDesign.SYNC:
+            return equations.sync_latency_reduction(c, alpha, a, n, o0, l, q)
+        if design is ThreadingDesign.SYNC_OS:
+            return equations.sync_os_latency_reduction(c, alpha, a, n, o0, l, q, o1)
+        if design is ThreadingDesign.ASYNC:
+            return equations.async_latency_reduction(c, alpha, a, n, o0, l, q)
+        if design is ThreadingDesign.ASYNC_DISTINCT_THREAD:
+            return equations.async_distinct_thread_latency_reduction(
+                c, alpha, a, n, o0, l, q, o1
+            )
+        if design is ThreadingDesign.ASYNC_NO_RESPONSE:
+            if scenario.accelerator.placement is Placement.REMOTE:
+                # Remote accelerator cycles show up in the application's
+                # end-to-end latency, not this microservice's request
+                # latency: the paper uses eqn. (6) here.
+                return equations.async_speedup(c, alpha, n, o0, l, q)
+            return equations.async_latency_reduction(c, alpha, a, n, o0, l, q)
+        raise ParameterError(f"unknown threading design: {design!r}")
+
+    def evaluate(self, scenario: OffloadScenario) -> ProjectionResult:
+        """Project both metrics and derived quantities for *scenario*."""
+        speedup = self.speedup(scenario)
+        latency = self.latency_reduction(scenario)
+        alpha = scenario.kernel.kernel_fraction
+        ideal = (
+            equations.ideal_speedup(alpha) if alpha < 1.0 else float("inf")
+        )
+        return ProjectionResult(
+            scenario=scenario,
+            speedup=speedup,
+            latency_reduction=latency,
+            ideal_speedup=ideal,
+            freed_cycle_fraction=1.0 - 1.0 / speedup,
+        )
+
+    def speedup_with_queueing_distribution(
+        self, scenario: OffloadScenario, queue_cycles_per_offload
+    ) -> float:
+        """Speedup with a per-offload queueing *distribution*.
+
+        The paper notes that replacing ``n * Q`` with ``sum_i Q_i`` models
+        the queueing distribution.  *queue_cycles_per_offload* is an
+        iterable of per-offload queue delays whose length is taken as
+        ``n`` if the scenario's ``n`` is zero, and whose sum replaces
+        ``n * Q``.
+        """
+        delays = list(queue_cycles_per_offload)
+        if not delays:
+            raise ParameterError("need at least one queue-delay sample")
+        if any(d < 0 for d in delays):
+            raise ParameterError("queue delays must be non-negative")
+        mean_q = float(sum(delays)) / len(delays)
+        n = scenario.kernel.offloads_per_unit or float(len(delays))
+        adjusted = dataclasses.replace(
+            scenario,
+            kernel=dataclasses.replace(scenario.kernel, offloads_per_unit=n),
+            costs=scenario.costs.replace(queue_cycles=mean_q),
+        )
+        return self.speedup(adjusted)
+
+
+def project(
+    total_cycles: float,
+    kernel_fraction: float,
+    offloads_per_unit: float,
+    peak_speedup: float,
+    design: ThreadingDesign = ThreadingDesign.SYNC,
+    placement: Placement = Placement.OFF_CHIP,
+    dispatch_cycles: float = 0.0,
+    interface_cycles: float = 0.0,
+    queue_cycles: float = 0.0,
+    thread_switch_cycles: float = 0.0,
+    cycles_per_byte: Optional[float] = None,
+    driver_awaits_ack: bool = True,
+) -> ProjectionResult:
+    """One-call convenience wrapper mirroring the paper's parameter names.
+
+    ``project(C, alpha, n, A, ...)`` builds the scenario dataclasses and
+    evaluates them; useful for quick explorations and the CLI.
+    """
+    scenario = OffloadScenario(
+        kernel=KernelProfile(
+            total_cycles=total_cycles,
+            kernel_fraction=kernel_fraction,
+            offloads_per_unit=offloads_per_unit,
+            cycles_per_byte=cycles_per_byte,
+        ),
+        accelerator=AcceleratorSpec(peak_speedup=peak_speedup, placement=placement),
+        costs=OffloadCosts(
+            dispatch_cycles=dispatch_cycles,
+            interface_cycles=interface_cycles,
+            queue_cycles=queue_cycles,
+            thread_switch_cycles=thread_switch_cycles,
+        ),
+        design=design,
+        driver_awaits_ack=driver_awaits_ack,
+    )
+    return Accelerometer().evaluate(scenario)

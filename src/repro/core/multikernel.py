@@ -1,0 +1,164 @@
+"""Accelerating several kernels at once, including fused offloads.
+
+Sec. 5 observes that "off-chip encryption accelerators can be extended to
+perform compression to leverage improving two kernels for the price of
+one offload".  This module models both variants:
+
+* **Independent**: each kernel offloads separately; per-offload overheads
+  are paid per kernel.  Speedup terms compose additively in the
+  denominator because the kernels occupy disjoint cycle fractions.
+* **Fused**: kernels that operate on the same data (compress *then*
+  encrypt an RPC payload) share one dispatch: a single ``o0 + L + Q`` per
+  offload covers both kernels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence, Tuple
+
+from ..errors import ParameterError
+from .params import AcceleratorSpec, KernelProfile, OffloadCosts
+from .strategies import ThreadingDesign
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelPlan:
+    """One kernel's share of a multi-kernel acceleration plan."""
+
+    name: str
+    kernel: KernelProfile
+    accelerator: AcceleratorSpec
+    costs: OffloadCosts
+    design: ThreadingDesign = ThreadingDesign.SYNC
+
+
+def _denominator_contribution(plan: KernelPlan, pay_dispatch: bool) -> float:
+    """This kernel's additive terms in the combined speedup denominator
+    (excluding its ``1 - alpha`` complement, handled by the caller)."""
+    kernel = plan.kernel
+    c = kernel.total_cycles
+    n = kernel.offloads_per_unit
+    contribution = 0.0
+    if plan.design is ThreadingDesign.SYNC:
+        contribution += kernel.kernel_fraction / plan.accelerator.peak_speedup
+        if pay_dispatch:
+            contribution += n / c * plan.costs.dispatch_total
+    elif plan.design is ThreadingDesign.SYNC_OS:
+        if pay_dispatch:
+            contribution += n / c * plan.costs.dispatch_total
+        contribution += n / c * 2.0 * plan.costs.thread_switch_cycles
+    elif plan.design in (
+        ThreadingDesign.ASYNC,
+        ThreadingDesign.ASYNC_NO_RESPONSE,
+    ):
+        if pay_dispatch:
+            contribution += n / c * plan.costs.dispatch_total
+    elif plan.design is ThreadingDesign.ASYNC_DISTINCT_THREAD:
+        if pay_dispatch:
+            contribution += n / c * plan.costs.dispatch_total
+        contribution += n / c * plan.costs.thread_switch_cycles
+    else:
+        raise ParameterError(f"unsupported design {plan.design!r}")
+    return contribution
+
+
+def combined_speedup(plans: Sequence[KernelPlan]) -> float:
+    """Throughput speedup from accelerating every kernel in *plans*
+    independently.
+
+    All plans must share the same ``C`` (they describe one service).  The
+    combined denominator is ``1 - sum(alpha_i) + sum(term_i)``.
+    """
+    if not plans:
+        raise ParameterError("need at least one kernel plan")
+    c = plans[0].kernel.total_cycles
+    if any(plan.kernel.total_cycles != c for plan in plans):
+        raise ParameterError("all plans must share the same total_cycles C")
+    total_alpha = sum(plan.kernel.kernel_fraction for plan in plans)
+    if total_alpha > 1.0 + 1e-12:
+        raise ParameterError(
+            f"kernel fractions sum to {total_alpha:.3f} > 1; "
+            "they must describe disjoint cycles"
+        )
+    denominator = 1.0 - total_alpha
+    for plan in plans:
+        denominator += _denominator_contribution(plan, pay_dispatch=True)
+    return 1.0 / denominator
+
+
+@dataclasses.dataclass(frozen=True)
+class FusedPlan:
+    """Kernels sharing one offload (same data, one dispatch).
+
+    The fused device runs the kernels back to back; its service time is
+    the sum of the per-kernel times, and each shared offload pays the
+    dispatch overheads once.  ``offloads_per_unit`` is the shared count.
+    """
+
+    name: str
+    kernels: Tuple[KernelProfile, ...]
+    accelerators: Tuple[AcceleratorSpec, ...]
+    costs: OffloadCosts
+    offloads_per_unit: float
+    design: ThreadingDesign = ThreadingDesign.SYNC
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ParameterError("fused plan needs at least one kernel")
+        if len(self.kernels) != len(self.accelerators):
+            raise ParameterError("one accelerator spec per kernel required")
+        if self.offloads_per_unit < 0:
+            raise ParameterError("offloads_per_unit must be >= 0")
+        c = self.kernels[0].total_cycles
+        if any(kernel.total_cycles != c for kernel in self.kernels):
+            raise ParameterError("all kernels must share the same C")
+
+
+def fused_speedup(plan: FusedPlan) -> float:
+    """Throughput speedup for a fused offload.
+
+    Denominator: ``1 - sum(alpha_i)`` plus (for Sync) each kernel's
+    accelerator time ``alpha_i / A_i`` plus *one* set of per-offload
+    overheads across the shared ``n``.
+    """
+    c = plan.kernels[0].total_cycles
+    total_alpha = sum(kernel.kernel_fraction for kernel in plan.kernels)
+    if total_alpha > 1.0 + 1e-12:
+        raise ParameterError("kernel fractions exceed 1")
+    denominator = 1.0 - total_alpha
+    n = plan.offloads_per_unit
+    if plan.design is ThreadingDesign.SYNC:
+        for kernel, accelerator in zip(plan.kernels, plan.accelerators):
+            denominator += kernel.kernel_fraction / accelerator.peak_speedup
+        denominator += n / c * plan.costs.dispatch_total
+    elif plan.design is ThreadingDesign.SYNC_OS:
+        denominator += n / c * (
+            plan.costs.dispatch_total + 2.0 * plan.costs.thread_switch_cycles
+        )
+    elif plan.design in (ThreadingDesign.ASYNC, ThreadingDesign.ASYNC_NO_RESPONSE):
+        denominator += n / c * plan.costs.dispatch_total
+    elif plan.design is ThreadingDesign.ASYNC_DISTINCT_THREAD:
+        denominator += n / c * (
+            plan.costs.dispatch_total + plan.costs.thread_switch_cycles
+        )
+    else:
+        raise ParameterError(f"unsupported design {plan.design!r}")
+    return 1.0 / denominator
+
+
+def fusion_benefit(
+    independent: Sequence[KernelPlan], fused: FusedPlan
+) -> Dict[str, float]:
+    """Compare independent vs fused acceleration of the same kernels.
+
+    Returns the two speedups and the fusion gain in percentage points --
+    the "two kernels for the price of one offload" quantification.
+    """
+    separate = combined_speedup(independent)
+    together = fused_speedup(fused)
+    return {
+        "independent_speedup": separate,
+        "fused_speedup": together,
+        "fusion_gain_pp": (together - separate) * 100.0,
+    }

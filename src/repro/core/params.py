@@ -1,0 +1,240 @@
+"""Parameter dataclasses for the Accelerometer model (paper Table 5).
+
+The paper's symbols map onto fields as follows:
+
+=========  =========================================================
+Symbol     Field
+=========  =========================================================
+``C``      :attr:`KernelProfile.total_cycles`
+``g``      an offload's granularity in bytes (per-call argument)
+``n``      :attr:`KernelProfile.offloads_per_unit`
+``o0``     :attr:`OffloadCosts.dispatch_cycles`
+``Q``      :attr:`OffloadCosts.queue_cycles`
+``L``      :attr:`OffloadCosts.interface_cycles`
+``o1``     :attr:`OffloadCosts.thread_switch_cycles`
+``A``      :attr:`AcceleratorSpec.peak_speedup`
+``alpha``  :attr:`KernelProfile.kernel_fraction`
+``Cb``     :attr:`KernelProfile.cycles_per_byte`
+=========  =========================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from ..errors import ParameterError
+from .strategies import Placement, ThreadingDesign
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ParameterError(message)
+
+
+@dataclasses.dataclass(frozen=True)
+class OffloadCosts:
+    """Per-offload overhead cycles on the host side.
+
+    All values are cycles of the *host* clock, matching Table 5.
+    """
+
+    #: ``o0``: cycles the host spends preparing a kernel for one offload.
+    dispatch_cycles: float = 0.0
+
+    #: ``L``: average cycles to move one offload across the interface,
+    #: including cycles the data spends in caches/memory.
+    interface_cycles: float = 0.0
+
+    #: ``Q``: average cycles one offload waits for the accelerator to
+    #: become available.
+    queue_cycles: float = 0.0
+
+    #: ``o1``: cycles to switch threads once (context switch plus cache
+    #: pollution).  Only meaningful for Sync-OS and async-distinct-thread.
+    thread_switch_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.dispatch_cycles >= 0, "o0 (dispatch_cycles) must be >= 0")
+        _require(self.interface_cycles >= 0, "L (interface_cycles) must be >= 0")
+        _require(self.queue_cycles >= 0, "Q (queue_cycles) must be >= 0")
+        _require(
+            self.thread_switch_cycles >= 0, "o1 (thread_switch_cycles) must be >= 0"
+        )
+
+    @property
+    def dispatch_total(self) -> float:
+        """``o0 + L + Q``: the per-offload overhead common to every design."""
+        return self.dispatch_cycles + self.interface_cycles + self.queue_cycles
+
+    def replace(self, **changes: float) -> "OffloadCosts":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorSpec:
+    """An accelerator's placement and peak capability."""
+
+    #: ``A``: peak achievable speedup over the host for the kernel.  The
+    #: paper allows ``A = 1`` (e.g. a remote general-purpose CPU doing
+    #: inference) and even ``A < 1``.
+    peak_speedup: float
+
+    #: Where the accelerator sits (affects which latency equation applies
+    #: for async-no-response designs).
+    placement: Placement = Placement.OFF_CHIP
+
+    #: Optional human-readable name (e.g. "AES-NI").
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _require(self.peak_speedup > 0, "A (peak_speedup) must be > 0")
+        _require(
+            math.isfinite(self.peak_speedup), "A (peak_speedup) must be finite"
+        )
+
+    def kernel_cycles_on_accelerator(self, host_kernel_cycles: float) -> float:
+        """Cycles the accelerator spends for work that takes
+        *host_kernel_cycles* on the host: ``host_kernel_cycles / A``."""
+        _require(host_kernel_cycles >= 0, "host_kernel_cycles must be >= 0")
+        return host_kernel_cycles / self.peak_speedup
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelProfile:
+    """How a kernel appears in a microservice's execution profile.
+
+    The paper derives these from production profiles: the service
+    functionality breakdown gives ``alpha``; bpftrace granularity
+    histograms give ``n`` and the size distribution.
+    """
+
+    #: ``C``: total host cycles in the fixed time unit (one second).
+    total_cycles: float
+
+    #: ``alpha``: fraction of ``C`` spent executing the kernel (<= 1).
+    kernel_fraction: float
+
+    #: ``n``: number of kernel offloads performed in the time unit.
+    offloads_per_unit: float
+
+    #: ``Cb``: host cycles per byte of offload data.  Optional because the
+    #: aggregate speedup equations don't need it; the per-offload
+    #: break-even conditions (eqns. 2, 4, 7) do.
+    cycles_per_byte: Optional[float] = None
+
+    #: ``beta``: kernel complexity exponent.  The host cost of a g-byte
+    #: offload is ``Cb * g**beta`` (paper: beta = 1 for linear kernels).
+    complexity_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(self.total_cycles > 0, "C (total_cycles) must be > 0")
+        _require(
+            0.0 <= self.kernel_fraction <= 1.0,
+            f"alpha (kernel_fraction) must be in [0, 1], got {self.kernel_fraction}",
+        )
+        _require(self.offloads_per_unit >= 0, "n (offloads_per_unit) must be >= 0")
+        if self.cycles_per_byte is not None:
+            _require(self.cycles_per_byte > 0, "Cb (cycles_per_byte) must be > 0")
+        _require(
+            self.complexity_exponent > 0, "beta (complexity_exponent) must be > 0"
+        )
+
+    @property
+    def kernel_cycles(self) -> float:
+        """``alpha * C``: host cycles spent in the kernel per time unit."""
+        return self.kernel_fraction * self.total_cycles
+
+    @property
+    def non_kernel_cycles(self) -> float:
+        """``(1 - alpha) * C``: host cycles outside the kernel per unit."""
+        return (1.0 - self.kernel_fraction) * self.total_cycles
+
+    @property
+    def mean_cycles_per_offload(self) -> float:
+        """Average host cycles one offload's kernel work would cost."""
+        if self.offloads_per_unit == 0:
+            return 0.0
+        return self.kernel_cycles / self.offloads_per_unit
+
+    def host_cost_of_offload(self, granularity_bytes: float) -> float:
+        """``Cb * g**beta``: host cycles to run one g-byte offload locally."""
+        if self.cycles_per_byte is None:
+            raise ParameterError(
+                "cycles_per_byte (Cb) is required to cost a single offload"
+            )
+        _require(granularity_bytes >= 0, "granularity must be >= 0")
+        return self.cycles_per_byte * granularity_bytes**self.complexity_exponent
+
+    def with_selected_offloads(
+        self, selected_n: float, selected_alpha: Optional[float] = None
+    ) -> "KernelProfile":
+        """Restrict the profile to a lucrative subset of offloads.
+
+        The paper selectively offloads only granularities that improve
+        speedup; the remaining kernel work stays on the host.  When
+        *selected_alpha* is omitted, ``alpha`` is scaled by the count
+        fraction ``selected_n / n`` -- the approximation the paper's
+        Table 7 application study uses.
+        """
+        _require(selected_n >= 0, "selected_n must be >= 0")
+        _require(
+            selected_n <= self.offloads_per_unit or self.offloads_per_unit == 0,
+            "selected_n cannot exceed the profile's offload count",
+        )
+        if selected_alpha is None:
+            if self.offloads_per_unit == 0:
+                selected_alpha = 0.0
+            else:
+                selected_alpha = self.kernel_fraction * (
+                    selected_n / self.offloads_per_unit
+                )
+        _require(
+            0.0 <= selected_alpha <= self.kernel_fraction + 1e-12,
+            "selected alpha cannot exceed the profile's alpha",
+        )
+        return dataclasses.replace(
+            self,
+            kernel_fraction=min(selected_alpha, 1.0),
+            offloads_per_unit=selected_n,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class OffloadScenario:
+    """Everything the model needs to evaluate one acceleration scenario."""
+
+    kernel: KernelProfile
+    accelerator: AcceleratorSpec
+    costs: OffloadCosts
+    design: ThreadingDesign = ThreadingDesign.SYNC
+
+    #: Whether the host's device driver synchronously awaits an offload
+    #: acknowledgement before switching threads (Sync-OS only).  When
+    #: False -- or when the accelerator is remote -- the paper sets
+    #: ``(L + Q) = 0`` in the Sync-OS speedup path.
+    driver_awaits_ack: bool = True
+
+    def __post_init__(self) -> None:
+        if (
+            self.design is ThreadingDesign.SYNC_OS
+            and self.costs.thread_switch_cycles == 0
+        ):
+            # Not an error -- o1 may legitimately be tiny -- but a Sync-OS
+            # scenario with o1 = 0 collapses to Async; no validation needed.
+            pass
+
+    @property
+    def effective_handoff_cycles(self) -> float:
+        """``L + Q`` as seen by the Sync-OS speedup equation: zero when the
+        driver does not wait for an acknowledgement or the device is
+        remote (paper Sec. 3, eqn. 3 discussion)."""
+        if self.design is not ThreadingDesign.SYNC_OS:
+            return self.costs.interface_cycles + self.costs.queue_cycles
+        if not self.driver_awaits_ack:
+            return 0.0
+        if self.accelerator.placement is Placement.REMOTE:
+            return 0.0
+        return self.costs.interface_cycles + self.costs.queue_cycles

@@ -1,0 +1,159 @@
+"""Queueing-delay estimators for the accelerator interface parameter ``Q``.
+
+The paper treats ``Q`` as "avg. cycles spent in queuing between host and
+accelerator for a single offload" and notes that ``Q`` lets the model
+project speedup *based on accelerator load*.  This module provides the
+standard single-server estimators plus an empirical option, so a designer
+can derive ``Q`` from an offered offload rate rather than guessing.
+
+All quantities are in host cycles; rates are offloads per time unit
+(matching ``n``), converted internally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+from ..errors import ParameterError
+
+
+def utilization(
+    offload_rate: float, service_cycles: float, total_cycles: float, servers: int = 1
+) -> float:
+    """Accelerator utilization rho = (n * S) / (k * C).
+
+    *offload_rate* is ``n`` (offloads per time unit), *service_cycles* the
+    accelerator's per-offload service time ``S``, *total_cycles* the
+    cycles in the time unit (``C``), *servers* the number of accelerator
+    engines ``k``.
+    """
+    if offload_rate < 0:
+        raise ParameterError("offload_rate must be >= 0")
+    if service_cycles < 0:
+        raise ParameterError("service_cycles must be >= 0")
+    if total_cycles <= 0:
+        raise ParameterError("total_cycles must be > 0")
+    if servers < 1:
+        raise ParameterError("servers must be >= 1")
+    return offload_rate * service_cycles / (servers * total_cycles)
+
+
+def mm1_wait_cycles(
+    offload_rate: float, service_cycles: float, total_cycles: float
+) -> float:
+    """Mean M/M/1 queueing delay (time in queue, excluding service).
+
+    ``Wq = rho / (1 - rho) * S``.  Raises when the queue is unstable
+    (rho >= 1): at that operating point the accelerator cannot keep up and
+    no finite ``Q`` exists.
+    """
+    rho = utilization(offload_rate, service_cycles, total_cycles)
+    if rho >= 1.0:
+        raise ParameterError(
+            f"accelerator overloaded (rho = {rho:.3f} >= 1); queue is unstable"
+        )
+    return rho / (1.0 - rho) * service_cycles
+
+
+def md1_wait_cycles(
+    offload_rate: float, service_cycles: float, total_cycles: float
+) -> float:
+    """Mean M/D/1 queueing delay: deterministic service halves M/M/1 waiting.
+
+    ``Wq = rho / (2 * (1 - rho)) * S`` -- appropriate for fixed-function
+    accelerators whose per-offload service time varies little.
+    """
+    rho = utilization(offload_rate, service_cycles, total_cycles)
+    if rho >= 1.0:
+        raise ParameterError(
+            f"accelerator overloaded (rho = {rho:.3f} >= 1); queue is unstable"
+        )
+    return rho / (2.0 * (1.0 - rho)) * service_cycles
+
+
+def mmk_wait_cycles(
+    offload_rate: float,
+    service_cycles: float,
+    total_cycles: float,
+    servers: int,
+) -> float:
+    """Mean M/M/k queueing delay via the Erlang-C formula.
+
+    Useful for accelerator devices exposing multiple independent engines
+    (e.g. several compression queues behind one PCIe function).
+    """
+    if servers < 1:
+        raise ParameterError("servers must be >= 1")
+    rho = utilization(offload_rate, service_cycles, total_cycles, servers)
+    if rho >= 1.0:
+        raise ParameterError(
+            f"accelerator overloaded (rho = {rho:.3f} >= 1); queue is unstable"
+        )
+    if offload_rate == 0 or service_cycles == 0:
+        return 0.0
+    offered_load = servers * rho  # a = lambda * S in Erlang units
+    # Erlang-C probability that an arrival must wait.
+    summation = sum(offered_load**i / math.factorial(i) for i in range(servers))
+    top = offered_load**servers / (math.factorial(servers) * (1.0 - rho))
+    p_wait = top / (summation + top)
+    return p_wait * service_cycles / (servers * (1.0 - rho))
+
+
+def empirical_mean_wait(queue_delays: Sequence[float]) -> float:
+    """Mean of measured per-offload queue delays (the paper's
+    ``sum_i Q_i / n`` substitution)."""
+    delays = list(queue_delays)
+    if not delays:
+        raise ParameterError("need at least one measured delay")
+    if any(d < 0 for d in delays):
+        raise ParameterError("delays must be non-negative")
+    return float(sum(delays)) / len(delays)
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueModel:
+    """A reusable Q estimator bound to an accelerator's service time.
+
+    ``discipline`` is one of ``"mm1"``, ``"md1"``, ``"mmk"`` or ``"none"``
+    (Q = 0, the paper's default for on-chip instructions where the issuing
+    thread *is* the queue).
+    """
+
+    service_cycles: float
+    total_cycles: float
+    discipline: str = "mm1"
+    servers: int = 1
+
+    _DISCIPLINES = ("mm1", "md1", "mmk", "none")
+
+    def __post_init__(self) -> None:
+        if self.discipline not in self._DISCIPLINES:
+            raise ParameterError(
+                f"discipline must be one of {self._DISCIPLINES}, got {self.discipline!r}"
+            )
+        if self.service_cycles < 0:
+            raise ParameterError("service_cycles must be >= 0")
+        if self.total_cycles <= 0:
+            raise ParameterError("total_cycles must be > 0")
+        if self.servers < 1:
+            raise ParameterError("servers must be >= 1")
+
+    def wait_cycles(self, offload_rate: float) -> float:
+        """Mean queueing delay ``Q`` for the given offered rate ``n``."""
+        if self.discipline == "none":
+            return 0.0
+        if self.discipline == "mm1":
+            return mm1_wait_cycles(offload_rate, self.service_cycles, self.total_cycles)
+        if self.discipline == "md1":
+            return md1_wait_cycles(offload_rate, self.service_cycles, self.total_cycles)
+        return mmk_wait_cycles(
+            offload_rate, self.service_cycles, self.total_cycles, self.servers
+        )
+
+    def saturation_rate(self) -> float:
+        """The offload rate at which the accelerator saturates (rho = 1)."""
+        if self.service_cycles == 0:
+            return math.inf
+        return self.servers * self.total_cycles / self.service_cycles

@@ -1,0 +1,162 @@
+"""Parameter sensitivity (elasticity) analysis for the model.
+
+Hardware investments hinge on parameters that are only estimates at design
+time (device spec sheets for ``L``, microbenchmarks for ``A``, projected
+load for ``n``).  This module computes, analytically, how sensitive the
+projected speedup is to each parameter -- the elasticity
+``d(log S) / d(log p)`` -- so designers know which estimate deserves the
+most scrutiny before committing silicon.
+
+For all Accelerometer equations the speedup is ``S = 1 / D`` with a
+denominator ``D`` that is *linear* in each overhead parameter, which makes
+the elasticities closed-form: if ``D = k + p * w`` then
+``d(log S)/d(log p) = -p * w / D``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from ..errors import ParameterError
+from .model import Accelerometer
+from .params import OffloadScenario
+from .strategies import ThreadingDesign
+
+#: Parameters whose elasticity is reported (the paper's Table-5 symbols).
+SENSITIVITY_PARAMETERS: Tuple[str, ...] = ("alpha", "A", "n", "o0", "L", "Q", "o1")
+
+
+def _denominator_terms(scenario: OffloadScenario) -> Dict[str, float]:
+    """Each parameter's additive contribution to the speedup denominator."""
+    kernel = scenario.kernel
+    costs = scenario.costs
+    c = kernel.total_cycles
+    n = kernel.offloads_per_unit
+    design = scenario.design
+
+    terms = {
+        "o0": n / c * costs.dispatch_cycles,
+        "L": 0.0,
+        "Q": 0.0,
+        "o1": 0.0,
+        "A": 0.0,
+    }
+    handoff = scenario.effective_handoff_cycles
+    total_lq = costs.interface_cycles + costs.queue_cycles
+    if design is ThreadingDesign.SYNC_OS:
+        # L and Q only appear through the (possibly zeroed) handoff.
+        if total_lq > 0:
+            share = handoff / total_lq
+        else:
+            share = 0.0
+        terms["L"] = n / c * costs.interface_cycles * share
+        terms["Q"] = n / c * costs.queue_cycles * share
+        terms["o1"] = n / c * 2.0 * costs.thread_switch_cycles
+    else:
+        terms["L"] = n / c * costs.interface_cycles
+        terms["Q"] = n / c * costs.queue_cycles
+        if design is ThreadingDesign.ASYNC_DISTINCT_THREAD:
+            terms["o1"] = n / c * costs.thread_switch_cycles
+    if design is ThreadingDesign.SYNC:
+        terms["A"] = kernel.kernel_fraction / scenario.accelerator.peak_speedup
+    return terms
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityReport:
+    """Elasticities of the throughput speedup w.r.t. each parameter.
+
+    Values are ``d(log S) / d(log p)``: an elasticity of -0.1 for ``L``
+    means a 10% increase in transfer latency costs about 1% of speedup.
+    ``alpha`` and ``A`` have positive elasticities (more offloadable work
+    or a faster engine helps); the overhead parameters are non-positive.
+    """
+
+    scenario: OffloadScenario
+    speedup: float
+    elasticities: Dict[str, float]
+
+    def most_sensitive_overhead(self) -> str:
+        """The overhead parameter (o0/L/Q/o1) with the largest magnitude
+        elasticity -- where estimation error hurts most."""
+        overheads = {
+            name: abs(value)
+            for name, value in self.elasticities.items()
+            if name in ("o0", "L", "Q", "o1")
+        }
+        return max(overheads, key=lambda key: overheads[key])
+
+    def ranked(self) -> Tuple[Tuple[str, float], ...]:
+        """All parameters sorted by |elasticity|, largest first."""
+        return tuple(
+            sorted(
+                self.elasticities.items(),
+                key=lambda item: abs(item[1]),
+                reverse=True,
+            )
+        )
+
+
+def sensitivity(scenario: OffloadScenario) -> SensitivityReport:
+    """Closed-form elasticities for one scenario."""
+    model = Accelerometer()
+    speedup = model.speedup(scenario)
+    denominator = 1.0 / speedup
+    terms = _denominator_terms(scenario)
+
+    elasticities: Dict[str, float] = {}
+    # Overhead parameters: D = k + term, term proportional to p.
+    for name in ("o0", "L", "Q", "o1"):
+        elasticities[name] = -terms[name] / denominator
+    # n scales every per-offload term together.
+    per_offload = terms["o0"] + terms["L"] + terms["Q"] + terms["o1"]
+    elasticities["n"] = -per_offload / denominator
+    # A: only the Sync accelerator-wait term depends on it, as alpha/A.
+    elasticities["A"] = terms["A"] / denominator
+    # alpha: D = (1 - alpha) + alpha/A' + ...; d D/d alpha = -1 + 1/A'
+    # where the 1/A' term exists only for Sync.
+    alpha = scenario.kernel.kernel_fraction
+    if scenario.design is ThreadingDesign.SYNC:
+        d_d_alpha = -1.0 + 1.0 / scenario.accelerator.peak_speedup
+    else:
+        d_d_alpha = -1.0
+    elasticities["alpha"] = -alpha * d_d_alpha / denominator
+    return SensitivityReport(
+        scenario=scenario, speedup=speedup, elasticities=elasticities
+    )
+
+
+def verify_elasticity_numerically(
+    scenario: OffloadScenario, parameter: str, relative_step: float = 1e-6
+) -> float:
+    """Finite-difference elasticity, for cross-checking the closed forms.
+
+    Returns ``d(log S)/d(log p)`` estimated by a central difference.
+    Raises when the parameter's current value is zero (no log derivative).
+    """
+    import math
+
+    from .sweep import _SCENARIO_SETTERS  # registered parameter setters
+
+    name_map = {"alpha": "alpha", "A": "A", "n": "n", "o0": "o0", "L": "L",
+                "Q": "Q", "o1": "o1"}
+    if parameter not in name_map:
+        raise ParameterError(f"unknown parameter {parameter!r}")
+    getter = {
+        "alpha": lambda s: s.kernel.kernel_fraction,
+        "A": lambda s: s.accelerator.peak_speedup,
+        "n": lambda s: s.kernel.offloads_per_unit,
+        "o0": lambda s: s.costs.dispatch_cycles,
+        "L": lambda s: s.costs.interface_cycles,
+        "Q": lambda s: s.costs.queue_cycles,
+        "o1": lambda s: s.costs.thread_switch_cycles,
+    }[parameter]
+    value = getter(scenario)
+    if value == 0:
+        raise ParameterError(f"{parameter} is zero; elasticity undefined")
+    setter = _SCENARIO_SETTERS[name_map[parameter]]
+    model = Accelerometer()
+    up = model.speedup(setter(scenario, value * (1 + relative_step)))
+    down = model.speedup(setter(scenario, value * (1 - relative_step)))
+    return (math.log(up) - math.log(down)) / (2 * relative_step)

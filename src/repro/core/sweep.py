@@ -1,0 +1,179 @@
+"""Design-space sweep utilities for the Accelerometer model.
+
+Architects use the model to compare acceleration strategies early in the
+design phase (paper Sec. 3, "Applying the Accelerometer model").  These
+helpers evaluate a scenario across ranges of any model parameter and find
+crossover points between strategies (e.g. where off-chip Async overtakes
+on-chip Sync as ``A`` grows).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ParameterError
+from .model import Accelerometer, ProjectionResult
+from .params import OffloadScenario
+from .strategies import ThreadingDesign
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a parameter sweep."""
+
+    value: float
+    result: ProjectionResult
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """A full sweep over one parameter."""
+
+    parameter: str
+    points: Tuple[SweepPoint, ...]
+
+    def speedups(self) -> List[Tuple[float, float]]:
+        return [(p.value, p.result.speedup) for p in self.points]
+
+    def latency_reductions(self) -> List[Tuple[float, float]]:
+        return [(p.value, p.result.latency_reduction) for p in self.points]
+
+    def best(self) -> SweepPoint:
+        """The point with the highest throughput speedup."""
+        return max(self.points, key=lambda p: p.result.speedup)
+
+    def first_profitable(self) -> Optional[SweepPoint]:
+        """The first point (in sweep order) whose speedup exceeds 1."""
+        for point in self.points:
+            if point.result.speedup > 1.0:
+                return point
+        return None
+
+
+_SCENARIO_SETTERS: Dict[str, Callable[[OffloadScenario, float], OffloadScenario]] = {}
+
+
+def _setter(name: str):
+    def register(func):
+        _SCENARIO_SETTERS[name] = func
+        return func
+
+    return register
+
+
+@_setter("A")
+def _set_a(scenario: OffloadScenario, value: float) -> OffloadScenario:
+    return dataclasses.replace(
+        scenario,
+        accelerator=dataclasses.replace(scenario.accelerator, peak_speedup=value),
+    )
+
+
+@_setter("alpha")
+def _set_alpha(scenario: OffloadScenario, value: float) -> OffloadScenario:
+    return dataclasses.replace(
+        scenario,
+        kernel=dataclasses.replace(scenario.kernel, kernel_fraction=value),
+    )
+
+
+@_setter("n")
+def _set_n(scenario: OffloadScenario, value: float) -> OffloadScenario:
+    return dataclasses.replace(
+        scenario,
+        kernel=dataclasses.replace(scenario.kernel, offloads_per_unit=value),
+    )
+
+
+@_setter("o0")
+def _set_o0(scenario: OffloadScenario, value: float) -> OffloadScenario:
+    return dataclasses.replace(
+        scenario, costs=scenario.costs.replace(dispatch_cycles=value)
+    )
+
+
+@_setter("L")
+def _set_l(scenario: OffloadScenario, value: float) -> OffloadScenario:
+    return dataclasses.replace(
+        scenario, costs=scenario.costs.replace(interface_cycles=value)
+    )
+
+
+@_setter("Q")
+def _set_q(scenario: OffloadScenario, value: float) -> OffloadScenario:
+    return dataclasses.replace(
+        scenario, costs=scenario.costs.replace(queue_cycles=value)
+    )
+
+
+@_setter("o1")
+def _set_o1(scenario: OffloadScenario, value: float) -> OffloadScenario:
+    return dataclasses.replace(
+        scenario, costs=scenario.costs.replace(thread_switch_cycles=value)
+    )
+
+
+SWEEPABLE_PARAMETERS = tuple(sorted(_SCENARIO_SETTERS))
+
+
+def sweep(
+    scenario: OffloadScenario,
+    parameter: str,
+    values: Iterable[float],
+    model: Optional[Accelerometer] = None,
+) -> SweepResult:
+    """Evaluate *scenario* across *values* of *parameter*.
+
+    *parameter* is one of the paper's symbols: ``A``, ``alpha``, ``n``,
+    ``o0``, ``L``, ``Q``, ``o1``.
+    """
+    if parameter not in _SCENARIO_SETTERS:
+        raise ParameterError(
+            f"unknown parameter {parameter!r}; choose from {SWEEPABLE_PARAMETERS}"
+        )
+    model = model or Accelerometer()
+    setter = _SCENARIO_SETTERS[parameter]
+    points = tuple(
+        SweepPoint(value=v, result=model.evaluate(setter(scenario, v)))
+        for v in values
+    )
+    if not points:
+        raise ParameterError("sweep needs at least one value")
+    return SweepResult(parameter=parameter, points=points)
+
+
+def compare_designs(
+    scenario: OffloadScenario,
+    designs: Sequence[ThreadingDesign] = tuple(ThreadingDesign),
+    model: Optional[Accelerometer] = None,
+) -> Dict[ThreadingDesign, ProjectionResult]:
+    """Evaluate the same kernel/accelerator under each threading design."""
+    model = model or Accelerometer()
+    results: Dict[ThreadingDesign, ProjectionResult] = {}
+    for design in designs:
+        variant = dataclasses.replace(scenario, design=design)
+        results[design] = model.evaluate(variant)
+    return results
+
+
+def crossover(
+    scenario_a: OffloadScenario,
+    scenario_b: OffloadScenario,
+    parameter: str,
+    values: Sequence[float],
+    model: Optional[Accelerometer] = None,
+) -> Optional[float]:
+    """First swept value at which scenario B's speedup meets or exceeds A's.
+
+    Both scenarios are swept over the same *parameter* values; returns
+    ``None`` when B never catches up within the range.  Useful for
+    questions like "at what accelerator speedup does off-chip overtake
+    on-chip despite its PCIe latency?".
+    """
+    sweep_a = sweep(scenario_a, parameter, values, model)
+    sweep_b = sweep(scenario_b, parameter, values, model)
+    for point_a, point_b in zip(sweep_a.points, sweep_b.points):
+        if point_b.result.speedup >= point_a.result.speedup:
+            return point_a.value
+    return None

@@ -1,0 +1,138 @@
+"""Uncertainty propagation through the Accelerometer model.
+
+At design time every parameter is an estimate: ``A`` from a spec sheet,
+``L`` from a link budget, ``n`` and ``alpha`` from profiles of today's
+load.  Because every Accelerometer speedup equation is *monotone* in each
+parameter -- increasing in ``alpha`` and ``A``, decreasing in ``n``,
+``o0``, ``L``, ``Q``, ``o1`` -- the exact worst/best-case speedup over a
+parameter box is attained at a single known corner, no sampling needed.
+:func:`speedup_interval` exploits that; :func:`monte_carlo_speedup` is the
+sampling cross-check (and handles non-box uncertainty).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from .model import Accelerometer
+from .params import OffloadScenario
+from .sweep import _SCENARIO_SETTERS
+
+#: Direction of the speedup's monotonicity per parameter: +1 means larger
+#: is better.
+_DIRECTION = {
+    "alpha": +1,
+    "A": +1,
+    "n": -1,
+    "o0": -1,
+    "L": -1,
+    "Q": -1,
+    "o1": -1,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ParameterRange:
+    """An uncertain parameter's interval."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ParameterError(
+                f"range low {self.low} exceeds high {self.high}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeedupInterval:
+    """Guaranteed speedup bounds over a parameter box."""
+
+    worst: float
+    best: float
+    nominal: float
+
+    @property
+    def worst_percent(self) -> float:
+        return (self.worst - 1.0) * 100.0
+
+    @property
+    def best_percent(self) -> float:
+        return (self.best - 1.0) * 100.0
+
+    @property
+    def can_regress(self) -> bool:
+        """True when some corner of the box yields a net slowdown -- the
+        at-scale risk the paper's introduction warns about."""
+        return self.worst < 1.0
+
+
+def _apply(scenario: OffloadScenario, assignment: Dict[str, float]):
+    for name, value in assignment.items():
+        scenario = _SCENARIO_SETTERS[name](scenario, value)
+    return scenario
+
+
+def speedup_interval(
+    scenario: OffloadScenario,
+    ranges: Dict[str, ParameterRange],
+    model: Optional[Accelerometer] = None,
+) -> SpeedupInterval:
+    """Exact speedup bounds when each named parameter lies in its range.
+
+    Parameters not named keep their scenario values.  Monotonicity picks
+    the extremal corner per bound: worst case takes every parameter at
+    its unfavourable end, best case at its favourable end.
+    """
+    unknown = set(ranges) - set(_DIRECTION)
+    if unknown:
+        raise ParameterError(
+            f"unknown parameters {sorted(unknown)}; "
+            f"choose from {sorted(_DIRECTION)}"
+        )
+    model = model or Accelerometer()
+    worst_corner = {
+        name: (bounds.low if _DIRECTION[name] > 0 else bounds.high)
+        for name, bounds in ranges.items()
+    }
+    best_corner = {
+        name: (bounds.high if _DIRECTION[name] > 0 else bounds.low)
+        for name, bounds in ranges.items()
+    }
+    return SpeedupInterval(
+        worst=model.speedup(_apply(scenario, worst_corner)),
+        best=model.speedup(_apply(scenario, best_corner)),
+        nominal=model.speedup(scenario),
+    )
+
+
+def monte_carlo_speedup(
+    scenario: OffloadScenario,
+    ranges: Dict[str, ParameterRange],
+    samples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+    model: Optional[Accelerometer] = None,
+) -> Tuple[float, float, float]:
+    """Sampled (p5, median, p95) speedup with each parameter uniform over
+    its range -- a distributional view inside the guaranteed interval."""
+    if samples < 1:
+        raise ParameterError("need at least one sample")
+    unknown = set(ranges) - set(_DIRECTION)
+    if unknown:
+        raise ParameterError(f"unknown parameters {sorted(unknown)}")
+    rng = rng or np.random.default_rng(0)
+    model = model or Accelerometer()
+    values = []
+    for _ in range(samples):
+        assignment = {
+            name: float(rng.uniform(bounds.low, bounds.high))
+            for name, bounds in ranges.items()
+        }
+        values.append(model.speedup(_apply(scenario, assignment)))
+    p5, median, p95 = np.percentile(values, [5, 50, 95])
+    return float(p5), float(median), float(p95)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or simulator parameter is out of its valid domain."""
+
+
+class CalibrationError(ReproError):
+    """A workload model could not be calibrated to its target breakdown."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ProfileError(ReproError):
+    """Profile data is missing or malformed."""
+
+
+class UnknownServiceError(ReproError, KeyError):
+    """A service name was not found in the workload registry."""

@@ -1,0 +1,189 @@
+"""CSV export of figure data (published and measured).
+
+``accelerometer export-data --output data/`` writes one CSV per figure so
+downstream analysis (spreadsheets, pandas, plotting stacks outside this
+repository) can consume the reproduction's numbers without touching the
+Python API.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from .characterization import (
+    CharacterizationRun,
+    fig10_functionality_ipc,
+    fig15_encryption_cdf,
+    fig19_compression_cdf,
+    fig1_orchestration_split,
+    fig21_copy_cdf,
+    fig22_allocation_cdf,
+    fig2_leaf_breakdown,
+    fig3_memory_breakdown,
+    fig4_copy_origins,
+    fig8_leaf_ipc,
+    fig9_functionality_breakdown,
+)
+from .paperdata.breakdowns import (
+    FUNCTIONALITY_BREAKDOWN,
+    LEAF_BREAKDOWN,
+    ORCHESTRATION_SPLIT,
+)
+
+
+def _label(key) -> str:
+    return str(getattr(key, "value", key))
+
+
+def _write_breakdown_csv(
+    path: Path,
+    measured_rows: Mapping[str, Mapping],
+    published_rows: Mapping[str, Mapping],
+) -> None:
+    """Long-format CSV: service, category, measured, published."""
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["service", "category", "measured_pct", "published_pct"])
+        for service, measured in measured_rows.items():
+            published = published_rows.get(service, {})
+            published_by_label = {_label(k): v for k, v in published.items()}
+            for category, value in measured.items():
+                label = _label(category)
+                writer.writerow([
+                    service, label, f"{value:.3f}",
+                    published_by_label.get(label, ""),
+                ])
+
+
+def _write_cdf_csv(path: Path, figure) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["service", "bin", "cumulative_fraction"])
+        for service, series in figure.series.items():
+            for label, value in series:
+                writer.writerow([service, label, f"{value:.4f}"])
+        writer.writerow([])
+        writer.writerow(["marker", "bytes"])
+        for marker, value in figure.markers.items():
+            writer.writerow([marker, f"{value:.2f}"])
+
+
+def _write_ipc_csv(path: Path, data: Mapping) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["category", "GenA", "GenB", "GenC"])
+        for category, by_generation in data.items():
+            writer.writerow([
+                _label(category),
+                *(f"{by_generation[g]:.3f}" for g in ("GenA", "GenB", "GenC")),
+            ])
+
+
+def export_figure_data(
+    output_dir: Union[str, Path],
+    runs: Mapping[str, CharacterizationRun],
+    generation_runs: Optional[Mapping[str, CharacterizationRun]] = None,
+) -> Dict[str, Path]:
+    """Write every figure's data as CSV files; returns {name: path}."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    def emit(name: str, writer_fn) -> None:
+        path = directory / name
+        writer_fn(path)
+        written[name] = path
+
+    emit(
+        "fig01_orchestration.csv",
+        lambda p: _write_breakdown_csv(
+            p,
+            {s: fig1_orchestration_split(r) for s, r in runs.items()},
+            ORCHESTRATION_SPLIT,
+        ),
+    )
+    emit(
+        "fig02_leaf_breakdown.csv",
+        lambda p: _write_breakdown_csv(
+            p,
+            {s: fig2_leaf_breakdown(r) for s, r in runs.items()},
+            LEAF_BREAKDOWN,
+        ),
+    )
+    emit(
+        "fig03_memory_breakdown.csv",
+        lambda p: _write_breakdown_csv(
+            p,
+            {s: fig3_memory_breakdown(r) for s, r in runs.items()},
+            {},
+        ),
+    )
+    emit(
+        "fig04_copy_origins.csv",
+        lambda p: _write_breakdown_csv(
+            p,
+            {s: fig4_copy_origins(r) for s, r in runs.items()},
+            {},
+        ),
+    )
+    emit(
+        "fig09_functionality.csv",
+        lambda p: _write_breakdown_csv(
+            p,
+            {s: fig9_functionality_breakdown(r) for s, r in runs.items()},
+            FUNCTIONALITY_BREAKDOWN,
+        ),
+    )
+    emit("fig15_encryption_cdf.csv",
+         lambda p: _write_cdf_csv(p, fig15_encryption_cdf()))
+    emit("fig19_compression_cdf.csv",
+         lambda p: _write_cdf_csv(p, fig19_compression_cdf()))
+    emit("fig21_copy_cdf.csv", lambda p: _write_cdf_csv(p, fig21_copy_cdf()))
+    emit("fig22_allocation_cdf.csv",
+         lambda p: _write_cdf_csv(p, fig22_allocation_cdf()))
+
+    if generation_runs is not None:
+        emit("fig08_leaf_ipc.csv",
+             lambda p: _write_ipc_csv(p, fig8_leaf_ipc(generation_runs)))
+        emit("fig10_functionality_ipc.csv",
+             lambda p: _write_ipc_csv(
+                 p, fig10_functionality_ipc(generation_runs)))
+
+    # Table 6 / Fig. 20 are model-only: export directly.
+    def write_projections(path: Path) -> None:
+        from .application import fig20_comparison
+
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["overhead", "strategy", "ours_pct", "paper_pct"])
+            for overhead, rows in fig20_comparison().items():
+                for strategy, (ours, paper) in rows.items():
+                    writer.writerow([
+                        overhead, strategy, f"{ours:.3f}",
+                        "" if paper is None else f"{paper:.3f}",
+                    ])
+
+    emit("fig20_projections.csv", write_projections)
+
+    def write_table6(path: Path) -> None:
+        from .validation import run_all_case_studies
+
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([
+                "study", "paper_estimated_pct", "paper_real_pct",
+                "model_pct", "simulated_pct",
+            ])
+            for name, outcome in run_all_case_studies().items():
+                writer.writerow([
+                    name,
+                    f"{outcome.paper_estimated_pct:.2f}",
+                    f"{outcome.paper_real_pct:.2f}",
+                    f"{outcome.model_speedup_pct:.2f}",
+                    f"{outcome.simulated_speedup_pct:.2f}",
+                ])
+
+    emit("table6_case_studies.csv", write_table6)
+    return written

@@ -1,0 +1,189 @@
+"""Demand uncertainty and accelerator-investment risk.
+
+The paper's motivation for Accelerometer is exactly this risk: "given the
+uncertainties inherent in projecting customer demand, deploying diverse
+custom hardware is risky at scale as the hardware might under-perform".
+This module quantifies the investment side of that sentence:
+
+* a :class:`DemandScenario` describes offered load over time (a diurnal
+  curve scaled by a growth forecast);
+* :func:`provision` sizes the accelerator deployment for the projected
+  peak;
+* :func:`investment_outcome` evaluates a provisioned deployment against a
+  *realized* demand curve -- stranded accelerator-hours when demand
+  under-materializes, shortfall hours when it overshoots -- and combines
+  with a speedup estimate to report the realized return.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence, Tuple
+
+from ..errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class DemandScenario:
+    """Offered offload load over time.
+
+    *hourly_multipliers* shape a day (relative to the mean); *mean_rate*
+    is offloads per time unit at multiplier 1.0; *growth* scales the whole
+    curve (the customer-demand forecast).
+    """
+
+    mean_rate: float
+    hourly_multipliers: Tuple[float, ...] = tuple(
+        # A conventional diurnal shape: overnight trough, evening peak.
+        [0.55, 0.5, 0.45, 0.42, 0.45, 0.55, 0.7, 0.85, 1.0, 1.1, 1.15,
+         1.2, 1.25, 1.2, 1.15, 1.1, 1.15, 1.25, 1.4, 1.5, 1.45, 1.3,
+         1.0, 0.75]
+    )
+    growth: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_rate <= 0:
+            raise ParameterError("mean_rate must be positive")
+        if not self.hourly_multipliers:
+            raise ParameterError("need at least one hourly multiplier")
+        if any(m < 0 for m in self.hourly_multipliers):
+            raise ParameterError("multipliers must be non-negative")
+        if self.growth <= 0:
+            raise ParameterError("growth must be positive")
+
+    def rates(self) -> Tuple[float, ...]:
+        """Offered rate per hour slot."""
+        return tuple(
+            self.mean_rate * self.growth * m for m in self.hourly_multipliers
+        )
+
+    @property
+    def peak_rate(self) -> float:
+        return max(self.rates())
+
+    def scaled(self, growth: float) -> "DemandScenario":
+        """The same shape under a different growth forecast."""
+        return dataclasses.replace(self, growth=growth)
+
+
+@dataclasses.dataclass(frozen=True)
+class Provisioning:
+    """A sized accelerator deployment."""
+
+    engines: int
+    #: Offloads per time unit one engine sustains at the target
+    #: utilization.
+    engine_capacity: float
+
+    @property
+    def capacity(self) -> float:
+        return self.engines * self.engine_capacity
+
+    def __post_init__(self) -> None:
+        if self.engines < 0:
+            raise ParameterError("engines must be >= 0")
+        if self.engine_capacity <= 0:
+            raise ParameterError("engine_capacity must be positive")
+
+
+def provision(
+    forecast: DemandScenario,
+    service_cycles: float,
+    total_cycles: float = 1.0e9,
+    max_utilization: float = 0.6,
+) -> Provisioning:
+    """Size the deployment for the forecast's peak hour."""
+    if not 0.0 < max_utilization < 1.0:
+        raise ParameterError("max_utilization must be in (0, 1)")
+    if service_cycles <= 0:
+        raise ParameterError("service_cycles must be positive")
+    engine_capacity = max_utilization * total_cycles / service_cycles
+    engines = max(1, math.ceil(forecast.peak_rate / engine_capacity))
+    return Provisioning(engines=engines, engine_capacity=engine_capacity)
+
+
+@dataclasses.dataclass(frozen=True)
+class InvestmentOutcome:
+    """How a provisioned deployment fared against realized demand."""
+
+    provisioning: Provisioning
+    forecast_peak: float
+    realized_peak: float
+
+    #: Mean utilization of the provisioned capacity over the realized day.
+    mean_utilization: float
+
+    #: Fraction of provisioned engine-hours that carried no load beyond
+    #: what a right-sized (realized-peak) deployment would have had.
+    stranded_fraction: float
+
+    #: Hours (slots) in which realized demand exceeded provisioned
+    #: capacity -- offloads spill back to the host (Q explodes).
+    shortfall_hours: int
+
+    @property
+    def overprovisioned(self) -> bool:
+        return self.stranded_fraction > 0.25
+
+    @property
+    def underprovisioned(self) -> bool:
+        return self.shortfall_hours > 0
+
+
+def investment_outcome(
+    provisioning: Provisioning,
+    forecast: DemandScenario,
+    realized: DemandScenario,
+) -> InvestmentOutcome:
+    """Evaluate a deployment sized for *forecast* against *realized*."""
+    rates = realized.rates()
+    capacity = provisioning.capacity
+    mean_utilization = sum(min(r, capacity) for r in rates) / (
+        capacity * len(rates)
+    )
+    right_sized = provision_engines_for_peak(
+        realized.peak_rate, provisioning.engine_capacity
+    )
+    stranded_engines = max(provisioning.engines - right_sized, 0)
+    stranded_fraction = (
+        stranded_engines / provisioning.engines if provisioning.engines else 0.0
+    )
+    shortfall_hours = sum(1 for r in rates if r > capacity)
+    return InvestmentOutcome(
+        provisioning=provisioning,
+        forecast_peak=forecast.peak_rate,
+        realized_peak=realized.peak_rate,
+        mean_utilization=mean_utilization,
+        stranded_fraction=stranded_fraction,
+        shortfall_hours=shortfall_hours,
+    )
+
+
+def provision_engines_for_peak(peak_rate: float, engine_capacity: float) -> int:
+    """Engines a right-sized deployment needs for *peak_rate*."""
+    if engine_capacity <= 0:
+        raise ParameterError("engine_capacity must be positive")
+    if peak_rate < 0:
+        raise ParameterError("peak_rate must be >= 0")
+    return max(1, math.ceil(peak_rate / engine_capacity))
+
+
+def demand_risk_sweep(
+    forecast: DemandScenario,
+    realized_growths: Sequence[float],
+    service_cycles: float,
+    total_cycles: float = 1.0e9,
+    max_utilization: float = 0.6,
+) -> Tuple[Tuple[float, InvestmentOutcome], ...]:
+    """Evaluate the forecast-sized deployment across realized-growth
+    scenarios: the paper's demand-uncertainty risk as a table."""
+    deployment = provision(forecast, service_cycles, total_cycles,
+                           max_utilization)
+    outcomes = []
+    for growth in realized_growths:
+        realized = forecast.scaled(growth / forecast.growth)
+        outcomes.append(
+            (growth, investment_outcome(deployment, forecast, realized))
+        )
+    return tuple(outcomes)

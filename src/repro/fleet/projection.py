@@ -1,0 +1,108 @@
+"""Fleet-wide capacity projection from per-service speedups.
+
+At hyperscale each microservice occupies a fixed slice of the installed
+server base.  A per-service throughput speedup ``x_s`` means the same load
+fits on ``1/x_s`` of the servers, so fleet capacity relief compounds as a
+weighted harmonic mean.  This module turns per-service Accelerometer
+projections into fleet-level answers: how many servers does accelerating
+compression fleet-wide actually free?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping
+
+from ..errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetComposition:
+    """Server counts per service across the fleet."""
+
+    servers: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ParameterError("fleet must contain at least one service")
+        if any(count <= 0 for count in self.servers.values()):
+            raise ParameterError("server counts must be positive")
+
+    @property
+    def total_servers(self) -> float:
+        return float(sum(self.servers.values()))
+
+    def share(self, service: str) -> float:
+        return self.servers[service] / self.total_servers
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetProjection:
+    """Outcome of applying per-service speedups across a fleet."""
+
+    composition: FleetComposition
+    speedups: Dict[str, float]
+
+    @property
+    def servers_needed(self) -> float:
+        """Servers needed to carry today's load after acceleration."""
+        return sum(
+            count / self.speedups.get(service, 1.0)
+            for service, count in self.composition.servers.items()
+        )
+
+    @property
+    def servers_freed(self) -> float:
+        return self.composition.total_servers - self.servers_needed
+
+    @property
+    def capacity_gain(self) -> float:
+        """Fleet-wide throughput multiplier on the existing hardware
+        (weighted harmonic mean of per-service speedups)."""
+        return self.composition.total_servers / self.servers_needed
+
+    @property
+    def capacity_gain_percent(self) -> float:
+        return (self.capacity_gain - 1.0) * 100.0
+
+    def per_service_servers_freed(self) -> Dict[str, float]:
+        return {
+            service: count * (1.0 - 1.0 / self.speedups.get(service, 1.0))
+            for service, count in self.composition.servers.items()
+        }
+
+
+def fleet_projection(
+    composition: FleetComposition, speedups: Mapping[str, float]
+) -> FleetProjection:
+    """Project fleet-wide gains from per-service throughput speedups
+    (services absent from *speedups* are unchanged)."""
+    for service, value in speedups.items():
+        if value <= 0:
+            raise ParameterError(f"speedup for {service} must be positive")
+        if service not in composition.servers:
+            raise ParameterError(f"service {service!r} is not in the fleet")
+    return FleetProjection(composition=composition, speedups=dict(speedups))
+
+
+def default_fleet(total_servers: float = 100_000.0) -> FleetComposition:
+    """A representative compute-fleet composition.
+
+    The paper states the seven microservices "occupy a large portion of
+    the compute-optimized installed base" without per-service counts;
+    this default weights services by their breadth of deployment (Web
+    largest, caches next, ML services substantial) purely as an example
+    composition for fleet-level what-ifs.
+    """
+    weights = {
+        "web": 0.30,
+        "feed1": 0.08,
+        "feed2": 0.10,
+        "ads1": 0.10,
+        "ads2": 0.08,
+        "cache1": 0.18,
+        "cache2": 0.16,
+    }
+    return FleetComposition(
+        servers={name: share * total_servers for name, share in weights.items()}
+    )

@@ -1,0 +1,124 @@
+"""Leaf-function and microservice-functionality taxonomies (Tables 2 & 3).
+
+These enums are the categorical backbone of the whole reproduction: the
+profiler tags leaf functions with :class:`LeafCategory` and buckets call
+traces into :class:`FunctionalityCategory`, exactly as the paper's internal
+tools do.  Provenance: **exact** (Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LeafCategory(enum.Enum):
+    """Table 2: categorization of leaf functions."""
+
+    MEMORY = "memory"
+    KERNEL = "kernel"
+    HASHING = "hashing"
+    SYNCHRONIZATION = "synchronization"
+    ZSTD = "zstd"
+    MATH = "math"
+    SSL = "ssl"
+    C_LIBRARIES = "c-libraries"
+    MISCELLANEOUS = "miscellaneous"
+
+
+#: Example leaf functions per category, straight from Table 2.  The
+#: profiler's tagger uses these (plus pattern rules) to classify leaves.
+LEAF_CATEGORIES = {
+    LeafCategory.MEMORY: (
+        "memcpy",
+        "malloc",
+        "free",
+        "memmove",
+        "memset",
+        "memcmp",
+        "operator new",
+        "operator delete",
+    ),
+    LeafCategory.KERNEL: (
+        "schedule",
+        "handle_irq",
+        "tcp_sendmsg",
+        "tcp_recvmsg",
+        "page_fault",
+        "futex_wait",
+        "epoll_wait",
+    ),
+    LeafCategory.HASHING: ("sha1", "sha256", "md5", "cityhash", "xxhash"),
+    LeafCategory.SYNCHRONIZATION: (
+        "atomic_fetch_add",
+        "pthread_mutex_lock",
+        "compare_exchange",
+        "spin_lock",
+    ),
+    LeafCategory.ZSTD: ("zstd_compress", "zstd_decompress"),
+    LeafCategory.MATH: ("mkl_sgemm", "avx_dot_product", "expf", "tanhf"),
+    LeafCategory.SSL: ("aes_encrypt", "aes_decrypt", "tls_handshake"),
+    LeafCategory.C_LIBRARIES: (
+        "std_sort",
+        "string_compare",
+        "vector_push_back",
+        "hash_table_find",
+        "tree_insert",
+    ),
+    LeafCategory.MISCELLANEOUS: ("assorted",),
+}
+
+
+class FunctionalityCategory(enum.Enum):
+    """Table 3: categorization of microservice functionalities."""
+
+    IO = "secure-insecure-io"
+    IO_PROCESSING = "io-pre-post-processing"
+    COMPRESSION = "compression"
+    SERIALIZATION = "serialization"
+    FEATURE_EXTRACTION = "feature-extraction"
+    PREDICTION_RANKING = "prediction-ranking"
+    APPLICATION_LOGIC = "application-logic"
+    LOGGING = "logging"
+    THREAD_POOL = "thread-pool-management"
+    MISCELLANEOUS = "miscellaneous"
+
+
+#: Example service operations per functionality, straight from Table 3.
+FUNCTIONALITY_CATEGORIES = {
+    FunctionalityCategory.IO: "Encrypted/plain-text I/O sends & receives",
+    FunctionalityCategory.IO_PROCESSING: "Allocations, copies, etc before/after I/O",
+    FunctionalityCategory.COMPRESSION: "Compression/decompression logic",
+    FunctionalityCategory.SERIALIZATION: "RPC serialization/deserialization",
+    FunctionalityCategory.FEATURE_EXTRACTION: "Feature vector creation in ML services",
+    FunctionalityCategory.PREDICTION_RANKING: "ML inference algorithms",
+    FunctionalityCategory.APPLICATION_LOGIC: "Core business logic",
+    FunctionalityCategory.LOGGING: "Creating, reading, updating logs",
+    FunctionalityCategory.THREAD_POOL: "Creating, deleting, synchronizing threads",
+    FunctionalityCategory.MISCELLANEOUS: "Other assorted operations",
+}
+
+#: Functionalities the paper counts as "orchestration" (work that
+#: facilitates, but is not, the core application logic).  Fig. 1 splits
+#: cycles into application logic vs orchestration; the paper's 42%-67%
+#: orchestration claim for ML services counts everything outside
+#: prediction/ranking and application logic.
+ORCHESTRATION_CATEGORIES = frozenset(
+    {
+        FunctionalityCategory.IO,
+        FunctionalityCategory.IO_PROCESSING,
+        FunctionalityCategory.COMPRESSION,
+        FunctionalityCategory.SERIALIZATION,
+        FunctionalityCategory.FEATURE_EXTRACTION,
+        FunctionalityCategory.LOGGING,
+        FunctionalityCategory.THREAD_POOL,
+        FunctionalityCategory.MISCELLANEOUS,
+    }
+)
+
+#: Functionalities that are "core" in Fig. 1's sense.
+CORE_CATEGORIES = frozenset(
+    {
+        FunctionalityCategory.APPLICATION_LOGIC,
+        FunctionalityCategory.PREDICTION_RANKING,
+    }
+)

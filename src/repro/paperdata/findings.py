@@ -1,0 +1,93 @@
+"""Summary of findings and acceleration opportunities (Table 4).
+
+Provenance: **exact** (Table 4's rows, lightly normalized).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One row of Table 4."""
+
+    finding: str
+    sections: Tuple[str, ...]
+    opportunity: str
+
+
+FINDINGS: Tuple[Finding, ...] = (
+    Finding(
+        finding="Significant orchestration overheads",
+        sections=("2.4",),
+        opportunity=(
+            "Software and hardware acceleration for orchestration rather "
+            "than just application logic"
+        ),
+    ),
+    Finding(
+        finding="Several common orchestration overheads",
+        sections=("2.4",),
+        opportunity=(
+            "Accelerating common overheads (e.g., compression) can provide "
+            "fleet-wide wins"
+        ),
+    ),
+    Finding(
+        finding="Poor IPC scaling for several functions",
+        sections=("2.3.5", "2.4.1"),
+        opportunity="Optimizations for specific leaf/service categories",
+    ),
+    Finding(
+        finding="Memory copies & allocations are significant",
+        sections=("2.3", "2.3.1"),
+        opportunity=(
+            "Dense copies via SIMD, copying in DRAM, Intel's I/O AT, DMA "
+            "via accelerators, PIM"
+        ),
+    ),
+    Finding(
+        finding="Memory frees are computationally expensive",
+        sections=("2.3", "2.3.1"),
+        opportunity="Faster software libraries, hardware support to remove pages",
+    ),
+    Finding(
+        finding="High kernel overhead and low IPC",
+        sections=("2.3", "2.3.5"),
+        opportunity=(
+            "Coalesce I/O, user-space drivers, in-line accelerators, "
+            "kernel-bypass"
+        ),
+    ),
+    Finding(
+        finding="Logging overheads can dominate",
+        sections=("2.4",),
+        opportunity="Optimizations to reduce log size or number of updates",
+    ),
+    Finding(
+        finding="High compression overhead",
+        sections=("2.3", "2.4"),
+        opportunity=(
+            "Bit-Plane Compression, Buddy compression, dedicated "
+            "compression hardware"
+        ),
+    ),
+    Finding(
+        finding="Cache synchronizes frequently",
+        sections=("2.3", "2.3.3"),
+        opportunity=(
+            "Better thread pool tuning and scheduling, Intel's TSX, "
+            "coalesce I/O, vDSO"
+        ),
+    ),
+    Finding(
+        finding="High event notification overhead",
+        sections=("2.3.2",),
+        opportunity=(
+            "RDMA-style notification, hardware support for notifications, "
+            "spin vs. block hybrids"
+        ),
+    ),
+)

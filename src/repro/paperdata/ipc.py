@@ -1,0 +1,30 @@
+"""Per-core IPC scaling data for Cache1 (Figs. 8 and 10).
+
+Provenance: **reconstructed** from the figures' qualitative content and the
+prose: every leaf category uses less than half of GenC's theoretical peak
+IPC of 4.0; kernel IPC is lowest and scales poorly; C libraries scale well
+across generations; most categories gain little from GenB to GenC; I/O and
+application-logic (key-value) functionality IPC stays low because they are
+dominated by kernel and memory leaves respectively.
+"""
+
+from __future__ import annotations
+
+from .categories import FunctionalityCategory as F, LeafCategory as L
+
+#: Fig. 8: Cache1 per-core IPC for key leaf categories across GenA/B/C.
+FIG8_LEAF_IPC = {
+    L.MEMORY: {"GenA": 0.60, "GenB": 0.72, "GenC": 0.75},
+    L.KERNEL: {"GenA": 0.45, "GenB": 0.50, "GenC": 0.51},
+    L.ZSTD: {"GenA": 0.90, "GenB": 1.10, "GenC": 1.15},
+    L.SSL: {"GenA": 1.10, "GenB": 1.35, "GenC": 1.42},
+    L.C_LIBRARIES: {"GenA": 1.00, "GenB": 1.35, "GenC": 1.75},
+}
+
+#: Fig. 10: Cache1 per-core IPC for key functionality categories.
+FIG10_FUNCTIONALITY_IPC = {
+    F.IO: {"GenA": 0.35, "GenB": 0.37, "GenC": 0.38},
+    F.IO_PROCESSING: {"GenA": 0.55, "GenB": 0.62, "GenC": 0.65},
+    F.SERIALIZATION: {"GenA": 0.60, "GenB": 0.70, "GenC": 0.72},
+    F.APPLICATION_LOGIC: {"GenA": 0.50, "GenB": 0.53, "GenC": 0.55},
+}

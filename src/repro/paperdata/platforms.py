@@ -1,0 +1,77 @@
+"""CPU platform attributes (Table 1).  Provenance: **exact**."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class PlatformSpec:
+    """One row of Table 1."""
+
+    name: str
+    microarchitecture: str
+    cores_per_socket: Tuple[int, ...]
+    smt: int
+    cache_block_bytes: int
+    l1i_kib: int
+    l1d_kib: int
+    l2_kib: int
+    llc_mib: Tuple[float, ...]
+
+    #: Theoretical peak IPC the paper quotes for GenC ("theoretical peak
+    #: IPC of 4.0"); we use the same issue width for all three.
+    peak_ipc: float = 4.0
+
+
+GENA = PlatformSpec(
+    name="GenA",
+    microarchitecture="Intel Haswell",
+    cores_per_socket=(12,),
+    smt=2,
+    cache_block_bytes=64,
+    l1i_kib=32,
+    l1d_kib=32,
+    l2_kib=256,
+    llc_mib=(30.0,),
+)
+
+GENB = PlatformSpec(
+    name="GenB",
+    microarchitecture="Intel Broadwell",
+    cores_per_socket=(16,),
+    smt=2,
+    cache_block_bytes=64,
+    l1i_kib=32,
+    l1d_kib=32,
+    l2_kib=256,
+    llc_mib=(24.0,),
+)
+
+GENC = PlatformSpec(
+    name="GenC",
+    microarchitecture="Intel Skylake",
+    cores_per_socket=(18, 20),
+    smt=2,
+    cache_block_bytes=64,
+    l1i_kib=32,
+    l1d_kib=32,
+    l2_kib=1024,
+    llc_mib=(24.75, 27.0),
+)
+
+PLATFORMS = {"GenA": GENA, "GenB": GENB, "GenC": GENC}
+
+#: Which Skylake variant each microservice runs on (Sec. 2.2): Web, Feed1,
+#: Feed2, Ads1 on the 18-core part; Ads2, Cache1, Cache2 on the 20-core.
+SERVICE_PLATFORM_CORES = {
+    "web": 18,
+    "feed1": 18,
+    "feed2": 18,
+    "ads1": 18,
+    "ads2": 20,
+    "cache1": 20,
+    "cache2": 20,
+    "cache3": 20,
+}

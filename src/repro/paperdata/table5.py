@@ -1,0 +1,81 @@
+"""Table 5: the Accelerometer model parameter glossary.
+
+Provenance: **exact**.  Used by ``accelerometer params`` so the CLI can
+explain the symbols a configuration file expects (the original artifact's
+"model parameters are to be provided as inputs" workflow).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class ParameterDescription:
+    """One row of Table 5."""
+
+    symbol: str
+    description: str
+    units: str
+    api_field: str
+
+
+TABLE5_PARAMETERS: Tuple[ParameterDescription, ...] = (
+    ParameterDescription(
+        "C",
+        "Total cycles spent by the host to execute all logic in a fixed "
+        "time unit",
+        "Cycles",
+        "KernelProfile.total_cycles",
+    ),
+    ParameterDescription(
+        "g", "Size of an offload", "Bytes", "per-invocation granularity"
+    ),
+    ParameterDescription(
+        "n",
+        "Number of times the host offloads a kernel of lucrative size in "
+        "a fixed time unit",
+        "N/A",
+        "KernelProfile.offloads_per_unit",
+    ),
+    ParameterDescription(
+        "o0",
+        "Cycles the host spends in setting up the kernel prior to a "
+        "single offload",
+        "Cycles",
+        "OffloadCosts.dispatch_cycles",
+    ),
+    ParameterDescription(
+        "Q",
+        "Avg. cycles spent in queuing between host and accelerator for a "
+        "single offload",
+        "Cycles",
+        "OffloadCosts.queue_cycles",
+    ),
+    ParameterDescription(
+        "L",
+        "Avg. cycles to move an offload from host to accelerator across "
+        "the interface, including cycles the data spends in caches/memory",
+        "Cycles",
+        "OffloadCosts.interface_cycles",
+    ),
+    ParameterDescription(
+        "o1",
+        "Cycles spent in switching threads (due to context switches and "
+        "cache pollution) for a single offload",
+        "Cycles",
+        "OffloadCosts.thread_switch_cycles",
+    ),
+    ParameterDescription(
+        "A", "Peak speedup of an accelerator", "N/A",
+        "AcceleratorSpec.peak_speedup",
+    ),
+    ParameterDescription(
+        "alpha", "A constant <= 1", "N/A", "KernelProfile.kernel_fraction"
+    ),
+    ParameterDescription(
+        "Cb", "Cycles spent by the host per byte of offload data", "Cycles",
+        "KernelProfile.cycles_per_byte",
+    ),
+)

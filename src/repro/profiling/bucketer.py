@@ -1,0 +1,80 @@
+"""Call-trace bucketing (the paper's functionality-categorization tool).
+
+The paper collects full call traces with Strobelight and feeds them to an
+internal tool that buckets each trace into a Table-3 functionality
+category.  :class:`TraceBucketer` does the same: it scans a trace's frames
+from the root down for functionality markers (an RPC-layer frame means
+I/O, a compression-library frame means compression, ...) and returns the
+most specific match.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Pattern, Sequence, Tuple
+
+from ..errors import ProfileError
+from ..paperdata.categories import FunctionalityCategory
+
+#: Marker patterns, ordered by precedence: the first frame pattern that
+#: matches anywhere in the trace decides the bucket.  Precedence matters
+#: because e.g. a memcpy inside the serialization layer belongs to
+#: serialization even though deeper frames look generic.
+_DEFAULT_MARKERS: Tuple[Tuple[str, FunctionalityCategory], ...] = (
+    (r"(log_|logger|logging|scribe|audit)", FunctionalityCategory.LOGGING),
+    (r"(compress|zstd|lz4|deflate)", FunctionalityCategory.COMPRESSION),
+    (r"(serializ|deserializ|thrift|protobuf|encode_rpc|decode_rpc)",
+     FunctionalityCategory.SERIALIZATION),
+    (r"(feature_extract|featurize|embedding_lookup)",
+     FunctionalityCategory.FEATURE_EXTRACTION),
+    (r"(inference|predict|ranking|mlp_forward|model_eval)",
+     FunctionalityCategory.PREDICTION_RANKING),
+    (r"(io_preprocess|io_postprocess|prepare_buffer|staging)",
+     FunctionalityCategory.IO_PROCESSING),
+    (r"(rpc_send|rpc_recv|socket_|network_io|secure_io|tls_session|io_loop)",
+     FunctionalityCategory.IO),
+    (r"(thread_pool|worker_spawn|executor_|task_queue)",
+     FunctionalityCategory.THREAD_POOL),
+    (r"(handle_request|business_|app_logic|kv_store|serve_)",
+     FunctionalityCategory.APPLICATION_LOGIC),
+)
+
+
+class TraceBucketer:
+    """Buckets call traces into Table-3 functionality categories."""
+
+    def __init__(self) -> None:
+        self._markers: List[Tuple[Pattern[str], FunctionalityCategory]] = [
+            (re.compile(pattern, re.IGNORECASE), category)
+            for pattern, category in _DEFAULT_MARKERS
+        ]
+
+    def register_marker(
+        self, pattern: str, category: FunctionalityCategory, prepend: bool = False
+    ) -> None:
+        """Add a marker rule; *prepend* gives it top precedence."""
+        compiled = (re.compile(pattern, re.IGNORECASE), category)
+        if prepend:
+            self._markers.insert(0, compiled)
+        else:
+            self._markers.append(compiled)
+
+    def bucket(self, frames: Sequence[str]) -> FunctionalityCategory:
+        """Classify one call trace (root-first frame list)."""
+        if not frames:
+            raise ProfileError("call trace must contain at least one frame")
+        for pattern, category in self._markers:
+            for frame in frames:
+                if pattern.search(frame):
+                    return category
+        return FunctionalityCategory.MISCELLANEOUS
+
+    def bucket_all(
+        self, traces: Dict[Tuple[str, ...], float]
+    ) -> Dict[FunctionalityCategory, float]:
+        """Aggregate {trace: cycles} into per-functionality cycle totals."""
+        totals: Dict[FunctionalityCategory, float] = {}
+        for frames, cycles in traces.items():
+            category = self.bucket(frames)
+            totals[category] = totals.get(category, 0.0) + cycles
+        return totals

@@ -1,0 +1,112 @@
+"""Breakdown reporting and comparison utilities.
+
+Breakdowns are plain ``{category: share}`` mappings (shares in percent or
+fractions).  These helpers normalize, render, and -- most importantly for
+the reproduction -- *compare* a measured breakdown against the paper's
+published one with shape-aware metrics (L1 distance, dominant-category
+agreement, rank correlation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from ..errors import ProfileError
+
+Breakdown = Mapping[Hashable, float]
+
+
+def normalize(breakdown: Breakdown) -> Dict[Hashable, float]:
+    """Scale shares to sum to 1.0."""
+    total = float(sum(breakdown.values()))
+    if total <= 0:
+        raise ProfileError("breakdown has no mass")
+    return {key: value / total for key, value in breakdown.items()}
+
+
+def as_percent(breakdown: Breakdown) -> Dict[Hashable, float]:
+    """Scale shares to sum to 100."""
+    return {key: value * 100.0 for key, value in normalize(breakdown).items()}
+
+
+def l1_distance(a: Breakdown, b: Breakdown) -> float:
+    """Total variation-style distance between two normalized breakdowns:
+    ``0.5 * sum(|a_i - b_i|)`` in [0, 1]."""
+    na, nb = normalize(a), normalize(b)
+    keys = set(na) | set(nb)
+    return 0.5 * sum(abs(na.get(k, 0.0) - nb.get(k, 0.0)) for k in keys)
+
+
+def dominant(breakdown: Breakdown, top: int = 1) -> Tuple[Hashable, ...]:
+    """The *top* largest categories, largest first."""
+    if top < 1:
+        raise ProfileError("top must be >= 1")
+    ranked = sorted(breakdown.items(), key=lambda item: item[1], reverse=True)
+    return tuple(key for key, _ in ranked[:top])
+
+
+def same_dominant(a: Breakdown, b: Breakdown, top: int = 1) -> bool:
+    """Whether the two breakdowns agree on their *top* categories (as
+    sets -- order within the top group may differ)."""
+    return set(dominant(a, top)) == set(dominant(b, top))
+
+
+def rank_agreement(a: Breakdown, b: Breakdown) -> float:
+    """Kendall-tau-style agreement between two breakdowns' category
+    rankings over their common keys, in [-1, 1]."""
+    keys = sorted(set(a) & set(b), key=str)
+    if len(keys) < 2:
+        raise ProfileError("need at least two common categories")
+    concordant = discordant = 0
+    for i, key_i in enumerate(keys):
+        for key_j in keys[i + 1 :]:
+            delta_a = a[key_i] - a[key_j]
+            delta_b = b[key_i] - b[key_j]
+            product = delta_a * delta_b
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    pairs = len(keys) * (len(keys) - 1) / 2
+    return (concordant - discordant) / pairs
+
+
+def render_table(
+    rows: Mapping[str, Breakdown],
+    columns: Sequence[Hashable],
+    title: str = "",
+    width: int = 8,
+) -> str:
+    """Render a {row: breakdown} mapping as a fixed-width text table, one
+    column per category -- the CLI's figure output format."""
+
+    def label(key: Hashable) -> str:
+        value = getattr(key, "value", key)
+        return str(value)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "service".ljust(14) + "".join(
+        label(col)[: width - 1].rjust(width) for col in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_name, breakdown in rows.items():
+        cells = "".join(
+            f"{breakdown.get(col, 0.0):{width}.1f}" for col in columns
+        )
+        lines.append(row_name.ljust(14) + cells)
+    return "\n".join(lines)
+
+
+def render_bars(breakdown: Breakdown, width: int = 40, title: str = "") -> str:
+    """Render one breakdown as ASCII horizontal bars."""
+    shares = as_percent(breakdown)
+    lines: List[str] = [title] if title else []
+    label_width = max((len(str(getattr(k, "value", k))) for k in shares), default=0)
+    for key, share in sorted(shares.items(), key=lambda item: -item[1]):
+        bar = "#" * max(0, round(share / 100.0 * width))
+        name = str(getattr(key, "value", key)).ljust(label_width)
+        lines.append(f"{name} {share:5.1f}% {bar}")
+    return "\n".join(lines)

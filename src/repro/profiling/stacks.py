@@ -1,0 +1,128 @@
+"""Call-trace capture (the Strobelight role).
+
+Strobelight samples full call traces with cycle and instruction counts.
+Our substrate has two sources of truth:
+
+* the simulator's :class:`~repro.simulator.metrics.MetricSink`, which
+  already attributes cycles to (functionality, leaf) pairs, and
+* workload models, which declare *trace templates* -- representative call
+  stacks per (functionality, leaf) pair.
+
+:class:`StackSampler` combines them: it emits a trace profile
+({frames: cycles}) whose aggregate matches the attributed cycles, so the
+tagging and bucketing tools can be exercised end-to-end exactly as in the
+paper's methodology (traces in, category breakdowns out).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..errors import ProfileError
+from ..paperdata.categories import FunctionalityCategory, LeafCategory
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceTemplate:
+    """A representative call stack for one (functionality, leaf) pair.
+
+    *frames* is root-first; the final frame is the leaf function.
+    """
+
+    frames: Tuple[str, ...]
+    functionality: FunctionalityCategory
+    leaf: LeafCategory
+    #: Relative weight among templates sharing the same (functionality,
+    #: leaf) attribution.
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.frames:
+            raise ProfileError("trace template needs at least one frame")
+        if self.weight <= 0:
+            raise ProfileError("trace template weight must be positive")
+
+    @property
+    def leaf_function(self) -> str:
+        return self.frames[-1]
+
+
+@dataclasses.dataclass(frozen=True)
+class SampledTrace:
+    """One aggregated trace sample: a stack plus its measured cycles and
+    instructions."""
+
+    frames: Tuple[str, ...]
+    cycles: float
+    instructions: float
+
+    @property
+    def leaf_function(self) -> str:
+        return self.frames[-1]
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            raise ProfileError("trace has zero cycles")
+        return self.instructions / self.cycles
+
+
+class StackSampler:
+    """Expands attributed cycles into call-trace samples via templates."""
+
+    def __init__(self, templates: Iterable[TraceTemplate]) -> None:
+        self._by_attribution: Dict[
+            Tuple[FunctionalityCategory, LeafCategory], list
+        ] = {}
+        for template in templates:
+            key = (template.functionality, template.leaf)
+            self._by_attribution.setdefault(key, []).append(template)
+        if not self._by_attribution:
+            raise ProfileError("need at least one trace template")
+
+    def templates_for(
+        self, functionality: FunctionalityCategory, leaf: LeafCategory
+    ):
+        return tuple(self._by_attribution.get((functionality, leaf), ()))
+
+    def sample(
+        self,
+        attributed_cycles: Mapping[Tuple[FunctionalityCategory, LeafCategory], float],
+        ipc_lookup,
+    ) -> Tuple[SampledTrace, ...]:
+        """Produce trace samples covering *attributed_cycles*.
+
+        *ipc_lookup* is a callable ``(functionality, leaf) -> ipc`` used to
+        synthesize instruction counts (instructions = cycles * IPC), the
+        quantity Strobelight measures alongside cycles.
+
+        Cycles attributed to a (functionality, leaf) pair with no template
+        fall back to a generic two-frame stack so nothing is dropped.
+        """
+        samples = []
+        for (functionality, leaf), cycles in attributed_cycles.items():
+            if cycles <= 0:
+                continue
+            templates = self._by_attribution.get((functionality, leaf))
+            if not templates:
+                frames = (f"{functionality.value}_entry", f"{leaf.value}_leaf")
+                ipc = ipc_lookup(functionality, leaf)
+                samples.append(
+                    SampledTrace(frames=frames, cycles=cycles, instructions=cycles * ipc)
+                )
+                continue
+            total_weight = sum(t.weight for t in templates)
+            for template in templates:
+                share = cycles * template.weight / total_weight
+                ipc = ipc_lookup(functionality, leaf)
+                samples.append(
+                    SampledTrace(
+                        frames=template.frames,
+                        cycles=share,
+                        instructions=share * ipc,
+                    )
+                )
+        if not samples:
+            raise ProfileError("no cycles to sample")
+        return tuple(samples)

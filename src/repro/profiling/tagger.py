@@ -1,0 +1,76 @@
+"""Leaf-function tagging (the paper's internal leaf-categorization tool).
+
+Given a leaf function name (the last frame of a call trace), classify it
+into a Table-2 :class:`LeafCategory`.  The rule set mirrors the examples
+the paper lists per category plus conventional substring patterns, and is
+extensible: callers can register additional exact names or patterns.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Pattern, Tuple
+
+from ..errors import ProfileError
+from ..paperdata.categories import LEAF_CATEGORIES, LeafCategory
+
+
+def _default_exact_rules() -> Dict[str, LeafCategory]:
+    rules: Dict[str, LeafCategory] = {}
+    for category, examples in LEAF_CATEGORIES.items():
+        for example in examples:
+            rules[example] = category
+    return rules
+
+
+_DEFAULT_PATTERNS: Tuple[Tuple[str, LeafCategory], ...] = (
+    (r"^(__)?mem(cpy|move|set|cmp)", LeafCategory.MEMORY),
+    (r"(malloc|calloc|realloc|free|tcmalloc|jemalloc)", LeafCategory.MEMORY),
+    (r"operator (new|delete)", LeafCategory.MEMORY),
+    (r"^(sys_|do_|__kernel|schedule|finish_task_switch)", LeafCategory.KERNEL),
+    (r"(irq|softirq|page_fault|futex|epoll|tcp_|udp_|skb_|netif_)", LeafCategory.KERNEL),
+    (r"(sha\d*|md5|crc32|siphash|cityhash|murmur|xxhash)", LeafCategory.HASHING),
+    (r"(mutex|spin_?lock|atomic|compare_exchange|lock_guard|cmpxchg)",
+     LeafCategory.SYNCHRONIZATION),
+    (r"(zstd|lz4|zlib|deflate|inflate|compress|decompress)", LeafCategory.ZSTD),
+    (r"(mkl_|cblas_|sgemm|dgemm|avx|fma|_mm\d+_)", LeafCategory.MATH),
+    (r"(aes|evp_|ssl_|tls_|encrypt|decrypt|cipher)", LeafCategory.SSL),
+    (r"(std::|string|vector|hash_table|map_|sort|find|tree)", LeafCategory.C_LIBRARIES),
+)
+
+
+class LeafTagger:
+    """Maps leaf-function names onto Table-2 categories."""
+
+    def __init__(self) -> None:
+        self._exact: Dict[str, LeafCategory] = _default_exact_rules()
+        self._patterns: List[Tuple[Pattern[str], LeafCategory]] = [
+            (re.compile(pattern, re.IGNORECASE), category)
+            for pattern, category in _DEFAULT_PATTERNS
+        ]
+
+    def register(self, name: str, category: LeafCategory) -> None:
+        """Add an exact-name rule (highest precedence)."""
+        self._exact[name] = category
+
+    def register_pattern(self, pattern: str, category: LeafCategory) -> None:
+        """Add a regex rule, consulted after the defaults."""
+        self._patterns.append((re.compile(pattern, re.IGNORECASE), category))
+
+    def tag(self, leaf_function: str) -> LeafCategory:
+        """Classify one leaf function name.
+
+        Unknown names fall into :attr:`LeafCategory.MISCELLANEOUS`, like
+        the paper's "other assorted function types" bucket.
+        """
+        if not leaf_function:
+            raise ProfileError("leaf function name must be non-empty")
+        if leaf_function in self._exact:
+            return self._exact[leaf_function]
+        for pattern, category in self._patterns:
+            if pattern.search(leaf_function):
+                return category
+        return LeafCategory.MISCELLANEOUS
+
+    def tag_all(self, leaf_functions: Iterable[str]) -> Dict[str, LeafCategory]:
+        return {name: self.tag(name) for name in leaf_functions}

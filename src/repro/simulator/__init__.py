@@ -1,0 +1,84 @@
+"""Discrete-event microservice simulator.
+
+This subpackage is the substrate standing in for the paper's production
+environment: it executes synthetic microservices at peak load, measures
+throughput and latency, attributes every host cycle to functionality and
+leaf categories (the Strobelight role), and implements the Sync / Sync-OS /
+Async offload designs whose costs the Accelerometer model projects.
+"""
+
+from .accelerator import AcceleratorDevice, AcceleratorStats
+from .cpu import (
+    CPU,
+    Compute,
+    Core,
+    HoldCore,
+    ReleaseCore,
+    SimThread,
+    ThreadState,
+    YieldCore,
+)
+from .engine import Engine
+from .interface import (
+    InterfaceModel,
+    network_interface,
+    on_chip_interface,
+    pcie_interface,
+)
+from .metrics import CycleKind, MetricSink, OffloadRecord, RequestRecord
+from .runner import (
+    SimulationConfig,
+    SimulationResult,
+    measured_latency_reduction,
+    measured_speedup,
+    run_simulation,
+)
+from .service import (
+    KernelInvocation,
+    KernelSpec,
+    Microservice,
+    OffloadConfig,
+    RequestSpec,
+    ResponseHandler,
+    SegmentWork,
+)
+from .trace_export import export_chrome_trace, trace_events
+from .workload import OpenLoopDriver, request_stream
+
+__all__ = [
+    "AcceleratorDevice",
+    "AcceleratorStats",
+    "CPU",
+    "Compute",
+    "Core",
+    "YieldCore",
+    "CycleKind",
+    "Engine",
+    "HoldCore",
+    "InterfaceModel",
+    "KernelInvocation",
+    "KernelSpec",
+    "MetricSink",
+    "Microservice",
+    "OffloadConfig",
+    "OffloadRecord",
+    "OpenLoopDriver",
+    "ReleaseCore",
+    "RequestRecord",
+    "RequestSpec",
+    "ResponseHandler",
+    "SegmentWork",
+    "SimThread",
+    "SimulationConfig",
+    "SimulationResult",
+    "ThreadState",
+    "export_chrome_trace",
+    "measured_latency_reduction",
+    "measured_speedup",
+    "trace_events",
+    "network_interface",
+    "on_chip_interface",
+    "pcie_interface",
+    "request_stream",
+    "run_simulation",
+]

@@ -1,0 +1,109 @@
+"""Accelerator device model for the simulator.
+
+A device has one or more service engines behind a FIFO queue.  Work that
+would take ``h`` host cycles executes in ``h / A`` accelerator cycles
+(clocks are expressed in host-cycle units for comparability).  The queue
+delay each offload experiences is measured and reported -- this is the
+simulator's ground truth for the model parameter ``Q``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from ..core.strategies import Placement
+from ..errors import ParameterError
+from .engine import Engine
+
+
+@dataclasses.dataclass
+class AcceleratorStats:
+    """Aggregate device statistics."""
+
+    offloads_served: int = 0
+    busy_cycles: float = 0.0
+    total_queue_cycles: float = 0.0
+
+    def mean_queue_cycles(self) -> float:
+        if self.offloads_served == 0:
+            return 0.0
+        return self.total_queue_cycles / self.offloads_served
+
+
+class AcceleratorDevice:
+    """A FIFO-queued accelerator with *servers* parallel engines.
+
+    Callbacks:
+
+    * ``on_accept(queue_cycles)`` fires when an offload leaves the queue
+      and begins service -- the moment an off-chip device acknowledges
+      receipt (the Sync-OS driver-ack semantics).
+    * ``on_complete()`` fires when service finishes.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        peak_speedup: float,
+        placement: Placement = Placement.OFF_CHIP,
+        servers: int = 1,
+        name: Optional[str] = None,
+    ) -> None:
+        if peak_speedup <= 0:
+            raise ParameterError("peak_speedup must be > 0")
+        if servers < 1:
+            raise ParameterError("servers must be >= 1")
+        self._engine = engine
+        self.peak_speedup = peak_speedup
+        self.placement = placement
+        self.name = name or f"accelerator-{placement.value}"
+        #: Next-free time per engine, in host cycles.
+        self._free_at: List[float] = [0.0] * servers
+        self.stats = AcceleratorStats()
+
+    def service_cycles(self, host_kernel_cycles: float) -> float:
+        """Accelerator time for work costing *host_kernel_cycles* on host."""
+        if host_kernel_cycles < 0:
+            raise ParameterError("host_kernel_cycles must be >= 0")
+        return host_kernel_cycles / self.peak_speedup
+
+    def submit(
+        self,
+        host_kernel_cycles: float,
+        arrival_time: float,
+        on_accept: Optional[Callable[[float], None]] = None,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> float:
+        """Enqueue an offload arriving at *arrival_time*.
+
+        Returns the completion time.  ``on_accept`` receives the measured
+        queue delay; ``on_complete`` receives the completion time.
+        """
+        if arrival_time < 0:
+            raise ParameterError("arrival_time must be >= 0")
+        service = self.service_cycles(host_kernel_cycles)
+        # Pick the engine that frees up first (M/M/k-style dispatch).
+        engine_index = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        start = max(arrival_time, self._free_at[engine_index])
+        queue_cycles = start - arrival_time
+        completion = start + service
+        self._free_at[engine_index] = completion
+
+        self.stats.offloads_served += 1
+        self.stats.busy_cycles += service
+        self.stats.total_queue_cycles += queue_cycles
+
+        if on_accept is not None:
+            accept_callback = on_accept
+            self._engine.at(start, lambda: accept_callback(queue_cycles))
+        if on_complete is not None:
+            complete_callback = on_complete
+            self._engine.at(completion, lambda: complete_callback(completion))
+        return completion
+
+    def utilization(self, window_cycles: float) -> float:
+        """Fraction of the window the device's engines were busy."""
+        if window_cycles <= 0:
+            raise ParameterError("window_cycles must be > 0")
+        return self.stats.busy_cycles / (window_cycles * len(self._free_at))

@@ -1,0 +1,98 @@
+"""Discrete-event simulation core.
+
+Time is measured in *host cycles* (float), matching the Accelerometer
+model's cycle-denominated parameters.  The engine is a classic
+calendar-queue DES: events are (time, sequence, callback) tuples in a heap;
+:meth:`Engine.run_until` drains them in order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Engine:
+    """A minimal, deterministic discrete-event engine."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = itertools.count()
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in host cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def at(self, time: float, callback: Callback) -> None:
+        """Schedule *callback* at absolute simulated *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time} < {self._now})"
+            )
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
+    def after(self, delay: float, callback: Callback) -> None:
+        """Schedule *callback* after *delay* cycles."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self.at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Process the next event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self._now = time
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run_until(self, horizon: float, max_events: Optional[int] = None) -> None:
+        """Run events with time <= *horizon*.
+
+        Events scheduled beyond the horizon stay queued; simulated time is
+        advanced to the horizon afterwards so measurements cover exactly
+        the requested window.  *max_events* is a runaway-simulation guard.
+        """
+        if horizon < self._now:
+            raise SimulationError(
+                f"horizon {horizon} is before current time {self._now}"
+            )
+        processed = 0
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events = {max_events}; "
+                    "likely a zero-delay event loop"
+                )
+        self._now = horizon
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> None:
+        """Drain every queued event (for finite workloads)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events = {max_events}; "
+                    "likely a zero-delay event loop"
+                )

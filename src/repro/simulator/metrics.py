@@ -1,0 +1,217 @@
+"""Cycle accounting and measurement for the microservice simulator.
+
+The :class:`MetricSink` is the simulator's flight recorder.  It attributes
+every simulated host cycle to a (functionality, leaf-category, kind)
+triple -- exactly the attribution the paper's Strobelight + internal
+tagging tools produce -- and records per-request latencies, offload
+statistics, and core utilization.  The profiling layer
+(:mod:`repro.profiling`) consumes these counters to regenerate the
+characterization figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..paperdata.categories import FunctionalityCategory, LeafCategory
+
+
+class CycleKind(enum.Enum):
+    """Why the host spent a cycle."""
+
+    #: Application work (kernel or non-kernel logic).
+    USEFUL = "useful"
+
+    #: Per-offload dispatch overhead (o0, and L/Q where they burn host time).
+    OFFLOAD_OVERHEAD = "offload-overhead"
+
+    #: Thread-switch overhead (o1).
+    THREAD_SWITCH = "thread-switch"
+
+    #: Core blocked waiting for a synchronous offload.
+    BLOCKED = "blocked"
+
+    #: Core idle with nothing runnable.
+    IDLE = "idle"
+
+
+@dataclasses.dataclass
+class OffloadRecord:
+    """Lifecycle timestamps of one offload, in simulated cycles."""
+
+    kernel: str
+    granularity: float
+    dispatched_at: float
+    queued_cycles: float = 0.0
+    service_cycles: float = 0.0
+    completed_at: Optional[float] = None
+
+
+@dataclasses.dataclass
+class RequestRecord:
+    """One request's lifecycle."""
+
+    request_id: int
+    started_at: float
+    completed_at: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        if self.completed_at is None:
+            raise ValueError(f"request {self.request_id} has not completed")
+        return self.completed_at - self.started_at
+
+
+class MetricSink:
+    """Accumulates simulator measurements."""
+
+    def __init__(self) -> None:
+        self.cycles: Dict[
+            Tuple[FunctionalityCategory, LeafCategory, CycleKind], float
+        ] = defaultdict(float)
+        self.offloads: List[OffloadRecord] = []
+        self.requests: List[RequestRecord] = []
+        self.kernel_invocations: Dict[str, int] = defaultdict(int)
+        self.kernel_cycles: Dict[str, float] = defaultdict(float)
+        #: Host cycles per (kernel, functionality-origin) -- Fig. 4's
+        #: attribution of memory copies to service functionalities.
+        self.kernel_cycles_by_origin: Dict[
+            Tuple[str, FunctionalityCategory], float
+        ] = defaultdict(float)
+
+    # -- cycle attribution ------------------------------------------------
+
+    def charge(
+        self,
+        cycles: float,
+        functionality: FunctionalityCategory,
+        leaf: LeafCategory,
+        kind: CycleKind = CycleKind.USEFUL,
+    ) -> None:
+        if cycles < 0:
+            raise ValueError(f"cannot charge negative cycles: {cycles}")
+        self.cycles[(functionality, leaf, kind)] += cycles
+
+    def charge_kernel(
+        self,
+        kernel: str,
+        cycles: float,
+        origin: Optional[FunctionalityCategory] = None,
+    ) -> None:
+        """Track named-kernel host cycles (for deriving alpha and the
+        per-functionality kernel origins of Fig. 4)."""
+        self.kernel_invocations[kernel] += 1
+        self.kernel_cycles[kernel] += cycles
+        if origin is not None:
+            self.kernel_cycles_by_origin[(kernel, origin)] += cycles
+
+    def kernel_origin_shares(self, kernel: str) -> Dict[FunctionalityCategory, float]:
+        """Fraction of *kernel*'s host cycles per functionality origin."""
+        totals = {
+            origin: cycles
+            for (name, origin), cycles in self.kernel_cycles_by_origin.items()
+            if name == kernel
+        }
+        total = sum(totals.values())
+        if total == 0:
+            return {}
+        return {origin: cycles / total for origin, cycles in totals.items()}
+
+    # -- aggregations ------------------------------------------------------
+
+    def total_cycles(self, kinds: Optional[Tuple[CycleKind, ...]] = None) -> float:
+        """Total attributed cycles, optionally restricted to *kinds*."""
+        if kinds is None:
+            return sum(self.cycles.values())
+        return sum(
+            v for (_, _, kind), v in self.cycles.items() if kind in kinds
+        )
+
+    def busy_cycles(self) -> float:
+        """Cycles during which a core was doing something (not idle and
+        not blocked)."""
+        return self.total_cycles(
+            (CycleKind.USEFUL, CycleKind.OFFLOAD_OVERHEAD, CycleKind.THREAD_SWITCH)
+        )
+
+    def useful_cycles(self) -> float:
+        return self.total_cycles((CycleKind.USEFUL,))
+
+    def by_functionality(
+        self, kinds: Tuple[CycleKind, ...] = (CycleKind.USEFUL,)
+    ) -> Dict[FunctionalityCategory, float]:
+        out: Dict[FunctionalityCategory, float] = defaultdict(float)
+        for (functionality, _, kind), value in self.cycles.items():
+            if kind in kinds:
+                out[functionality] += value
+        return dict(out)
+
+    def by_leaf(
+        self, kinds: Tuple[CycleKind, ...] = (CycleKind.USEFUL,)
+    ) -> Dict[LeafCategory, float]:
+        out: Dict[LeafCategory, float] = defaultdict(float)
+        for (_, leaf, kind), value in self.cycles.items():
+            if kind in kinds:
+                out[leaf] += value
+        return dict(out)
+
+    def functionality_shares(self) -> Dict[FunctionalityCategory, float]:
+        """Useful-cycle shares per functionality (fractions summing to 1)."""
+        per = self.by_functionality()
+        total = sum(per.values())
+        if total == 0:
+            return {}
+        return {cat: value / total for cat, value in per.items()}
+
+    def leaf_shares(self) -> Dict[LeafCategory, float]:
+        per = self.by_leaf()
+        total = sum(per.values())
+        if total == 0:
+            return {}
+        return {cat: value / total for cat, value in per.items()}
+
+    # -- requests ----------------------------------------------------------
+
+    def open_request(self, request_id: int, now: float) -> RequestRecord:
+        record = RequestRecord(request_id=request_id, started_at=now)
+        self.requests.append(record)
+        return record
+
+    def completed_requests(self) -> List[RequestRecord]:
+        return [r for r in self.requests if r.completed_at is not None]
+
+    def throughput(self, window_cycles: float) -> float:
+        """Completed requests per time unit of *window_cycles*."""
+        if window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        return len(self.completed_requests()) / (window_cycles / 1.0)
+
+    def mean_latency(self) -> float:
+        completed = self.completed_requests()
+        if not completed:
+            raise ValueError("no completed requests")
+        return sum(r.latency for r in completed) / len(completed)
+
+    def latency_percentile(self, percentile: float) -> float:
+        completed = sorted(r.latency for r in self.completed_requests())
+        if not completed:
+            raise ValueError("no completed requests")
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        index = min(
+            len(completed) - 1, max(0, round(percentile / 100 * (len(completed) - 1)))
+        )
+        return completed[index]
+
+    # -- offloads ------------------------------------------------------------
+
+    def record_offload(self, record: OffloadRecord) -> None:
+        self.offloads.append(record)
+
+    def mean_queue_cycles(self) -> float:
+        if not self.offloads:
+            return 0.0
+        return sum(o.queued_cycles for o in self.offloads) / len(self.offloads)

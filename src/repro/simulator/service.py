@@ -1,0 +1,593 @@
+"""Microservice runtime: requests, kernels, and offload execution.
+
+A request is a sequence of :class:`SegmentWork` items -- cycles attributed
+to one functionality category, optionally containing kernel invocations
+(compression calls, encryptions, memory copies ...) that can either run on
+the host or be offloaded to an accelerator under a configured threading
+design.  The offload state machines here implement, cycle for cycle, the
+cost structures of the paper's Sync, Sync-OS, and Async designs (Figs.
+12-14).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, Mapping, Optional, Tuple
+
+from ..core.strategies import Placement, ThreadingDesign
+from ..errors import SimulationError
+from ..paperdata.categories import FunctionalityCategory, LeafCategory
+from .accelerator import AcceleratorDevice
+from .cpu import (
+    CPU,
+    Compute,
+    HoldCore,
+    ReleaseCore,
+    SimThread,
+    ThreadState,
+    YieldCore,
+)
+from .engine import Engine
+from .interface import InterfaceModel
+from .metrics import CycleKind, MetricSink, OffloadRecord
+
+# ---------------------------------------------------------------------------
+# Workload specification types.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelSpec:
+    """A named, offloadable kernel (e.g. "compression")."""
+
+    name: str
+    functionality: FunctionalityCategory
+    leaf: LeafCategory
+    cycles_per_byte: float
+    complexity_exponent: float = 1.0
+
+    def host_cycles(self, granularity_bytes: float) -> float:
+        """Host cost of one invocation: ``Cb * g**beta``."""
+        if granularity_bytes < 0:
+            raise SimulationError("granularity must be >= 0")
+        return self.cycles_per_byte * granularity_bytes**self.complexity_exponent
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelInvocation:
+    """One kernel call within a request."""
+
+    kernel: KernelSpec
+    granularity: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentWork:
+    """Work in one functionality category within a request."""
+
+    functionality: FunctionalityCategory
+    #: Non-kernel host cycles in this segment.
+    plain_cycles: float = 0.0
+    #: Shares of *plain_cycles* per leaf category (normalized internally).
+    leaf_mix: Mapping[LeafCategory, float] = dataclasses.field(
+        default_factory=lambda: {LeafCategory.MISCELLANEOUS: 1.0}
+    )
+    invocations: Tuple[KernelInvocation, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestSpec:
+    """A full request: ordered functionality segments."""
+
+    segments: Tuple[SegmentWork, ...]
+
+    def total_host_cycles(self) -> float:
+        """Cycles the request costs when nothing is offloaded."""
+        total = 0.0
+        for segment in self.segments:
+            total += segment.plain_cycles
+            for invocation in segment.invocations:
+                total += invocation.kernel.host_cycles(invocation.granularity)
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Offload configuration.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _BatchState:
+    """Accumulated invocations awaiting a batched dispatch."""
+
+    pending_host_cycles: float = 0.0
+    pending_bytes: float = 0.0
+    pending_count: int = 0
+    gates: list = dataclasses.field(default_factory=list)
+
+    def reset(self) -> Tuple[float, float, int, list]:
+        summary = (
+            self.pending_host_cycles,
+            self.pending_bytes,
+            self.pending_count,
+            self.gates,
+        )
+        self.pending_host_cycles = 0.0
+        self.pending_bytes = 0.0
+        self.pending_count = 0
+        self.gates = []
+        return summary
+
+
+@dataclasses.dataclass
+class OffloadConfig:
+    """How one kernel is offloaded."""
+
+    device: AcceleratorDevice
+    interface: InterfaceModel
+    design: ThreadingDesign
+
+    #: Only invocations with granularity >= this are offloaded; smaller
+    #: ones run on the host (the paper's selective-offload assumption).
+    min_granularity: float = 0.0
+
+    #: Sync-OS only: whether the device driver waits for the accelerator's
+    #: acknowledgement (transfer + queue) before switching threads.
+    driver_awaits_ack: bool = True
+
+    #: ``o1`` in cycles, used by Sync-OS and async-distinct-thread.
+    thread_switch_cycles: float = 0.0
+
+    #: Async-distinct-thread response consumer (one per service).
+    response_handler: Optional["ResponseHandler"] = None
+
+    #: Async designs only: accumulate this many invocations into one
+    #: offload, paying the dispatch overheads once per batch (the
+    #: remote-inference case study's batching strategy).  A partial batch
+    #: left at the end of a measurement window is never flushed, matching
+    #: a size-triggered production batcher.
+    batch_size: int = 1
+
+    _batch_state: _BatchState = dataclasses.field(default_factory=_BatchState)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise SimulationError("batch_size must be >= 1")
+        if self.batch_size > 1 and self.design in (
+            ThreadingDesign.SYNC,
+            ThreadingDesign.SYNC_OS,
+        ):
+            raise SimulationError(
+                "batched offload requires an async design: a blocking "
+                "thread cannot wait on a batch it has not filled"
+            )
+
+    def gates_request(self) -> bool:
+        """Whether a request must wait for this kernel's response.
+
+        Fire-and-forget offloads to a *remote* device do not gate the
+        issuing microservice's request latency (the paper: remote
+        accelerator latency "will instead show up in the overall
+        application's end-to-end latency").
+        """
+        if self.design is ThreadingDesign.ASYNC_NO_RESPONSE:
+            return self.interface.placement is not Placement.REMOTE
+        return True
+
+
+class ResponseHandler:
+    """A dedicated thread that picks up async accelerator responses.
+
+    Each delivered response costs one thread switch ``o1`` of core time
+    (the paper's async-distinct-thread design: "the speedup equation is
+    the same as (3) with only one thread switching overhead").
+    """
+
+    def __init__(self, cpu: CPU, thread_switch_cycles: float) -> None:
+        if thread_switch_cycles < 0:
+            raise SimulationError("thread_switch_cycles must be >= 0")
+        self._cpu = cpu
+        self._o1 = thread_switch_cycles
+        self._pending: Deque[Callable[[], None]] = deque()
+        self._parked = False
+        self._thread = cpu.spawn(self._body, name="response-handler")
+
+    @property
+    def pending_responses(self) -> int:
+        return len(self._pending)
+
+    def deliver(self, callback: Callable[[], None]) -> None:
+        """Queue a response; wakes the handler if it is parked."""
+        self._pending.append(callback)
+        if self._parked:
+            self._parked = False
+            self._cpu.resume(self._thread)
+
+    def _body(self, thread: SimThread):
+        while True:
+            if self._pending:
+                callback = self._pending.popleft()
+                if self._o1 > 0:
+                    yield Compute(
+                        self._o1,
+                        FunctionalityCategory.THREAD_POOL,
+                        LeafCategory.KERNEL,
+                        CycleKind.THREAD_SWITCH,
+                    )
+                callback()
+            else:
+                self._parked = True
+                yield ReleaseCore()
+
+
+# ---------------------------------------------------------------------------
+# Request lifecycle.
+# ---------------------------------------------------------------------------
+
+
+class _RequestContext:
+    """Tracks outstanding gating offloads for one in-flight request."""
+
+    def __init__(self, engine: Engine, record) -> None:
+        self._engine = engine
+        self._record = record
+        self._outstanding = 0
+        self._body_done = False
+
+    def add_gate(self) -> None:
+        self._outstanding += 1
+
+    def release_gate(self) -> None:
+        if self._outstanding <= 0:
+            raise SimulationError("released more gates than were taken")
+        self._outstanding -= 1
+        self._maybe_complete()
+
+    def body_finished(self) -> None:
+        self._body_done = True
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if (
+            self._body_done
+            and self._outstanding == 0
+            and self._record.completed_at is None
+        ):
+            self._record.completed_at = self._engine.now
+
+
+class Microservice:
+    """Executes request streams on a :class:`CPU` with optional offloads."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cpu: CPU,
+        metrics: MetricSink,
+        name: str = "service",
+        offloads: Optional[Dict[str, OffloadConfig]] = None,
+    ) -> None:
+        self.engine = engine
+        self.cpu = cpu
+        self.metrics = metrics
+        self.name = name
+        self.offloads = dict(offloads or {})
+        self._request_counter = 0
+
+    # -- workers --------------------------------------------------------------
+
+    def spawn_worker(
+        self,
+        requests: Iterator[RequestSpec],
+        name: str = "",
+        arrival_time: Optional[float] = None,
+    ) -> SimThread:
+        """Start a closed-loop worker thread consuming *requests*.
+
+        *arrival_time* timestamps the first request's arrival (open-loop
+        drivers pass the arrival instant so measured latency includes any
+        run-queue wait before a core picks the work up).
+        """
+
+        def factory(thread: SimThread):
+            return self._worker_body(thread, requests, arrival_time)
+
+        return self.cpu.spawn(factory, name=name or f"{self.name}-worker")
+
+    def _worker_body(
+        self,
+        thread: SimThread,
+        requests: Iterator[RequestSpec],
+        arrival_time: Optional[float] = None,
+    ):
+        for spec in requests:
+            self._request_counter += 1
+            opened_at = self.engine.now if arrival_time is None else arrival_time
+            arrival_time = None  # only the first request pre-dates scheduling
+            record = self.metrics.open_request(self._request_counter, opened_at)
+            context = _RequestContext(self.engine, record)
+            for segment in spec.segments:
+                yield from self._run_segment(thread, segment, context)
+            context.body_finished()
+            # Hand the core to any waiting thread (e.g. a response
+            # handler) before starting the next request.
+            yield YieldCore()
+
+    # -- segment execution ------------------------------------------------------
+
+    def _run_segment(self, thread: SimThread, segment: SegmentWork, context):
+        if segment.plain_cycles > 0:
+            total_share = sum(segment.leaf_mix.values())
+            if total_share <= 0:
+                raise SimulationError("segment leaf_mix must have positive mass")
+            for leaf, share in segment.leaf_mix.items():
+                cycles = segment.plain_cycles * share / total_share
+                if cycles > 0:
+                    yield Compute(cycles, segment.functionality, leaf)
+        for invocation in segment.invocations:
+            yield from self._run_invocation(thread, segment, invocation, context)
+
+    def _run_invocation(
+        self,
+        thread: SimThread,
+        segment: SegmentWork,
+        invocation: KernelInvocation,
+        context: _RequestContext,
+    ):
+        kernel = invocation.kernel
+        config = self.offloads.get(kernel.name)
+        host_cycles = kernel.host_cycles(invocation.granularity)
+        offloadable = (
+            config is not None and invocation.granularity >= config.min_granularity
+        )
+        if not offloadable:
+            # Run on the host.
+            self.metrics.charge_kernel(
+                kernel.name, host_cycles, origin=kernel.functionality
+            )
+            if host_cycles > 0:
+                yield Compute(host_cycles, kernel.functionality, kernel.leaf)
+            return
+        yield from self._run_offload(thread, invocation, config, context)
+
+    # -- offload state machines ---------------------------------------------------
+
+    def _run_offload(
+        self,
+        thread: SimThread,
+        invocation: KernelInvocation,
+        config: OffloadConfig,
+        context: _RequestContext,
+    ):
+        kernel = invocation.kernel
+        host_cycles = kernel.host_cycles(invocation.granularity)
+        transfer = config.interface.transfer_cycles(invocation.granularity)
+        dispatch = config.interface.dispatch_cycles
+        o1 = config.thread_switch_cycles
+        record = OffloadRecord(
+            kernel=kernel.name,
+            granularity=invocation.granularity,
+            dispatched_at=self.engine.now,
+            service_cycles=config.device.service_cycles(host_cycles),
+        )
+        design = config.design
+
+        if design is ThreadingDesign.SYNC:
+            yield from self._offload_sync(
+                thread, kernel, host_cycles, transfer, dispatch, config, record
+            )
+        elif design is ThreadingDesign.SYNC_OS:
+            yield from self._offload_sync_os(
+                thread, kernel, host_cycles, transfer, dispatch, o1, config, record
+            )
+        elif design in (
+            ThreadingDesign.ASYNC,
+            ThreadingDesign.ASYNC_DISTINCT_THREAD,
+            ThreadingDesign.ASYNC_NO_RESPONSE,
+        ):
+            yield from self._offload_async(
+                kernel, host_cycles, transfer, dispatch, config, record, context
+            )
+        else:
+            raise SimulationError(f"unsupported threading design {design!r}")
+
+    def _offload_sync(
+        self, thread, kernel, host_cycles, transfer, dispatch, config, record
+    ):
+        """Sync (Fig. 12): the core blocks through transfer, queue, and
+        accelerator service."""
+        if dispatch > 0:
+            yield Compute(
+                dispatch, kernel.functionality, kernel.leaf, CycleKind.OFFLOAD_OVERHEAD
+            )
+
+        def on_accept(queue_cycles: float) -> None:
+            record.queued_cycles = queue_cycles
+
+        def on_complete(completion: float) -> None:
+            record.completed_at = completion
+            self.cpu.resume(thread)
+
+        config.device.submit(
+            host_cycles,
+            arrival_time=self.engine.now + transfer,
+            on_accept=on_accept,
+            on_complete=on_complete,
+        )
+        yield HoldCore(kernel.functionality, kernel.leaf)
+        self.metrics.record_offload(record)
+
+    def _offload_sync_os(
+        self, thread, kernel, host_cycles, transfer, dispatch, o1, config, record
+    ):
+        """Sync-OS (Fig. 13): block through the driver ack (if any), then
+        switch to another thread; switch back on completion (2 x o1)."""
+        if dispatch > 0:
+            yield Compute(
+                dispatch, kernel.functionality, kernel.leaf, CycleKind.OFFLOAD_OVERHEAD
+            )
+        completed_early = {"flag": False}
+
+        def on_complete(completion: float) -> None:
+            record.completed_at = completion
+            if thread.state is ThreadState.BLOCKED_RELEASED:
+                self.cpu.resume(thread)
+            else:
+                completed_early["flag"] = True
+
+        awaits_ack = (
+            config.driver_awaits_ack
+            and config.interface.placement is not Placement.REMOTE
+        )
+        if awaits_ack:
+            # Host stays on-core until the device acknowledges (L + Q).
+            def on_accept(queue_cycles: float) -> None:
+                record.queued_cycles = queue_cycles
+                self.cpu.resume(thread)
+
+            config.device.submit(
+                host_cycles,
+                arrival_time=self.engine.now + transfer,
+                on_accept=on_accept,
+                on_complete=on_complete,
+            )
+            yield HoldCore(kernel.functionality, kernel.leaf)
+        else:
+
+            def on_accept(queue_cycles: float) -> None:
+                record.queued_cycles = queue_cycles
+
+            config.device.submit(
+                host_cycles,
+                arrival_time=self.engine.now + transfer,
+                on_accept=on_accept,
+                on_complete=on_complete,
+            )
+        # Switch away...
+        if o1 > 0:
+            yield Compute(
+                o1,
+                FunctionalityCategory.THREAD_POOL,
+                LeafCategory.KERNEL,
+                CycleKind.THREAD_SWITCH,
+            )
+        if completed_early["flag"]:
+            # Response beat the switch; pay the switch-back inline to keep
+            # cost parity with eqn. (3)'s 2 * o1.
+            if o1 > 0:
+                yield Compute(
+                    o1,
+                    FunctionalityCategory.THREAD_POOL,
+                    LeafCategory.KERNEL,
+                    CycleKind.THREAD_SWITCH,
+                )
+        else:
+            yield ReleaseCore(resume_charge=o1)
+        self.metrics.record_offload(record)
+
+    def _offload_async(
+        self, kernel, host_cycles, transfer, dispatch, config, record, context
+    ):
+        """Async (Fig. 14): the host pays dispatch + transfer cycles and
+        keeps running; responses gate request completion (except remote
+        fire-and-forget) and may be consumed by a dedicated thread."""
+        if config.batch_size > 1:
+            yield from self._offload_async_batched(
+                kernel, host_cycles, config, record, context
+            )
+            return
+        overhead = dispatch + transfer
+        if overhead > 0:
+            yield Compute(
+                overhead, kernel.functionality, kernel.leaf, CycleKind.OFFLOAD_OVERHEAD
+            )
+        gates = config.gates_request()
+        if gates:
+            context.add_gate()
+        design = config.design
+        handler = config.response_handler
+
+        def on_accept(queue_cycles: float) -> None:
+            record.queued_cycles = queue_cycles
+
+        def on_complete(completion: float) -> None:
+            record.completed_at = completion
+            if design is ThreadingDesign.ASYNC_DISTINCT_THREAD:
+                if handler is None:
+                    raise SimulationError(
+                        "async-distinct-thread offload needs a response handler"
+                    )
+                if gates:
+                    handler.deliver(context.release_gate)
+                else:
+                    handler.deliver(lambda: None)
+            elif gates:
+                context.release_gate()
+
+        config.device.submit(
+            host_cycles,
+            arrival_time=self.engine.now,
+            on_accept=on_accept,
+            on_complete=on_complete,
+        )
+        self.metrics.record_offload(record)
+
+    def _offload_async_batched(
+        self, kernel, host_cycles, config, record, context
+    ):
+        """Append one invocation to the kernel's batch; the invocation
+        that fills the batch pays the (single) dispatch overhead and
+        triggers the offload covering every buffered invocation."""
+        state = config._batch_state
+        state.pending_host_cycles += host_cycles
+        state.pending_bytes += record.granularity
+        state.pending_count += 1
+        gates = config.gates_request()
+        if gates:
+            context.add_gate()
+            state.gates.append(context)
+        if state.pending_count < config.batch_size:
+            return
+        batch_cycles, batch_bytes, batch_count, batch_gates = state.reset()
+        transfer = config.interface.transfer_cycles(batch_bytes)
+        overhead = config.interface.dispatch_cycles + transfer
+        if overhead > 0:
+            yield Compute(
+                overhead, kernel.functionality, kernel.leaf,
+                CycleKind.OFFLOAD_OVERHEAD,
+            )
+        batch_record = OffloadRecord(
+            kernel=kernel.name,
+            granularity=batch_bytes,
+            dispatched_at=self.engine.now,
+            service_cycles=config.device.service_cycles(batch_cycles),
+        )
+        design = config.design
+        handler = config.response_handler
+
+        def release_all() -> None:
+            for gated_context in batch_gates:
+                gated_context.release_gate()
+
+        def on_accept(queue_cycles: float) -> None:
+            batch_record.queued_cycles = queue_cycles
+
+        def on_complete(completion: float) -> None:
+            batch_record.completed_at = completion
+            if design is ThreadingDesign.ASYNC_DISTINCT_THREAD:
+                if handler is None:
+                    raise SimulationError(
+                        "async-distinct-thread offload needs a response handler"
+                    )
+                handler.deliver(release_all)
+            else:
+                release_all()
+
+        config.device.submit(
+            batch_cycles,
+            arrival_time=self.engine.now,
+            on_accept=on_accept,
+            on_complete=on_complete,
+        )
+        self.metrics.record_offload(batch_record)

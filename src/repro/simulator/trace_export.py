@@ -1,0 +1,100 @@
+"""Export simulator measurements as Chrome trace-event JSON.
+
+``chrome://tracing`` / Perfetto render the output as a timeline:
+offload lifecycles appear as duration events on per-kernel tracks and
+request lifecycles on a request track.  Useful for eyeballing queueing
+pile-ups and batching behaviour that aggregate counters hide.
+
+The exporter works from the :class:`MetricSink`'s offload and request
+records, so any completed simulation can be exported after the fact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import ParameterError
+from .metrics import MetricSink
+
+#: Simulated cycles per trace microsecond (trace timestamps are "us").
+DEFAULT_CYCLES_PER_US = 2_000.0
+
+
+def trace_events(
+    metrics: MetricSink, cycles_per_us: float = DEFAULT_CYCLES_PER_US
+) -> List[Dict]:
+    """Build the trace-event list from a metric sink."""
+    if cycles_per_us <= 0:
+        raise ParameterError("cycles_per_us must be positive")
+
+    def ts(cycles: float) -> float:
+        return cycles / cycles_per_us
+
+    events: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": "repro-simulator"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": "requests"}},
+    ]
+    for record in metrics.requests:
+        if record.completed_at is None:
+            continue
+        events.append({
+            "name": f"request-{record.request_id}",
+            "cat": "request",
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": ts(record.started_at),
+            "dur": max(ts(record.completed_at) - ts(record.started_at), 0.001),
+        })
+
+    kernel_tracks: Dict[str, int] = {}
+    next_tid = 2
+    for index, offload in enumerate(metrics.offloads):
+        if offload.kernel not in kernel_tracks:
+            kernel_tracks[offload.kernel] = next_tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": next_tid,
+                "args": {"name": f"offloads:{offload.kernel}"},
+            })
+            next_tid += 1
+        tid = kernel_tracks[offload.kernel]
+        end = (
+            offload.completed_at
+            if offload.completed_at is not None
+            else offload.dispatched_at + offload.queued_cycles
+            + offload.service_cycles
+        )
+        events.append({
+            "name": f"{offload.kernel}[{index}]",
+            "cat": "offload",
+            "ph": "X",
+            "pid": 1,
+            "tid": tid,
+            "ts": ts(offload.dispatched_at),
+            "dur": max(ts(end) - ts(offload.dispatched_at), 0.001),
+            "args": {
+                "granularity_bytes": offload.granularity,
+                "queued_cycles": offload.queued_cycles,
+                "service_cycles": offload.service_cycles,
+            },
+        })
+    return events
+
+
+def export_chrome_trace(
+    metrics: MetricSink,
+    path: Union[str, Path],
+    cycles_per_us: float = DEFAULT_CYCLES_PER_US,
+) -> Path:
+    """Write the trace to *path* (Chrome trace-event JSON format)."""
+    path = Path(path)
+    payload = {
+        "traceEvents": trace_events(metrics, cycles_per_us),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload))
+    return path

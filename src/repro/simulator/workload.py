@@ -1,0 +1,83 @@
+"""Request generators and load drivers.
+
+The paper characterizes services at peak load in a closed-loop fashion
+(every worker always has a request to serve); :func:`request_stream` feeds
+workers that way.  :class:`OpenLoopDriver` additionally offers Poisson
+arrivals for latency-versus-load studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from ..errors import ParameterError
+from .engine import Engine
+from .service import Microservice, RequestSpec
+
+
+def request_stream(
+    factory: Callable[[], RequestSpec], limit: Optional[int] = None
+) -> Iterator[RequestSpec]:
+    """An iterator of requests for a closed-loop worker.
+
+    With ``limit=None`` the stream is infinite: the worker always has new
+    work, which models the paper's peak-load measurement condition.
+    """
+    produced = 0
+    while limit is None or produced < limit:
+        yield factory()
+        produced += 1
+
+
+class OpenLoopDriver:
+    """Poisson open-loop load: spawns one worker thread per arrival.
+
+    Use for latency-under-load experiments (e.g. measuring how accelerator
+    queueing delays inflate tail latency as the offered rate approaches
+    device saturation).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        service: Microservice,
+        factory: Callable[[], RequestSpec],
+        arrivals_per_unit: float,
+        rng: np.random.Generator,
+        unit_cycles: float = 1.0e9,
+    ) -> None:
+        if arrivals_per_unit <= 0:
+            raise ParameterError("arrivals_per_unit must be > 0")
+        if unit_cycles <= 0:
+            raise ParameterError("unit_cycles must be > 0")
+        self._engine = engine
+        self._service = service
+        self._factory = factory
+        self._mean_gap = unit_cycles / arrivals_per_unit
+        self._rng = rng
+        self._stopped = False
+        self.arrivals = 0
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(self._mean_gap))
+        self._engine.after(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        if self._stopped:
+            return
+        self.arrivals += 1
+        spec = self._factory()
+        self._service.spawn_worker(
+            iter([spec]),
+            name=f"open-{self.arrivals}",
+            arrival_time=self._engine.now,
+        )
+        self._schedule_next()

@@ -1,0 +1,189 @@
+"""Microservice call-graph modelling.
+
+The paper's setting is an application decomposed into microservices
+invoked over RPC: a user query enters Web, which fans out to feed, ads,
+and cache tiers.  Two of its observations live at this level rather than
+inside one service:
+
+* a *throughput* speedup at one service frees servers fleet-wide, but
+* a *remote* accelerator's latency "will instead show up in the overall
+  application's end-to-end latency" -- Ads1 gains 68.69% throughput while
+  every request eats an extra ~10 ms network hop.
+
+This module models a call graph analytically: nodes are services with a
+per-request host latency; edges are RPC calls (sequential or parallel
+fan-out) with a network delay.  It computes end-to-end latency along the
+critical path and applies per-service Accelerometer projections --
+including extra per-request delays -- to answer "what does accelerating
+service X do to the *application*?".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceNode:
+    """One microservice in the application graph."""
+
+    name: str
+    #: Host cycles one request spends in this service (compute only;
+    #: downstream calls are modelled by edges).
+    service_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.service_cycles < 0:
+            raise ParameterError(f"{self.name}: service_cycles must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class Call:
+    """An RPC from one service to another."""
+
+    caller: str
+    callee: str
+    #: One-way network delay in cycles; paid twice (request + response).
+    network_cycles: float = 0.0
+    #: Calls from the same caller sharing a stage number run in parallel
+    #: (scatter-gather); stages execute in ascending order.
+    stage: int = 0
+
+    def __post_init__(self) -> None:
+        if self.network_cycles < 0:
+            raise ParameterError("network_cycles must be >= 0")
+
+
+class CallGraph:
+    """A rooted microservice call graph (a tree of RPCs)."""
+
+    def __init__(
+        self,
+        services: Sequence[ServiceNode],
+        calls: Sequence[Call],
+        root: str,
+    ) -> None:
+        self._services: Dict[str, ServiceNode] = {}
+        for node in services:
+            if node.name in self._services:
+                raise ParameterError(f"duplicate service {node.name!r}")
+            self._services[node.name] = node
+        if root not in self._services:
+            raise ParameterError(f"unknown root service {root!r}")
+        self.root = root
+        self._calls_by_caller: Dict[str, List[Call]] = {}
+        callees = set()
+        for call in calls:
+            if call.caller not in self._services:
+                raise ParameterError(f"unknown caller {call.caller!r}")
+            if call.callee not in self._services:
+                raise ParameterError(f"unknown callee {call.callee!r}")
+            if call.callee in callees:
+                raise ParameterError(
+                    f"service {call.callee!r} has multiple callers; "
+                    "the graph must be a tree"
+                )
+            callees.add(call.callee)
+            self._calls_by_caller.setdefault(call.caller, []).append(call)
+        if root in callees:
+            raise ParameterError("the root cannot be a callee")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        visited = set()
+        stack = [self.root]
+        while stack:
+            current = stack.pop()
+            if current in visited:
+                raise ParameterError("call graph contains a cycle")
+            visited.add(current)
+            stack.extend(
+                call.callee for call in self._calls_by_caller.get(current, [])
+            )
+
+    @property
+    def services(self) -> Tuple[ServiceNode, ...]:
+        return tuple(self._services.values())
+
+    def service(self, name: str) -> ServiceNode:
+        if name not in self._services:
+            raise ParameterError(f"unknown service {name!r}")
+        return self._services[name]
+
+    def calls_from(self, name: str) -> Tuple[Call, ...]:
+        return tuple(self._calls_by_caller.get(name, ()))
+
+    # -- latency -------------------------------------------------------------
+
+    def end_to_end_latency(
+        self,
+        latency_scale: Optional[Mapping[str, float]] = None,
+        extra_delay: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        """Critical-path latency of one request through the graph.
+
+        *latency_scale* divides a service's compute cycles (a
+        latency-reduction factor from the Accelerometer model);
+        *extra_delay* adds flat per-request cycles at a service (e.g. a
+        remote accelerator's network traversal).
+
+        Stages run sequentially; calls within a stage run in parallel and
+        the slowest branch gates the stage (scatter-gather).
+        """
+        latency_scale = dict(latency_scale or {})
+        extra_delay = dict(extra_delay or {})
+        for mapping in (latency_scale, extra_delay):
+            for name in mapping:
+                if name not in self._services:
+                    raise ParameterError(f"unknown service {name!r}")
+        for name, value in latency_scale.items():
+            if value <= 0:
+                raise ParameterError(f"latency scale for {name} must be > 0")
+
+        def visit(name: str) -> float:
+            node = self._services[name]
+            own = node.service_cycles / latency_scale.get(name, 1.0)
+            own += extra_delay.get(name, 0.0)
+            stages: Dict[int, List[float]] = {}
+            for call in self.calls_from(name):
+                branch = 2.0 * call.network_cycles + visit(call.callee)
+                stages.setdefault(call.stage, []).append(branch)
+            downstream = sum(max(branches) for _, branches in sorted(stages.items()))
+            return own + downstream
+
+        return visit(self.root)
+
+    def _subtree_latency(self, name: str) -> float:
+        node = self._services[name]
+        stages: Dict[int, List[float]] = {}
+        for call in self.calls_from(name):
+            branch = 2.0 * call.network_cycles + self._subtree_latency(call.callee)
+            stages.setdefault(call.stage, []).append(branch)
+        return node.service_cycles + sum(
+            max(branches) for _, branches in sorted(stages.items())
+        )
+
+    def critical_path(self) -> Tuple[str, ...]:
+        """The dominant call chain, root first: at each service, follow
+        the single downstream branch contributing the most latency.
+
+        (With multiple sequential stages the true critical *path* is a
+        set of branches, one per stage; this returns the heaviest chain,
+        which is the one worth optimizing first.)
+        """
+        path: List[str] = [self.root]
+        current = self.root
+        while True:
+            calls = self.calls_from(current)
+            if not calls:
+                return tuple(path)
+            slowest = max(
+                calls,
+                key=lambda call: 2.0 * call.network_cycles
+                + self._subtree_latency(call.callee),
+            )
+            path.append(slowest.callee)
+            current = slowest.callee

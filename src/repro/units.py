@@ -1,0 +1,91 @@
+"""Unit helpers: cycles, frequencies, byte sizes, and time conversions.
+
+The Accelerometer model works in *host cycles per fixed time unit*.  The
+paper's parameter ``C`` is "total cycles spent by the host to execute all
+logic in a fixed time unit" (one second throughout the paper), so most
+quantities in this library are plain cycle counts.  These helpers keep the
+conversions between wall-clock time, frequencies and cycle counts explicit
+and consistently named.
+"""
+
+from __future__ import annotations
+
+from .errors import ParameterError
+
+#: Number of bytes per binary prefix step.
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: One billion cycles -- convenient when expressing ``C`` like the paper
+#: does (e.g. ``C = 2.0e9`` cycles for a 2 GHz busy host over one second).
+GIGACYCLES = 1.0e9
+
+
+def cycles_for_duration(frequency_hz: float, seconds: float) -> float:
+    """Return the number of cycles a core at *frequency_hz* runs in *seconds*.
+
+    >>> cycles_for_duration(2.0e9, 1.0)
+    2000000000.0
+    """
+    if frequency_hz <= 0:
+        raise ParameterError(f"frequency_hz must be positive, got {frequency_hz}")
+    if seconds < 0:
+        raise ParameterError(f"seconds must be non-negative, got {seconds}")
+    return frequency_hz * seconds
+
+
+def duration_for_cycles(cycles: float, frequency_hz: float) -> float:
+    """Return the wall-clock seconds needed to run *cycles* at *frequency_hz*."""
+    if frequency_hz <= 0:
+        raise ParameterError(f"frequency_hz must be positive, got {frequency_hz}")
+    if cycles < 0:
+        raise ParameterError(f"cycles must be non-negative, got {cycles}")
+    return cycles / frequency_hz
+
+
+def ns_to_cycles(nanoseconds: float, frequency_hz: float) -> float:
+    """Convert a latency in nanoseconds to cycles at *frequency_hz*."""
+    return cycles_for_duration(frequency_hz, nanoseconds * 1e-9)
+
+
+def us_to_cycles(microseconds: float, frequency_hz: float) -> float:
+    """Convert a latency in microseconds to cycles at *frequency_hz*."""
+    return cycles_for_duration(frequency_hz, microseconds * 1e-6)
+
+
+def ms_to_cycles(milliseconds: float, frequency_hz: float) -> float:
+    """Convert a latency in milliseconds to cycles at *frequency_hz*."""
+    return cycles_for_duration(frequency_hz, milliseconds * 1e-3)
+
+
+def cycles_to_us(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count to microseconds at *frequency_hz*."""
+    return duration_for_cycles(cycles, frequency_hz) * 1e6
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix, the way the paper's CDF
+    axes label granularity ranges (``512``, ``1K``, ``32K`` ...).
+
+    >>> format_bytes(512)
+    '512B'
+    >>> format_bytes(2048)
+    '2K'
+    """
+    if num_bytes < 0:
+        raise ParameterError(f"num_bytes must be non-negative, got {num_bytes}")
+    if num_bytes < KIB:
+        return f"{int(num_bytes)}B"
+    for suffix, scale in (("G", GIB), ("M", MIB), ("K", KIB)):
+        if num_bytes >= scale:
+            value = num_bytes / scale
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+    raise AssertionError("unreachable")
+
+
+def percent(ratio: float) -> str:
+    """Render a ratio like ``1.157`` as the paper prints speedups: ``15.7%``."""
+    return f"{(ratio - 1.0) * 100.0:.1f}%"

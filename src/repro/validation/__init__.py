@@ -1,0 +1,45 @@
+"""Validation of the Accelerometer model (Sec. 4): A/B harness, the three
+retrospective case studies, and the Fig. 16-18 breakdown shifts."""
+
+from .abtest import ABTestResult, ab_test, model_error_percentage_points
+from .matrix import (
+    MatrixCell,
+    MatrixSummary,
+    validate_cell,
+    validation_matrix,
+)
+from .breakdown_shift import FunctionalityShift, functionality_shift
+from .case_studies import (
+    CACHE3_DEVICE_SPEEDUP,
+    CaseStudyOutcome,
+    model_estimate,
+    run_all_case_studies,
+    run_case_study,
+    scenario_for,
+    simulate_aes_ni,
+    simulate_cache3_encryption,
+    simulate_remote_inference,
+    validation_error_pct,
+)
+
+__all__ = [
+    "ABTestResult",
+    "CACHE3_DEVICE_SPEEDUP",
+    "CaseStudyOutcome",
+    "FunctionalityShift",
+    "MatrixCell",
+    "MatrixSummary",
+    "ab_test",
+    "validate_cell",
+    "validation_matrix",
+    "functionality_shift",
+    "model_error_percentage_points",
+    "model_estimate",
+    "run_all_case_studies",
+    "run_case_study",
+    "scenario_for",
+    "simulate_aes_ni",
+    "simulate_cache3_encryption",
+    "simulate_remote_inference",
+    "validation_error_pct",
+]

@@ -1,0 +1,86 @@
+"""Accelerated-vs-unaccelerated functionality breakdowns (Figs. 16-18).
+
+The paper shows, for each case study, how the service's functionality
+breakdown shifts when the kernel is accelerated: the targeted
+functionality's bar shrinks and the freed cycles turn into extra
+throughput.  :func:`functionality_shift` computes exactly that from an A/B
+result: per-request host-cycle cost by functionality, baseline vs
+accelerated, normalized to the baseline request cost so the freed fraction
+is visible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..paperdata.categories import FunctionalityCategory
+from ..simulator.metrics import CycleKind
+from .abtest import ABTestResult
+
+#: Cycle kinds that consume core time in the accelerated breakdown.  For
+#: Sync designs BLOCKED cycles hold a core, so they count.
+_CONSUMING = (
+    CycleKind.USEFUL,
+    CycleKind.OFFLOAD_OVERHEAD,
+    CycleKind.THREAD_SWITCH,
+    CycleKind.BLOCKED,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionalityShift:
+    """Per-request functionality costs, baseline vs accelerated."""
+
+    #: Host cycles per request per functionality, baseline run.
+    baseline: Dict[FunctionalityCategory, float]
+
+    #: Same for the accelerated run.
+    accelerated: Dict[FunctionalityCategory, float]
+
+    @property
+    def baseline_total(self) -> float:
+        return sum(self.baseline.values())
+
+    @property
+    def accelerated_total(self) -> float:
+        return sum(self.accelerated.values())
+
+    @property
+    def freed_cycle_fraction(self) -> float:
+        """Fraction of baseline per-request cycles freed by acceleration
+        (the paper's "12.8% of cycles are freed up with AES-NI")."""
+        return 1.0 - self.accelerated_total / self.baseline_total
+
+    def reduction_pct(self, functionality: FunctionalityCategory) -> float:
+        """How much one functionality's per-request cost shrank, percent
+        (the paper's "AES-NI accelerates secure IO by 73%")."""
+        before = self.baseline.get(functionality, 0.0)
+        if before == 0:
+            return 0.0
+        after = self.accelerated.get(functionality, 0.0)
+        return (1.0 - after / before) * 100.0
+
+    def baseline_shares_pct(self) -> Dict[FunctionalityCategory, float]:
+        """The unaccelerated bar of Figs. 16-18 (sums to 100)."""
+        total = self.baseline_total
+        return {f: cycles / total * 100.0 for f, cycles in self.baseline.items()}
+
+    def accelerated_shares_pct(self) -> Dict[FunctionalityCategory, float]:
+        """The accelerated bar of Figs. 16-18 (sums to 100)."""
+        total = self.accelerated_total
+        return {f: cycles / total * 100.0 for f, cycles in self.accelerated.items()}
+
+
+def functionality_shift(result: ABTestResult) -> FunctionalityShift:
+    """Compute the Fig.-16/17/18 comparison from an A/B experiment."""
+
+    def per_request(simulation) -> Dict[FunctionalityCategory, float]:
+        completed = simulation.completed_requests
+        per_functionality = simulation.metrics.by_functionality(kinds=_CONSUMING)
+        return {f: cycles / completed for f, cycles in per_functionality.items()}
+
+    return FunctionalityShift(
+        baseline=per_request(result.baseline),
+        accelerated=per_request(result.accelerated),
+    )

@@ -1,0 +1,57 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+``accelerometer render --output figures/`` writes the full set; the chart
+builders (stacked bars, grouped columns, CDF lines) are reusable for
+custom data.  Colors come from a validated colorblind-safe palette with
+fixed category-slot assignments; every chart carries a legend, selective
+value labels, and per-mark tooltips, and the CLI's text tables provide the
+equivalent table view.
+"""
+
+from .charts import cdf_chart, grouped_column_chart, stacked_hbar_chart
+from .figures import (
+    fig10_svg,
+    fig15_svg,
+    fig19_svg,
+    fig1_svg,
+    fig20_svg,
+    fig21_svg,
+    fig22_svg,
+    fig2_svg,
+    fig8_svg,
+    fig9_svg,
+    render_all,
+)
+from .palette import (
+    CATEGORICAL,
+    FUNCTIONALITY_COLORS,
+    GENERATION_COLORS,
+    LEAF_COLORS,
+    colors_for,
+    ink_for,
+)
+from .svg import SvgCanvas
+
+__all__ = [
+    "CATEGORICAL",
+    "FUNCTIONALITY_COLORS",
+    "GENERATION_COLORS",
+    "LEAF_COLORS",
+    "SvgCanvas",
+    "cdf_chart",
+    "colors_for",
+    "fig10_svg",
+    "fig15_svg",
+    "fig19_svg",
+    "fig1_svg",
+    "fig20_svg",
+    "fig21_svg",
+    "fig22_svg",
+    "fig2_svg",
+    "fig8_svg",
+    "fig9_svg",
+    "grouped_column_chart",
+    "ink_for",
+    "render_all",
+    "stacked_hbar_chart",
+]

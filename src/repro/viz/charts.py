@@ -1,0 +1,273 @@
+"""Chart builders: stacked horizontal bars, grouped columns, CDF lines.
+
+Layout and mark rules (fixed across every chart here):
+
+* bars/columns at most 24px thick, 4px rounded data-end, square baseline;
+* a 2px surface gap between stacked segments and adjacent bars;
+* 2px lines with round joins; >= 8px end markers with a 2px surface ring;
+* hairline solid gridlines one step off the surface, recessive;
+* a legend whenever two or more series are shown; values labeled
+  selectively (bar totals at the data end, large segments inline with
+  luminance-picked ink), with per-mark ``<title>`` tooltips carrying the
+  rest; axis and label text in text tokens, never in series colors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ParameterError
+from .palette import (
+    GRID,
+    TEXT_PRIMARY,
+    TEXT_SECONDARY,
+    colors_for,
+    ink_for,
+)
+from .svg import SvgCanvas
+
+_MARGIN_LEFT = 120.0
+_MARGIN_RIGHT = 24.0
+_MARGIN_TOP = 40.0
+_ROW_HEIGHT = 30.0
+_BAR_THICKNESS = 22.0  # <= 24px
+_GAP = 2.0
+_LEGEND_ROW = 18.0
+
+
+def _label(key: Hashable) -> str:
+    return str(getattr(key, "value", key))
+
+
+def _legend(
+    canvas: SvgCanvas,
+    colors: Mapping[Hashable, str],
+    x: float,
+    y: float,
+    max_width: float,
+) -> float:
+    """Draw a wrap-around legend; returns the y after the last row."""
+    cursor_x, cursor_y = x, y
+    for key, color in colors.items():
+        label = _label(key)
+        width = 16 + 6.2 * len(label) + 14
+        if cursor_x + width > x + max_width:
+            cursor_x = x
+            cursor_y += _LEGEND_ROW
+        canvas.rect(cursor_x, cursor_y - 9, 10, 10, fill=color)
+        canvas.text(cursor_x + 14, cursor_y, label, size=10)
+        cursor_x += width
+    return cursor_y + _LEGEND_ROW
+
+
+def stacked_hbar_chart(
+    rows: Mapping[str, Mapping[Hashable, float]],
+    categories: Sequence[Hashable],
+    title: str,
+    unit: str = "% cycles",
+    width: float = 760.0,
+    colors: Optional[Mapping[Hashable, str]] = None,
+) -> str:
+    """Stacked horizontal bars, one row per service (Figs. 1/2/9 form)."""
+    if not rows:
+        raise ParameterError("chart needs at least one row")
+    colors = dict(colors or colors_for(list(categories)))
+    plot_left = _MARGIN_LEFT
+    plot_width = width - plot_left - _MARGIN_RIGHT
+    legend_top = _MARGIN_TOP
+    # Pre-measure legend height with a dry run on a scratch canvas.
+    scratch = SvgCanvas(width, 10_000)
+    legend_bottom = _legend(scratch, colors, plot_left, legend_top, plot_width)
+    plot_top = legend_bottom + 8
+    height = plot_top + len(rows) * _ROW_HEIGHT + 36
+
+    canvas = SvgCanvas(width, height, title=title)
+    canvas.title_text(title)
+    _legend(canvas, colors, plot_left, legend_top, plot_width)
+
+    max_total = max(sum(row.values()) for row in rows.values()) or 1.0
+    scale = plot_width / max_total
+    # Gridlines at clean fractions.
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        x = plot_left + fraction * max_total * scale
+        canvas.line(x, plot_top, x, plot_top + len(rows) * _ROW_HEIGHT, GRID)
+        canvas.text(
+            x, plot_top + len(rows) * _ROW_HEIGHT + 14,
+            f"{fraction * max_total:.0f}", size=9, anchor="middle",
+        )
+    canvas.text(
+        plot_left + plot_width, plot_top + len(rows) * _ROW_HEIGHT + 28,
+        unit, size=9, anchor="end",
+    )
+
+    for index, (row_name, row) in enumerate(rows.items()):
+        y = plot_top + index * _ROW_HEIGHT + (_ROW_HEIGHT - _BAR_THICKNESS) / 2
+        canvas.text(
+            plot_left - 8, y + _BAR_THICKNESS / 2 + 4, row_name,
+            size=10, fill=TEXT_PRIMARY, anchor="end",
+        )
+        present = [c for c in categories if row.get(c, 0.0) > 0]
+        x = plot_left
+        for position, category in enumerate(present):
+            value = row[category]
+            segment = value * scale
+            is_last = position == len(present) - 1
+            draw_width = max(segment - (_GAP if not is_last else 0.0), 0.5)
+            tooltip = f"{row_name} - {_label(category)}: {value:.1f}{unit}"
+            if is_last:
+                canvas.rounded_end_rect(
+                    x, y, draw_width, _BAR_THICKNESS, colors[category],
+                    end="right", tooltip=tooltip,
+                )
+            else:
+                canvas.rect(
+                    x, y, draw_width, _BAR_THICKNESS, colors[category],
+                    tooltip=tooltip,
+                )
+            # Inline label only when it comfortably fits (>= 34px).
+            if segment >= 34:
+                canvas.text(
+                    x + segment / 2, y + _BAR_THICKNESS / 2 + 3.5,
+                    f"{value:.0f}", size=9,
+                    fill=ink_for(colors[category]), anchor="middle",
+                )
+            x += segment
+    return canvas.to_svg()
+
+
+def grouped_column_chart(
+    groups: Mapping[Hashable, Mapping[str, float]],
+    series: Sequence[str],
+    title: str,
+    y_label: str,
+    width: float = 720.0,
+    height: float = 330.0,
+    y_max: Optional[float] = None,
+    colors: Optional[Mapping[Hashable, str]] = None,
+) -> str:
+    """Grouped columns: one cluster per category, one column per series
+    (the Fig. 8/10 IPC-by-generation form)."""
+    if not groups:
+        raise ParameterError("chart needs at least one group")
+    colors = dict(colors or colors_for(list(series)))
+    canvas = SvgCanvas(width, height, title=title)
+    canvas.title_text(title)
+    legend_bottom = _legend(canvas, colors, _MARGIN_LEFT, _MARGIN_TOP,
+                            width - _MARGIN_LEFT - _MARGIN_RIGHT)
+    plot_top = legend_bottom + 6
+    plot_bottom = height - 44
+    plot_left, plot_right = 60.0, width - _MARGIN_RIGHT
+    plot_height = plot_bottom - plot_top
+
+    observed_max = max(
+        value for group in groups.values() for value in group.values()
+    )
+    top = y_max if y_max is not None else math.ceil(observed_max * 2) / 2
+    if top <= 0:
+        raise ParameterError("y maximum must be positive")
+
+    # Horizontal gridlines with clean ticks.
+    steps = 4
+    for i in range(steps + 1):
+        value = top * i / steps
+        y = plot_bottom - value / top * plot_height
+        canvas.line(plot_left, y, plot_right, y, GRID)
+        canvas.text(plot_left - 6, y + 3.5, f"{value:g}", size=9, anchor="end")
+    canvas.text(plot_left - 40, plot_top - 8, y_label, size=9)
+
+    group_span = (plot_right - plot_left) / len(groups)
+    column_width = min(
+        _BAR_THICKNESS,
+        (group_span * 0.7 - _GAP * (len(series) - 1)) / len(series),
+    )
+    for g_index, (group_key, group) in enumerate(groups.items()):
+        cluster_width = len(series) * column_width + (len(series) - 1) * _GAP
+        x0 = plot_left + g_index * group_span + (group_span - cluster_width) / 2
+        for s_index, series_key in enumerate(series):
+            value = group.get(series_key, 0.0)
+            bar_height = value / top * plot_height
+            x = x0 + s_index * (column_width + _GAP)
+            canvas.rounded_end_rect(
+                x, plot_bottom - bar_height, column_width, bar_height,
+                colors[series_key], end="top",
+                tooltip=f"{_label(group_key)} - {series_key}: {value:.2f}",
+            )
+        # Label the last series' value on its cap (selective labeling).
+        last_value = group.get(series[-1], 0.0)
+        canvas.text(
+            x0 + cluster_width - column_width / 2,
+            plot_bottom - last_value / top * plot_height - 5,
+            f"{last_value:.2f}", size=9, anchor="middle",
+        )
+        canvas.text(
+            x0 + cluster_width / 2, plot_bottom + 14, _label(group_key),
+            size=9, anchor="middle", fill=TEXT_PRIMARY,
+        )
+    return canvas.to_svg()
+
+
+def cdf_chart(
+    series: Mapping[str, Sequence[Tuple[str, float]]],
+    title: str,
+    markers: Optional[Mapping[str, int]] = None,
+    width: float = 720.0,
+    height: float = 330.0,
+    colors: Optional[Mapping[Hashable, str]] = None,
+) -> str:
+    """Cumulative distribution lines over shared byte-range bins.
+
+    *series* maps a name to ``[(bin label, cumulative fraction), ...]``;
+    *markers* maps an annotation label to the bin index it falls in (the
+    break-even granularities of Figs. 15/19/21/22).
+    """
+    if not series:
+        raise ParameterError("chart needs at least one series")
+    first = next(iter(series.values()))
+    bin_labels = [label for label, _ in first]
+    for name, points in series.items():
+        if [label for label, _ in points] != bin_labels:
+            raise ParameterError(f"series {name!r} uses different bins")
+    colors = dict(colors or colors_for(list(series)))
+
+    canvas = SvgCanvas(width, height, title=title)
+    canvas.title_text(title)
+    legend_bottom = _legend(canvas, colors, 60.0, _MARGIN_TOP,
+                            width - 60.0 - _MARGIN_RIGHT)
+    plot_top = legend_bottom + 6
+    plot_bottom = height - 44
+    plot_left, plot_right = 60.0, width - _MARGIN_RIGHT
+    plot_height = plot_bottom - plot_top
+    span = (plot_right - plot_left) / max(len(bin_labels) - 1, 1)
+
+    for i in range(5):
+        fraction = i / 4
+        y = plot_bottom - fraction * plot_height
+        canvas.line(plot_left, y, plot_right, y, GRID)
+        canvas.text(plot_left - 6, y + 3.5, f"{fraction:.2f}", size=9,
+                    anchor="end")
+
+    for index, label in enumerate(bin_labels):
+        x = plot_left + index * span
+        if index % max(1, len(bin_labels) // 8) == 0 or index == len(bin_labels) - 1:
+            canvas.text(x, plot_bottom + 14, label, size=8, anchor="middle")
+
+    if markers:
+        for label, bin_index in markers.items():
+            bin_index = max(0, min(bin_index, len(bin_labels) - 1))
+            x = plot_left + bin_index * span
+            canvas.line(x, plot_top, x, plot_bottom, TEXT_SECONDARY, width=1)
+            canvas.text(x + 3, plot_top + 10, label, size=8)
+
+    for name, points in series.items():
+        coordinates = [
+            (plot_left + i * span, plot_bottom - value * plot_height)
+            for i, (_, value) in enumerate(points)
+        ]
+        canvas.polyline(coordinates, stroke=colors[name], width=2)
+        end_x, end_y = coordinates[-1]
+        canvas.circle(end_x, end_y, 4, colors[name],
+                      tooltip=f"{name}: {points[-1][1]:.2f}")
+        canvas.text(end_x - 4, end_y - 8, name, size=9, fill=TEXT_PRIMARY,
+                    anchor="end")
+    return canvas.to_svg()

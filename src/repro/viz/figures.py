@@ -1,0 +1,170 @@
+"""Render the paper's figures as SVG files.
+
+Each function turns the characterization/application layer's data into an
+SVG via :mod:`repro.viz.charts`; :func:`render_all` writes the full set to
+a directory (CLI: ``accelerometer render``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+from ..characterization import (
+    CharacterizationRun,
+    fig10_functionality_ipc,
+    fig15_encryption_cdf,
+    fig19_compression_cdf,
+    fig1_orchestration_split,
+    fig21_copy_cdf,
+    fig22_allocation_cdf,
+    fig2_leaf_breakdown,
+    fig8_leaf_ipc,
+    fig9_functionality_breakdown,
+)
+from ..characterization.cdf import CdfFigure
+from ..paperdata.categories import FunctionalityCategory, LeafCategory
+from .charts import cdf_chart, grouped_column_chart, stacked_hbar_chart
+from .palette import CATEGORICAL, GENERATION_COLORS, NEUTRAL
+
+
+def fig1_svg(runs: Mapping[str, CharacterizationRun]) -> str:
+    rows = {name: fig1_orchestration_split(run) for name, run in runs.items()}
+    return stacked_hbar_chart(
+        rows,
+        categories=("application_logic", "orchestration"),
+        title="Fig. 1 - application logic vs orchestration (% cycles)",
+        colors={"application_logic": CATEGORICAL[0],
+                "orchestration": NEUTRAL},
+    )
+
+
+def fig2_svg(runs: Mapping[str, CharacterizationRun]) -> str:
+    rows = {name: fig2_leaf_breakdown(run) for name, run in runs.items()}
+    return stacked_hbar_chart(
+        rows,
+        categories=tuple(LeafCategory),
+        title="Fig. 2 - leaf-function cycle breakdown (% cycles)",
+    )
+
+
+def fig9_svg(runs: Mapping[str, CharacterizationRun]) -> str:
+    rows = {name: fig9_functionality_breakdown(run) for name, run in runs.items()}
+    return stacked_hbar_chart(
+        rows,
+        categories=tuple(FunctionalityCategory),
+        title="Fig. 9 - microservice functionality breakdown (% cycles)",
+    )
+
+
+def fig8_svg(generation_runs: Mapping[str, CharacterizationRun]) -> str:
+    data = fig8_leaf_ipc(generation_runs)
+    groups = {category: dict(values) for category, values in data.items()}
+    return grouped_column_chart(
+        groups,
+        series=("GenA", "GenB", "GenC"),
+        title="Fig. 8 - Cache1 per-core IPC by leaf category",
+        y_label="IPC",
+        y_max=2.0,
+        colors=GENERATION_COLORS,
+    )
+
+
+def fig10_svg(generation_runs: Mapping[str, CharacterizationRun]) -> str:
+    data = fig10_functionality_ipc(generation_runs)
+    groups = {category: dict(values) for category, values in data.items()}
+    return grouped_column_chart(
+        groups,
+        series=("GenA", "GenB", "GenC"),
+        title="Fig. 10 - Cache1 per-core IPC by functionality",
+        y_label="IPC",
+        y_max=1.0,
+        colors=GENERATION_COLORS,
+    )
+
+
+def _marker_bins(figure: CdfFigure) -> Dict[str, int]:
+    """Place each byte-valued marker into its bin index."""
+    edges = [edge for edge in figure.bins[1:]]
+    return {
+        label: bisect.bisect_left(edges, value)
+        for label, value in figure.markers.items()
+    }
+
+
+def _cdf_svg(figure: CdfFigure, title: str) -> str:
+    return cdf_chart(
+        {name: list(points) for name, points in figure.series.items()},
+        title=title,
+        markers=_marker_bins(figure),
+    )
+
+
+def fig15_svg() -> str:
+    return _cdf_svg(fig15_encryption_cdf(),
+                    "Fig. 15 - CDF of bytes encrypted (Cache1)")
+
+
+def fig19_svg() -> str:
+    return _cdf_svg(fig19_compression_cdf(),
+                    "Fig. 19 - CDF of bytes compressed (Feed1, Cache1)")
+
+
+def fig21_svg() -> str:
+    return _cdf_svg(fig21_copy_cdf(), "Fig. 21 - CDF of memory-copy sizes")
+
+
+def fig22_svg() -> str:
+    return _cdf_svg(fig22_allocation_cdf(),
+                    "Fig. 22 - CDF of allocation sizes")
+
+
+def fig20_svg() -> str:
+    from ..application import fig20_table
+
+    table = fig20_table()
+    groups: Dict[str, Dict[str, float]] = {}
+    strategies = ["ideal", "On-chip: Sync", "Off-chip: Sync",
+                  "Off-chip: Sync-OS", "Off-chip: Async"]
+    for overhead, projection in table.items():
+        row = {"ideal": projection.ideal_speedup_pct}
+        for label, (speedup, _) in projection.strategies.items():
+            row[label] = speedup
+        groups[overhead] = row
+    return grouped_column_chart(
+        groups,
+        series=strategies,
+        title="Fig. 20 - projected speedup by strategy (%)",
+        y_label="% speedup",
+        y_max=20.0,
+    )
+
+
+def render_all(
+    output_dir: str,
+    runs: Mapping[str, CharacterizationRun],
+    generation_runs: Optional[Mapping[str, CharacterizationRun]] = None,
+) -> Dict[str, Path]:
+    """Write every renderable figure to *output_dir*; returns the paths."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    figures = {
+        "fig01_orchestration.svg": fig1_svg(runs),
+        "fig02_leaf_breakdown.svg": fig2_svg(runs),
+        "fig09_functionality.svg": fig9_svg(runs),
+        "fig15_encryption_cdf.svg": fig15_svg(),
+        "fig19_compression_cdf.svg": fig19_svg(),
+        "fig20_projections.svg": fig20_svg(),
+        "fig21_copy_cdf.svg": fig21_svg(),
+        "fig22_allocation_cdf.svg": fig22_svg(),
+    }
+    if generation_runs is not None:
+        figures["fig08_ipc_leaf.svg"] = fig8_svg(generation_runs)
+        figures["fig10_ipc_functionality.svg"] = fig10_svg(generation_runs)
+    written = {}
+    for name, svg in figures.items():
+        path = directory / name
+        path.write_text(svg)
+        written[name] = path
+    return written

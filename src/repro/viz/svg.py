@@ -1,0 +1,167 @@
+"""Minimal dependency-free SVG document builder.
+
+Only the primitives the chart layer needs: rects with selectively rounded
+data-ends, lines, polylines, circles with surface rings, and text in the
+chart's text tokens.  Output is a plain SVG string.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from .palette import SURFACE, TEXT_PRIMARY, TEXT_SECONDARY
+
+FONT = "'Helvetica Neue', Arial, sans-serif"
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes the document."""
+
+    def __init__(self, width: float, height: float, title: str = "") -> None:
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+        if title:
+            self._elements.append(
+                f"<title>{escape(title)}</title>"
+            )
+        # Chart surface.
+        self.rect(0, 0, width, height, fill=SURFACE)
+
+    # -- primitives -----------------------------------------------------------
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str,
+        tooltip: str = "",
+    ) -> None:
+        body = f"<title>{escape(tooltip)}</title>" if tooltip else ""
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{width:.2f}" '
+            f'height="{height:.2f}" fill="{fill}">{body}</rect>'
+            if body
+            else f'<rect x="{x:.2f}" y="{y:.2f}" width="{width:.2f}" '
+            f'height="{height:.2f}" fill="{fill}"/>'
+        )
+
+    def path(self, d: str, fill: str, tooltip: str = "") -> None:
+        body = f"<title>{escape(tooltip)}</title>" if tooltip else ""
+        if body:
+            self._elements.append(f'<path d="{d}" fill="{fill}">{body}</path>')
+        else:
+            self._elements.append(f'<path d="{d}" fill="{fill}"/>')
+
+    def rounded_end_rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str,
+        end: str,
+        radius: float = 4.0,
+        tooltip: str = "",
+    ) -> None:
+        """A bar segment with a 4px rounded *data end* and a square
+        baseline end.  *end* is "right" (horizontal bars) or "top"
+        (columns)."""
+        r = min(radius, width / 2.0, height / 2.0)
+        if end == "right":
+            d = (
+                f"M {x:.2f} {y:.2f} H {x + width - r:.2f} "
+                f"Q {x + width:.2f} {y:.2f} {x + width:.2f} {y + r:.2f} "
+                f"V {y + height - r:.2f} "
+                f"Q {x + width:.2f} {y + height:.2f} {x + width - r:.2f} {y + height:.2f} "
+                f"H {x:.2f} Z"
+            )
+        elif end == "top":
+            d = (
+                f"M {x:.2f} {y + height:.2f} V {y + r:.2f} "
+                f"Q {x:.2f} {y:.2f} {x + r:.2f} {y:.2f} "
+                f"H {x + width - r:.2f} "
+                f"Q {x + width:.2f} {y:.2f} {x + width:.2f} {y + r:.2f} "
+                f"V {y + height:.2f} Z"
+            )
+        else:
+            raise ValueError(f"end must be 'right' or 'top', got {end!r}")
+        self.path(d, fill, tooltip)
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str,
+        width: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width:g}"/>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        stroke: str,
+        width: float = 2.0,
+    ) -> None:
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:g}" stroke-linejoin="round" '
+            f'stroke-linecap="round"/>'
+        )
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        radius: float,
+        fill: str,
+        ring: Optional[str] = SURFACE,
+        tooltip: str = "",
+    ) -> None:
+        ring_attr = (
+            f' stroke="{ring}" stroke-width="2"' if ring is not None else ""
+        )
+        body = f"<title>{escape(tooltip)}</title>" if tooltip else ""
+        element = (
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{radius:g}" '
+            f'fill="{fill}"{ring_attr}'
+        )
+        self._elements.append(f"{element}>{body}</circle>" if body else element + "/>")
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 11,
+        fill: str = TEXT_SECONDARY,
+        anchor: str = "start",
+        weight: str = "normal",
+    ) -> None:
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-family="{FONT}" '
+            f'font-size="{size:g}" fill="{fill}" text-anchor="{anchor}" '
+            f'font-weight="{weight}">{escape(content)}</text>'
+        )
+
+    def title_text(self, content: str, x: float = 16, y: float = 22) -> None:
+        self.text(x, y, content, size=13, fill=TEXT_PRIMARY, weight="600")
+
+    # -- output ------------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:g}" height="{self.height:g}" '
+            f'viewBox="0 0 {self.width:g} {self.height:g}" role="img">'
+        )
+        return header + "".join(self._elements) + "</svg>"

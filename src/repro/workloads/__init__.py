@@ -1,0 +1,46 @@
+"""Calibrated synthetic models of the paper's production microservices.
+
+``build_workload("cache1")`` returns a :class:`ServiceWorkload` whose
+simulated execution reproduces Cache1's published functionality and leaf
+cycle breakdowns, kernel granularity CDFs, and offload counts.
+"""
+
+from .base import CalibratedKernel, KernelTarget, ServiceWorkload
+from .calibration import (
+    FUNCTIONALITIES,
+    LEAVES,
+    JointBreakdown,
+    fit_joint,
+    ipf_fit,
+)
+from .definitions import (
+    ALL_SERVICES,
+    ALLOC_CB,
+    COMPRESSION_CB,
+    COPY_CB,
+    ENCRYPTION_CB,
+    REFERENCE_CYCLES,
+    REQUEST_CYCLES,
+    all_workloads,
+    build_workload,
+)
+
+__all__ = [
+    "ALLOC_CB",
+    "ALL_SERVICES",
+    "COMPRESSION_CB",
+    "COPY_CB",
+    "CalibratedKernel",
+    "ENCRYPTION_CB",
+    "FUNCTIONALITIES",
+    "JointBreakdown",
+    "KernelTarget",
+    "LEAVES",
+    "REFERENCE_CYCLES",
+    "REQUEST_CYCLES",
+    "ServiceWorkload",
+    "all_workloads",
+    "build_workload",
+    "fit_joint",
+    "ipf_fit",
+]

@@ -1,0 +1,194 @@
+"""Workload calibration: fitting a joint (functionality x leaf) cycle
+matrix to the paper's published marginals.
+
+The paper publishes two *marginal* breakdowns per service -- cycles by
+functionality category (Fig. 9) and cycles by leaf category (Fig. 2) --
+but not the joint distribution.  To execute a service in the simulator we
+need the joint: how each functionality's cycles split across leaf
+categories.  We recover a plausible joint with **iterative proportional
+fitting (IPF)** from a qualitative affinity seed (compression cycles live
+mostly in ZSTD leaves, I/O in kernel leaves, ...), which converges to a
+matrix matching both published marginals exactly.
+
+Named kernels (encryption, compression, copies, allocations) are pinned
+first: their cycles occupy specific (functionality, leaf) cells by
+construction, and IPF fits only the residual "plain" cycles.  The
+calibrator validates feasibility -- every kernel must fit inside its
+functionality and leaf budgets -- and raises :class:`CalibrationError`
+otherwise, which is how inconsistent reconstructions get caught in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..paperdata.categories import FunctionalityCategory, LeafCategory
+
+#: Qualitative affinity seed: how likely cycles of a functionality are to
+#: land in each leaf category, before fitting.  Zero-ish entries get a
+#: small epsilon so IPF can always converge when a marginal demands mass.
+_AFFINITY: Dict[FunctionalityCategory, Dict[LeafCategory, float]] = {
+    FunctionalityCategory.IO: {
+        LeafCategory.KERNEL: 5.0, LeafCategory.MEMORY: 1.5,
+        LeafCategory.SSL: 2.0, LeafCategory.SYNCHRONIZATION: 1.0,
+        LeafCategory.MISCELLANEOUS: 1.0, LeafCategory.C_LIBRARIES: 0.5,
+    },
+    FunctionalityCategory.IO_PROCESSING: {
+        LeafCategory.MEMORY: 5.0, LeafCategory.C_LIBRARIES: 1.0,
+        LeafCategory.MISCELLANEOUS: 1.0, LeafCategory.KERNEL: 0.5,
+    },
+    FunctionalityCategory.COMPRESSION: {
+        LeafCategory.ZSTD: 8.0, LeafCategory.MEMORY: 1.0,
+        LeafCategory.C_LIBRARIES: 0.5, LeafCategory.MISCELLANEOUS: 0.5,
+    },
+    FunctionalityCategory.SERIALIZATION: {
+        LeafCategory.MEMORY: 3.0, LeafCategory.C_LIBRARIES: 3.0,
+        LeafCategory.HASHING: 0.5, LeafCategory.MISCELLANEOUS: 1.0,
+    },
+    FunctionalityCategory.FEATURE_EXTRACTION: {
+        LeafCategory.C_LIBRARIES: 4.0, LeafCategory.MEMORY: 2.0,
+        LeafCategory.MATH: 1.0, LeafCategory.MISCELLANEOUS: 1.0,
+    },
+    FunctionalityCategory.PREDICTION_RANKING: {
+        LeafCategory.MATH: 5.0, LeafCategory.C_LIBRARIES: 3.0,
+        LeafCategory.MEMORY: 1.0, LeafCategory.MISCELLANEOUS: 3.0,
+    },
+    FunctionalityCategory.APPLICATION_LOGIC: {
+        LeafCategory.C_LIBRARIES: 3.0, LeafCategory.MEMORY: 3.0,
+        LeafCategory.HASHING: 1.0, LeafCategory.MISCELLANEOUS: 2.0,
+        LeafCategory.MATH: 0.5,
+    },
+    FunctionalityCategory.LOGGING: {
+        LeafCategory.MEMORY: 2.0, LeafCategory.C_LIBRARIES: 2.0,
+        LeafCategory.KERNEL: 1.0, LeafCategory.ZSTD: 1.0,
+        LeafCategory.MISCELLANEOUS: 2.0,
+    },
+    FunctionalityCategory.THREAD_POOL: {
+        LeafCategory.SYNCHRONIZATION: 5.0, LeafCategory.KERNEL: 3.0,
+        LeafCategory.MISCELLANEOUS: 1.0,
+    },
+    FunctionalityCategory.MISCELLANEOUS: {
+        LeafCategory.MISCELLANEOUS: 3.0, LeafCategory.C_LIBRARIES: 1.0,
+        LeafCategory.MEMORY: 0.5,
+    },
+}
+
+_EPSILON = 1e-6
+
+FUNCTIONALITIES: Tuple[FunctionalityCategory, ...] = tuple(FunctionalityCategory)
+LEAVES: Tuple[LeafCategory, ...] = tuple(LeafCategory)
+
+
+def _seed_matrix() -> np.ndarray:
+    matrix = np.full((len(FUNCTIONALITIES), len(LEAVES)), _EPSILON)
+    for i, functionality in enumerate(FUNCTIONALITIES):
+        for j, leaf in enumerate(LEAVES):
+            weight = _AFFINITY.get(functionality, {}).get(leaf, 0.0)
+            if weight > 0:
+                matrix[i, j] = weight
+    return matrix
+
+
+def ipf_fit(
+    row_targets: Sequence[float],
+    column_targets: Sequence[float],
+    seed: np.ndarray = None,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-7,
+) -> np.ndarray:
+    """Iterative proportional fitting of a non-negative matrix to the
+    given row and column sums.
+
+    Row and column targets must have (approximately) equal totals.
+    Returns the fitted matrix; raises :class:`CalibrationError` when the
+    targets are inconsistent or the fit fails to converge.
+    """
+    rows = np.asarray(row_targets, dtype=float)
+    cols = np.asarray(column_targets, dtype=float)
+    if np.any(rows < -1e-12) or np.any(cols < -1e-12):
+        raise CalibrationError("marginal targets must be non-negative")
+    rows = np.clip(rows, 0.0, None)
+    cols = np.clip(cols, 0.0, None)
+    if abs(rows.sum() - cols.sum()) > 1e-6 * max(rows.sum(), 1.0):
+        raise CalibrationError(
+            f"marginal totals differ: rows={rows.sum():.6f} cols={cols.sum():.6f}"
+        )
+    matrix = (seed if seed is not None else _seed_matrix()).astype(float).copy()
+    if matrix.shape != (len(rows), len(cols)):
+        raise CalibrationError(
+            f"seed shape {matrix.shape} does not match targets "
+            f"({len(rows)}, {len(cols)})"
+        )
+    if rows.sum() == 0:
+        return np.zeros_like(matrix)
+    # Tolerance is relative to the marginal mass so percent-scale and
+    # fraction-scale targets converge identically.
+    absolute_tolerance = tolerance * rows.sum()
+    for _ in range(max_iterations):
+        row_sums = matrix.sum(axis=1)
+        scale = np.divide(rows, row_sums, out=np.zeros_like(rows), where=row_sums > 0)
+        matrix *= scale[:, None]
+        col_sums = matrix.sum(axis=0)
+        scale = np.divide(cols, col_sums, out=np.zeros_like(cols), where=col_sums > 0)
+        matrix *= scale[None, :]
+        row_error = np.abs(matrix.sum(axis=1) - rows).max()
+        col_error = np.abs(matrix.sum(axis=0) - cols).max()
+        if max(row_error, col_error) < absolute_tolerance:
+            return matrix
+    raise CalibrationError(
+        f"IPF failed to converge within {max_iterations} iterations "
+        f"(row error {row_error:.2e}, col error {col_error:.2e})"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class JointBreakdown:
+    """A fitted joint cycle distribution over (functionality, leaf)."""
+
+    matrix: np.ndarray  # fractions of total cycles; rows follow FUNCTIONALITIES
+
+    def cell(
+        self, functionality: FunctionalityCategory, leaf: LeafCategory
+    ) -> float:
+        return float(
+            self.matrix[FUNCTIONALITIES.index(functionality), LEAVES.index(leaf)]
+        )
+
+    def functionality_share(self, functionality: FunctionalityCategory) -> float:
+        return float(self.matrix[FUNCTIONALITIES.index(functionality)].sum())
+
+    def leaf_share(self, leaf: LeafCategory) -> float:
+        return float(self.matrix[:, LEAVES.index(leaf)].sum())
+
+    def leaf_mix(
+        self, functionality: FunctionalityCategory
+    ) -> Dict[LeafCategory, float]:
+        """Normalized leaf mix within one functionality's cycles."""
+        row = self.matrix[FUNCTIONALITIES.index(functionality)]
+        total = row.sum()
+        if total <= 0:
+            return {}
+        return {
+            leaf: float(value / total)
+            for leaf, value in zip(LEAVES, row)
+            if value / total > 1e-9
+        }
+
+
+def fit_joint(
+    functionality_shares: Mapping[FunctionalityCategory, float],
+    leaf_shares: Mapping[LeafCategory, float],
+) -> JointBreakdown:
+    """Fit the joint matrix to two marginal breakdowns (values in any
+    consistent unit -- percents or fractions)."""
+    rows = [float(functionality_shares.get(f, 0.0)) for f in FUNCTIONALITIES]
+    cols = [float(leaf_shares.get(l, 0.0)) for l in LEAVES]
+    total = sum(rows)
+    if total <= 0:
+        raise CalibrationError("functionality shares have no mass")
+    matrix = ipf_fit(rows, cols) / total
+    return JointBreakdown(matrix=matrix)

@@ -1,0 +1,89 @@
+"""Tests for the ablation studies over modelling choices."""
+
+import math
+
+import pytest
+
+from repro.application import (
+    complexity_sensitivity,
+    pipelining_benefit,
+    queueing_sensitivity,
+    selective_vs_offload_all,
+    threading_design_comparison,
+)
+from repro.core import ThreadingDesign
+
+
+class TestSelectiveOffload:
+    def test_selection_never_hurts(self):
+        ablation = selective_vs_offload_all(ThreadingDesign.SYNC)
+        assert ablation.selective.speedup >= ablation.offload_all.speedup
+
+    def test_threshold_near_425(self):
+        ablation = selective_vs_offload_all(ThreadingDesign.SYNC)
+        assert ablation.threshold_bytes == pytest.approx(425, abs=5)
+
+    def test_lucrative_fraction_sensible(self):
+        ablation = selective_vs_offload_all(ThreadingDesign.SYNC)
+        assert 0.5 <= ablation.lucrative_count_fraction <= 0.75
+
+    def test_sync_os_selection_matters_more(self):
+        """Sync-OS has a much higher break-even (2 * o1), so selection
+        pays more there than for plain Sync."""
+        sync = selective_vs_offload_all(ThreadingDesign.SYNC)
+        sync_os = selective_vs_offload_all(ThreadingDesign.SYNC_OS)
+        assert sync_os.threshold_bytes > sync.threshold_bytes
+        assert sync_os.selection_benefit_pct > sync.selection_benefit_pct
+
+
+class TestQueueingSensitivity:
+    def test_speedup_decreases_with_utilization(self):
+        results = queueing_sensitivity((0.0, 0.5, 0.9))
+        speedups = [s for _, s in results]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_zero_utilization_matches_q_free(self):
+        results = queueing_sensitivity((0.0,))
+        # Q = 0 off-chip Sync compression without selection is < the
+        # paper's 9% (that one offloads selectively) but positive.
+        assert results[0][1] > 0
+
+    def test_rejects_saturated_utilization(self):
+        with pytest.raises(ValueError):
+            queueing_sensitivity((1.0,))
+
+
+class TestComplexitySensitivity:
+    def test_superlinear_lowers_threshold(self):
+        results = complexity_sensitivity((0.5, 1.0, 2.0))
+        assert results[2.0][0] < results[1.0][0] < results[0.5][0]
+
+    def test_lucrative_fraction_grows_with_beta(self):
+        results = complexity_sensitivity((0.5, 1.0, 2.0))
+        assert results[2.0][1] >= results[1.0][1] >= results[0.5][1]
+
+
+class TestPipelining:
+    def test_pipelined_never_slower(self):
+        unpipelined, pipelined = pipelining_benefit()
+        assert pipelined.speedup >= unpipelined.speedup
+
+    def test_latency_also_improves(self):
+        unpipelined, pipelined = pipelining_benefit()
+        assert pipelined.latency_reduction >= unpipelined.latency_reduction
+
+
+class TestThreadingComparison:
+    def test_covers_designs(self):
+        results = threading_design_comparison()
+        assert ThreadingDesign.SYNC in results
+        assert ThreadingDesign.ASYNC in results
+
+    def test_async_best_for_offchip(self):
+        results = threading_design_comparison()
+        best = max(results.values(), key=lambda r: r.speedup)
+        assert best is results[ThreadingDesign.ASYNC]
+
+    def test_all_projections_profitable(self):
+        for result in threading_design_comparison().values():
+            assert result.speedup > 1.0

@@ -1,0 +1,66 @@
+"""Tests for the latency-under-load study."""
+
+import pytest
+
+from repro.application import (
+    LatencyStudyConfig,
+    latency_vs_load,
+    run_load_point,
+)
+from repro.errors import ParameterError
+
+FAST_CONFIG = LatencyStudyConfig(window_cycles=8.0e6)
+
+
+class TestRunLoadPoint:
+    def test_low_load_latency_near_serial_cost(self):
+        point = run_load_point(FAST_CONFIG, offered_rate_per_unit=2_000)
+        # Serial request cost: plain + o0 + L + device service time.
+        serial = (
+            FAST_CONFIG.plain_cycles
+            + FAST_CONFIG.dispatch_cycles
+            + FAST_CONFIG.transfer_cycles
+            + FAST_CONFIG.device_service_cycles
+        )
+        assert point.mean_latency_cycles == pytest.approx(serial, rel=0.05)
+        # Occasional Poisson clumping can queue a request behind another,
+        # but at this load the mean queue delay stays well below one
+        # device service time.
+        assert point.mean_queue_cycles < 0.2 * FAST_CONFIG.device_service_cycles
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ParameterError):
+            run_load_point(FAST_CONFIG, 0)
+
+    def test_point_reports_utilization(self):
+        point = run_load_point(FAST_CONFIG, offered_rate_per_unit=5_000)
+        assert 0.0 < point.device_utilization < 1.0
+
+
+class TestLatencyVsLoad:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return latency_vs_load(
+            FAST_CONFIG, utilization_targets=(0.1, 0.5, 0.85)
+        )
+
+    def test_queueing_grows_with_load(self, curve):
+        queues = [point.mean_queue_cycles for point in curve]
+        assert queues[-1] > queues[0]
+
+    def test_latency_grows_with_load(self, curve):
+        latencies = [point.mean_latency_cycles for point in curve]
+        assert latencies[-1] > latencies[0]
+
+    def test_tail_worse_than_mean(self, curve):
+        for point in curve:
+            assert point.p99_latency_cycles >= point.mean_latency_cycles
+
+    def test_utilization_tracks_target(self, curve):
+        utilizations = [point.device_utilization for point in curve]
+        assert utilizations == sorted(utilizations)
+        assert utilizations[-1] > 0.5
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ParameterError):
+            latency_vs_load(FAST_CONFIG, utilization_targets=(1.2,))

@@ -1,0 +1,60 @@
+"""Tests for the oversubscription study."""
+
+import pytest
+
+from repro.application import (
+    OversubscriptionStudyConfig,
+    oversubscription_study,
+    run_point,
+    saturation_level,
+)
+from repro.errors import ParameterError
+
+FAST = OversubscriptionStudyConfig(window_cycles=6.0e6)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return oversubscription_study(FAST, levels=(1, 2, 3, 4))
+
+
+class TestStudyShape:
+    def test_throughput_rises_then_saturates(self, curve):
+        throughputs = [point.throughput for point in curve]
+        # Rising from 1 -> 2 threads per core (blocked windows filled).
+        assert throughputs[1] > throughputs[0] * 1.5
+        # Saturated by the end: the last step adds little.
+        assert throughputs[-1] <= throughputs[-2] * 1.05
+
+    def test_latency_monotone_in_oversubscription(self, curve):
+        latencies = [point.mean_latency_cycles for point in curve]
+        assert latencies[-1] > latencies[0]
+        assert all(b >= a * 0.999 for a, b in zip(latencies, latencies[1:]))
+
+    def test_tail_at_least_mean(self, curve):
+        # Nearest-rank p99 can fall a hair below a mean pulled up by a
+        # single >p99 outlier; allow that sliver.
+        for point in curve:
+            assert point.p99_latency_cycles >= point.mean_latency_cycles * 0.999
+
+    def test_saturation_level(self, curve):
+        level = saturation_level(curve)
+        assert 2 <= level <= 4
+
+    def test_throughput_latency_tradeoff_documented_shape(self, curve):
+        """The paper's Sync-OS pitch: the saturating level gains >2x
+        throughput over one-thread-per-core but pays measurable latency."""
+        best = max(curve, key=lambda p: p.throughput)
+        base = curve[0]
+        assert best.throughput > 2.0 * base.throughput
+        assert best.mean_latency_cycles > base.mean_latency_cycles
+
+
+class TestValidation:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ParameterError):
+            run_point(FAST, 0)
+
+    def test_saturation_requires_points(self):
+        with pytest.raises(ParameterError):
+            saturation_level([])

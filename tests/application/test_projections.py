@@ -1,0 +1,71 @@
+"""Tests for the Sec.-5 application study (Table 7 / Fig. 20)."""
+
+import pytest
+
+from repro.application import fig20_comparison, fig20_table, project_row
+from repro.paperdata import PROJECTION_PARAMETERS
+from repro.paperdata.projections import FIG20_EXPECTED_SPEEDUPS
+
+
+class TestFig20Reproduction:
+    """Every printed Fig.-20 bar reproduces to the printed precision."""
+
+    @pytest.mark.parametrize(
+        "params",
+        PROJECTION_PARAMETERS,
+        ids=[f"{p.overhead}:{p.label}" for p in PROJECTION_PARAMETERS],
+    )
+    def test_speedup_matches_paper(self, params):
+        result = project_row(params)
+        assert result.speedup_percent == pytest.approx(
+            params.expected_speedup_pct, abs=0.11
+        )
+
+    def test_compression_ideal(self):
+        table = fig20_table()
+        assert table["compression"].ideal_speedup_pct == pytest.approx(17.6, abs=0.1)
+
+    def test_memcopy_ideal(self):
+        table = fig20_table()
+        assert table["memory-copy"].ideal_speedup_pct == pytest.approx(17.8, abs=0.1)
+
+    def test_allocation_ideal(self):
+        table = fig20_table()
+        assert table["memory-allocation"].ideal_speedup_pct == pytest.approx(
+            5.8, abs=0.1
+        )
+
+    def test_async_latency_reduction_matches_paper(self):
+        row = next(
+            p for p in PROJECTION_PARAMETERS if p.label == "Off-chip: Async"
+        )
+        result = project_row(row)
+        assert result.latency_reduction_percent == pytest.approx(9.2, abs=0.1)
+
+    def test_strategy_ordering_for_compression(self):
+        """Fig. 20's shape: on-chip > async > sync >> sync-os, all below
+        ideal."""
+        table = fig20_table()["compression"]
+        speedups = {label: s for label, (s, _) in table.strategies.items()}
+        assert (
+            table.ideal_speedup_pct
+            > speedups["On-chip: Sync"]
+            > speedups["Off-chip: Async"]
+            > speedups["Off-chip: Sync"]
+            > speedups["Off-chip: Sync-OS"]
+        )
+
+    def test_comparison_rows_pair_ours_with_paper(self):
+        comparison = fig20_comparison()
+        for overhead, rows in comparison.items():
+            published = FIG20_EXPECTED_SPEEDUPS[overhead]
+            for strategy, (ours, paper) in rows.items():
+                if paper is None:
+                    continue
+                assert ours == pytest.approx(paper, abs=0.15), (overhead, strategy)
+
+    def test_unknown_overhead_rejected(self):
+        from repro.application import project_overhead
+
+        with pytest.raises(KeyError):
+            project_overhead("branch-prediction")

@@ -1,0 +1,127 @@
+"""Unit tests for latency-SLO admission checks."""
+
+import math
+
+import pytest
+
+from repro.application import (
+    check_slo,
+    max_thread_switch_for_slo,
+    remote_delay_budget,
+)
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+)
+from repro.errors import ParameterError
+
+
+def scenario(design=ThreadingDesign.SYNC_OS, placement=Placement.OFF_CHIP,
+             o1=2_000.0, alpha=0.3, a=4.0, n=100.0):
+    return OffloadScenario(
+        kernel=KernelProfile(1e6, alpha, n),
+        accelerator=AcceleratorSpec(a, placement),
+        costs=OffloadCosts(dispatch_cycles=5, interface_cycles=10,
+                           thread_switch_cycles=o1),
+        design=design,
+    )
+
+
+class TestCheckSlo:
+    def test_admissible_when_latency_improves(self):
+        s = scenario(ThreadingDesign.SYNC, o1=0.0)
+        check = check_slo(s, baseline_latency_cycles=10_000, slo_cycles=10_000)
+        assert check.admissible
+        assert check.latency_change_pct < 0
+
+    def test_violation_detected(self):
+        # Sync-OS with massive o1: latency gets worse.
+        s = scenario(o1=5_000.0, n=200)
+        check = check_slo(s, baseline_latency_cycles=10_000, slo_cycles=10_000)
+        assert not check.admissible
+        assert check.headroom_cycles < 0
+
+    def test_extra_delay_counts_against_slo(self):
+        s = scenario(ThreadingDesign.SYNC, o1=0.0)
+        without = check_slo(s, 10_000, 10_000)
+        with_delay = check_slo(s, 10_000, 10_000,
+                               extra_delay_cycles=5_000)
+        assert with_delay.projected_latency_cycles == pytest.approx(
+            without.projected_latency_cycles + 5_000
+        )
+
+    def test_rejects_bad_inputs(self):
+        s = scenario()
+        with pytest.raises(ParameterError):
+            check_slo(s, 0, 100)
+        with pytest.raises(ParameterError):
+            check_slo(s, 100, 0)
+        with pytest.raises(ParameterError):
+            check_slo(s, 100, 100, extra_delay_cycles=-1)
+
+
+class TestMaxThreadSwitch:
+    def test_bound_is_exactly_marginal(self):
+        import dataclasses
+
+        s = scenario(o1=0.0)
+        baseline, slo = 10_000.0, 9_500.0
+        bound = max_thread_switch_for_slo(s, baseline, slo)
+        assert math.isfinite(bound) and bound > 0
+        at_bound = dataclasses.replace(
+            s, costs=s.costs.replace(thread_switch_cycles=bound)
+        )
+        check = check_slo(at_bound, baseline, slo)
+        assert check.projected_latency_cycles == pytest.approx(slo, rel=1e-9)
+
+    def test_zero_when_slo_unreachable(self):
+        s = scenario(o1=0.0, alpha=0.01)
+        assert max_thread_switch_for_slo(s, 10_000, 5_000) == 0.0
+
+    def test_infinite_when_no_offloads(self):
+        s = scenario(o1=0.0, n=0.0)
+        assert math.isinf(max_thread_switch_for_slo(s, 10_000, 10_000))
+
+    def test_rejected_for_sync_design(self):
+        with pytest.raises(ParameterError):
+            max_thread_switch_for_slo(scenario(ThreadingDesign.SYNC),
+                                      10_000, 10_000)
+
+
+class TestRemoteDelayBudget:
+    def test_budget_matches_headroom(self):
+        s = scenario(
+            ThreadingDesign.ASYNC_DISTINCT_THREAD,
+            placement=Placement.REMOTE, o1=100.0,
+        )
+        budget = remote_delay_budget(s, 10_000, 12_000)
+        check = check_slo(s, 10_000, 12_000)
+        assert budget == pytest.approx(check.headroom_cycles)
+
+    def test_ads1_style_tradeoff(self):
+        """Remote inference with A = 1: latency headroom must absorb the
+        ~10 ms network hop, so the SLO needs slack."""
+        s = OffloadScenario(
+            kernel=KernelProfile(2.5e9, 0.52, 10),
+            accelerator=AcceleratorSpec(1.0, Placement.REMOTE),
+            costs=OffloadCosts(dispatch_cycles=25_000_000,
+                               thread_switch_cycles=12_500),
+            design=ThreadingDesign.ASYNC_DISTINCT_THREAD,
+        )
+        baseline = 2.5e6  # one request's cycles
+        network_delay = 25_000_000  # ~10 ms at 2.5 GHz
+        tight = check_slo(s, baseline, slo_cycles=baseline,
+                          extra_delay_cycles=network_delay)
+        assert not tight.admissible  # the paper's latency degradation
+        generous = check_slo(s, baseline, slo_cycles=baseline + 3e7,
+                             extra_delay_cycles=network_delay)
+        assert generous.admissible
+
+    def test_rejected_for_local_placement(self):
+        with pytest.raises(ParameterError):
+            remote_delay_budget(scenario(), 10_000, 10_000)

@@ -1,0 +1,114 @@
+"""Tests for the CDF figures with break-even markers (Figs. 15/19/21/22)."""
+
+import math
+
+import pytest
+
+from repro.characterization import (
+    fig15_encryption_cdf,
+    fig19_compression_cdf,
+    fig21_copy_cdf,
+    fig22_allocation_cdf,
+)
+from repro.paperdata.breakdowns import FB_SERVICES
+
+
+def assert_valid_cdf(series):
+    values = [value for _, value in series]
+    assert values == sorted(values)
+    assert values[-1] == pytest.approx(1.0)
+    assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+
+
+class TestFig15:
+    def test_cache1_series_valid(self):
+        figure = fig15_encryption_cdf()
+        assert_valid_cdf(figure.series["cache1"])
+
+    def test_breakeven_about_one_byte(self):
+        """The paper: AES-NI offloads improve speedup when g >= 1 B."""
+        figure = fig15_encryption_cdf()
+        assert figure.markers["aes-ni-breakeven"] == pytest.approx(1.0, abs=3.0)
+
+    def test_virtually_all_encryptions_above_breakeven(self):
+        """Fig. 15: Cache1's encryption sizes are ~>= 4 B, so essentially
+        every offload is lucrative (only the sub-4 B bin's midpoint can
+        dip below the few-byte break-even)."""
+        figure = fig15_encryption_cdf()
+        from repro.workloads import build_workload
+
+        dist = build_workload("cache1").granularity_distribution("encryption")
+        marker = figure.markers["aes-ni-breakeven"]
+        assert marker <= 4.0
+        assert dist.count_fraction_at_least(marker) >= 0.93
+        assert dist.count_fraction_at_least(4.0) >= 0.93
+
+
+class TestFig19:
+    def test_both_series_present_and_valid(self):
+        figure = fig19_compression_cdf()
+        assert set(figure.series) == {"feed1", "cache1"}
+        for series in figure.series.values():
+            assert_valid_cdf(series)
+
+    def test_feed1_compresses_larger(self):
+        figure = fig19_compression_cdf()
+        feed1 = dict(figure.series["feed1"])
+        cache1 = dict(figure.series["cache1"])
+        for label in feed1:
+            assert feed1[label] <= cache1[label] + 1e-9
+
+    def test_markers_ordered_like_paper(self):
+        """On-chip < off-chip Async <= off-chip Sync << off-chip Sync-OS."""
+        markers = fig19_compression_cdf().markers
+        assert markers["on-chip"] < markers["off-chip-async"]
+        assert markers["off-chip-async"] <= markers["off-chip-sync"]
+        assert markers["off-chip-sync"] < markers["off-chip-sync-os"]
+
+    def test_offchip_sync_marker_near_425(self):
+        markers = fig19_compression_cdf().markers
+        assert markers["off-chip-sync"] == pytest.approx(425, abs=5)
+
+    def test_sync_os_marker_in_2k_4k_band(self):
+        markers = fig19_compression_cdf().markers
+        assert 2048 <= markers["off-chip-sync-os"] <= 4096
+
+
+class TestFig21:
+    def test_all_seven_services(self):
+        figure = fig21_copy_cdf()
+        assert set(figure.series) == set(FB_SERVICES)
+        for series in figure.series.values():
+            assert_valid_cdf(series)
+
+    def test_most_copies_small(self):
+        figure = fig21_copy_cdf()
+        for service, series in figure.series.items():
+            at_512 = dict(series)["256B-512B"]
+            assert at_512 >= 0.5, service
+
+    def test_ads1_breakeven_finite_and_small(self):
+        figure = fig21_copy_cdf()
+        marker = figure.markers["ads1-on-chip-breakeven"]
+        assert math.isfinite(marker)
+        assert marker < 128
+
+
+class TestFig22:
+    def test_all_seven_services(self):
+        figure = fig22_allocation_cdf()
+        assert set(figure.series) == set(FB_SERVICES)
+        for series in figure.series.values():
+            assert_valid_cdf(series)
+
+    def test_allocations_smaller_than_copies(self):
+        copies = fig21_copy_cdf().series
+        allocations = fig22_allocation_cdf().series
+        for service in FB_SERVICES:
+            copy_at_512 = dict(copies[service])["256B-512B"]
+            alloc_at_512 = dict(allocations[service])["256B-512B"]
+            assert alloc_at_512 >= copy_at_512
+
+    def test_cache1_breakeven_marker_present(self):
+        figure = fig22_allocation_cdf()
+        assert "cache1-on-chip-breakeven" in figure.markers

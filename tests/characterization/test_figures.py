@@ -1,0 +1,135 @@
+"""Tests for the per-figure regeneration functions (Figs. 1-7, 9)."""
+
+import pytest
+
+from repro.characterization import (
+    fig1_orchestration_split,
+    fig2_leaf_breakdown,
+    fig2_reference_rows,
+    fig3_memory_breakdown,
+    fig4_copy_origins,
+    fig5_kernel_breakdown,
+    fig6_sync_breakdown,
+    fig7_clib_breakdown,
+    fig9_functionality_breakdown,
+)
+from repro.paperdata.breakdowns import (
+    COPY_ORIGINS,
+    MEMORY_BREAKDOWN,
+    ORCHESTRATION_SPLIT,
+)
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+
+
+class TestFig1:
+    def test_split_sums_to_100(self, cache1_run):
+        split = fig1_orchestration_split(cache1_run)
+        assert split["application_logic"] + split["orchestration"] == (
+            pytest.approx(100.0)
+        )
+
+    def test_orchestration_dominates_for_cache1(self, cache1_run):
+        split = fig1_orchestration_split(cache1_run)
+        published = ORCHESTRATION_SPLIT["cache1"]
+        assert split["orchestration"] == pytest.approx(
+            published["orchestration"], abs=3
+        )
+
+    def test_web_application_logic_near_18(self, web_run):
+        split = fig1_orchestration_split(web_run)
+        assert split["application_logic"] == pytest.approx(18, abs=3)
+
+
+class TestFig2:
+    def test_breakdown_sums_to_100(self, cache1_run):
+        breakdown = fig2_leaf_breakdown(cache1_run)
+        assert sum(breakdown.values()) == pytest.approx(100.0)
+
+    def test_kernel_dominates_cache1(self, cache1_run):
+        breakdown = fig2_leaf_breakdown(cache1_run)
+        assert max(breakdown, key=breakdown.get) is L.KERNEL
+
+    def test_memory_dominates_web(self, web_run):
+        breakdown = fig2_leaf_breakdown(web_run)
+        assert max(breakdown, key=breakdown.get) is L.MEMORY
+
+    def test_reference_rows_published(self):
+        rows = fig2_reference_rows()
+        assert "google" in rows and "403.gcc" in rows
+        for breakdown in rows.values():
+            assert sum(breakdown.values()) == 100
+
+
+class TestFig3:
+    def test_shares_sum_to_100(self, cache1_run):
+        breakdown = fig3_memory_breakdown(cache1_run)
+        assert sum(breakdown.values()) == pytest.approx(100.0, abs=0.5)
+
+    def test_copy_share_measured_close_to_published(self, cache1_run):
+        breakdown = fig3_memory_breakdown(cache1_run)
+        assert breakdown["copy"] == pytest.approx(
+            MEMORY_BREAKDOWN["cache1"]["copy"], abs=6
+        )
+
+    def test_alloc_share_measured(self, cache1_run):
+        breakdown = fig3_memory_breakdown(cache1_run)
+        assert breakdown["alloc"] == pytest.approx(
+            MEMORY_BREAKDOWN["cache1"]["alloc"], abs=6
+        )
+
+    def test_copy_dominates(self, ads1_run):
+        breakdown = fig3_memory_breakdown(ads1_run)
+        assert breakdown["copy"] == max(breakdown.values())
+
+
+class TestFig4:
+    def test_origin_shares_sum_to_100(self, cache1_run):
+        origins = fig4_copy_origins(cache1_run)
+        assert sum(origins.values()) == pytest.approx(100.0)
+
+    @pytest.mark.parametrize("fixture", ["cache1_run", "web_run", "ads1_run"])
+    def test_measured_origins_close_to_published(self, fixture, request):
+        run = request.getfixturevalue(fixture)
+        origins = fig4_copy_origins(run)
+        published = COPY_ORIGINS[run.service]
+        for key, value in published.items():
+            assert origins.get(key, 0.0) == pytest.approx(value, abs=6), key
+
+
+class TestSubBreakdowns:
+    def test_fig5_contains_net_and_split(self, cache1_run):
+        breakdown = fig5_kernel_breakdown(cache1_run)
+        net = breakdown.pop("_net_percent_of_total")
+        assert net == pytest.approx(44, abs=4)  # Cache1 kernel share
+        assert sum(breakdown.values()) == pytest.approx(100.0)
+        assert breakdown["scheduler"] == 32
+
+    def test_fig6_cache1_spin_heavy(self, cache1_run):
+        breakdown = fig6_sync_breakdown(cache1_run)
+        breakdown.pop("_net_percent_of_total")
+        assert breakdown["spin_lock"] == 86
+
+    def test_fig7_web_strings(self, web_run):
+        breakdown = fig7_clib_breakdown(web_run)
+        net = breakdown.pop("_net_percent_of_total")
+        assert net == pytest.approx(31, abs=4)
+        assert breakdown["strings"] == 32
+
+
+class TestFig9:
+    def test_sums_to_100(self, cache1_run):
+        breakdown = fig9_functionality_breakdown(cache1_run)
+        assert sum(breakdown.values()) == pytest.approx(100.0)
+
+    def test_io_dominates_cache1(self, cache1_run):
+        breakdown = fig9_functionality_breakdown(cache1_run)
+        assert max(breakdown, key=breakdown.get) is F.IO
+
+    def test_prediction_dominates_ads1(self, ads1_run):
+        breakdown = fig9_functionality_breakdown(ads1_run)
+        assert max(breakdown, key=breakdown.get) is F.PREDICTION_RANKING
+        assert breakdown[F.PREDICTION_RANKING] == pytest.approx(52, abs=3)
+
+    def test_web_logging_near_23(self, web_run):
+        breakdown = fig9_functionality_breakdown(web_run)
+        assert breakdown[F.LOGGING] == pytest.approx(23, abs=3)

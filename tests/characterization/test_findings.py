@@ -1,0 +1,59 @@
+"""Tests for measured Table-4 finding derivation."""
+
+import pytest
+
+from repro.characterization import derive_findings, findings_report
+
+
+@pytest.fixture(scope="module")
+def runs(request):
+    return {
+        "cache1": request.getfixturevalue("cache1_run"),
+        "web": request.getfixturevalue("web_run"),
+        "feed1": request.getfixturevalue("feed1_run"),
+    }
+
+
+class TestDeriveFindings:
+    def test_orchestration_finding_reproduced(self, runs):
+        findings = {f.finding: f for f in derive_findings(runs)}
+        orchestration = findings["Significant orchestration overheads"]
+        assert orchestration.reproduced
+        assert "cache1" in orchestration.services
+        assert "web" in orchestration.services
+
+    def test_memory_finding_includes_web(self, runs):
+        findings = {f.finding: f for f in derive_findings(runs)}
+        memory = findings["Memory copies & allocations are significant"]
+        assert "web" in memory.services
+
+    def test_kernel_finding_names_cache(self, runs):
+        findings = {f.finding: f for f in derive_findings(runs)}
+        kernel = findings["High kernel overhead and low IPC"]
+        assert kernel.services == ("cache1",)
+
+    def test_logging_finding_names_web_only(self, runs):
+        findings = {f.finding: f for f in derive_findings(runs)}
+        logging = findings["Logging overheads can dominate"]
+        assert logging.services == ("web",)
+
+    def test_compression_finding_names_feed1(self, runs):
+        findings = {f.finding: f for f in derive_findings(runs)}
+        compression = findings["High compression overhead"]
+        assert "feed1" in compression.services
+
+    def test_synchronization_finding_names_cache(self, runs):
+        findings = {f.finding: f for f in derive_findings(runs)}
+        sync = findings["Cache synchronizes frequently"]
+        assert sync.services == ("cache1",)
+
+    def test_all_findings_have_evidence(self, runs):
+        for finding in derive_findings(runs):
+            assert finding.evidence
+
+
+class TestReport:
+    def test_report_text(self, runs):
+        text = findings_report(runs)
+        assert "REPRODUCED" in text
+        assert "Logging overheads can dominate" in text

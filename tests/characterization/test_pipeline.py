@@ -1,0 +1,42 @@
+"""Integration tests for the characterization pipeline."""
+
+import pytest
+
+from repro.characterization import characterize
+from repro.paperdata.breakdowns import FUNCTIONALITY_BREAKDOWN, LEAF_BREAKDOWN
+from repro.profiling import l1_distance
+
+
+class TestCharacterize:
+    def test_run_completes_requests(self, cache1_run):
+        assert cache1_run.simulation.completed_requests > 100
+
+    def test_profile_platform_and_service(self, cache1_run):
+        assert cache1_run.profile.service == "cache1"
+        assert cache1_run.profile.platform == "GenC"
+        assert cache1_run.service == "cache1"
+
+    def test_functionality_shares_close_to_published(self, cache1_run):
+        measured = cache1_run.profile.functionality_shares()
+        published = FUNCTIONALITY_BREAKDOWN["cache1"]
+        assert l1_distance(measured, published) < 0.05
+
+    def test_leaf_shares_close_to_published(self, cache1_run):
+        measured = cache1_run.profile.leaf_shares()
+        published = LEAF_BREAKDOWN["cache1"]
+        assert l1_distance(measured, published) < 0.05
+
+    @pytest.mark.parametrize("fixture", ["web_run", "feed1_run", "ads1_run"])
+    def test_other_services_also_close(self, fixture, request):
+        run = request.getfixturevalue(fixture)
+        measured = run.profile.functionality_shares()
+        published = FUNCTIONALITY_BREAKDOWN[run.service]
+        assert l1_distance(measured, published) < 0.05
+
+    def test_custom_window(self):
+        run = characterize("cache2", window_cycles=2e6, seed=1)
+        assert run.simulation.config.window_cycles == 2e6
+
+    def test_platform_selects_ipc_model(self):
+        run = characterize("cache2", platform="GenA", requests_target=50, seed=1)
+        assert run.profile.platform == "GenA"

@@ -1,0 +1,38 @@
+"""Shared fixtures.
+
+Characterization simulations are the slowest pieces, so they are
+session-scoped and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import characterize, characterize_across_generations
+
+
+@pytest.fixture(scope="session")
+def cache1_run():
+    """One characterized Cache1 execution (GenC)."""
+    return characterize("cache1", seed=2020)
+
+
+@pytest.fixture(scope="session")
+def web_run():
+    return characterize("web", seed=2021)
+
+
+@pytest.fixture(scope="session")
+def feed1_run():
+    return characterize("feed1", seed=2022)
+
+
+@pytest.fixture(scope="session")
+def ads1_run():
+    return characterize("ads1", seed=2023)
+
+
+@pytest.fixture(scope="session")
+def generation_runs():
+    """Cache1 characterized on GenA/GenB/GenC with identical workload."""
+    return characterize_across_generations(seed=2020)

@@ -1,0 +1,123 @@
+"""Unit tests for performance-bound decomposition."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    BindingConstraint,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+    bound_report,
+    decompose,
+    granularity_landmarks,
+)
+from repro.errors import ParameterError
+
+
+def scenario(design=ThreadingDesign.SYNC, alpha=0.3, a=4.0, n=100.0,
+             o0=5.0, l=10.0, o1=20.0, cb=2.0):
+    return OffloadScenario(
+        kernel=KernelProfile(1e6, alpha, n, cycles_per_byte=cb),
+        accelerator=AcceleratorSpec(a, Placement.OFF_CHIP),
+        costs=OffloadCosts(dispatch_cycles=o0, interface_cycles=l,
+                           thread_switch_cycles=o1),
+        design=design,
+    )
+
+
+class TestDecompose:
+    def test_terms_sum_to_inverse_speedup(self):
+        for design in ThreadingDesign:
+            s = scenario(design)
+            d = decompose(s)
+            assert d.speedup == pytest.approx(Accelerometer().speedup(s))
+
+    def test_sync_has_accelerator_term(self):
+        d = decompose(scenario(ThreadingDesign.SYNC))
+        assert d.accelerator_fraction == pytest.approx(0.3 / 4)
+        assert d.switching_fraction == 0.0
+
+    def test_sync_os_has_switching_term(self):
+        d = decompose(scenario(ThreadingDesign.SYNC_OS))
+        assert d.accelerator_fraction == 0.0
+        assert d.switching_fraction == pytest.approx(100 / 1e6 * 40)
+
+    def test_async_has_neither(self):
+        d = decompose(scenario(ThreadingDesign.ASYNC))
+        assert d.accelerator_fraction == 0.0
+        assert d.switching_fraction == 0.0
+
+    def test_distinct_thread_single_switch(self):
+        d = decompose(scenario(ThreadingDesign.ASYNC_DISTINCT_THREAD))
+        assert d.switching_fraction == pytest.approx(100 / 1e6 * 20)
+
+
+class TestBindingConstraint:
+    def test_serial_bound_when_overheads_small(self):
+        d = decompose(scenario(alpha=0.1))
+        assert d.binding_constraint is BindingConstraint.SERIAL_FRACTION
+
+    def test_accelerator_bound_for_slow_device(self):
+        d = decompose(scenario(alpha=0.9, a=1.2, n=1, o0=0, l=0))
+        assert d.binding_constraint is BindingConstraint.ACCELERATOR_CAPABILITY
+
+    def test_overhead_bound_for_chatty_offloads(self):
+        d = decompose(scenario(alpha=0.9, a=1e6, n=50_000, o0=10, l=10))
+        assert d.binding_constraint is BindingConstraint.OFFLOAD_OVERHEAD
+
+    def test_switching_bound_for_sync_os(self):
+        d = decompose(
+            scenario(ThreadingDesign.SYNC_OS, alpha=0.9, n=20_000, o0=0,
+                     l=0, o1=50)
+        )
+        assert d.binding_constraint is BindingConstraint.THREAD_SWITCHING
+
+
+class TestHeadroom:
+    def test_headroom_gap_to_ceiling(self):
+        d = decompose(scenario())
+        assert d.improvement_headroom() == pytest.approx(
+            d.speedup_at_ceiling / d.speedup
+        )
+        assert d.improvement_headroom() >= 1.0
+
+    def test_full_offload_ceiling_infinite(self):
+        d = decompose(scenario(alpha=1.0, a=10, n=1, o0=0, l=0))
+        assert math.isinf(d.speedup_at_ceiling)
+
+
+class TestLandmarks:
+    def test_half_gain_is_twice_breakeven_for_linear(self):
+        landmarks = granularity_landmarks(scenario())
+        assert landmarks.g_half_gain == pytest.approx(
+            landmarks.g_breakeven * 2
+        )
+
+    def test_requires_cb(self):
+        s = scenario()
+        stripped = dataclasses.replace(
+            s, kernel=dataclasses.replace(s.kernel, cycles_per_byte=None)
+        )
+        with pytest.raises(ParameterError):
+            granularity_landmarks(stripped)
+
+    def test_infinite_when_never_profitable(self):
+        s = scenario(a=1.0)  # Sync with A=1 never breaks even
+        landmarks = granularity_landmarks(s)
+        assert math.isinf(landmarks.g_breakeven)
+        assert math.isinf(landmarks.g_half_gain)
+
+
+class TestReport:
+    def test_report_mentions_constraint_and_landmarks(self):
+        text = bound_report(scenario())
+        assert "binding constraint" in text
+        assert "g_breakeven" in text
+        assert "Amdahl ceiling" in text

@@ -1,0 +1,104 @@
+"""Unit tests for kernel complexity fitting (the g**beta extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComplexityClass, KernelComplexity, classify, fit_power_law
+from repro.core.complexity import (
+    breakeven_shift_under_complexity,
+    fit_quality,
+    pairwise_exponent_estimates,
+)
+from repro.errors import ParameterError
+
+
+class TestKernelComplexity:
+    def test_linear_cost(self):
+        model = KernelComplexity(cycles_per_byte=3.0)
+        assert model.host_cycles(100) == 300
+
+    def test_superlinear_cost(self):
+        model = KernelComplexity(cycles_per_byte=2.0, beta=2.0)
+        assert model.host_cycles(10) == 200
+
+    def test_accelerator_cycles(self):
+        model = KernelComplexity(cycles_per_byte=3.0)
+        assert model.accelerator_cycles(100, peak_speedup=6) == 50
+
+    def test_complexity_class(self):
+        assert KernelComplexity(1, 0.5).complexity_class is ComplexityClass.SUB_LINEAR
+        assert KernelComplexity(1, 1.0).complexity_class is ComplexityClass.LINEAR
+        assert KernelComplexity(1, 2.0).complexity_class is ComplexityClass.SUPER_LINEAR
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            KernelComplexity(0, 1.0)
+        with pytest.raises(ParameterError):
+            KernelComplexity(1, 0)
+
+
+class TestClassify:
+    def test_tolerance_band(self):
+        assert classify(1.04) is ComplexityClass.LINEAR
+        assert classify(0.96) is ComplexityClass.LINEAR
+        assert classify(1.2) is ComplexityClass.SUPER_LINEAR
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            classify(0)
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_parameters(self):
+        g = np.array([16, 64, 256, 1024, 4096], dtype=float)
+        cycles = 5.5 * g**1.3
+        model = fit_power_law(g, cycles)
+        assert model.beta == pytest.approx(1.3, rel=1e-9)
+        assert model.cycles_per_byte == pytest.approx(5.5, rel=1e-9)
+
+    def test_fit_quality_perfect(self):
+        g = np.array([16, 64, 256], dtype=float)
+        cycles = 2.0 * g
+        model = fit_power_law(g, cycles)
+        assert fit_quality(model, g, cycles) == pytest.approx(1.0)
+
+    def test_fit_with_noise_close(self):
+        rng = np.random.default_rng(0)
+        g = np.geomspace(16, 65536, 20)
+        cycles = 4.0 * g * np.exp(rng.normal(0, 0.05, size=g.size))
+        model = fit_power_law(g, cycles)
+        assert model.beta == pytest.approx(1.0, abs=0.1)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ParameterError):
+            fit_power_law([10], [20])
+
+    def test_rejects_nonpositive_measurements(self):
+        with pytest.raises(ParameterError):
+            fit_power_law([1, 2], [0, 2])
+
+
+class TestBreakevenShift:
+    def test_superlinear_shrinks_threshold(self):
+        assert breakeven_shift_under_complexity(400.0, 2.0) == pytest.approx(20.0)
+
+    def test_linear_identity(self):
+        assert breakeven_shift_under_complexity(400.0, 1.0) == 400.0
+
+    def test_sublinear_grows_threshold(self):
+        assert breakeven_shift_under_complexity(400.0, 0.5) == pytest.approx(160_000.0)
+
+
+class TestPairwiseEstimates:
+    def test_constant_exponent(self):
+        g = [2.0, 4.0, 8.0]
+        cycles = [4.0, 16.0, 64.0]
+        estimates = pairwise_exponent_estimates(g, cycles)
+        assert all(e == pytest.approx(2.0) for e in estimates)
+
+    def test_detects_regime_change(self):
+        g = [2.0, 4.0, 8.0]
+        cycles = [2.0, 4.0, 16.0]  # linear, then quadratic
+        low, high = pairwise_exponent_estimates(g, cycles)
+        assert low == pytest.approx(1.0)
+        assert high == pytest.approx(2.0)

@@ -1,0 +1,175 @@
+"""Unit tests for the scenario-driven Accelerometer model."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+    project,
+)
+from repro.core import equations as eq
+
+
+def make_scenario(design=ThreadingDesign.SYNC, placement=Placement.OFF_CHIP,
+                  alpha=0.3, a=4.0, n=100.0, o0=5.0, l=10.0, q=2.0, o1=20.0,
+                  c=1.0e6):
+    return OffloadScenario(
+        kernel=KernelProfile(c, alpha, n),
+        accelerator=AcceleratorSpec(a, placement),
+        costs=OffloadCosts(
+            dispatch_cycles=o0, interface_cycles=l, queue_cycles=q,
+            thread_switch_cycles=o1,
+        ),
+        design=design,
+    )
+
+
+MODEL = Accelerometer()
+
+
+class TestSpeedupDispatch:
+    def test_sync_uses_equation_1(self):
+        scenario = make_scenario(ThreadingDesign.SYNC)
+        assert MODEL.speedup(scenario) == pytest.approx(
+            eq.sync_speedup(1e6, 0.3, 4, 100, 5, 10, 2)
+        )
+
+    def test_sync_os_uses_equation_3(self):
+        scenario = make_scenario(ThreadingDesign.SYNC_OS)
+        assert MODEL.speedup(scenario) == pytest.approx(
+            eq.sync_os_speedup(1e6, 0.3, 100, 5, 12, 0, 20)
+        )
+
+    def test_sync_os_remote_drops_l_and_q(self):
+        scenario = make_scenario(ThreadingDesign.SYNC_OS, Placement.REMOTE)
+        assert MODEL.speedup(scenario) == pytest.approx(
+            eq.sync_os_speedup(1e6, 0.3, 100, 5, 0, 0, 20)
+        )
+
+    def test_async_uses_equation_6(self):
+        scenario = make_scenario(ThreadingDesign.ASYNC)
+        assert MODEL.speedup(scenario) == pytest.approx(
+            eq.async_speedup(1e6, 0.3, 100, 5, 10, 2)
+        )
+
+    def test_async_distinct_thread_adds_one_o1(self):
+        scenario = make_scenario(ThreadingDesign.ASYNC_DISTINCT_THREAD)
+        assert MODEL.speedup(scenario) == pytest.approx(
+            eq.async_distinct_thread_speedup(1e6, 0.3, 100, 5, 10, 2, 20)
+        )
+
+    def test_fire_and_forget_matches_async(self):
+        assert MODEL.speedup(
+            make_scenario(ThreadingDesign.ASYNC_NO_RESPONSE)
+        ) == MODEL.speedup(make_scenario(ThreadingDesign.ASYNC))
+
+
+class TestLatencyDispatch:
+    def test_sync_latency_equals_speedup(self):
+        scenario = make_scenario(ThreadingDesign.SYNC)
+        assert MODEL.latency_reduction(scenario) == MODEL.speedup(scenario)
+
+    def test_sync_os_latency_uses_equation_5(self):
+        scenario = make_scenario(ThreadingDesign.SYNC_OS)
+        assert MODEL.latency_reduction(scenario) == pytest.approx(
+            eq.sync_os_latency_reduction(1e6, 0.3, 4, 100, 5, 10, 2, 20)
+        )
+
+    def test_async_latency_uses_equation_8(self):
+        scenario = make_scenario(ThreadingDesign.ASYNC)
+        assert MODEL.latency_reduction(scenario) == pytest.approx(
+            eq.async_latency_reduction(1e6, 0.3, 4, 100, 5, 10, 2)
+        )
+
+    def test_fire_and_forget_offchip_keeps_accelerator_latency(self):
+        scenario = make_scenario(ThreadingDesign.ASYNC_NO_RESPONSE)
+        assert MODEL.latency_reduction(scenario) == pytest.approx(
+            eq.async_latency_reduction(1e6, 0.3, 4, 100, 5, 10, 2)
+        )
+
+    def test_fire_and_forget_remote_drops_accelerator_latency(self):
+        scenario = make_scenario(
+            ThreadingDesign.ASYNC_NO_RESPONSE, Placement.REMOTE
+        )
+        # Remote: the accelerator's time moves to the application's
+        # end-to-end latency, so CL uses eqn. (6).
+        assert MODEL.latency_reduction(scenario) == pytest.approx(
+            eq.async_speedup(1e6, 0.3, 100, 5, 10, 2)
+        )
+
+
+class TestEvaluate:
+    def test_result_fields_consistent(self):
+        scenario = make_scenario()
+        result = MODEL.evaluate(scenario)
+        assert result.speedup == MODEL.speedup(scenario)
+        assert result.latency_reduction == MODEL.latency_reduction(scenario)
+        assert result.ideal_speedup == pytest.approx(1 / 0.7)
+        assert result.freed_cycle_fraction == pytest.approx(
+            1 - 1 / result.speedup
+        )
+
+    def test_percent_properties(self):
+        result = MODEL.evaluate(make_scenario())
+        assert result.speedup_percent == pytest.approx(
+            (result.speedup - 1) * 100
+        )
+
+    def test_trade_detection(self):
+        # Big o1, slow accelerator: throughput gain, latency loss.
+        scenario = make_scenario(
+            ThreadingDesign.SYNC_OS, alpha=0.4, a=1.01, n=10, o0=0, l=0, q=0,
+            o1=1_500, c=1e5,
+        )
+        result = MODEL.evaluate(scenario)
+        assert result.improves_throughput
+        assert not result.reduces_latency
+        assert result.trades_latency_for_throughput
+
+    def test_never_exceeds_ideal_with_positive_overheads(self):
+        for design in ThreadingDesign:
+            result = MODEL.evaluate(make_scenario(design))
+            assert result.speedup <= result.ideal_speedup + 1e-12
+
+
+class TestQueueingDistribution:
+    def test_distribution_replaces_mean_q(self):
+        scenario = make_scenario(ThreadingDesign.SYNC, q=0.0, n=4)
+        delays = [0, 0, 4, 4]  # mean 2
+        value = MODEL.speedup_with_queueing_distribution(scenario, delays)
+        expected = MODEL.speedup(
+            dataclasses.replace(
+                scenario, costs=scenario.costs.replace(queue_cycles=2.0)
+            )
+        )
+        assert value == pytest.approx(expected)
+
+    def test_uses_delay_count_when_n_zero(self):
+        scenario = make_scenario(ThreadingDesign.SYNC, q=0.0, n=0, alpha=0.0)
+        value = MODEL.speedup_with_queueing_distribution(scenario, [10, 10])
+        assert value < 1.0
+
+    def test_rejects_negative_delays(self):
+        scenario = make_scenario()
+        with pytest.raises(Exception):
+            MODEL.speedup_with_queueing_distribution(scenario, [-1.0])
+
+
+class TestProjectHelper:
+    def test_project_builds_equivalent_scenario(self):
+        direct = MODEL.evaluate(make_scenario())
+        helper = project(
+            total_cycles=1e6, kernel_fraction=0.3, offloads_per_unit=100,
+            peak_speedup=4, design=ThreadingDesign.SYNC,
+            placement=Placement.OFF_CHIP, dispatch_cycles=5,
+            interface_cycles=10, queue_cycles=2, thread_switch_cycles=20,
+        )
+        assert helper.speedup == pytest.approx(direct.speedup)
+        assert helper.latency_reduction == pytest.approx(direct.latency_reduction)

@@ -1,0 +1,137 @@
+"""Unit tests for multi-kernel and fused-offload acceleration."""
+
+import pytest
+
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    FusedPlan,
+    KernelPlan,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+    combined_speedup,
+    fused_speedup,
+    fusion_benefit,
+)
+from repro.errors import ParameterError
+
+ACCEL = AcceleratorSpec(10.0, Placement.OFF_CHIP)
+COSTS = OffloadCosts(dispatch_cycles=10, interface_cycles=100)
+
+
+def plan(name, alpha, n, design=ThreadingDesign.SYNC):
+    return KernelPlan(
+        name=name,
+        kernel=KernelProfile(1e9, alpha, n),
+        accelerator=ACCEL,
+        costs=COSTS,
+        design=design,
+    )
+
+
+class TestCombinedSpeedup:
+    def test_single_plan_matches_model(self):
+        single = plan("k", 0.2, 1000)
+        scenario = OffloadScenario(
+            kernel=single.kernel, accelerator=ACCEL, costs=COSTS,
+            design=ThreadingDesign.SYNC,
+        )
+        assert combined_speedup([single]) == pytest.approx(
+            Accelerometer().speedup(scenario)
+        )
+
+    def test_two_kernels_better_than_each_alone(self):
+        a, b = plan("a", 0.2, 1000), plan("b", 0.1, 500)
+        combined = combined_speedup([a, b])
+        assert combined > combined_speedup([a])
+        assert combined > combined_speedup([b])
+
+    def test_mixed_designs_supported(self):
+        a = plan("a", 0.2, 1000, ThreadingDesign.SYNC)
+        b = plan("b", 0.1, 500, ThreadingDesign.ASYNC)
+        assert combined_speedup([a, b]) > 1.0
+
+    def test_rejects_mismatched_c(self):
+        a = plan("a", 0.2, 1000)
+        b = KernelPlan(
+            "b", KernelProfile(2e9, 0.1, 500), ACCEL, COSTS,
+            ThreadingDesign.SYNC,
+        )
+        with pytest.raises(ParameterError):
+            combined_speedup([a, b])
+
+    def test_rejects_overlapping_fractions(self):
+        with pytest.raises(ParameterError):
+            combined_speedup([plan("a", 0.7, 10), plan("b", 0.6, 10)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            combined_speedup([])
+
+
+class TestFusedSpeedup:
+    def _fused(self, design=ThreadingDesign.SYNC, n=1000.0):
+        kernels = (KernelProfile(1e9, 0.2, n), KernelProfile(1e9, 0.1, n))
+        return FusedPlan(
+            name="fused",
+            kernels=kernels,
+            accelerators=(ACCEL, ACCEL),
+            costs=COSTS,
+            offloads_per_unit=n,
+            design=design,
+        )
+
+    def test_fusion_beats_independent_offloads(self):
+        independent = [plan("a", 0.2, 1000), plan("b", 0.1, 1000)]
+        fused = self._fused()
+        benefit = fusion_benefit(independent, fused)
+        assert benefit["fused_speedup"] > benefit["independent_speedup"]
+        assert benefit["fusion_gain_pp"] > 0
+
+    def test_fusion_gain_vanishes_with_free_dispatch(self):
+        free_costs = OffloadCosts()
+        independent = [
+            KernelPlan("a", KernelProfile(1e9, 0.2, 1000), ACCEL, free_costs),
+            KernelPlan("b", KernelProfile(1e9, 0.1, 1000), ACCEL, free_costs),
+        ]
+        fused = FusedPlan(
+            "fused",
+            (KernelProfile(1e9, 0.2, 1000), KernelProfile(1e9, 0.1, 1000)),
+            (ACCEL, ACCEL),
+            free_costs,
+            offloads_per_unit=1000,
+        )
+        benefit = fusion_benefit(independent, fused)
+        assert benefit["fusion_gain_pp"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_async_fusion(self):
+        fused = self._fused(ThreadingDesign.ASYNC)
+        # Async fused: 1 - 0.3 + n/C * (o0 + L)
+        expected = 1.0 / (0.7 + 1000 / 1e9 * 110)
+        assert fused_speedup(fused) == pytest.approx(expected)
+
+    def test_sync_fusion_keeps_both_accelerator_terms(self):
+        fused = self._fused(ThreadingDesign.SYNC)
+        expected = 1.0 / (0.7 + 0.02 + 0.01 + 1000 / 1e9 * 110)
+        assert fused_speedup(fused) == pytest.approx(expected)
+
+    def test_rejects_kernel_accelerator_mismatch(self):
+        with pytest.raises(ParameterError):
+            FusedPlan(
+                "bad", (KernelProfile(1e9, 0.1, 10),), (ACCEL, ACCEL),
+                COSTS, offloads_per_unit=10,
+            )
+
+    def test_rejects_alpha_overflow(self):
+        fused = FusedPlan(
+            "bad",
+            (KernelProfile(1e9, 0.7, 10), KernelProfile(1e9, 0.6, 10)),
+            (ACCEL, ACCEL),
+            COSTS,
+            offloads_per_unit=10,
+        )
+        with pytest.raises(ParameterError):
+            fused_speedup(fused)

@@ -1,0 +1,143 @@
+"""Unit tests for the model parameter dataclasses."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+)
+from repro.errors import ParameterError
+
+
+class TestOffloadCosts:
+    def test_dispatch_total_sums_o0_l_q(self):
+        costs = OffloadCosts(
+            dispatch_cycles=1, interface_cycles=2, queue_cycles=3,
+            thread_switch_cycles=99,
+        )
+        assert costs.dispatch_total == 6
+
+    def test_defaults_are_zero(self):
+        assert OffloadCosts().dispatch_total == 0
+
+    def test_replace_returns_new_instance(self):
+        costs = OffloadCosts(dispatch_cycles=1)
+        replaced = costs.replace(interface_cycles=5)
+        assert replaced.interface_cycles == 5
+        assert costs.interface_cycles == 0
+
+    @pytest.mark.parametrize(
+        "field", ["dispatch_cycles", "interface_cycles", "queue_cycles",
+                  "thread_switch_cycles"],
+    )
+    def test_rejects_negative(self, field):
+        with pytest.raises(ParameterError):
+            OffloadCosts(**{field: -1})
+
+
+class TestAcceleratorSpec:
+    def test_kernel_cycles_scaled_by_a(self):
+        spec = AcceleratorSpec(peak_speedup=4)
+        assert spec.kernel_cycles_on_accelerator(100) == 25
+
+    def test_a_below_one_allowed(self):
+        # A remote general-purpose CPU can be slower than the host.
+        spec = AcceleratorSpec(peak_speedup=0.5)
+        assert spec.kernel_cycles_on_accelerator(100) == 200
+
+    def test_rejects_nonpositive_a(self):
+        with pytest.raises(ParameterError):
+            AcceleratorSpec(peak_speedup=0)
+
+    def test_rejects_infinite_a(self):
+        with pytest.raises(ParameterError):
+            AcceleratorSpec(peak_speedup=math.inf)
+
+
+class TestKernelProfile:
+    def test_kernel_and_non_kernel_cycles(self):
+        profile = KernelProfile(1000, 0.3, 10)
+        assert profile.kernel_cycles == pytest.approx(300)
+        assert profile.non_kernel_cycles == pytest.approx(700)
+
+    def test_mean_cycles_per_offload(self):
+        profile = KernelProfile(1000, 0.3, 10)
+        assert profile.mean_cycles_per_offload == pytest.approx(30)
+
+    def test_mean_cycles_with_zero_offloads(self):
+        assert KernelProfile(1000, 0.3, 0).mean_cycles_per_offload == 0.0
+
+    def test_host_cost_linear(self):
+        profile = KernelProfile(1000, 0.3, 10, cycles_per_byte=2.0)
+        assert profile.host_cost_of_offload(50) == 100
+
+    def test_host_cost_superlinear(self):
+        profile = KernelProfile(
+            1000, 0.3, 10, cycles_per_byte=2.0, complexity_exponent=2.0
+        )
+        assert profile.host_cost_of_offload(10) == 200
+
+    def test_host_cost_requires_cb(self):
+        with pytest.raises(ParameterError):
+            KernelProfile(1000, 0.3, 10).host_cost_of_offload(10)
+
+    def test_selected_offloads_scale_alpha_by_count(self):
+        profile = KernelProfile(1000, 0.4, 100)
+        selected = profile.with_selected_offloads(25)
+        assert selected.offloads_per_unit == 25
+        assert selected.kernel_fraction == pytest.approx(0.1)
+
+    def test_selected_offloads_explicit_alpha(self):
+        profile = KernelProfile(1000, 0.4, 100)
+        selected = profile.with_selected_offloads(25, selected_alpha=0.3)
+        assert selected.kernel_fraction == pytest.approx(0.3)
+
+    def test_selected_offloads_rejects_more_than_n(self):
+        with pytest.raises(ParameterError):
+            KernelProfile(1000, 0.4, 100).with_selected_offloads(101)
+
+    def test_selected_offloads_rejects_alpha_above_original(self):
+        with pytest.raises(ParameterError):
+            KernelProfile(1000, 0.4, 100).with_selected_offloads(
+                50, selected_alpha=0.5
+            )
+
+    @pytest.mark.parametrize("alpha", [-0.01, 1.01])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ParameterError):
+            KernelProfile(1000, alpha, 10)
+
+
+class TestOffloadScenario:
+    def _scenario(self, design, placement=Placement.OFF_CHIP, awaits=True):
+        return OffloadScenario(
+            kernel=KernelProfile(1000, 0.3, 10),
+            accelerator=AcceleratorSpec(4, placement),
+            costs=OffloadCosts(interface_cycles=10, queue_cycles=5),
+            design=design,
+            driver_awaits_ack=awaits,
+        )
+
+    def test_sync_os_handoff_with_ack(self):
+        scenario = self._scenario(ThreadingDesign.SYNC_OS)
+        assert scenario.effective_handoff_cycles == 15
+
+    def test_sync_os_handoff_without_ack_is_zero(self):
+        scenario = self._scenario(ThreadingDesign.SYNC_OS, awaits=False)
+        assert scenario.effective_handoff_cycles == 0
+
+    def test_sync_os_handoff_remote_is_zero(self):
+        scenario = self._scenario(
+            ThreadingDesign.SYNC_OS, placement=Placement.REMOTE
+        )
+        assert scenario.effective_handoff_cycles == 0
+
+    def test_non_sync_os_designs_keep_l_plus_q(self):
+        scenario = self._scenario(ThreadingDesign.SYNC)
+        assert scenario.effective_handoff_cycles == 15

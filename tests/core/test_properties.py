@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) for core model invariants."""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    GranularityDistribution,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+    min_profitable_granularity,
+)
+from repro.core import equations as eq
+
+MODEL = Accelerometer()
+
+alphas = st.floats(min_value=0.0, max_value=0.95)
+speedup_factors = st.floats(min_value=1.0, max_value=1000.0)
+cycle_counts = st.floats(min_value=1e3, max_value=1e12)
+overheads = st.floats(min_value=0.0, max_value=1e6)
+offload_counts = st.floats(min_value=0.0, max_value=1e6)
+designs = st.sampled_from(list(ThreadingDesign))
+placements = st.sampled_from(list(Placement))
+
+
+@st.composite
+def scenarios(draw):
+    return OffloadScenario(
+        kernel=KernelProfile(
+            total_cycles=draw(cycle_counts),
+            kernel_fraction=draw(alphas),
+            offloads_per_unit=draw(offload_counts),
+        ),
+        accelerator=AcceleratorSpec(
+            peak_speedup=draw(speedup_factors), placement=draw(placements)
+        ),
+        costs=OffloadCosts(
+            dispatch_cycles=draw(overheads),
+            interface_cycles=draw(overheads),
+            queue_cycles=draw(overheads),
+            thread_switch_cycles=draw(overheads),
+        ),
+        design=draw(designs),
+    )
+
+
+class TestModelProperties:
+    @given(scenarios())
+    def test_speedup_positive_and_finite(self, scenario):
+        value = MODEL.speedup(scenario)
+        assert value > 0
+        assert math.isfinite(value)
+
+    @given(scenarios())
+    def test_latency_positive_and_finite(self, scenario):
+        value = MODEL.latency_reduction(scenario)
+        assert value > 0
+        assert math.isfinite(value)
+
+    @given(scenarios())
+    def test_speedup_bounded_by_amdahl_ceiling(self, scenario):
+        value = MODEL.speedup(scenario)
+        ceiling = 1.0 / (1.0 - scenario.kernel.kernel_fraction)
+        assert value <= ceiling + 1e-9
+
+    @given(scenarios())
+    def test_zero_overheads_async_hits_ceiling(self, scenario):
+        free = dataclasses.replace(
+            scenario,
+            costs=OffloadCosts(),
+            design=ThreadingDesign.ASYNC,
+        )
+        value = MODEL.speedup(free)
+        ceiling = 1.0 / (1.0 - scenario.kernel.kernel_fraction)
+        assert value == pytest.approx(ceiling)
+
+    @given(scenarios())
+    def test_async_never_worse_than_sync(self, scenario):
+        sync = MODEL.speedup(
+            dataclasses.replace(scenario, design=ThreadingDesign.SYNC)
+        )
+        asynchronous = MODEL.speedup(
+            dataclasses.replace(scenario, design=ThreadingDesign.ASYNC)
+        )
+        assert asynchronous >= sync - 1e-12
+
+    @given(scenarios())
+    def test_async_never_worse_than_distinct_thread(self, scenario):
+        same_thread = MODEL.speedup(
+            dataclasses.replace(scenario, design=ThreadingDesign.ASYNC)
+        )
+        distinct = MODEL.speedup(
+            dataclasses.replace(
+                scenario, design=ThreadingDesign.ASYNC_DISTINCT_THREAD
+            )
+        )
+        assert same_thread >= distinct - 1e-12
+
+    @given(scenarios(), st.floats(min_value=1.01, max_value=10.0))
+    def test_speedup_monotone_in_a_for_sync(self, scenario, factor):
+        sync = dataclasses.replace(scenario, design=ThreadingDesign.SYNC)
+        faster = dataclasses.replace(
+            sync,
+            accelerator=dataclasses.replace(
+                sync.accelerator,
+                peak_speedup=sync.accelerator.peak_speedup * factor,
+            ),
+        )
+        assert MODEL.speedup(faster) >= MODEL.speedup(sync) - 1e-12
+
+    @given(scenarios(), st.floats(min_value=1.0, max_value=1e5))
+    def test_speedup_antitone_in_interface_latency(self, scenario, extra):
+        slower = dataclasses.replace(
+            scenario,
+            costs=scenario.costs.replace(
+                interface_cycles=scenario.costs.interface_cycles + extra
+            ),
+        )
+        assert MODEL.speedup(slower) <= MODEL.speedup(scenario) + 1e-12
+
+    @given(scenarios())
+    def test_latency_never_better_than_speedup_for_nonblocking(self, scenario):
+        """For async designs, CL includes everything CS does plus the
+        accelerator time, so latency reduction <= speedup."""
+        if scenario.design in (
+            ThreadingDesign.ASYNC,
+            ThreadingDesign.ASYNC_DISTINCT_THREAD,
+        ):
+            assert (
+                MODEL.latency_reduction(scenario)
+                <= MODEL.speedup(scenario) + 1e-12
+            )
+
+    @given(scenarios())
+    def test_evaluate_consistency(self, scenario):
+        result = MODEL.evaluate(scenario)
+        assert result.freed_cycle_fraction == pytest.approx(
+            1.0 - 1.0 / result.speedup
+        )
+
+
+class TestEquationProperties:
+    @given(
+        c=cycle_counts, alpha=alphas, a=speedup_factors,
+        n=offload_counts, o0=overheads, l=overheads, q=overheads,
+    )
+    def test_sync_equation_denominator_positive(self, c, alpha, a, n, o0, l, q):
+        value = eq.sync_speedup(c, alpha, a, n, o0, l, q)
+        assert value > 0
+
+    @given(alpha=st.floats(min_value=0.0, max_value=0.99))
+    def test_ideal_speedup_monotone(self, alpha):
+        assert eq.ideal_speedup(alpha) >= 1.0
+
+
+class TestBreakevenProperties:
+    @given(
+        cb=st.floats(min_value=0.01, max_value=100),
+        a=st.floats(min_value=1.01, max_value=100),
+        o0=overheads, l=overheads,
+        design=designs,
+    )
+    def test_threshold_is_exactly_marginal(self, cb, a, o0, l, design):
+        accelerator = AcceleratorSpec(a, Placement.OFF_CHIP)
+        costs = OffloadCosts(
+            dispatch_cycles=o0, interface_cycles=l, thread_switch_cycles=10
+        )
+        threshold = min_profitable_granularity(design, cb, accelerator, costs)
+        if math.isinf(threshold) or threshold == 0:
+            return
+        margin_checks = {
+            ThreadingDesign.SYNC: lambda g: eq.sync_offload_margin(
+                cb, g, a, o0, l, 0
+            ),
+            ThreadingDesign.SYNC_OS: lambda g: eq.sync_os_offload_margin(
+                cb, g, o0, l, 0, 10
+            ),
+            ThreadingDesign.ASYNC: lambda g: eq.async_offload_margin(
+                cb, g, o0, l, 0
+            ),
+        }
+        check = margin_checks.get(design)
+        if check is None:
+            return
+        assert check(threshold) == pytest.approx(0.0, abs=1e-6 * cb * threshold + 1e-9)
+        assert check(threshold * 1.01) >= 0
+        assert check(threshold * 0.99) <= 0
+
+
+class TestGranularityProperties:
+    @st.composite
+    @staticmethod
+    def distributions(draw):
+        n = draw(st.integers(min_value=1, max_value=8))
+        sizes = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=1, max_value=1e6),
+                    min_size=n, max_size=n, unique=True,
+                )
+            )
+        )
+        counts = draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=1e4), min_size=n, max_size=n
+            )
+        )
+        return GranularityDistribution(tuple(sizes), tuple(counts))
+
+    @given(distributions())
+    def test_cdf_monotone_and_bounded(self, dist):
+        previous = 0.0
+        for size in dist.sizes:
+            value = dist.cdf(size)
+            assert 0.0 <= value <= 1.0 + 1e-12
+            assert value >= previous - 1e-12
+            previous = value
+        assert dist.cdf(dist.sizes[-1]) == pytest.approx(1.0)
+
+    @given(distributions())
+    def test_mean_within_support(self, dist):
+        assert dist.sizes[0] - 1e-9 <= dist.mean <= dist.sizes[-1] + 1e-9
+
+    @given(distributions(), st.floats(min_value=0, max_value=1e6))
+    def test_count_and_byte_fractions_bounded(self, dist, threshold):
+        count_fraction = dist.count_fraction_at_least(threshold)
+        byte_fraction = dist.byte_fraction_at_least(threshold)
+        assert 0.0 <= count_fraction <= 1.0 + 1e-12
+        assert 0.0 <= byte_fraction <= 1.0 + 1e-12
+        # Large offloads carry disproportionately many bytes.
+        if threshold > dist.sizes[0]:
+            assert byte_fraction >= count_fraction - 1e-9
+
+    @given(distributions(), st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_inverts_cdf(self, dist, q):
+        value = dist.quantile(q)
+        assert dist.cdf(value) >= q - 1e-9

@@ -1,0 +1,103 @@
+"""Unit tests for uncertainty propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    ParameterRange,
+    Placement,
+    ThreadingDesign,
+    monte_carlo_speedup,
+    speedup_interval,
+)
+from repro.errors import ParameterError
+
+
+def scenario(design=ThreadingDesign.SYNC):
+    return OffloadScenario(
+        kernel=KernelProfile(1e6, 0.3, 100),
+        accelerator=AcceleratorSpec(4.0, Placement.OFF_CHIP),
+        costs=OffloadCosts(dispatch_cycles=5, interface_cycles=100,
+                           thread_switch_cycles=50),
+        design=design,
+    )
+
+
+class TestParameterRange:
+    def test_rejects_inverted(self):
+        with pytest.raises(ParameterError):
+            ParameterRange(2.0, 1.0)
+
+    def test_degenerate_allowed(self):
+        assert ParameterRange(1.0, 1.0).low == 1.0
+
+
+class TestSpeedupInterval:
+    RANGES = {
+        "A": ParameterRange(2.0, 8.0),
+        "L": ParameterRange(50.0, 500.0),
+    }
+
+    def test_interval_brackets_nominal(self):
+        interval = speedup_interval(scenario(), self.RANGES)
+        assert interval.worst <= interval.nominal <= interval.best
+
+    def test_degenerate_ranges_collapse(self):
+        ranges = {"A": ParameterRange(4.0, 4.0)}
+        interval = speedup_interval(scenario(), ranges)
+        assert interval.worst == pytest.approx(interval.best)
+        assert interval.worst == pytest.approx(interval.nominal)
+
+    def test_corners_are_extremal_vs_sampling(self):
+        interval = speedup_interval(scenario(), self.RANGES)
+        p5, median, p95 = monte_carlo_speedup(
+            scenario(), self.RANGES, samples=400,
+            rng=np.random.default_rng(1),
+        )
+        assert interval.worst <= p5 + 1e-9
+        assert p95 <= interval.best + 1e-9
+
+    def test_regression_risk_detected(self):
+        # Overheads large enough that the pessimistic corner is a net
+        # slowdown while the optimistic one still gains.
+        ranges = {
+            "L": ParameterRange(0.0, 5_000.0),
+            "A": ParameterRange(1.5, 10.0),
+        }
+        interval = speedup_interval(scenario(), ranges)
+        assert interval.can_regress
+        assert interval.best > 1.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ParameterError):
+            speedup_interval(scenario(), {"beta": ParameterRange(1, 2)})
+
+    @pytest.mark.parametrize("design", list(ThreadingDesign))
+    def test_all_designs_supported(self, design):
+        interval = speedup_interval(scenario(design), self.RANGES)
+        assert interval.worst <= interval.best
+
+
+class TestMonteCarlo:
+    def test_percentiles_ordered(self):
+        p5, median, p95 = monte_carlo_speedup(
+            scenario(), {"A": ParameterRange(2, 8)}, samples=200,
+            rng=np.random.default_rng(2),
+        )
+        assert p5 <= median <= p95
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ParameterError):
+            monte_carlo_speedup(scenario(), {}, samples=0)
+
+    def test_reproducible_with_seeded_rng(self):
+        args = (scenario(), {"L": ParameterRange(0, 1000)})
+        first = monte_carlo_speedup(*args, samples=100,
+                                    rng=np.random.default_rng(7))
+        second = monte_carlo_speedup(*args, samples=100,
+                                     rng=np.random.default_rng(7))
+        assert first == second

@@ -1,0 +1,82 @@
+"""Unit tests for accelerator capacity planning."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.fleet import (
+    CapacityPlan,
+    engines_for_queue_budget,
+    engines_for_utilization,
+    fleet_device_count,
+    plan_capacity,
+)
+
+
+class TestEnginesForUtilization:
+    def test_basic_sizing(self):
+        # Offered load = 1000 * 1e6 / 1e9 = 1 engine-worth; at 60% target
+        # we need ceil(1 / 0.6) = 2.
+        assert engines_for_utilization(1000, 1e6, 1e9, 0.6) == 2
+
+    def test_idle_device_needs_one_engine(self):
+        assert engines_for_utilization(0, 1e6, 1e9) == 1
+
+    def test_higher_target_fewer_engines(self):
+        loose = engines_for_utilization(5000, 1e6, 1e9, 0.9)
+        tight = engines_for_utilization(5000, 1e6, 1e9, 0.3)
+        assert loose < tight
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ParameterError):
+            engines_for_utilization(10, 1, 1e9, 1.0)
+
+
+class TestEnginesForQueueBudget:
+    def test_meets_budget(self):
+        engines = engines_for_queue_budget(1500, 1e6, 1e9, 1e5)
+        plan = CapacityPlan(1500, 1e6, 1e9, engines)
+        assert plan.expected_queue_cycles <= 1e5
+
+    def test_minimal(self):
+        engines = engines_for_queue_budget(1500, 1e6, 1e9, 1e5)
+        if engines > 1:
+            smaller = CapacityPlan(1500, 1e6, 1e9, engines - 1)
+            try:
+                assert smaller.expected_queue_cycles > 1e5
+            except ParameterError:
+                pass  # smaller provisioning is outright unstable
+
+    def test_tighter_budget_more_engines(self):
+        loose = engines_for_queue_budget(1500, 1e6, 1e9, 1e6)
+        tight = engines_for_queue_budget(1500, 1e6, 1e9, 1e3)
+        assert tight >= loose
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ParameterError):
+            engines_for_queue_budget(10, 1, 1e9, -1)
+
+
+class TestPlanCapacity:
+    def test_default_utilization_target(self):
+        plan = plan_capacity(1000, 1e6, 1e9)
+        assert plan.utilization <= 0.6
+
+    def test_queue_budget_dominates_when_stricter(self):
+        loose = plan_capacity(1500, 1e6, 1e9)
+        strict = plan_capacity(1500, 1e6, 1e9, queue_budget_cycles=100.0)
+        assert strict.engines >= loose.engines
+        assert strict.expected_queue_cycles <= 100.0
+
+
+class TestFleetDeviceCount:
+    def test_one_engine_per_device(self):
+        assert fleet_device_count(1000, engines_per_host=3) == 3000
+
+    def test_multi_engine_devices(self):
+        assert fleet_device_count(1000, 3, engines_per_device=2) == 2000
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            fleet_device_count(0, 1)
+        with pytest.raises(ParameterError):
+            fleet_device_count(10, 0)

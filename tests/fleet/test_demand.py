@@ -1,0 +1,109 @@
+"""Tests for demand-uncertainty and investment-risk modelling."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.fleet import (
+    DemandScenario,
+    demand_risk_sweep,
+    investment_outcome,
+    provision,
+    provision_engines_for_peak,
+)
+
+
+@pytest.fixture
+def forecast():
+    return DemandScenario(mean_rate=100_000.0)
+
+
+class TestDemandScenario:
+    def test_rates_follow_shape_and_growth(self, forecast):
+        rates = forecast.rates()
+        assert len(rates) == 24
+        doubled = forecast.scaled(2.0).rates()
+        assert doubled[0] == pytest.approx(2 * rates[0])
+
+    def test_peak_rate(self, forecast):
+        assert forecast.peak_rate == pytest.approx(
+            100_000.0 * max(forecast.hourly_multipliers)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            DemandScenario(mean_rate=0)
+        with pytest.raises(ParameterError):
+            DemandScenario(mean_rate=1, hourly_multipliers=())
+        with pytest.raises(ParameterError):
+            DemandScenario(mean_rate=1, growth=0)
+
+
+class TestProvision:
+    def test_sized_for_peak_at_target_utilization(self, forecast):
+        deployment = provision(forecast, service_cycles=10_000.0)
+        assert deployment.capacity >= forecast.peak_rate
+        smaller = deployment.engines - 1
+        if smaller:
+            assert smaller * deployment.engine_capacity < forecast.peak_rate
+
+    def test_tighter_utilization_more_engines(self, forecast):
+        loose = provision(forecast, 10_000.0, max_utilization=0.9)
+        tight = provision(forecast, 10_000.0, max_utilization=0.3)
+        assert tight.engines > loose.engines
+
+    def test_engines_for_peak_minimum_one(self):
+        assert provision_engines_for_peak(0.0, 1000.0) == 1
+
+
+class TestInvestmentOutcome:
+    def test_accurate_forecast_is_healthy(self, forecast):
+        deployment = provision(forecast, 10_000.0)
+        outcome = investment_outcome(deployment, forecast, forecast)
+        assert not outcome.underprovisioned
+        assert not outcome.overprovisioned
+        assert 0.2 < outcome.mean_utilization <= 0.6
+
+    def test_demand_shortfall_strands_capacity(self, forecast):
+        """The paper's risk: demand under-materializes and the installed
+        accelerators idle."""
+        deployment = provision(forecast, 10_000.0)
+        realized = forecast.scaled(0.4)
+        outcome = investment_outcome(deployment, forecast, realized)
+        assert outcome.overprovisioned
+        assert outcome.stranded_fraction > 0.4
+        assert outcome.shortfall_hours == 0
+
+    def test_demand_overshoot_causes_shortfall(self, forecast):
+        deployment = provision(forecast, 10_000.0)
+        realized = forecast.scaled(2.5)
+        outcome = investment_outcome(deployment, forecast, realized)
+        assert outcome.underprovisioned
+        assert outcome.shortfall_hours > 0
+        assert outcome.mean_utilization > 0.55
+
+    def test_utilization_capped_at_one(self, forecast):
+        deployment = provision(forecast, 10_000.0)
+        outcome = investment_outcome(
+            deployment, forecast, forecast.scaled(10.0)
+        )
+        assert outcome.mean_utilization <= 1.0
+
+
+class TestRiskSweep:
+    def test_sweep_spans_regimes(self, forecast):
+        outcomes = dict(
+            demand_risk_sweep(forecast, (0.4, 1.0, 2.5), 10_000.0)
+        )
+        assert outcomes[0.4].overprovisioned
+        assert not outcomes[1.0].underprovisioned
+        assert outcomes[2.5].underprovisioned
+
+    def test_stranding_monotone_in_shortfall(self, forecast):
+        outcomes = dict(
+            demand_risk_sweep(forecast, (0.3, 0.6, 1.0), 10_000.0)
+        )
+        assert (
+            outcomes[0.3].stranded_fraction
+            >= outcomes[0.6].stranded_fraction
+            >= outcomes[1.0].stranded_fraction
+        )

@@ -1,0 +1,81 @@
+"""Tests for fleet-wide capacity projection."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.fleet import FleetComposition, default_fleet, fleet_projection
+
+
+class TestFleetComposition:
+    def test_total_and_share(self):
+        fleet = FleetComposition(servers={"web": 300, "cache1": 100})
+        assert fleet.total_servers == 400
+        assert fleet.share("web") == 0.75
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            FleetComposition(servers={})
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ParameterError):
+            FleetComposition(servers={"web": 0})
+
+    def test_default_fleet_covers_seven_services(self):
+        fleet = default_fleet(10_000)
+        assert len(fleet.servers) == 7
+        assert fleet.total_servers == pytest.approx(10_000)
+
+
+class TestFleetProjection:
+    def test_uniform_speedup(self):
+        fleet = FleetComposition(servers={"a": 100, "b": 100})
+        projection = fleet_projection(fleet, {"a": 1.1, "b": 1.1})
+        assert projection.capacity_gain == pytest.approx(1.1)
+        assert projection.servers_freed == pytest.approx(200 - 200 / 1.1)
+
+    def test_harmonic_weighting(self):
+        fleet = FleetComposition(servers={"fast": 100, "slow": 100})
+        projection = fleet_projection(fleet, {"fast": 2.0})
+        # servers needed: 50 + 100 = 150 -> gain 200/150.
+        assert projection.capacity_gain == pytest.approx(200 / 150)
+
+    def test_unlisted_services_unchanged(self):
+        fleet = FleetComposition(servers={"a": 100, "b": 300})
+        projection = fleet_projection(fleet, {"a": 1.5})
+        freed = projection.per_service_servers_freed()
+        assert freed["b"] == 0.0
+        assert freed["a"] == pytest.approx(100 * (1 - 1 / 1.5))
+
+    def test_slowdown_costs_servers(self):
+        fleet = FleetComposition(servers={"a": 100})
+        projection = fleet_projection(fleet, {"a": 0.8})
+        assert projection.servers_freed < 0
+        assert projection.capacity_gain < 1.0
+
+    def test_rejects_unknown_service(self):
+        fleet = FleetComposition(servers={"a": 100})
+        with pytest.raises(ParameterError):
+            fleet_projection(fleet, {"zz": 1.2})
+
+    def test_rejects_nonpositive_speedup(self):
+        fleet = FleetComposition(servers={"a": 100})
+        with pytest.raises(ParameterError):
+            fleet_projection(fleet, {"a": 0.0})
+
+    def test_fleetwide_compression_scenario(self):
+        """The paper's motivating what-if: accelerating a common overhead
+        (compression) yields compounding fleet-wide wins."""
+        from repro.application import fig20_table
+
+        compression = fig20_table()["compression"]
+        onchip_pct, _ = compression.strategies["On-chip: Sync"]
+        speedup = 1 + onchip_pct / 100
+        fleet = default_fleet(100_000)
+        # Apply the Feed1-derived compression speedup to the services with
+        # meaningful compression shares.
+        projection = fleet_projection(
+            fleet, {"web": speedup, "feed1": speedup, "feed2": speedup,
+                    "cache1": speedup}
+        )
+        assert projection.capacity_gain_percent > 5
+        assert projection.servers_freed > 5_000

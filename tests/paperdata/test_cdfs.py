@@ -1,0 +1,93 @@
+"""Tests for the granularity-CDF datasets (Figs. 15, 19, 21, 22)."""
+
+import math
+
+import pytest
+
+from repro.paperdata import (
+    ALLOCATION_BINS,
+    ALLOCATION_CDFS,
+    COMPRESSION_BINS,
+    COMPRESSION_CDFS,
+    COPY_BINS,
+    COPY_CDFS,
+    ENCRYPTION_BINS,
+    ENCRYPTION_CDFS,
+    FB_SERVICES,
+)
+
+
+def _cumulative(fractions):
+    total = 0.0
+    out = []
+    for fraction in fractions:
+        total += fraction
+        out.append(total)
+    return out
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "bins,cdfs",
+        [
+            (ENCRYPTION_BINS, ENCRYPTION_CDFS),
+            (COMPRESSION_BINS, COMPRESSION_CDFS),
+            (COPY_BINS, COPY_CDFS),
+            (ALLOCATION_BINS, ALLOCATION_CDFS),
+        ],
+        ids=["encryption", "compression", "copy", "allocation"],
+    )
+    def test_fractions_match_bins_and_sum_to_one(self, bins, cdfs):
+        for service, fractions in cdfs.items():
+            assert len(fractions) == len(bins) - 1, service
+            assert sum(fractions) == pytest.approx(1.0), service
+            assert all(f >= 0 for f in fractions), service
+
+    def test_bins_increasing_with_open_top(self):
+        for bins in (ENCRYPTION_BINS, COMPRESSION_BINS, COPY_BINS):
+            assert list(bins) == sorted(bins)
+            assert math.isinf(bins[-1])
+
+
+class TestPaperAnchors:
+    def test_cache1_encryption_mostly_below_512(self):
+        """Fig. 15: < 512 B are frequently encrypted."""
+        fractions = ENCRYPTION_CDFS["cache1"]
+        below_512 = sum(fractions[: ENCRYPTION_BINS.index(512)])
+        assert below_512 >= 0.9
+
+    def test_feed1_compresses_larger_than_cache1(self):
+        """Fig. 19: Feed1 often compresses large granularities."""
+        feed1 = _cumulative(COMPRESSION_CDFS["feed1"])
+        cache1 = _cumulative(COMPRESSION_CDFS["cache1"])
+        # Feed1's CDF is below Cache1's everywhere (stochastically larger).
+        for f_value, c_value in zip(feed1[:-1], cache1[:-1]):
+            assert f_value <= c_value + 1e-9
+
+    def test_feed1_lucrative_fraction_near_paper(self):
+        """Sec. 5: 64.2% of Feed1 compressions are >= 425 B."""
+        # 425 B lies in the 256-512 bin; bins up to 256 are certainly
+        # below it and bins from 512 up are certainly above it.
+        index_512 = COMPRESSION_BINS.index(512)
+        at_least_512 = sum(COMPRESSION_CDFS["feed1"][index_512:])
+        index_256 = COMPRESSION_BINS.index(256)
+        at_least_256 = sum(COMPRESSION_CDFS["feed1"][index_256:])
+        assert at_least_512 <= 0.642 <= at_least_256
+
+    @pytest.mark.parametrize("service", list(FB_SERVICES))
+    def test_copies_mostly_small(self, service):
+        """Fig. 21: most services frequently copy < 512 B."""
+        index_512 = COPY_BINS.index(512)
+        below = sum(COPY_CDFS[service][:index_512])
+        assert below >= 0.55
+
+    @pytest.mark.parametrize("service", list(FB_SERVICES))
+    def test_allocations_mostly_small(self, service):
+        """Fig. 22: most services allocate < 512 B."""
+        index_512 = ALLOCATION_BINS.index(512)
+        below = sum(ALLOCATION_CDFS[service][:index_512])
+        assert below >= 0.8
+
+    def test_all_seven_services_have_copy_and_alloc_cdfs(self):
+        assert set(COPY_CDFS) == set(FB_SERVICES)
+        assert set(ALLOCATION_CDFS) == set(FB_SERVICES)

@@ -1,0 +1,160 @@
+"""Tests for the exact-provenance paper tables (1, 4, 5-parameters, 6, 7)."""
+
+import pytest
+
+from repro.core.strategies import Placement, ThreadingDesign
+from repro.paperdata import (
+    ADS1_INFERENCE_STUDY,
+    CACHE1_AES_NI_STUDY,
+    CACHE3_ENCRYPTION_STUDY,
+    FINDINGS,
+    GENA,
+    GENB,
+    GENC,
+    PLATFORMS,
+    PROJECTION_PARAMETERS,
+    TABLE6_CASE_STUDIES,
+)
+from repro.paperdata.case_studies import MAX_VALIDATION_ERROR_PCT
+from repro.paperdata.platforms import SERVICE_PLATFORM_CORES
+
+
+class TestTable1:
+    def test_three_generations(self):
+        assert set(PLATFORMS) == {"GenA", "GenB", "GenC"}
+
+    def test_microarchitectures(self):
+        assert GENA.microarchitecture == "Intel Haswell"
+        assert GENB.microarchitecture == "Intel Broadwell"
+        assert GENC.microarchitecture == "Intel Skylake"
+
+    def test_core_counts(self):
+        assert GENA.cores_per_socket == (12,)
+        assert GENB.cores_per_socket == (16,)
+        assert GENC.cores_per_socket == (18, 20)
+
+    def test_genc_l2_grew_to_1mib(self):
+        assert GENC.l2_kib == 1024
+        assert GENA.l2_kib == GENB.l2_kib == 256
+
+    def test_llc_sizes(self):
+        assert GENA.llc_mib == (30.0,)
+        assert GENC.llc_mib == (24.75, 27.0)
+
+    def test_smt_and_block_size_uniform(self):
+        for spec in PLATFORMS.values():
+            assert spec.smt == 2
+            assert spec.cache_block_bytes == 64
+            assert spec.l1i_kib == spec.l1d_kib == 32
+
+    def test_service_to_platform_mapping(self):
+        # Web, Feed1, Feed2, Ads1 on the 18-core part (Sec. 2.2).
+        for service in ("web", "feed1", "feed2", "ads1"):
+            assert SERVICE_PLATFORM_CORES[service] == 18
+        for service in ("ads2", "cache1", "cache2"):
+            assert SERVICE_PLATFORM_CORES[service] == 20
+
+
+class TestTable4:
+    def test_ten_findings(self):
+        assert len(FINDINGS) == 10
+
+    def test_each_has_opportunity_and_sections(self):
+        for finding in FINDINGS:
+            assert finding.opportunity
+            assert finding.sections
+
+    def test_headline_findings_present(self):
+        texts = [finding.finding.lower() for finding in FINDINGS]
+        assert any("orchestration" in t for t in texts)
+        assert any("compression" in t for t in texts)
+        assert any("kernel" in t for t in texts)
+        assert any("logging" in t for t in texts)
+
+
+class TestTable6:
+    def test_three_studies(self):
+        assert len(TABLE6_CASE_STUDIES) == 3
+
+    def test_aes_ni_row(self):
+        study = CACHE1_AES_NI_STUDY
+        assert study.total_cycles == 2.0e9
+        assert study.alpha == 0.165844
+        assert study.offloads_per_unit == 298_951
+        assert study.dispatch_cycles == 10
+        assert study.interface_cycles == 3
+        assert study.peak_speedup == 6
+        assert study.design is ThreadingDesign.SYNC
+        assert study.placement is Placement.ON_CHIP
+
+    def test_encryption_row(self):
+        study = CACHE3_ENCRYPTION_STUDY
+        assert study.total_cycles == 2.3e9
+        assert study.alpha == 0.19154
+        assert study.offloads_per_unit == 101_863
+        assert study.interface_cycles == 2_530
+        assert study.peak_speedup is None  # Table 6: NA
+        assert study.placement is Placement.OFF_CHIP
+
+    def test_inference_row(self):
+        study = ADS1_INFERENCE_STUDY
+        assert study.total_cycles == 2.5e9
+        assert study.alpha == 0.52
+        assert study.offloads_per_unit == 10
+        assert study.dispatch_cycles == 25_000_000
+        assert study.thread_switch_cycles == 12_500
+        assert study.peak_speedup == 1.0
+        assert study.placement is Placement.REMOTE
+
+    def test_printed_errors_within_headline_claim(self):
+        for study in TABLE6_CASE_STUDIES:
+            assert study.error_pct <= MAX_VALIDATION_ERROR_PCT + 1e-9
+
+
+class TestTable7:
+    def test_six_rows(self):
+        assert len(PROJECTION_PARAMETERS) == 6
+
+    def test_compression_rows(self):
+        rows = [p for p in PROJECTION_PARAMETERS if p.overhead == "compression"]
+        assert len(rows) == 4
+        assert all(p.alpha == 0.15 for p in rows)
+        assert all(p.total_cycles == 2.3e9 for p in rows)
+        by_label = {p.label: p for p in rows}
+        assert by_label["On-chip: Sync"].peak_speedup == 5
+        assert by_label["On-chip: Sync"].offloads_per_unit == 15_008
+        assert by_label["Off-chip: Sync"].offloads_per_unit == 9_629
+        assert by_label["Off-chip: Sync-OS"].offloads_per_unit == 3_986
+        assert by_label["Off-chip: Async"].offloads_per_unit == 9_769
+        for label in ("Off-chip: Sync", "Off-chip: Sync-OS", "Off-chip: Async"):
+            assert by_label[label].peak_speedup == 27
+            assert by_label[label].interface_cycles == 2_300
+        assert by_label["Off-chip: Sync-OS"].thread_switch_cycles == 5_750
+
+    def test_memcopy_row(self):
+        row = next(p for p in PROJECTION_PARAMETERS if p.overhead == "memory-copy")
+        assert row.alpha == 0.1512
+        assert row.offloads_per_unit == 1_473_681
+        assert row.peak_speedup == 4
+        assert row.service == "ads1"
+
+    def test_allocation_row(self):
+        row = next(
+            p for p in PROJECTION_PARAMETERS if p.overhead == "memory-allocation"
+        )
+        assert row.alpha == 0.055
+        assert row.offloads_per_unit == 51_695
+        assert row.peak_speedup == 1.5
+        assert row.total_cycles == 2.0e9
+
+    def test_effective_alpha_scaling(self):
+        row = next(
+            p for p in PROJECTION_PARAMETERS if p.label == "Off-chip: Sync-OS"
+        )
+        assert row.effective_alpha == pytest.approx(0.15 * 3_986 / 15_008)
+
+    def test_on_chip_rows_offload_everything(self):
+        for row in PROJECTION_PARAMETERS:
+            if row.placement is Placement.ON_CHIP:
+                assert row.offloads_per_unit == row.total_offloads_per_unit
+                assert row.effective_alpha == row.alpha

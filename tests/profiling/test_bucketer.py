@@ -1,0 +1,70 @@
+"""Unit tests for call-trace bucketing (Table 3)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.paperdata.categories import FunctionalityCategory as F
+from repro.profiling import TraceBucketer
+
+
+@pytest.fixture
+def bucketer():
+    return TraceBucketer()
+
+
+class TestBucketing:
+    @pytest.mark.parametrize(
+        "frames,expected",
+        [
+            (("worker", "rpc_send_loop", "memcpy"), F.IO),
+            (("worker", "secure_io_send", "aes_encrypt"), F.IO),
+            (("worker", "io_preprocess_buffer", "malloc"), F.IO_PROCESSING),
+            (("worker", "zstd_compress_block", "memcpy"), F.COMPRESSION),
+            (("worker", "thrift_serialize", "string_copy"), F.SERIALIZATION),
+            (("worker", "feature_extract_dense", "vector_ops"),
+             F.FEATURE_EXTRACTION),
+            (("worker", "mlp_forward_inference", "sgemm"),
+             F.PREDICTION_RANKING),
+            (("worker", "handle_request_core", "hash_find"),
+             F.APPLICATION_LOGIC),
+            (("worker", "logger_append", "memcpy"), F.LOGGING),
+            (("worker", "thread_pool_dispatch", "futex"), F.THREAD_POOL),
+        ],
+    )
+    def test_markers(self, bucketer, frames, expected):
+        assert bucketer.bucket(frames) is expected
+
+    def test_unmatched_trace_is_miscellaneous(self, bucketer):
+        assert bucketer.bucket(("a", "b", "c")) is F.MISCELLANEOUS
+
+    def test_precedence_logging_beats_compression(self, bucketer):
+        """A compressed log write is logging work (the paper buckets by
+        the trace's purpose, not its leaf)."""
+        frames = ("worker", "logger_rotate", "zstd_compress")
+        assert bucketer.bucket(frames) is F.LOGGING
+
+    def test_precedence_serialization_beats_io(self, bucketer):
+        frames = ("worker", "rpc_send_loop", "thrift_serialize", "memcpy")
+        assert bucketer.bucket(frames) is F.SERIALIZATION
+
+    def test_empty_trace_rejected(self, bucketer):
+        with pytest.raises(ProfileError):
+            bucketer.bucket(())
+
+    def test_register_marker_prepend_takes_precedence(self, bucketer):
+        bucketer.register_marker(r"special_log_path", F.MISCELLANEOUS,
+                                 prepend=True)
+        frames = ("worker", "special_log_path", "logger_append")
+        assert bucketer.bucket(frames) is F.MISCELLANEOUS
+
+
+class TestAggregation:
+    def test_bucket_all_sums_cycles(self, bucketer):
+        traces = {
+            ("w", "rpc_send_loop", "memcpy"): 100.0,
+            ("w", "socket_poll", "epoll"): 50.0,
+            ("w", "handle_request_main", "find"): 200.0,
+        }
+        totals = bucketer.bucket_all(traces)
+        assert totals[F.IO] == 150.0
+        assert totals[F.APPLICATION_LOGIC] == 200.0

@@ -1,0 +1,103 @@
+"""Unit tests for profile capture and aggregation."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.profiling import (
+    IPCModel,
+    SampledTrace,
+    StackSampler,
+    TraceTemplate,
+    capture_trace_profile,
+    profile_from_metrics,
+    profile_from_traces,
+)
+from repro.simulator import CycleKind, MetricSink
+
+
+def make_metrics():
+    sink = MetricSink()
+    sink.charge(600, F.IO, L.KERNEL)
+    sink.charge(200, F.IO, L.MEMORY)
+    sink.charge(200, F.COMPRESSION, L.ZSTD)
+    sink.charge(999, F.IO, L.SSL, CycleKind.BLOCKED)  # ignored by default
+    return sink
+
+
+class TestProfileFromMetrics:
+    def test_shares(self):
+        profile = profile_from_metrics(make_metrics(), IPCModel("GenC"), "svc")
+        leaf_shares = profile.leaf_shares()
+        assert leaf_shares[L.KERNEL] == pytest.approx(0.6)
+        functionality_shares = profile.functionality_shares()
+        assert functionality_shares[F.IO] == pytest.approx(0.8)
+
+    def test_blocked_cycles_excluded_by_default(self):
+        profile = profile_from_metrics(make_metrics(), IPCModel("GenC"), "svc")
+        assert profile.total_cycles == pytest.approx(1000)
+
+    def test_instructions_synthesized_from_ipc(self):
+        ipc_model = IPCModel("GenC")
+        profile = profile_from_metrics(make_metrics(), ipc_model, "svc")
+        assert profile.leaf_ipc(L.KERNEL) == pytest.approx(
+            ipc_model.leaf_ipc(L.KERNEL)
+        )
+
+    def test_functionality_ipc_is_cycle_weighted_leaf_mix(self):
+        ipc_model = IPCModel("GenC")
+        profile = profile_from_metrics(make_metrics(), ipc_model, "svc")
+        expected = (
+            600 * ipc_model.leaf_ipc(L.KERNEL) + 200 * ipc_model.leaf_ipc(L.MEMORY)
+        ) / 800
+        assert profile.functionality_ipc(F.IO) == pytest.approx(expected)
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ProfileError):
+            profile_from_metrics(MetricSink(), IPCModel("GenC"), "svc")
+
+    def test_missing_category_ipc_raises(self):
+        profile = profile_from_metrics(make_metrics(), IPCModel("GenC"), "svc")
+        with pytest.raises(ProfileError):
+            profile.leaf_ipc(L.MATH)
+
+
+class TestProfileFromTraces:
+    def test_tagging_and_bucketing_recover_categories(self):
+        samples = [
+            SampledTrace(("w", "rpc_send_loop", "memcpy"), 100, 60),
+            SampledTrace(("w", "zstd_compress_block", "zstd_compress"), 300, 270),
+        ]
+        profile = profile_from_traces(samples, "svc", "GenC")
+        assert profile.leaf_shares()[L.MEMORY] == pytest.approx(0.25)
+        assert profile.functionality_shares()[F.COMPRESSION] == pytest.approx(0.75)
+
+    def test_measured_ipc_is_ratio_of_aggregates(self):
+        samples = [
+            SampledTrace(("w", "rpc_send_loop", "memcpy"), 100, 60),
+            SampledTrace(("w", "rpc_recv_loop", "memcpy"), 100, 100),
+        ]
+        profile = profile_from_traces(samples, "svc", "GenC")
+        assert profile.leaf_ipc(L.MEMORY) == pytest.approx(0.8)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ProfileError):
+            profile_from_traces([], "svc", "GenC")
+
+
+class TestEndToEndCapture:
+    def test_capture_preserves_cycles_and_categories(self):
+        templates = [
+            TraceTemplate(("svc", "rpc_send_loop", "memcpy"), F.IO, L.MEMORY),
+            TraceTemplate(("svc", "io_loop", "tcp_sendmsg"), F.IO, L.KERNEL),
+            TraceTemplate(
+                ("svc", "zstd_compress_block", "zstd_compress"),
+                F.COMPRESSION, L.ZSTD,
+            ),
+        ]
+        profile = capture_trace_profile(
+            make_metrics(), StackSampler(templates), IPCModel("GenC"), "svc"
+        )
+        assert profile.total_cycles == pytest.approx(1000)
+        assert profile.functionality_shares()[F.IO] == pytest.approx(0.8)
+        assert profile.leaf_shares()[L.ZSTD] == pytest.approx(0.2)

@@ -1,0 +1,105 @@
+"""Unit tests for breakdown reporting and comparison metrics."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiling import (
+    as_percent,
+    dominant,
+    l1_distance,
+    normalize,
+    rank_agreement,
+    render_bars,
+    render_table,
+    same_dominant,
+)
+
+
+class TestNormalize:
+    def test_normalizes_to_one(self):
+        result = normalize({"a": 30, "b": 70})
+        assert result == {"a": 0.3, "b": 0.7}
+
+    def test_as_percent(self):
+        result = as_percent({"a": 1, "b": 3})
+        assert result == {"a": 25.0, "b": 75.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            normalize({"a": 0})
+
+
+class TestL1Distance:
+    def test_identical_is_zero(self):
+        assert l1_distance({"a": 50, "b": 50}, {"a": 0.5, "b": 0.5}) == 0
+
+    def test_disjoint_is_one(self):
+        assert l1_distance({"a": 1}, {"b": 1}) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        x, y = {"a": 30, "b": 70}, {"a": 45, "b": 55}
+        assert l1_distance(x, y) == pytest.approx(l1_distance(y, x))
+
+    def test_value(self):
+        assert l1_distance({"a": 60, "b": 40}, {"a": 40, "b": 60}) == (
+            pytest.approx(0.2)
+        )
+
+
+class TestDominant:
+    def test_top_one(self):
+        assert dominant({"a": 10, "b": 30, "c": 20}) == ("b",)
+
+    def test_top_two(self):
+        assert dominant({"a": 10, "b": 30, "c": 20}, top=2) == ("b", "c")
+
+    def test_same_dominant_order_insensitive(self):
+        assert same_dominant({"a": 30, "b": 29}, {"a": 29, "b": 30}, top=2)
+        assert not same_dominant({"a": 30, "b": 29}, {"a": 29, "b": 30}, top=1)
+
+    def test_rejects_bad_top(self):
+        with pytest.raises(ProfileError):
+            dominant({"a": 1}, top=0)
+
+
+class TestRankAgreement:
+    def test_perfect_agreement(self):
+        assert rank_agreement({"a": 3, "b": 2, "c": 1},
+                              {"a": 30, "b": 20, "c": 10}) == 1.0
+
+    def test_perfect_disagreement(self):
+        assert rank_agreement({"a": 3, "b": 2, "c": 1},
+                              {"a": 1, "b": 2, "c": 3}) == -1.0
+
+    def test_partial(self):
+        value = rank_agreement({"a": 3, "b": 2, "c": 1},
+                               {"a": 3, "b": 1, "c": 2})
+        assert -1.0 < value < 1.0
+
+    def test_needs_two_common_keys(self):
+        with pytest.raises(ProfileError):
+            rank_agreement({"a": 1}, {"a": 1})
+
+
+class TestRendering:
+    def test_table_contains_rows_and_columns(self):
+        text = render_table(
+            {"svc1": {"x": 10.0, "y": 90.0}}, ["x", "y"], title="T"
+        )
+        assert "T" in text
+        assert "svc1" in text
+        assert "90.0" in text
+
+    def test_bars_sorted_by_share(self):
+        text = render_bars({"small": 10, "big": 90})
+        lines = text.splitlines()
+        assert lines[0].startswith("big")
+        assert "#" in lines[0]
+
+    def test_enum_labels_use_value(self):
+        from repro.paperdata.categories import LeafCategory
+
+        text = render_table(
+            {"svc": {LeafCategory.MEMORY: 100.0}}, [LeafCategory.MEMORY]
+        )
+        assert "memory" in text

@@ -1,0 +1,90 @@
+"""Unit tests for trace templates and the stack sampler."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.profiling import SampledTrace, StackSampler, TraceTemplate
+
+TEMPLATES = [
+    TraceTemplate(("svc", "rpc_send_loop", "memcpy"), F.IO, L.MEMORY, weight=3.0),
+    TraceTemplate(("svc", "rpc_recv_loop", "memcpy"), F.IO, L.MEMORY, weight=1.0),
+    TraceTemplate(("svc", "zstd_compress_block", "zstd_compress"),
+                  F.COMPRESSION, L.ZSTD),
+]
+
+
+def flat_ipc(functionality, leaf):
+    return 2.0
+
+
+class TestTraceTemplate:
+    def test_leaf_function_is_last_frame(self):
+        assert TEMPLATES[0].leaf_function == "memcpy"
+
+    def test_rejects_empty_frames(self):
+        with pytest.raises(ProfileError):
+            TraceTemplate((), F.IO, L.MEMORY)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ProfileError):
+            TraceTemplate(("a",), F.IO, L.MEMORY, weight=0)
+
+
+class TestSampledTrace:
+    def test_ipc(self):
+        trace = SampledTrace(("a", "b"), cycles=100, instructions=150)
+        assert trace.ipc == 1.5
+
+    def test_zero_cycle_ipc_rejected(self):
+        trace = SampledTrace(("a",), cycles=0, instructions=0)
+        with pytest.raises(ProfileError):
+            trace.ipc
+
+
+class TestStackSampler:
+    def test_weighted_split_across_templates(self):
+        sampler = StackSampler(TEMPLATES)
+        samples = sampler.sample({(F.IO, L.MEMORY): 400.0}, flat_ipc)
+        by_frames = {s.frames: s.cycles for s in samples}
+        assert by_frames[("svc", "rpc_send_loop", "memcpy")] == pytest.approx(300)
+        assert by_frames[("svc", "rpc_recv_loop", "memcpy")] == pytest.approx(100)
+
+    def test_total_cycles_preserved(self):
+        sampler = StackSampler(TEMPLATES)
+        attributed = {(F.IO, L.MEMORY): 400.0, (F.COMPRESSION, L.ZSTD): 100.0}
+        samples = sampler.sample(attributed, flat_ipc)
+        assert sum(s.cycles for s in samples) == pytest.approx(500.0)
+
+    def test_instructions_from_ipc(self):
+        sampler = StackSampler(TEMPLATES)
+        samples = sampler.sample({(F.COMPRESSION, L.ZSTD): 100.0}, flat_ipc)
+        assert samples[0].instructions == pytest.approx(200.0)
+
+    def test_fallback_frames_for_uncovered_pair(self):
+        sampler = StackSampler(TEMPLATES)
+        samples = sampler.sample({(F.LOGGING, L.KERNEL): 50.0}, flat_ipc)
+        assert len(samples) == 1
+        assert samples[0].cycles == 50.0
+        assert "logging" in samples[0].frames[0]
+
+    def test_zero_cycles_skipped(self):
+        sampler = StackSampler(TEMPLATES)
+        samples = sampler.sample(
+            {(F.IO, L.MEMORY): 0.0, (F.COMPRESSION, L.ZSTD): 10.0}, flat_ipc
+        )
+        assert all(s.cycles > 0 for s in samples)
+
+    def test_empty_sampler_rejected(self):
+        with pytest.raises(ProfileError):
+            StackSampler([])
+
+    def test_no_cycles_rejected(self):
+        sampler = StackSampler(TEMPLATES)
+        with pytest.raises(ProfileError):
+            sampler.sample({}, flat_ipc)
+
+    def test_templates_for_lookup(self):
+        sampler = StackSampler(TEMPLATES)
+        assert len(sampler.templates_for(F.IO, L.MEMORY)) == 2
+        assert sampler.templates_for(F.LOGGING, L.ZSTD) == ()

@@ -1,0 +1,78 @@
+"""Unit tests for leaf-function tagging (Table 2)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.paperdata.categories import LEAF_CATEGORIES, LeafCategory
+from repro.profiling import LeafTagger
+
+
+@pytest.fixture
+def tagger():
+    return LeafTagger()
+
+
+class TestExactRules:
+    def test_table2_examples_all_tag_correctly(self, tagger):
+        for category, examples in LEAF_CATEGORIES.items():
+            for example in examples:
+                if category is LeafCategory.MISCELLANEOUS:
+                    continue
+                assert tagger.tag(example) is category, example
+
+
+class TestPatternRules:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("__memcpy_avx_unaligned", LeafCategory.MEMORY),
+            ("tcmalloc::CentralFreeList::Populate", LeafCategory.MEMORY),
+            ("operator new[]", LeafCategory.MEMORY),
+            ("schedule_idle", LeafCategory.KERNEL),
+            ("tcp_sendmsg_locked", LeafCategory.KERNEL),
+            ("do_softirq", LeafCategory.KERNEL),
+            ("sha256_block_data_order", LeafCategory.HASHING),
+            ("xxhash64_update", LeafCategory.HASHING),
+            ("pthread_mutex_timedlock", LeafCategory.SYNCHRONIZATION),
+            ("queued_spin_lock_slowpath", LeafCategory.SYNCHRONIZATION),
+            ("ZSTD_compressBlock_fast", LeafCategory.ZSTD),
+            ("LZ4_decompress_safe", LeafCategory.ZSTD),
+            ("mkl_blas_sgemm_kernel", LeafCategory.MATH),
+            ("_mm256_fmadd_ps_loop", LeafCategory.MATH),
+            ("aesni_cbc_encrypt", LeafCategory.SSL),
+            ("EVP_EncryptUpdate", LeafCategory.SSL),
+            ("std::__introsort_loop", LeafCategory.C_LIBRARIES),
+            ("folly_hash_table_find", LeafCategory.C_LIBRARIES),
+        ],
+    )
+    def test_realistic_names(self, tagger, name, expected):
+        assert tagger.tag(name) is expected
+
+    def test_unknown_goes_to_miscellaneous(self, tagger):
+        assert tagger.tag("totally_custom_business_fn") is (
+            LeafCategory.MISCELLANEOUS
+        )
+
+    def test_case_insensitive(self, tagger):
+        assert tagger.tag("MEMCPY_erms") is LeafCategory.MEMORY
+
+
+class TestExtensibility:
+    def test_register_exact_overrides_patterns(self, tagger):
+        tagger.register("memcpy_shim", LeafCategory.MISCELLANEOUS)
+        assert tagger.tag("memcpy_shim") is LeafCategory.MISCELLANEOUS
+
+    def test_register_pattern(self, tagger):
+        tagger.register_pattern(r"^rocksdb_", LeafCategory.C_LIBRARIES)
+        assert tagger.tag("rocksdb_get_impl") is LeafCategory.C_LIBRARIES
+
+    def test_tag_all(self, tagger):
+        result = tagger.tag_all(["memcpy", "schedule"])
+        assert result == {
+            "memcpy": LeafCategory.MEMORY,
+            "schedule": LeafCategory.KERNEL,
+        }
+
+    def test_empty_name_rejected(self, tagger):
+        with pytest.raises(ProfileError):
+            tagger.tag("")

@@ -1,0 +1,102 @@
+"""Unit tests for the accelerator device model."""
+
+import pytest
+
+from repro.core import Placement
+from repro.errors import ParameterError
+from repro.simulator import AcceleratorDevice, Engine
+
+
+def make_device(peak_speedup=4.0, servers=1):
+    engine = Engine()
+    device = AcceleratorDevice(engine, peak_speedup, servers=servers)
+    return engine, device
+
+
+class TestServiceTime:
+    def test_scaled_by_a(self):
+        _, device = make_device(peak_speedup=4.0)
+        assert device.service_cycles(100) == 25
+
+    def test_rejects_negative_work(self):
+        _, device = make_device()
+        with pytest.raises(ParameterError):
+            device.service_cycles(-1)
+
+    def test_rejects_bad_a(self):
+        engine = Engine()
+        with pytest.raises(ParameterError):
+            AcceleratorDevice(engine, 0)
+
+
+class TestQueueing:
+    def test_idle_device_starts_immediately(self):
+        engine, device = make_device()
+        completion = device.submit(100, arrival_time=10)
+        assert completion == 10 + 25
+
+    def test_busy_device_queues(self):
+        engine, device = make_device()
+        device.submit(100, arrival_time=0)  # busy until 25
+        completion = device.submit(100, arrival_time=10)
+        assert completion == 25 + 25
+        assert device.stats.total_queue_cycles == 15
+
+    def test_multiple_servers_run_in_parallel(self):
+        engine, device = make_device(servers=2)
+        first = device.submit(100, arrival_time=0)
+        second = device.submit(100, arrival_time=0)
+        assert first == 25 and second == 25
+        assert device.stats.total_queue_cycles == 0
+
+    def test_picks_earliest_free_server(self):
+        engine, device = make_device(servers=2)
+        device.submit(400, arrival_time=0)   # server 0 busy until 100
+        device.submit(100, arrival_time=0)   # server 1 busy until 25
+        completion = device.submit(100, arrival_time=30)
+        assert completion == 55  # lands on server 1
+
+    def test_on_accept_reports_queue_delay(self):
+        engine, device = make_device()
+        delays = []
+        device.submit(100, arrival_time=0)
+        device.submit(100, arrival_time=0, on_accept=delays.append)
+        engine.run_to_completion()
+        assert delays == [25]
+
+    def test_on_complete_fires_at_completion(self):
+        engine, device = make_device()
+        completions = []
+        device.submit(100, arrival_time=5, on_complete=completions.append)
+        engine.run_to_completion()
+        assert completions == [30]
+
+
+class TestStats:
+    def test_counts_and_busy_cycles(self):
+        engine, device = make_device()
+        device.submit(100, arrival_time=0)
+        device.submit(200, arrival_time=0)
+        assert device.stats.offloads_served == 2
+        assert device.stats.busy_cycles == 75
+
+    def test_mean_queue_cycles(self):
+        engine, device = make_device()
+        device.submit(100, arrival_time=0)
+        device.submit(100, arrival_time=0)
+        assert device.stats.mean_queue_cycles() == 12.5
+
+    def test_utilization(self):
+        engine, device = make_device()
+        device.submit(400, arrival_time=0)
+        assert device.utilization(window_cycles=200) == pytest.approx(0.5)
+
+    def test_utilization_normalized_by_servers(self):
+        engine, device = make_device(servers=2)
+        device.submit(400, arrival_time=0)
+        assert device.utilization(window_cycles=200) == pytest.approx(0.25)
+
+    def test_placement_default_name(self):
+        engine = Engine()
+        device = AcceleratorDevice(engine, 2.0, placement=Placement.REMOTE)
+        assert "remote" in device.name

@@ -1,0 +1,162 @@
+"""Tests for batched async offload in the simulator, cross-validated
+against the analytical batching model (repro.core.batching)."""
+
+import pytest
+
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    BatchingPolicy,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+    project_batched,
+)
+from repro.errors import SimulationError
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.simulator import (
+    AcceleratorDevice,
+    InterfaceModel,
+    KernelInvocation,
+    KernelSpec,
+    Microservice,
+    OffloadConfig,
+    RequestSpec,
+    SegmentWork,
+    SimulationConfig,
+    measured_speedup,
+    run_simulation,
+)
+
+PLAIN = 8_000.0
+CB = 4.0
+GRANULARITY = 500.0
+O0 = 3_000.0
+REQUEST = PLAIN + CB * GRANULARITY  # one invocation per request
+
+KERNEL = KernelSpec("k", F.IO, L.SSL, cycles_per_byte=CB)
+
+
+def factory():
+    return RequestSpec(
+        segments=(
+            SegmentWork(F.APPLICATION_LOGIC, plain_cycles=PLAIN,
+                        leaf_mix={L.C_LIBRARIES: 1.0}),
+            SegmentWork(F.IO, invocations=(
+                KernelInvocation(KERNEL, GRANULARITY),
+            )),
+        )
+    )
+
+
+def make_build(batch_size=None, num_cores=4):
+    def build(engine, cpu, metrics):
+        offloads = {}
+        if batch_size is not None:
+            device = AcceleratorDevice(engine, 8.0, servers=num_cores,
+                                       placement=Placement.REMOTE)
+            interface = InterfaceModel(Placement.REMOTE, dispatch_cycles=O0)
+            offloads["k"] = OffloadConfig(
+                device=device, interface=interface,
+                design=ThreadingDesign.ASYNC_NO_RESPONSE,
+                batch_size=batch_size,
+            )
+        return Microservice(engine, cpu, metrics, offloads=offloads), factory
+
+    return build
+
+
+def model_speedup(batch_size):
+    scenario = OffloadScenario(
+        kernel=KernelProfile(REQUEST, CB * GRANULARITY / REQUEST, 1.0),
+        accelerator=AcceleratorSpec(8.0, Placement.REMOTE),
+        costs=OffloadCosts(dispatch_cycles=O0),
+        design=ThreadingDesign.ASYNC_NO_RESPONSE,
+    )
+    return project_batched(scenario, BatchingPolicy(batch_size)).speedup
+
+
+class TestBatchedSimulation:
+    @pytest.mark.parametrize("batch_size", [1, 4, 16])
+    def test_simulated_speedup_matches_batching_model(self, batch_size):
+        config = SimulationConfig(num_cores=4, threads_per_core=1,
+                                  window_cycles=20e6)
+        baseline = run_simulation(make_build(None), config)
+        batched = run_simulation(make_build(batch_size), config)
+        simulated = measured_speedup(baseline, batched)
+        assert simulated == pytest.approx(model_speedup(batch_size), rel=0.01)
+
+    def test_bigger_batches_amortize_better(self):
+        config = SimulationConfig(num_cores=2, threads_per_core=1,
+                                  window_cycles=10e6)
+        baseline = run_simulation(make_build(None), config)
+        small = measured_speedup(baseline, run_simulation(make_build(2), config))
+        large = measured_speedup(baseline, run_simulation(make_build(16), config))
+        assert large > small
+
+    def test_one_offload_record_per_batch(self):
+        config = SimulationConfig(num_cores=1, threads_per_core=1,
+                                  window_cycles=5e6)
+        result = run_simulation(make_build(8, num_cores=1), config)
+        invocations = result.completed_requests  # 1 invocation per request
+        batches = len(result.metrics.offloads)
+        assert batches == pytest.approx(invocations / 8, abs=2)
+        for record in result.metrics.offloads:
+            assert record.granularity == pytest.approx(8 * GRANULARITY)
+
+    def test_partial_batch_never_dispatches(self):
+        config = SimulationConfig(num_cores=1, threads_per_core=1,
+                                  window_cycles=5e6)
+        # Batch far larger than the number of requests in the window.
+        result = run_simulation(make_build(10_000, num_cores=1), config)
+        assert len(result.metrics.offloads) == 0
+
+    def test_gated_requests_wait_for_batch(self):
+        """With an off-chip (gating) placement, early batch members cannot
+        complete until the batch fills and the device responds."""
+        def build(engine, cpu, metrics):
+            device = AcceleratorDevice(engine, 8.0)
+            interface = InterfaceModel(Placement.OFF_CHIP, dispatch_cycles=O0)
+            offloads = {
+                "k": OffloadConfig(
+                    device=device, interface=interface,
+                    design=ThreadingDesign.ASYNC, batch_size=4,
+                )
+            }
+            return Microservice(engine, cpu, metrics, offloads=offloads), factory
+
+        config = SimulationConfig(num_cores=1, threads_per_core=1,
+                                  window_cycles=2e6)
+        result = run_simulation(build, config)
+        latencies = sorted(
+            record.latency for record in result.metrics.completed_requests()
+        )
+        # The first member of each batch waits ~3 requests' worth of
+        # assembly time; the last waits none.
+        assert latencies[-1] > latencies[0] + 2 * REQUEST
+
+    def test_batching_rejected_for_blocking_designs(self):
+        engine_device_args = {}
+
+        from repro.simulator import Engine
+
+        engine = Engine()
+        device = AcceleratorDevice(engine, 8.0)
+        interface = InterfaceModel(Placement.OFF_CHIP)
+        with pytest.raises(SimulationError):
+            OffloadConfig(
+                device=device, interface=interface,
+                design=ThreadingDesign.SYNC, batch_size=2,
+            )
+
+    def test_batch_size_one_identical_to_unbatched_path(self):
+        config = SimulationConfig(num_cores=2, threads_per_core=1,
+                                  window_cycles=10e6)
+        unbatched = run_simulation(make_build(1), config)
+        assert unbatched.completed_requests > 0
+        assert all(
+            record.granularity == GRANULARITY
+            for record in unbatched.metrics.offloads
+        )

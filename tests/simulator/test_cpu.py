@@ -1,0 +1,245 @@
+"""Unit tests for the CPU/threading model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.simulator import (
+    CPU,
+    Compute,
+    CycleKind,
+    Engine,
+    HoldCore,
+    MetricSink,
+    ReleaseCore,
+    ThreadState,
+    YieldCore,
+)
+
+
+def make_cpu(cores=1):
+    engine = Engine()
+    metrics = MetricSink()
+    return engine, metrics, CPU(engine, metrics, cores)
+
+
+class TestCompute:
+    def test_compute_advances_time_and_charges(self):
+        engine, metrics, cpu = make_cpu()
+        done = []
+
+        def body(thread):
+            yield Compute(100, F.IO, L.KERNEL)
+            done.append(engine.now)
+
+        cpu.spawn(body)
+        engine.run_to_completion()
+        assert done == [100]
+        assert metrics.by_functionality()[F.IO] == 100
+
+    def test_sequential_computes(self):
+        engine, metrics, cpu = make_cpu()
+
+        def body(thread):
+            yield Compute(10, F.IO, L.KERNEL)
+            yield Compute(20, F.LOGGING, L.MEMORY)
+
+        cpu.spawn(body)
+        engine.run_to_completion()
+        assert engine.now == 30
+        assert metrics.useful_cycles() == 30
+
+    def test_threads_run_concurrently_on_separate_cores(self):
+        engine, metrics, cpu = make_cpu(cores=2)
+        finish_times = []
+
+        def body(thread):
+            yield Compute(100, F.IO, L.KERNEL)
+            finish_times.append(engine.now)
+
+        cpu.spawn(body)
+        cpu.spawn(body)
+        engine.run_to_completion()
+        assert finish_times == [100, 100]
+
+    def test_excess_threads_queue(self):
+        engine, metrics, cpu = make_cpu(cores=1)
+        finish_times = []
+
+        def body(thread):
+            yield Compute(100, F.IO, L.KERNEL)
+            finish_times.append(engine.now)
+
+        cpu.spawn(body)
+        cpu.spawn(body)
+        assert cpu.runnable_backlog() == 1
+        engine.run_to_completion()
+        assert finish_times == [100, 200]
+
+
+class TestHoldCore:
+    def test_hold_blocks_core_until_resumed(self):
+        engine, metrics, cpu = make_cpu(cores=1)
+        order = []
+
+        def blocker(thread):
+            yield Compute(10, F.IO, L.SSL)
+            engine.at(50, lambda: cpu.resume(thread))
+            yield HoldCore(F.IO, L.SSL)
+            order.append(("blocker", engine.now))
+
+        def other(thread):
+            yield Compute(5, F.LOGGING, L.MEMORY)
+            order.append(("other", engine.now))
+
+        cpu.spawn(blocker)
+        cpu.spawn(other)  # queued behind the held core
+        engine.run_to_completion()
+        # The other thread only ran after the blocker finished.
+        assert order[0][0] == "blocker"
+        assert order[1][0] == "other"
+
+    def test_blocked_time_charged_as_blocked(self):
+        engine, metrics, cpu = make_cpu()
+
+        def body(thread):
+            engine.at(40, lambda: cpu.resume(thread))
+            yield HoldCore(F.IO, L.SSL)
+
+        cpu.spawn(body)
+        engine.run_to_completion()
+        blocked = metrics.total_cycles((CycleKind.BLOCKED,))
+        assert blocked == 40
+
+
+class TestReleaseCore:
+    def test_release_lets_other_thread_run(self):
+        engine, metrics, cpu = make_cpu(cores=1)
+        order = []
+
+        def blocker(thread):
+            yield Compute(10, F.IO, L.SSL)
+            engine.at(100, lambda: cpu.resume(thread))
+            yield ReleaseCore()
+            order.append(("blocker", engine.now))
+
+        def other(thread):
+            yield Compute(5, F.LOGGING, L.MEMORY)
+            order.append(("other", engine.now))
+
+        cpu.spawn(blocker)
+        cpu.spawn(other)
+        engine.run_to_completion()
+        assert order[0] == ("other", 15)
+        assert order[1] == ("blocker", 100)
+
+    def test_resume_charge_consumes_core_time(self):
+        engine, metrics, cpu = make_cpu(cores=1)
+        resumed_at = []
+
+        def body(thread):
+            engine.at(10, lambda: cpu.resume(thread))
+            yield ReleaseCore(resume_charge=25)
+            resumed_at.append(engine.now)
+
+        cpu.spawn(body)
+        engine.run_to_completion()
+        assert resumed_at == [35]
+        assert metrics.total_cycles((CycleKind.THREAD_SWITCH,)) == 25
+
+
+class TestYieldCore:
+    def test_yield_round_robins(self):
+        engine, metrics, cpu = make_cpu(cores=1)
+        order = []
+
+        def maker(name):
+            def body(thread):
+                order.append((name, "a", engine.now))
+                yield Compute(10, F.IO, L.KERNEL)
+                yield YieldCore()
+                order.append((name, "b", engine.now))
+                yield Compute(10, F.IO, L.KERNEL)
+
+            return body
+
+        cpu.spawn(maker("t1"))
+        cpu.spawn(maker("t2"))
+        engine.run_to_completion()
+        names = [(name, phase) for name, phase, _ in order]
+        assert names == [("t1", "a"), ("t2", "a"), ("t1", "b"), ("t2", "b")]
+
+    def test_lone_thread_yield_continues(self):
+        engine, metrics, cpu = make_cpu(cores=1)
+        done = []
+
+        def body(thread):
+            yield Compute(10, F.IO, L.KERNEL)
+            yield YieldCore()
+            done.append(engine.now)
+
+        cpu.spawn(body)
+        engine.run_to_completion()
+        assert done == [10]
+
+
+class TestLifecycle:
+    def test_resume_unblocked_thread_rejected(self):
+        engine, metrics, cpu = make_cpu()
+
+        def body(thread):
+            yield Compute(10, F.IO, L.KERNEL)
+
+        thread = cpu.spawn(body)
+        with pytest.raises(SimulationError):
+            cpu.resume(thread)
+
+    def test_thread_done_callbacks(self):
+        engine, metrics, cpu = make_cpu()
+        finished = []
+        cpu.on_thread_done(lambda t: finished.append(t.name))
+
+        def body(thread):
+            yield Compute(1, F.IO, L.KERNEL)
+
+        cpu.spawn(body, name="worker-x")
+        engine.run_to_completion()
+        assert finished == ["worker-x"]
+
+    def test_finalize_accounts_idle(self):
+        engine, metrics, cpu = make_cpu(cores=2)
+
+        def body(thread):
+            yield Compute(10, F.IO, L.KERNEL)
+
+        cpu.spawn(body)
+        engine.run_until(100)
+        cpu.finalize(100)
+        idle = metrics.total_cycles((CycleKind.IDLE,))
+        # Core 0 idle for 90 cycles after the thread; core 1 idle for 100.
+        assert idle == pytest.approx(190)
+
+    def test_finalize_accounts_open_blocked_interval(self):
+        engine, metrics, cpu = make_cpu()
+
+        def body(thread):
+            yield HoldCore(F.IO, L.SSL)
+
+        cpu.spawn(body)
+        engine.run_until(60)
+        cpu.finalize(60)
+        assert metrics.total_cycles((CycleKind.BLOCKED,)) == 60
+
+    def test_needs_at_least_one_core(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            CPU(engine, MetricSink(), 0)
+
+    def test_idle_cores_counter(self):
+        engine, metrics, cpu = make_cpu(cores=3)
+
+        def body(thread):
+            yield Compute(10, F.IO, L.KERNEL)
+
+        cpu.spawn(body)
+        assert cpu.idle_cores() == 2

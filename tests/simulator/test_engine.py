@@ -1,0 +1,102 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.at(30, lambda: fired.append("c"))
+        engine.at(10, lambda: fired.append("a"))
+        engine.at(20, lambda: fired.append("b"))
+        engine.run_to_completion()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = Engine()
+        fired = []
+        engine.at(5, lambda: fired.append(1))
+        engine.at(5, lambda: fired.append(2))
+        engine.run_to_completion()
+        assert fired == [1, 2]
+
+    def test_after_is_relative(self):
+        engine = Engine()
+        times = []
+        engine.at(100, lambda: engine.after(50, lambda: times.append(engine.now)))
+        engine.run_to_completion()
+        assert times == [150]
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.at(10, lambda: None)
+        engine.run_to_completion()
+        with pytest.raises(SimulationError):
+            engine.at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().after(-1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        count = []
+
+        def chain(depth):
+            count.append(depth)
+            if depth < 5:
+                engine.after(1, lambda: chain(depth + 1))
+
+        engine.at(0, lambda: chain(0))
+        engine.run_to_completion()
+        assert count == list(range(6))
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        engine = Engine()
+        fired = []
+        engine.at(10, lambda: fired.append(10))
+        engine.at(20, lambda: fired.append(20))
+        engine.run_until(15)
+        assert fired == [10]
+        assert engine.now == 15
+        assert engine.pending_events == 1
+
+    def test_event_exactly_at_horizon_fires(self):
+        engine = Engine()
+        fired = []
+        engine.at(15, lambda: fired.append(15))
+        engine.run_until(15)
+        assert fired == [15]
+
+    def test_rejects_past_horizon(self):
+        engine = Engine()
+        engine.at(5, lambda: None)
+        engine.run_until(10)
+        with pytest.raises(SimulationError):
+            engine.run_until(5)
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def loop():
+            engine.after(0, loop)
+
+        engine.at(0, loop)
+        with pytest.raises(SimulationError):
+            engine.run_until(1, max_events=100)
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for t in range(5):
+            engine.at(t, lambda: None)
+        engine.run_to_completion()
+        assert engine.events_processed == 5
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False

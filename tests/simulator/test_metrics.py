@@ -1,0 +1,138 @@
+"""Unit tests for the metric sink."""
+
+import pytest
+
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.simulator import CycleKind, MetricSink
+from repro.simulator.metrics import OffloadRecord
+
+
+class TestCycleAttribution:
+    def test_charge_and_totals(self):
+        sink = MetricSink()
+        sink.charge(100, F.IO, L.KERNEL)
+        sink.charge(50, F.IO, L.KERNEL)
+        sink.charge(25, F.COMPRESSION, L.ZSTD, CycleKind.OFFLOAD_OVERHEAD)
+        assert sink.total_cycles() == 175
+        assert sink.useful_cycles() == 150
+        assert sink.busy_cycles() == 175
+
+    def test_blocked_and_idle_not_busy(self):
+        sink = MetricSink()
+        sink.charge(10, F.IO, L.SSL, CycleKind.BLOCKED)
+        sink.charge(20, F.MISCELLANEOUS, L.MISCELLANEOUS, CycleKind.IDLE)
+        assert sink.busy_cycles() == 0
+        assert sink.total_cycles() == 30
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSink().charge(-1, F.IO, L.KERNEL)
+
+    def test_by_functionality(self):
+        sink = MetricSink()
+        sink.charge(60, F.IO, L.KERNEL)
+        sink.charge(40, F.IO, L.MEMORY)
+        sink.charge(100, F.APPLICATION_LOGIC, L.C_LIBRARIES)
+        per = sink.by_functionality()
+        assert per[F.IO] == 100
+        assert per[F.APPLICATION_LOGIC] == 100
+
+    def test_by_leaf(self):
+        sink = MetricSink()
+        sink.charge(60, F.IO, L.KERNEL)
+        sink.charge(40, F.THREAD_POOL, L.KERNEL)
+        assert sink.by_leaf()[L.KERNEL] == 100
+
+    def test_shares_sum_to_one(self):
+        sink = MetricSink()
+        sink.charge(75, F.IO, L.KERNEL)
+        sink.charge(25, F.LOGGING, L.MEMORY)
+        shares = sink.functionality_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[F.IO] == pytest.approx(0.75)
+
+    def test_empty_shares(self):
+        assert MetricSink().functionality_shares() == {}
+
+
+class TestKernelTracking:
+    def test_kernel_cycles_and_invocations(self):
+        sink = MetricSink()
+        sink.charge_kernel("memcpy", 100, origin=F.IO)
+        sink.charge_kernel("memcpy", 300, origin=F.SERIALIZATION)
+        assert sink.kernel_invocations["memcpy"] == 2
+        assert sink.kernel_cycles["memcpy"] == 400
+
+    def test_origin_shares(self):
+        sink = MetricSink()
+        sink.charge_kernel("memcpy", 100, origin=F.IO)
+        sink.charge_kernel("memcpy", 300, origin=F.SERIALIZATION)
+        shares = sink.kernel_origin_shares("memcpy")
+        assert shares[F.IO] == pytest.approx(0.25)
+        assert shares[F.SERIALIZATION] == pytest.approx(0.75)
+
+    def test_origin_shares_unknown_kernel(self):
+        assert MetricSink().kernel_origin_shares("nope") == {}
+
+
+class TestRequests:
+    def test_latency(self):
+        sink = MetricSink()
+        record = sink.open_request(1, now=100.0)
+        record.completed_at = 400.0
+        assert record.latency == 300.0
+
+    def test_latency_of_incomplete_raises(self):
+        record = MetricSink().open_request(1, now=0.0)
+        with pytest.raises(ValueError):
+            record.latency
+
+    def test_throughput_counts_only_completed(self):
+        sink = MetricSink()
+        done = sink.open_request(1, 0.0)
+        done.completed_at = 10.0
+        sink.open_request(2, 5.0)  # never completes
+        assert sink.throughput(100.0) == pytest.approx(0.01)
+
+    def test_mean_latency(self):
+        sink = MetricSink()
+        for i, latency in enumerate([10.0, 20.0, 30.0]):
+            record = sink.open_request(i, 0.0)
+            record.completed_at = latency
+        assert sink.mean_latency() == 20.0
+
+    def test_latency_percentile(self):
+        sink = MetricSink()
+        for i in range(11):
+            record = sink.open_request(i, 0.0)
+            record.completed_at = float(i)
+        assert sink.latency_percentile(0) == 0.0
+        assert sink.latency_percentile(50) == 5.0
+        assert sink.latency_percentile(100) == 10.0
+
+    def test_percentile_domain(self):
+        sink = MetricSink()
+        record = sink.open_request(1, 0.0)
+        record.completed_at = 1.0
+        with pytest.raises(ValueError):
+            sink.latency_percentile(101)
+
+    def test_no_completed_requests_raises(self):
+        with pytest.raises(ValueError):
+            MetricSink().mean_latency()
+
+
+class TestOffloadRecords:
+    def test_mean_queue_cycles(self):
+        sink = MetricSink()
+        for queued in (0.0, 10.0, 20.0):
+            sink.record_offload(
+                OffloadRecord(
+                    kernel="k", granularity=1.0, dispatched_at=0.0,
+                    queued_cycles=queued,
+                )
+            )
+        assert sink.mean_queue_cycles() == 10.0
+
+    def test_mean_queue_empty(self):
+        assert MetricSink().mean_queue_cycles() == 0.0

@@ -1,0 +1,160 @@
+"""Property-based tests for simulator invariants.
+
+The strongest one is *cycle conservation*: over a measurement window, the
+attributed cycles (useful + overhead + switch + blocked + idle) must equal
+``num_cores * window`` up to the in-flight operations at the horizon --
+every core cycle is accounted for exactly once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Placement, ThreadingDesign
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.simulator import (
+    AcceleratorDevice,
+    CycleKind,
+    InterfaceModel,
+    KernelInvocation,
+    KernelSpec,
+    Microservice,
+    OffloadConfig,
+    RequestSpec,
+    SegmentWork,
+    SimulationConfig,
+    run_simulation,
+)
+
+KERNEL = KernelSpec("k", F.IO, L.SSL, cycles_per_byte=3.0)
+
+DESIGN_POOL = [
+    None,
+    ThreadingDesign.SYNC,
+    ThreadingDesign.SYNC_OS,
+    ThreadingDesign.ASYNC,
+]
+
+
+def make_build(design, plain, invocations, granularity, o0, l_cycles, o1,
+               num_cores):
+    def build(engine, cpu, metrics):
+        offloads = {}
+        if design is not None:
+            device = AcceleratorDevice(engine, 6.0, servers=num_cores)
+            interface = InterfaceModel(
+                Placement.OFF_CHIP, dispatch_cycles=o0,
+                transfer_base_cycles=l_cycles,
+            )
+            offloads["k"] = OffloadConfig(
+                device=device, interface=interface, design=design,
+                thread_switch_cycles=o1,
+            )
+        service = Microservice(engine, cpu, metrics, offloads=offloads)
+
+        def factory():
+            return RequestSpec(
+                segments=(
+                    SegmentWork(F.APPLICATION_LOGIC, plain_cycles=plain,
+                                leaf_mix={L.C_LIBRARIES: 1.0}),
+                    SegmentWork(
+                        F.IO,
+                        invocations=tuple(
+                            KernelInvocation(KERNEL, granularity)
+                            for _ in range(invocations)
+                        ),
+                    ),
+                )
+            )
+
+        return service, factory
+
+    return build
+
+
+@st.composite
+def sim_params(draw):
+    return dict(
+        design=draw(st.sampled_from(DESIGN_POOL)),
+        plain=draw(st.floats(min_value=500, max_value=20_000)),
+        invocations=draw(st.integers(min_value=0, max_value=5)),
+        granularity=draw(st.floats(min_value=16, max_value=4_096)),
+        o0=draw(st.floats(min_value=0, max_value=200)),
+        l_cycles=draw(st.floats(min_value=0, max_value=500)),
+        o1=draw(st.floats(min_value=0, max_value=500)),
+        num_cores=draw(st.integers(min_value=1, max_value=4)),
+        threads_per_core=draw(st.integers(min_value=1, max_value=3)),
+    )
+
+
+class TestCycleConservation:
+    @settings(deadline=None, max_examples=25)
+    @given(params=sim_params())
+    def test_every_core_cycle_accounted_once(self, params):
+        threads_per_core = params.pop("threads_per_core")
+        num_cores = params["num_cores"]
+        window = 300_000.0
+        config = SimulationConfig(
+            num_cores=num_cores, threads_per_core=threads_per_core,
+            window_cycles=window,
+        )
+        result = run_simulation(make_build(**params), config)
+        attributed = result.metrics.total_cycles()
+        budget = num_cores * window
+        # Compute ops charge at start, so up to one op per thread may
+        # spill past the horizon; bound the spill generously.
+        max_request = (
+            params["plain"]
+            + params["invocations"]
+            * (3.0 * params["granularity"] + params["o0"] + params["l_cycles"]
+               + 2 * params["o1"])
+        )
+        spill_budget = (num_cores * threads_per_core + 1) * max_request
+        assert attributed >= budget - 1e-6
+        assert attributed <= budget + spill_budget
+
+    @settings(deadline=None, max_examples=15)
+    @given(params=sim_params())
+    def test_no_negative_or_nan_counters(self, params):
+        params.pop("threads_per_core")
+        config = SimulationConfig(
+            num_cores=params["num_cores"], threads_per_core=2,
+            window_cycles=200_000.0,
+        )
+        result = run_simulation(make_build(**params), config)
+        for value in result.metrics.cycles.values():
+            assert value >= 0
+            assert np.isfinite(value)
+        for record in result.metrics.offloads:
+            assert record.queued_cycles >= 0
+            assert record.service_cycles >= 0
+
+
+class TestDeterminism:
+    def test_same_build_same_results(self):
+        params = dict(
+            design=ThreadingDesign.SYNC, plain=5_000.0, invocations=2,
+            granularity=256.0, o0=20.0, l_cycles=100.0, o1=0.0, num_cores=2,
+        )
+        config = SimulationConfig(num_cores=2, window_cycles=500_000.0)
+        first = run_simulation(make_build(**params), config)
+        second = run_simulation(make_build(**params), config)
+        assert first.completed_requests == second.completed_requests
+        assert first.metrics.total_cycles() == pytest.approx(
+            second.metrics.total_cycles()
+        )
+
+    def test_speedup_invariant_to_window_size(self):
+        params = dict(
+            design=ThreadingDesign.ASYNC, plain=5_000.0, invocations=2,
+            granularity=256.0, o0=20.0, l_cycles=100.0, o1=0.0, num_cores=2,
+        )
+        base = dict(params, design=None)
+        ratios = []
+        for window in (1e6, 4e6):
+            config = SimulationConfig(num_cores=2, window_cycles=window)
+            baseline = run_simulation(make_build(**base), config)
+            accelerated = run_simulation(make_build(**params), config)
+            ratios.append(accelerated.throughput / baseline.throughput)
+        assert ratios[0] == pytest.approx(ratios[1], rel=0.01)

@@ -1,0 +1,185 @@
+"""Integration: simulator A/B speedups agree with the analytical model.
+
+This is the reproduction's strongest internal validation: for every
+threading design, the measured throughput speedup of a simulated A/B
+experiment must match the corresponding Accelerometer equation closely
+(the device is provisioned per-core so Q ~ 0, the model's assumption).
+"""
+
+import pytest
+
+from repro.core import (
+    Accelerometer,
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+)
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.simulator import (
+    AcceleratorDevice,
+    InterfaceModel,
+    KernelInvocation,
+    KernelSpec,
+    Microservice,
+    OffloadConfig,
+    RequestSpec,
+    ResponseHandler,
+    SegmentWork,
+    SimulationConfig,
+    measured_speedup,
+    run_simulation,
+)
+
+PLAIN = 10_000.0
+KERNEL_CALLS = 4
+GRANULARITY = 500.0
+CB = 4.0
+A = 8.0
+O0 = 50.0
+L_CYCLES = 200.0
+O1 = 300.0
+REQUEST = PLAIN + KERNEL_CALLS * CB * GRANULARITY
+
+KERNEL = KernelSpec("k", F.IO, L.SSL, cycles_per_byte=CB)
+
+
+def build_factory():
+    def factory():
+        return RequestSpec(
+            segments=(
+                SegmentWork(F.APPLICATION_LOGIC, plain_cycles=PLAIN,
+                            leaf_mix={L.C_LIBRARIES: 1.0}),
+                SegmentWork(
+                    F.IO,
+                    invocations=tuple(
+                        KernelInvocation(KERNEL, GRANULARITY)
+                        for _ in range(KERNEL_CALLS)
+                    ),
+                ),
+            )
+        )
+    return factory
+
+
+def make_build(design=None, num_cores=4):
+    def build(engine, cpu, metrics):
+        offloads = {}
+        if design is not None:
+            device = AcceleratorDevice(engine, A, servers=num_cores)
+            interface = InterfaceModel(
+                Placement.OFF_CHIP, dispatch_cycles=O0,
+                transfer_base_cycles=L_CYCLES,
+            )
+            handler = (
+                ResponseHandler(cpu, O1)
+                if design is ThreadingDesign.ASYNC_DISTINCT_THREAD
+                else None
+            )
+            offloads["k"] = OffloadConfig(
+                device=device, interface=interface, design=design,
+                thread_switch_cycles=O1, response_handler=handler,
+            )
+        return Microservice(engine, cpu, metrics, offloads=offloads), build_factory()
+
+    return build
+
+
+def model_scenario(design):
+    return OffloadScenario(
+        kernel=KernelProfile(
+            REQUEST, KERNEL_CALLS * CB * GRANULARITY / REQUEST, KERNEL_CALLS,
+            cycles_per_byte=CB,
+        ),
+        accelerator=AcceleratorSpec(A, Placement.OFF_CHIP),
+        costs=OffloadCosts(
+            dispatch_cycles=O0, interface_cycles=L_CYCLES,
+            thread_switch_cycles=O1,
+        ),
+        design=design,
+    )
+
+
+CONFIGS = {
+    ThreadingDesign.SYNC: 1,
+    ThreadingDesign.SYNC_OS: 3,
+    ThreadingDesign.ASYNC: 1,
+    ThreadingDesign.ASYNC_DISTINCT_THREAD: 1,
+    ThreadingDesign.ASYNC_NO_RESPONSE: 1,
+}
+
+
+@pytest.mark.parametrize("design", list(CONFIGS))
+def test_simulated_speedup_matches_model(design):
+    threads_per_core = CONFIGS[design]
+    config = SimulationConfig(
+        num_cores=4, threads_per_core=threads_per_core, window_cycles=20e6
+    )
+    baseline = run_simulation(make_build(None), config)
+    accelerated = run_simulation(make_build(design), config)
+    simulated = measured_speedup(baseline, accelerated)
+    modelled = Accelerometer().speedup(model_scenario(design))
+    assert simulated == pytest.approx(modelled, rel=0.01)
+
+
+def test_sync_latency_matches_model_exactly():
+    config = SimulationConfig(num_cores=4, threads_per_core=1, window_cycles=20e6)
+    baseline = run_simulation(make_build(None), config)
+    accelerated = run_simulation(make_build(ThreadingDesign.SYNC), config)
+    simulated = (
+        baseline.mean_latency_cycles / accelerated.mean_latency_cycles
+    )
+    modelled = Accelerometer().latency_reduction(
+        model_scenario(ThreadingDesign.SYNC)
+    )
+    assert simulated == pytest.approx(modelled, rel=0.005)
+
+
+def test_async_latency_at_least_model_bound():
+    """The model's async CL charges the full accelerator time even when it
+    overlaps remaining request work, so the simulator should do at least
+    as well as the model's latency-reduction bound."""
+    config = SimulationConfig(num_cores=4, threads_per_core=1, window_cycles=20e6)
+    baseline = run_simulation(make_build(None), config)
+    accelerated = run_simulation(make_build(ThreadingDesign.ASYNC), config)
+    simulated = baseline.mean_latency_cycles / accelerated.mean_latency_cycles
+    modelled = Accelerometer().latency_reduction(
+        model_scenario(ThreadingDesign.ASYNC)
+    )
+    assert simulated >= modelled * 0.99
+
+
+def test_shared_device_contention_appears_as_queueing():
+    """With one device engine shared by four cores, measured Q > 0 and the
+    measured speedup falls below the Q = 0 model projection -- the
+    load-awareness the paper built Q into the model for."""
+    def build(engine, cpu, metrics):
+        device = AcceleratorDevice(engine, A, servers=1)
+        interface = InterfaceModel(
+            Placement.OFF_CHIP, dispatch_cycles=O0,
+            transfer_base_cycles=L_CYCLES,
+        )
+        offloads = {
+            "k": OffloadConfig(
+                device=device, interface=interface,
+                design=ThreadingDesign.SYNC,
+            )
+        }
+        return Microservice(engine, cpu, metrics, offloads=offloads), build_factory()
+
+    config = SimulationConfig(num_cores=4, threads_per_core=1, window_cycles=20e6)
+    baseline = run_simulation(make_build(None), config)
+    contended = run_simulation(build, config)
+    simulated = measured_speedup(baseline, contended)
+    q_free_model = Accelerometer().speedup(model_scenario(ThreadingDesign.SYNC))
+    assert simulated < q_free_model
+    measured_q = contended.metrics.mean_queue_cycles()
+    assert measured_q > 0
+    # Feeding the measured Q back into the model closes most of the gap.
+    scenario = model_scenario(ThreadingDesign.SYNC)
+    adjusted = Accelerometer().speedup_with_queueing_distribution(
+        scenario, [o.queued_cycles for o in contended.metrics.offloads[:1000]]
+    )
+    assert abs(adjusted - simulated) < abs(q_free_model - simulated) + 1e-9

@@ -1,0 +1,96 @@
+"""Tests for Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.paperdata.categories import FunctionalityCategory as F
+from repro.simulator import MetricSink, export_chrome_trace, trace_events
+from repro.simulator.metrics import OffloadRecord
+
+
+def populated_sink():
+    sink = MetricSink()
+    request = sink.open_request(1, now=1_000.0)
+    request.completed_at = 5_000.0
+    sink.open_request(2, now=2_000.0)  # incomplete: skipped
+    sink.record_offload(OffloadRecord(
+        kernel="compression", granularity=512.0, dispatched_at=1_200.0,
+        queued_cycles=100.0, service_cycles=400.0, completed_at=1_700.0,
+    ))
+    sink.record_offload(OffloadRecord(
+        kernel="encryption", granularity=64.0, dispatched_at=2_000.0,
+        queued_cycles=0.0, service_cycles=50.0,
+    ))
+    return sink
+
+
+class TestTraceEvents:
+    def test_request_events_duration(self):
+        events = trace_events(populated_sink(), cycles_per_us=1_000.0)
+        request_events = [e for e in events if e.get("cat") == "request"]
+        assert len(request_events) == 1
+        assert request_events[0]["ts"] == pytest.approx(1.0)
+        assert request_events[0]["dur"] == pytest.approx(4.0)
+
+    def test_offloads_get_per_kernel_tracks(self):
+        events = trace_events(populated_sink())
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["name"] == "thread_name"
+        }
+        assert "offloads:compression" in names
+        assert "offloads:encryption" in names
+
+    def test_incomplete_offload_uses_estimated_end(self):
+        events = trace_events(populated_sink(), cycles_per_us=1.0)
+        encryption = [e for e in events if e["name"].startswith("encryption")]
+        assert encryption[0]["dur"] == pytest.approx(50.0)
+
+    def test_offload_args_carry_measurements(self):
+        events = trace_events(populated_sink())
+        compression = [
+            e for e in events if e["name"].startswith("compression")
+        ][0]
+        assert compression["args"]["granularity_bytes"] == 512.0
+        assert compression["args"]["queued_cycles"] == 100.0
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ParameterError):
+            trace_events(populated_sink(), cycles_per_us=0)
+
+
+class TestExport:
+    def test_writes_valid_json(self, tmp_path):
+        path = export_chrome_trace(populated_sink(), tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_export_of_real_simulation(self, tmp_path):
+        import numpy as np
+
+        from repro.simulator import (
+            Microservice,
+            SimulationConfig,
+            run_simulation,
+        )
+        from repro.workloads import build_workload
+
+        workload = build_workload("cache1")
+        rng = np.random.default_rng(0)
+
+        def build(engine, cpu, metrics):
+            return (
+                Microservice(engine, cpu, metrics, name="cache1"),
+                workload.request_factory(rng),
+            )
+
+        result = run_simulation(
+            build, SimulationConfig(num_cores=1, window_cycles=1.2e6)
+        )
+        path = export_chrome_trace(result.metrics, tmp_path / "sim.json")
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) > 20

@@ -1,0 +1,109 @@
+"""Coverage for small public-API helpers not exercised elsewhere."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import (
+    BLOCKING_DESIGNS,
+    NONBLOCKING_DESIGNS,
+    ResponseHandling,
+    ThreadingDesign,
+    design_for_response,
+)
+from repro.paperdata import FUNCTIONALITY_CATEGORIES, GOOGLE_FLEET
+from repro.paperdata.categories import FunctionalityCategory
+from repro.viz import FUNCTIONALITY_COLORS, GENERATION_COLORS, LEAF_COLORS
+
+
+class TestDesignSets:
+    def test_blocking_and_nonblocking_partition_designs(self):
+        assert BLOCKING_DESIGNS | NONBLOCKING_DESIGNS == set(ThreadingDesign)
+        assert not BLOCKING_DESIGNS & NONBLOCKING_DESIGNS
+
+    def test_sync_designs_block(self):
+        assert ThreadingDesign.SYNC in BLOCKING_DESIGNS
+        assert ThreadingDesign.SYNC_OS in BLOCKING_DESIGNS
+
+    @pytest.mark.parametrize(
+        "handling,expected",
+        [
+            (ResponseHandling.SAME_THREAD, ThreadingDesign.ASYNC),
+            (ResponseHandling.DISTINCT_THREAD,
+             ThreadingDesign.ASYNC_DISTINCT_THREAD),
+            (ResponseHandling.NO_RESPONSE,
+             ThreadingDesign.ASYNC_NO_RESPONSE),
+        ],
+    )
+    def test_design_for_response(self, handling, expected):
+        assert design_for_response(handling) is expected
+
+
+class TestPaperdataSurface:
+    def test_functionality_glossary_covers_all_categories(self):
+        assert set(FUNCTIONALITY_CATEGORIES) == set(FunctionalityCategory)
+        assert all(isinstance(v, str) and v
+                   for v in FUNCTIONALITY_CATEGORIES.values())
+
+    def test_google_fleet_key(self):
+        from repro.paperdata import LEAF_BREAKDOWN
+
+        assert GOOGLE_FLEET in LEAF_BREAKDOWN
+
+
+class TestVizColorTables:
+    def test_functionality_colors_cover_all_categories(self):
+        assert set(FUNCTIONALITY_COLORS) == set(FunctionalityCategory)
+
+    def test_leaf_colors_cover_all_categories(self):
+        from repro.paperdata.categories import LeafCategory
+
+        assert set(LEAF_COLORS) == set(LeafCategory)
+
+    def test_generation_colors_distinct(self):
+        assert len(set(GENERATION_COLORS.values())) == 3
+
+    def test_all_colors_valid_hex(self):
+        for table in (FUNCTIONALITY_COLORS, LEAF_COLORS, GENERATION_COLORS):
+            for color in table.values():
+                assert color.startswith("#") and len(color) == 7
+                int(color[1:], 16)
+
+
+class TestVizFigureFunctions:
+    """Each per-figure SVG function produces parseable output with its
+    figure's title (render_all covers the batch path; these cover the
+    individual entry points)."""
+
+    @pytest.mark.parametrize(
+        "function_name,needle",
+        [
+            ("fig15_svg", "Fig. 15"),
+            ("fig19_svg", "Fig. 19"),
+            ("fig20_svg", "Fig. 20"),
+            ("fig21_svg", "Fig. 21"),
+            ("fig22_svg", "Fig. 22"),
+        ],
+    )
+    def test_standalone_figures(self, function_name, needle):
+        import repro.viz as viz
+
+        svg = getattr(viz, function_name)()
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert needle in svg
+
+    def test_run_backed_figures(self, cache1_run):
+        import repro.viz as viz
+
+        runs = {"cache1": cache1_run}
+        for function_name in ("fig1_svg", "fig2_svg", "fig9_svg"):
+            svg = getattr(viz, function_name)(runs)
+            ET.fromstring(svg)
+
+    def test_generation_figures(self, generation_runs):
+        import repro.viz as viz
+
+        for function_name in ("fig8_svg", "fig10_svg"):
+            svg = getattr(viz, function_name)(generation_runs)
+            ET.fromstring(svg)

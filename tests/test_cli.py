@@ -1,0 +1,148 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_figure_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            "table1", "table4", "table6", "table7",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "fig10", "fig15", "fig16", "fig19", "fig20",
+            "fig21", "fig22", "project", "fleet",
+        ):
+            args = {
+                "project": [command, "--alpha", "0.1", "--n", "10", "--a", "2"],
+                "fleet": [command, "--speedups", "web=1.1"],
+            }.get(command, [command])
+            parsed = parser.parse_args(args)
+            assert parsed.command == command
+
+
+class TestStaticCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Skylake" in output
+
+    def test_table4(self, capsys):
+        main(["table4"])
+        output = capsys.readouterr().out
+        assert "orchestration" in output.lower()
+
+    def test_fig20(self, capsys):
+        main(["fig20"])
+        output = capsys.readouterr().out
+        assert "compression" in output
+        assert "13.6" in output  # on-chip ours
+
+    def test_fig15(self, capsys):
+        main(["fig15"])
+        output = capsys.readouterr().out
+        assert "cache1" in output
+        assert "marker" in output
+
+    def test_fig19_markers(self, capsys):
+        main(["fig19"])
+        output = capsys.readouterr().out
+        assert "off-chip-sync" in output
+
+    def test_fig21_and_fig22(self, capsys):
+        main(["fig21"])
+        main(["fig22"])
+        output = capsys.readouterr().out
+        assert "breakeven" in output
+
+
+class TestProjectCommand:
+    def test_project_prints_speedup(self, capsys):
+        main([
+            "project", "--alpha", "0.15", "--n", "15008", "--a", "5",
+            "--c", "2.3e9", "--design", "sync", "--placement", "on-chip",
+        ])
+        output = capsys.readouterr().out
+        assert "13.64" in output
+
+    def test_fleet_command(self, capsys):
+        main(["fleet", "--speedups", "web=1.1,cache1=1.14"])
+        output = capsys.readouterr().out
+        assert "capacity gain" in output
+
+
+class TestAnalysisCommands:
+    SCENARIO_ARGS = ["--alpha", "0.15", "--n", "9629", "--a", "27",
+                     "--c", "2.3e9", "--l", "2300"]
+
+    def test_bounds(self, capsys):
+        main(["bounds", *self.SCENARIO_ARGS, "--cb", "5.62"])
+        output = capsys.readouterr().out
+        assert "binding constraint" in output
+        assert "g_breakeven: 425.0" in output
+
+    def test_bounds_without_cb_skips_landmarks(self, capsys):
+        main(["bounds", *self.SCENARIO_ARGS])
+        output = capsys.readouterr().out
+        assert "g_breakeven" not in output
+
+    def test_sensitivity(self, capsys):
+        main(["sensitivity", *self.SCENARIO_ARGS])
+        output = capsys.readouterr().out
+        assert "alpha" in output
+        assert "most sensitive overhead: L" in output
+
+    def test_batch(self, capsys):
+        main([
+            "batch", "--alpha", "0.52", "--n", "1000", "--a", "1",
+            "--c", "2.5e9", "--o0", "250000", "--o1", "12500",
+            "--design", "async-distinct-thread", "--placement", "remote",
+        ])
+        output = capsys.readouterr().out
+        assert "minimum profitable batch size" in output
+
+    def test_workloads(self, capsys):
+        main(["workloads"])
+        output = capsys.readouterr().out
+        assert "cache1" in output
+        assert "encryption" in output
+
+    def test_demand_risk(self, capsys):
+        main(["demand-risk", "--growths", "0.5,1.0,2.0"])
+        output = capsys.readouterr().out
+        assert "stranded" in output
+        assert output.count("\n") >= 4
+
+    def test_capacity(self, capsys):
+        main([
+            "capacity", "--n", "9629", "--service-cycles", "800",
+            "--c", "2.3e9", "--q-budget", "200",
+        ])
+        output = capsys.readouterr().out
+        assert "engines per host" in output
+
+
+class TestSimulationCommands:
+    """Characterization-backed commands run end to end on a service
+    subset (kept small for test runtime)."""
+
+    def test_fig9_subset(self, capsys):
+        main(["fig9", "--services", "cache2"])
+        output = capsys.readouterr().out
+        assert "cache2" in output
+
+    def test_fig1_subset(self, capsys):
+        main(["fig1", "--services", "cache2"])
+        output = capsys.readouterr().out
+        assert "orchestration" in output
+
+    def test_table6(self, capsys):
+        main(["table6"])
+        output = capsys.readouterr().out
+        assert "aes-ni" in output
+        assert "inference" in output

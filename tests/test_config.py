@@ -1,0 +1,137 @@
+"""Tests for configuration-file driven evaluation."""
+
+import json
+
+import pytest
+
+from repro.config import dump_example, load_scenarios, scenario_from_mapping
+from repro.core import Accelerometer, Placement, ThreadingDesign
+from repro.errors import ParameterError
+
+AES_NI = {
+    "name": "aes-ni",
+    "C": 2.0e9, "alpha": 0.165844, "n": 298_951, "A": 6,
+    "o0": 10, "L": 3, "design": "sync", "placement": "on-chip",
+}
+
+
+class TestScenarioFromMapping:
+    def test_builds_working_scenario(self):
+        name, scenario = scenario_from_mapping(AES_NI)
+        assert name == "aes-ni"
+        assert scenario.design is ThreadingDesign.SYNC
+        assert scenario.accelerator.placement is Placement.ON_CHIP
+        speedup = Accelerometer().speedup(scenario)
+        assert (speedup - 1) * 100 == pytest.approx(15.7, abs=0.1)
+
+    def test_defaults_applied(self):
+        name, scenario = scenario_from_mapping(
+            {"C": 1e9, "alpha": 0.2, "n": 100, "A": 4}
+        )
+        assert scenario.costs.dispatch_cycles == 0
+        assert scenario.design is ThreadingDesign.SYNC
+        assert name == "sync-off-chip"
+
+    def test_optional_cb_and_beta(self):
+        _, scenario = scenario_from_mapping(
+            {"C": 1e9, "alpha": 0.2, "n": 100, "A": 4, "Cb": 5.0, "beta": 2.0}
+        )
+        assert scenario.kernel.cycles_per_byte == 5.0
+        assert scenario.kernel.complexity_exponent == 2.0
+
+    @pytest.mark.parametrize("missing", ["C", "alpha", "n", "A"])
+    def test_missing_required_key(self, missing):
+        payload = dict(AES_NI)
+        del payload[missing]
+        with pytest.raises(ParameterError):
+            scenario_from_mapping(payload)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ParameterError):
+            scenario_from_mapping({**AES_NI, "frequency": 2e9})
+
+    def test_bad_design_rejected(self):
+        with pytest.raises(ParameterError):
+            scenario_from_mapping({**AES_NI, "design": "turbo"})
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ParameterError):
+            scenario_from_mapping({**AES_NI, "placement": "orbital"})
+
+
+class TestLoadScenarios:
+    def test_scenarios_list(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps({"scenarios": [AES_NI]}))
+        scenarios = load_scenarios(path)
+        assert len(scenarios) == 1
+        assert scenarios[0][0] == "aes-ni"
+
+    def test_single_object(self, tmp_path):
+        path = tmp_path / "single.json"
+        path.write_text(json.dumps(AES_NI))
+        assert len(load_scenarios(path)) == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParameterError):
+            load_scenarios(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ParameterError):
+            load_scenarios(path)
+
+    def test_empty_scenarios_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"scenarios": []}))
+        with pytest.raises(ParameterError):
+            load_scenarios(path)
+
+    def test_non_object_entry_rejected(self, tmp_path):
+        path = tmp_path / "bad-entry.json"
+        path.write_text(json.dumps({"scenarios": [42]}))
+        with pytest.raises(ParameterError):
+            load_scenarios(path)
+
+    def test_top_level_list_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([AES_NI]))
+        with pytest.raises(ParameterError):
+            load_scenarios(path)
+
+
+class TestDumpExample:
+    def test_round_trips_through_loader(self, tmp_path):
+        path = tmp_path / "example.json"
+        dump_example(path)
+        scenarios = load_scenarios(path)
+        assert len(scenarios) == 3
+        names = [name for name, _ in scenarios]
+        assert "aes-ni-cache1" in names
+        # The example reproduces Table 6's estimates.
+        model = Accelerometer()
+        by_name = dict(scenarios)
+        aes = (model.speedup(by_name["aes-ni-cache1"]) - 1) * 100
+        assert aes == pytest.approx(15.7, abs=0.1)
+        inference = (model.speedup(by_name["inference-ads1"]) - 1) * 100
+        assert inference == pytest.approx(72.39, abs=0.05)
+
+
+class TestCliEvaluate:
+    def test_evaluate_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "scen.json"
+        dump_example(path)
+        main(["evaluate", "--config", str(path)])
+        output = capsys.readouterr().out
+        assert "aes-ni-cache1" in output
+        assert "15.78%" in output
+
+    def test_example_config_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "out.json"
+        main(["example-config", "--output", str(path)])
+        assert path.exists()

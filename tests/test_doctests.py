@@ -1,0 +1,17 @@
+"""Run the library's embedded doctest examples."""
+
+import doctest
+
+import pytest
+
+import repro.core.model
+import repro.units
+
+
+@pytest.mark.parametrize(
+    "module", [repro.units, repro.core.model], ids=lambda m: m.__name__
+)
+def test_doctests_pass(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,47 @@
+"""Smoke-run the example scripts (the fast ones run fully; the
+simulation-heavy ones are exercised through their underlying APIs in
+other tests, so here we only import-check them)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "projected speedup" in output
+        assert "15.7" in output or "15.8" in output
+
+    def test_batching_and_slo(self, capsys):
+        output = run_example("batching_and_slo.py", capsys)
+        assert "minimum profitable batch size" in output
+        assert "SLO-admissible batch" in output
+
+    def test_application_topology(self, capsys):
+        output = run_example("application_topology.py", capsys)
+        assert "critical path" in output
+        assert "remote CPU" in output
+
+    def test_accelerator_design_space(self, capsys):
+        output = run_example("accelerator_design_space.py", capsys)
+        assert "Speedup vs peak accelerator capability" in output
+        assert "rho = 0.90" in output
+
+
+class TestHeavyExamplesCompile:
+    @pytest.mark.parametrize(
+        "name", ["characterize_services.py", "validate_against_simulator.py"]
+    )
+    def test_compiles(self, name):
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")

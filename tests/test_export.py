@@ -1,0 +1,76 @@
+"""Tests for CSV figure-data export."""
+
+import csv
+
+import pytest
+
+from repro.export import export_figure_data
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory, request):
+    cache1 = request.getfixturevalue("cache1_run")
+    web = request.getfixturevalue("web_run")
+    directory = tmp_path_factory.mktemp("data")
+    runs = {"cache1": cache1, "web": web}
+    return directory, export_figure_data(directory, runs)
+
+
+def read_csv(path):
+    with path.open() as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportFigureData:
+    def test_all_core_files_written(self, exported):
+        _, written = exported
+        for name in (
+            "fig01_orchestration.csv", "fig02_leaf_breakdown.csv",
+            "fig03_memory_breakdown.csv", "fig04_copy_origins.csv",
+            "fig09_functionality.csv", "fig15_encryption_cdf.csv",
+            "fig19_compression_cdf.csv", "fig20_projections.csv",
+            "fig21_copy_cdf.csv", "fig22_allocation_cdf.csv",
+            "table6_case_studies.csv",
+        ):
+            assert name in written
+            assert written[name].exists()
+
+    def test_ipc_files_skipped_without_generation_runs(self, exported):
+        _, written = exported
+        assert "fig08_leaf_ipc.csv" not in written
+
+    def test_breakdown_pairs_measured_with_published(self, exported):
+        _, written = exported
+        rows = read_csv(written["fig09_functionality.csv"])
+        assert rows[0] == ["service", "category", "measured_pct",
+                           "published_pct"]
+        cache_io = [
+            row for row in rows[1:]
+            if row[:2] == ["cache1", "secure-insecure-io"]
+        ]
+        assert len(cache_io) == 1
+        measured, published = float(cache_io[0][2]), float(cache_io[0][3])
+        assert measured == pytest.approx(published, abs=4)
+
+    def test_cdf_file_has_markers_section(self, exported):
+        _, written = exported
+        rows = read_csv(written["fig19_compression_cdf.csv"])
+        assert ["marker", "bytes"] in rows
+        markers = rows[rows.index(["marker", "bytes"]) + 1:]
+        assert any(row[0] == "off-chip-sync" for row in markers)
+
+    def test_projection_file_matches_paper(self, exported):
+        _, written = exported
+        rows = read_csv(written["fig20_projections.csv"])
+        onchip = [
+            row for row in rows
+            if row[:2] == ["compression", "on-chip"]
+        ][0]
+        assert float(onchip[2]) == pytest.approx(13.64, abs=0.05)
+        assert float(onchip[3]) == pytest.approx(13.6)
+
+    def test_table6_file(self, exported):
+        _, written = exported
+        rows = read_csv(written["table6_case_studies.csv"])
+        names = {row[0] for row in rows[1:]}
+        assert names == {"aes-ni", "encryption", "inference"}

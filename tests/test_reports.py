@@ -1,0 +1,44 @@
+"""Tests for full-report generation."""
+
+import pytest
+
+from repro.reports import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Small subset + few requests: keep the full pipeline honest but fast.
+    return generate_report(seed=3, requests_target=60, services=["cache1", "web"])
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self, report_text):
+        for heading in (
+            "# Accelerometer reproduction report",
+            "## Fig. 1",
+            "## Figs. 2 and 9",
+            "## Table 4",
+            "## Fig. 8",
+            "## Fig. 10",
+            "## Granularity break-even markers",
+            "## Table 6",
+            "## Fig. 20 / Table 7",
+        ):
+            assert heading in report_text, heading
+
+    def test_requested_services_present(self, report_text):
+        assert "| cache1 |" in report_text
+        assert "| web |" in report_text
+
+    def test_case_studies_present(self, report_text):
+        assert "aes-ni" in report_text
+        assert "inference" in report_text
+
+    def test_fig20_values_present(self, report_text):
+        assert "13.6" in report_text  # on-chip compression
+        assert "1.86" in report_text or "1.87" in report_text  # allocation
+
+    def test_markdown_tables_well_formed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|"), line

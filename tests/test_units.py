@@ -1,0 +1,94 @@
+"""Unit tests for unit conversions and the top-level package surface."""
+
+import pytest
+
+import repro
+from repro import units
+from repro.errors import (
+    CalibrationError,
+    ParameterError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    UnknownServiceError,
+)
+
+
+class TestConversions:
+    def test_cycles_for_duration(self):
+        assert units.cycles_for_duration(2.0e9, 1.0) == 2.0e9
+        assert units.cycles_for_duration(2.0e9, 0.5) == 1.0e9
+
+    def test_duration_for_cycles(self):
+        assert units.duration_for_cycles(1.0e9, 2.0e9) == 0.5
+
+    def test_round_trip(self):
+        cycles = units.cycles_for_duration(3.2e9, 0.125)
+        assert units.duration_for_cycles(cycles, 3.2e9) == pytest.approx(0.125)
+
+    def test_latency_helpers(self):
+        assert units.ns_to_cycles(1.0, 2.0e9) == pytest.approx(2.0)
+        assert units.us_to_cycles(1.0, 2.0e9) == pytest.approx(2_000.0)
+        assert units.ms_to_cycles(1.0, 2.0e9) == pytest.approx(2_000_000.0)
+        assert units.cycles_to_us(2_000.0, 2.0e9) == pytest.approx(1.0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ParameterError):
+            units.cycles_for_duration(0.0, 1.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ParameterError):
+            units.cycles_for_duration(1e9, -1.0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, "0B"), (512, "512B"), (1024, "1K"), (2048, "2K"),
+         (1536, "1.5K"), (1048576, "1M"), (1073741824, "1G")],
+    )
+    def test_format_bytes(self, value, expected):
+        assert units.format_bytes(value) == expected
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            units.format_bytes(-1)
+
+    def test_percent_rendering(self):
+        assert units.percent(1.157) == "15.7%"
+        assert units.percent(1.0) == "0.0%"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ParameterError, CalibrationError, SimulationError, ProfileError,
+         UnknownServiceError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(ParameterError, ValueError)
+
+    def test_unknown_service_is_key_error(self):
+        assert issubclass(UnknownServiceError, KeyError)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_entry_points_exposed(self):
+        assert callable(repro.project)
+        assert repro.ThreadingDesign.SYNC.value == "sync"
+        assert repro.Placement.ON_CHIP.value == "on-chip"
+
+    def test_docstring_example_runs(self):
+        result = repro.project(
+            total_cycles=2.0e9, kernel_fraction=0.166, offloads_per_unit=3e5,
+            peak_speedup=6, design=repro.ThreadingDesign.SYNC,
+            placement=repro.Placement.ON_CHIP, dispatch_cycles=10,
+            interface_cycles=3,
+        )
+        assert result.speedup_percent == pytest.approx(15.8, abs=0.3)

@@ -1,0 +1,111 @@
+"""Tests for application-level acceleration impact."""
+
+import pytest
+
+from repro.core import (
+    AcceleratorSpec,
+    KernelProfile,
+    OffloadCosts,
+    OffloadScenario,
+    Placement,
+    ThreadingDesign,
+)
+from repro.errors import ParameterError
+from repro.topology import (
+    ServiceAcceleration,
+    apply_accelerations,
+    default_application_graph,
+)
+
+
+def onchip_plan(service, alpha=0.15, a=5.0):
+    from repro.workloads import REFERENCE_CYCLES
+
+    return ServiceAcceleration(
+        service=service,
+        scenario=OffloadScenario(
+            kernel=KernelProfile(REFERENCE_CYCLES[service], alpha, 10_000),
+            accelerator=AcceleratorSpec(a, Placement.ON_CHIP),
+            costs=OffloadCosts(),
+            design=ThreadingDesign.SYNC,
+        ),
+    )
+
+
+def remote_inference_plan():
+    return ServiceAcceleration(
+        service="ads1",
+        scenario=OffloadScenario(
+            kernel=KernelProfile(2.5e9, 0.52, 10),
+            accelerator=AcceleratorSpec(1.0, Placement.REMOTE),
+            costs=OffloadCosts(dispatch_cycles=25_000_000,
+                               thread_switch_cycles=12_500),
+            design=ThreadingDesign.ASYNC_DISTINCT_THREAD,
+        ),
+        extra_request_delay_cycles=25_000_000.0,  # ~10 ms at 2.5 GHz
+    )
+
+
+class TestDefaultGraph:
+    def test_topology_shape(self):
+        graph = default_application_graph()
+        assert graph.root == "web"
+        callees = {call.callee for call in graph.calls_from("web")}
+        assert callees == {"feed2", "ads1", "cache2"}
+
+    def test_end_to_end_latency_positive(self):
+        graph = default_application_graph()
+        assert graph.end_to_end_latency() > 2e6  # at least Web itself
+
+    def test_critical_path_through_ads(self):
+        # ads1 (2.5M) + ads2 (1.5M) is the heaviest branch.
+        graph = default_application_graph()
+        assert graph.critical_path() == ("web", "ads1", "ads2")
+
+
+class TestApplyAccelerations:
+    def test_onchip_acceleration_improves_end_to_end(self):
+        graph = default_application_graph()
+        impact = apply_accelerations(graph, {"ads1": onchip_plan("ads1")})
+        assert impact.improves_end_to_end_latency
+        assert impact.throughput_speedups["ads1"] > 1.0
+
+    def test_remote_inference_worsens_end_to_end(self):
+        """The Ads1 trade: 72% host throughput gain, but the network hop
+        lands in the application's end-to-end latency."""
+        graph = default_application_graph()
+        impact = apply_accelerations(graph, {"ads1": remote_inference_plan()})
+        assert impact.throughput_speedups["ads1"] > 1.7
+        assert not impact.improves_end_to_end_latency
+        assert impact.end_to_end_latency_change_pct > 50
+
+    def test_off_critical_path_acceleration_no_latency_effect(self):
+        """Speeding up a service whose branch is not the slowest leaves
+        end-to-end latency unchanged (scatter-gather takes the max)."""
+        graph = default_application_graph()
+        impact = apply_accelerations(graph, {"cache1": onchip_plan("cache1")})
+        assert impact.accelerated_latency_cycles == pytest.approx(
+            impact.baseline_latency_cycles
+        )
+        assert impact.throughput_speedups["cache1"] > 1.0
+
+    def test_multiple_plans_compose(self):
+        graph = default_application_graph()
+        impact = apply_accelerations(
+            graph,
+            {"ads1": onchip_plan("ads1"), "web": onchip_plan("web")},
+        )
+        solo = apply_accelerations(graph, {"ads1": onchip_plan("ads1")})
+        assert impact.accelerated_latency_cycles < (
+            solo.accelerated_latency_cycles
+        )
+
+    def test_unknown_service_rejected(self):
+        graph = default_application_graph()
+        with pytest.raises(ParameterError):
+            apply_accelerations(graph, {"nope": onchip_plan("web")})
+
+    def test_mismatched_plan_key_rejected(self):
+        graph = default_application_graph()
+        with pytest.raises(ParameterError):
+            apply_accelerations(graph, {"web": onchip_plan("ads1")})

@@ -1,0 +1,109 @@
+"""Unit tests for the call-graph model."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.topology import Call, CallGraph, ServiceNode
+
+
+def linear_graph():
+    """web -> mid -> leaf, 100-cycle hops."""
+    services = [
+        ServiceNode("web", 1_000.0),
+        ServiceNode("mid", 500.0),
+        ServiceNode("leaf", 200.0),
+    ]
+    calls = [
+        Call("web", "mid", network_cycles=100.0),
+        Call("mid", "leaf", network_cycles=100.0),
+    ]
+    return CallGraph(services, calls, root="web")
+
+
+def fanout_graph():
+    """web fans out to a (slow) and b (fast) in parallel."""
+    services = [
+        ServiceNode("web", 1_000.0),
+        ServiceNode("a", 2_000.0),
+        ServiceNode("b", 300.0),
+    ]
+    calls = [
+        Call("web", "a", network_cycles=50.0, stage=0),
+        Call("web", "b", network_cycles=50.0, stage=0),
+    ]
+    return CallGraph(services, calls, root="web")
+
+
+class TestConstruction:
+    def test_duplicate_service_rejected(self):
+        with pytest.raises(ParameterError):
+            CallGraph([ServiceNode("a", 1), ServiceNode("a", 2)], [], "a")
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(ParameterError):
+            CallGraph([ServiceNode("a", 1)], [], "b")
+
+    def test_unknown_callee_rejected(self):
+        with pytest.raises(ParameterError):
+            CallGraph([ServiceNode("a", 1)], [Call("a", "b")], "a")
+
+    def test_multiple_callers_rejected(self):
+        services = [ServiceNode(n, 1) for n in ("a", "b", "c")]
+        with pytest.raises(ParameterError):
+            CallGraph(services, [Call("a", "c"), Call("b", "c")], "a")
+
+    def test_root_as_callee_rejected(self):
+        services = [ServiceNode(n, 1) for n in ("a", "b")]
+        with pytest.raises(ParameterError):
+            CallGraph(services, [Call("b", "a")], "a")
+
+
+class TestLatency:
+    def test_linear_chain_sums(self):
+        graph = linear_graph()
+        # 1000 + 2*100 + 500 + 2*100 + 200
+        assert graph.end_to_end_latency() == pytest.approx(2_100.0)
+
+    def test_parallel_fanout_takes_max(self):
+        graph = fanout_graph()
+        # 1000 + max(100 + 2000, 100 + 300)
+        assert graph.end_to_end_latency() == pytest.approx(3_100.0)
+
+    def test_sequential_stages_sum(self):
+        services = [ServiceNode(n, 100.0) for n in ("r", "s1", "s2")]
+        calls = [
+            Call("r", "s1", network_cycles=0.0, stage=0),
+            Call("r", "s2", network_cycles=0.0, stage=1),
+        ]
+        graph = CallGraph(services, calls, "r")
+        assert graph.end_to_end_latency() == pytest.approx(300.0)
+
+    def test_latency_scale_divides_service_time(self):
+        graph = linear_graph()
+        scaled = graph.end_to_end_latency(latency_scale={"mid": 2.0})
+        assert scaled == pytest.approx(2_100.0 - 250.0)
+
+    def test_extra_delay_added_once(self):
+        graph = linear_graph()
+        delayed = graph.end_to_end_latency(extra_delay={"leaf": 1_000.0})
+        assert delayed == pytest.approx(3_100.0)
+
+    def test_unknown_service_in_overrides_rejected(self):
+        with pytest.raises(ParameterError):
+            linear_graph().end_to_end_latency(latency_scale={"zzz": 2.0})
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ParameterError):
+            linear_graph().end_to_end_latency(latency_scale={"mid": 0.0})
+
+
+class TestCriticalPath:
+    def test_linear_path(self):
+        assert linear_graph().critical_path() == ("web", "mid", "leaf")
+
+    def test_fanout_follows_slowest(self):
+        assert fanout_graph().critical_path() == ("web", "a")
+
+    def test_leaf_only(self):
+        graph = CallGraph([ServiceNode("solo", 10.0)], [], "solo")
+        assert graph.critical_path() == ("solo",)

@@ -1,0 +1,71 @@
+"""Property-based tests for the call-graph model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology import Call, CallGraph, ServiceNode
+
+
+@st.composite
+def random_trees(draw):
+    """A random service tree: node i's parent is a lower-numbered node."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    cycles = draw(
+        st.lists(st.floats(min_value=1.0, max_value=1e6),
+                 min_size=count, max_size=count)
+    )
+    services = [ServiceNode(f"s{i}", cycles[i]) for i in range(count)]
+    calls = []
+    for i in range(1, count):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        network = draw(st.floats(min_value=0.0, max_value=1e5))
+        stage = draw(st.integers(min_value=0, max_value=2))
+        calls.append(Call(f"s{parent}", f"s{i}", network, stage))
+    return CallGraph(services, calls, root="s0")
+
+
+class TestGraphProperties:
+    @given(random_trees())
+    def test_latency_at_least_any_root_to_leaf_cost(self, graph):
+        latency = graph.end_to_end_latency()
+        assert latency >= graph.service(graph.root).service_cycles
+
+    @given(random_trees())
+    def test_latency_at_least_sum_of_critical_path_nodes(self, graph):
+        latency = graph.end_to_end_latency()
+        path = graph.critical_path()
+        path_cost = sum(graph.service(name).service_cycles for name in path)
+        assert latency >= path_cost - 1e-6
+
+    @given(random_trees(), st.floats(min_value=1.01, max_value=10.0))
+    def test_speedup_never_increases_latency(self, graph, factor):
+        baseline = graph.end_to_end_latency()
+        for node in graph.services:
+            scaled = graph.end_to_end_latency(
+                latency_scale={node.name: factor}
+            )
+            assert scaled <= baseline + 1e-9
+
+    @given(random_trees(), st.floats(min_value=0.0, max_value=1e6))
+    def test_extra_delay_never_decreases_latency(self, graph, delay):
+        baseline = graph.end_to_end_latency()
+        for node in graph.services:
+            delayed = graph.end_to_end_latency(
+                extra_delay={node.name: delay}
+            )
+            assert delayed >= baseline - 1e-9
+
+    @given(random_trees())
+    def test_critical_path_starts_at_root_and_is_connected(self, graph):
+        path = graph.critical_path()
+        assert path[0] == graph.root
+        for parent, child in zip(path, path[1:]):
+            assert child in {c.callee for c in graph.calls_from(parent)}
+
+    @given(random_trees())
+    def test_root_speedup_saves_exactly_its_share(self, graph):
+        baseline = graph.end_to_end_latency()
+        halved = graph.end_to_end_latency(latency_scale={graph.root: 2.0})
+        root_cycles = graph.service(graph.root).service_cycles
+        assert baseline - halved == pytest.approx(root_cycles / 2.0)

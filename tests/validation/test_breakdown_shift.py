@@ -1,0 +1,80 @@
+"""Tests for the Fig. 16-18 functionality-shift analysis."""
+
+import pytest
+
+from repro.paperdata.case_studies import CACHE1_FREED_CYCLES_PCT
+from repro.paperdata.categories import FunctionalityCategory as F
+from repro.validation import (
+    functionality_shift,
+    simulate_aes_ni,
+    simulate_cache3_encryption,
+    simulate_remote_inference,
+)
+
+
+@pytest.fixture(scope="module")
+def aes_shift():
+    return functionality_shift(simulate_aes_ni(requests=400))
+
+
+@pytest.fixture(scope="module")
+def cache3_shift():
+    return functionality_shift(simulate_cache3_encryption(requests=400))
+
+
+@pytest.fixture(scope="module")
+def ads1_shift():
+    return functionality_shift(simulate_remote_inference(requests=300))
+
+
+class TestFig16AesNi:
+    def test_freed_fraction_near_paper(self, aes_shift):
+        """Paper: 12.8% of Cache1's cycles are freed up with AES-NI."""
+        assert aes_shift.freed_cycle_fraction * 100 == pytest.approx(
+            CACHE1_FREED_CYCLES_PCT, abs=2.0
+        )
+
+    def test_secure_io_reduction_near_73pct(self, aes_shift):
+        """Paper: AES-NI accelerates the secure-IO functionality by 73%."""
+        assert aes_shift.reduction_pct(F.IO) == pytest.approx(73, abs=8)
+
+    def test_other_functionalities_unchanged(self, aes_shift):
+        before = aes_shift.baseline[F.APPLICATION_LOGIC]
+        after = aes_shift.accelerated[F.APPLICATION_LOGIC]
+        assert after == pytest.approx(before, rel=0.02)
+
+    def test_shares_sum_to_100(self, aes_shift):
+        assert sum(aes_shift.baseline_shares_pct().values()) == pytest.approx(100)
+        assert sum(aes_shift.accelerated_shares_pct().values()) == (
+            pytest.approx(100)
+        )
+
+
+class TestFig17Cache3:
+    def test_freed_fraction_positive(self, cache3_shift):
+        # Paper: acceleration improves Cache3 throughput by 7.5% -> ~7% of
+        # cycles freed.
+        assert cache3_shift.freed_cycle_fraction * 100 == pytest.approx(8, abs=2)
+
+    def test_secure_io_reduction_near_357pct(self, cache3_shift):
+        """Paper: acceleration improves the secure-IO overhead by 35.7%."""
+        assert cache3_shift.reduction_pct(F.IO) == pytest.approx(35.7, abs=10)
+
+
+class TestFig18Ads1:
+    def test_inference_fully_offloaded(self, ads1_shift):
+        """Paper: remote inference completely offloads the prediction
+        functionality."""
+        assert ads1_shift.reduction_pct(F.PREDICTION_RANKING) == pytest.approx(
+            100.0
+        )
+
+    def test_io_grows(self, ads1_shift):
+        """Paper: Ads1 invokes many more IO calls to offload inference."""
+        assert ads1_shift.accelerated.get(F.IO, 0.0) > ads1_shift.baseline.get(
+            F.IO, 0.0
+        )
+
+    def test_freed_fraction_matches_speedup(self, ads1_shift):
+        # 72% speedup corresponds to ~42% fewer cycles per request.
+        assert ads1_shift.freed_cycle_fraction == pytest.approx(0.42, abs=0.03)

@@ -1,0 +1,200 @@
+"""Unit tests for the chart builders and palette rules."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.viz import (
+    CATEGORICAL,
+    cdf_chart,
+    colors_for,
+    grouped_column_chart,
+    ink_for,
+    stacked_hbar_chart,
+)
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str):
+    return ET.fromstring(svg)
+
+
+def all_fills(root):
+    fills = []
+    for tag in ("rect", "path", "circle"):
+        for element in root.iter(NS + tag):
+            fills.append(element.get("fill"))
+    return fills
+
+
+class TestPalette:
+    def test_fixed_assignment_stable_across_subsets(self):
+        full = colors_for([F.IO, F.COMPRESSION, F.LOGGING])
+        subset = colors_for([F.COMPRESSION])
+        assert full[F.COMPRESSION] == subset[F.COMPRESSION]
+
+    def test_leaf_and_generation_keys_fixed(self):
+        colors = colors_for([L.MEMORY, "GenA"])
+        assert colors[L.MEMORY] == CATEGORICAL[0]
+        assert colors["GenA"] == CATEGORICAL[0]  # separate taxonomies
+
+    def test_adhoc_keys_take_free_slots_in_order(self):
+        colors = colors_for(["x", "y"])
+        assert colors["x"] == CATEGORICAL[0]
+        assert colors["y"] == CATEGORICAL[1]
+
+    def test_never_cycles_past_eight(self):
+        keys = [f"k{i}" for i in range(12)]
+        colors = colors_for(keys)
+        assert len(set(colors.values())) <= 9  # 8 slots + neutral fold
+
+    def test_ink_for_picks_contrast(self):
+        assert ink_for("#0b2a55") == "#ffffff"
+        assert ink_for("#eda100") != "#ffffff"
+
+
+class TestStackedHbar:
+    ROWS = {
+        "svc-a": {"x": 60.0, "y": 40.0},
+        "svc-b": {"x": 20.0, "y": 80.0},
+    }
+
+    def test_renders_valid_svg(self):
+        root = parse(stacked_hbar_chart(self.ROWS, ["x", "y"], "T"))
+        assert root.tag == NS + "svg"
+
+    def test_segment_widths_proportional(self):
+        svg = stacked_hbar_chart(self.ROWS, ["x", "y"], "T")
+        root = parse(svg)
+        # Tooltips carry the values; check both rows' segments exist.
+        titles = [t.text for t in root.iter(NS + "title")]
+        assert any("svc-a - x: 60.0" in t for t in titles if t)
+        assert any("svc-b - y: 80.0" in t for t in titles if t)
+
+    def test_legend_present_for_multiple_series(self):
+        root = parse(stacked_hbar_chart(self.ROWS, ["x", "y"], "T"))
+        texts = [t.text for t in root.iter(NS + "text")]
+        assert "x" in texts and "y" in texts
+
+    def test_inline_labels_only_when_fitting(self):
+        rows = {"svc": {"big": 97.0, "tiny": 3.0}}
+        root = parse(stacked_hbar_chart(rows, ["big", "tiny"], "T"))
+        texts = [t.text for t in root.iter(NS + "text")]
+        assert "97" in texts      # fits inside the big segment
+        assert "3" not in texts   # too small: tooltip/table carries it
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ParameterError):
+            stacked_hbar_chart({}, ["x"], "T")
+
+    def test_series_colors_never_used_for_text(self):
+        svg = stacked_hbar_chart(self.ROWS, ["x", "y"], "T")
+        root = parse(svg)
+        colors = set(colors_for(["x", "y"]).values())
+        for text in root.iter(NS + "text"):
+            # Inline segment labels use luminance ink, never the raw
+            # series hue; axis/legend text uses text tokens.
+            assert text.get("fill") not in colors
+
+
+class TestGroupedColumns:
+    GROUPS = {
+        "memory": {"GenA": 0.6, "GenB": 0.72, "GenC": 0.75},
+        "kernel": {"GenA": 0.45, "GenB": 0.5, "GenC": 0.51},
+    }
+
+    def test_renders_with_fixed_generation_colors(self):
+        svg = grouped_column_chart(
+            self.GROUPS, ("GenA", "GenB", "GenC"), "T", "IPC", y_max=2.0
+        )
+        root = parse(svg)
+        fills = all_fills(root)
+        assert CATEGORICAL[0] in fills  # GenA
+        assert CATEGORICAL[2] in fills  # GenC
+
+    def test_tooltips_carry_values(self):
+        svg = grouped_column_chart(
+            self.GROUPS, ("GenA", "GenB", "GenC"), "T", "IPC", y_max=2.0
+        )
+        titles = [t.text for t in parse(svg).iter(NS + "title")]
+        assert any("memory - GenC: 0.75" in t for t in titles if t)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            grouped_column_chart({}, ("GenA",), "T", "IPC")
+
+    def test_rejects_zero_axis(self):
+        with pytest.raises(ParameterError):
+            grouped_column_chart(
+                {"a": {"s": 0.0}}, ("s",), "T", "y", y_max=0.0
+            )
+
+
+class TestCdfChart:
+    SERIES = {
+        "feed1": [("1-64", 0.1), ("64-128", 0.3), (">128", 1.0)],
+        "cache1": [("1-64", 0.5), ("64-128", 0.8), (">128", 1.0)],
+    }
+
+    def test_renders_polylines_and_end_markers(self):
+        root = parse(cdf_chart(self.SERIES, "T"))
+        assert len(root.findall(f"{NS}polyline")) == 2
+        assert len(root.findall(f"{NS}circle")) == 2
+
+    def test_markers_drawn_with_labels(self):
+        svg = cdf_chart(self.SERIES, "T", markers={"breakeven": 1})
+        texts = [t.text for t in parse(svg).iter(NS + "text")]
+        assert "breakeven" in texts
+
+    def test_mismatched_bins_rejected(self):
+        bad = dict(self.SERIES)
+        bad["other"] = [("1-64", 0.1), ("WRONG", 0.5), (">128", 1.0)]
+        with pytest.raises(ParameterError):
+            cdf_chart(bad, "T")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            cdf_chart({}, "T")
+
+
+class TestFigureRenderers:
+    def test_render_all_writes_files(self, tmp_path, cache1_run, web_run):
+        from repro.viz import render_all
+
+        runs = {"cache1": cache1_run, "web": web_run}
+        written = render_all(tmp_path, runs)
+        assert len(written) == 8
+        for path in written.values():
+            assert path.exists()
+            ET.fromstring(path.read_text())  # valid XML
+
+    def test_fig8_needs_generation_runs(self, tmp_path, generation_runs,
+                                         cache1_run):
+        from repro.viz import render_all
+
+        written = render_all(tmp_path, {"cache1": cache1_run}, generation_runs)
+        assert "fig08_ipc_leaf.svg" in written
+        assert "fig10_ipc_functionality.svg" in written
+
+    def test_layout_invariants(self, tmp_path, cache1_run):
+        """No mark or label escapes the canvas (the render-and-look check,
+        automated)."""
+        from repro.viz import render_all
+
+        written = render_all(tmp_path, {"cache1": cache1_run})
+        for path in written.values():
+            root = ET.fromstring(path.read_text())
+            width = float(root.get("width"))
+            height = float(root.get("height"))
+            for rect in root.iter(NS + "rect"):
+                x, y = float(rect.get("x")), float(rect.get("y"))
+                w, h = float(rect.get("width")), float(rect.get("height"))
+                assert x >= -0.01 and y >= -0.01, path.name
+                assert x + w <= width + 0.01, path.name
+                assert y + h <= height + 0.01, path.name
+            for text in root.iter(NS + "text"):
+                assert 0 <= float(text.get("x")) <= width, path.name
+                assert 0 <= float(text.get("y")) <= height, path.name

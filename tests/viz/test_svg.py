@@ -1,0 +1,73 @@
+"""Unit tests for the SVG canvas primitives."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz import SvgCanvas
+from repro.viz.palette import SURFACE
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(canvas):
+    return ET.fromstring(canvas.to_svg())
+
+
+class TestCanvas:
+    def test_document_shape(self):
+        root = parse(SvgCanvas(400, 200, title="t"))
+        assert root.get("width") == "400"
+        assert root.get("viewBox") == "0 0 400 200"
+        assert root.find(f"{NS}title").text == "t"
+
+    def test_surface_background(self):
+        root = parse(SvgCanvas(100, 100))
+        background = root.find(f"{NS}rect")
+        assert background.get("fill") == SURFACE
+        assert background.get("width") == "100.00"
+
+    def test_rect_with_tooltip(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.rect(1, 2, 3, 4, fill="#123456", tooltip="hi & bye")
+        root = parse(canvas)
+        rects = root.findall(f"{NS}rect")
+        assert rects[-1].find(f"{NS}title").text == "hi & bye"
+
+    def test_rounded_end_rect_right(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.rounded_end_rect(10, 10, 50, 20, "#000000", end="right")
+        root = parse(canvas)
+        path = root.find(f"{NS}path")
+        assert path is not None
+        assert "Q" in path.get("d")  # rounded corner arcs present
+
+    def test_rounded_end_rect_top(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.rounded_end_rect(10, 40, 20, 50, "#000000", end="top")
+        assert parse(canvas).find(f"{NS}path") is not None
+
+    def test_rounded_end_rejects_bad_end(self):
+        canvas = SvgCanvas(100, 100)
+        with pytest.raises(ValueError):
+            canvas.rounded_end_rect(0, 0, 10, 10, "#000", end="left")
+
+    def test_polyline_round_caps(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.polyline([(0, 0), (10, 10)], stroke="#111111")
+        line = parse(canvas).find(f"{NS}polyline")
+        assert line.get("stroke-linejoin") == "round"
+        assert line.get("stroke-width") == "2"
+
+    def test_circle_surface_ring(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.circle(50, 50, 4, "#222222")
+        circle = parse(canvas).find(f"{NS}circle")
+        assert circle.get("stroke") == SURFACE
+        assert circle.get("stroke-width") == "2"
+
+    def test_text_escaping(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.text(5, 5, "a < b & c")
+        text = parse(canvas).find(f"{NS}text")
+        assert text.text == "a < b & c"

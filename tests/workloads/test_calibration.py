@@ -1,0 +1,101 @@
+"""Unit and property tests for the IPF joint-breakdown calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CalibrationError
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.workloads import FUNCTIONALITIES, LEAVES, fit_joint, ipf_fit
+
+
+class TestIpfFit:
+    def test_matches_both_marginals(self):
+        rows = [60.0, 40.0]
+        cols = [30.0, 70.0]
+        seed = np.ones((2, 2))
+        matrix = ipf_fit(rows, cols, seed)
+        assert matrix.sum(axis=1) == pytest.approx(rows, abs=1e-6)
+        assert matrix.sum(axis=0) == pytest.approx(cols, abs=1e-6)
+
+    def test_preserves_seed_zeros_structure(self):
+        rows = [50.0, 50.0]
+        cols = [50.0, 50.0]
+        seed = np.array([[1.0, 1e-9], [1e-9, 1.0]])
+        matrix = ipf_fit(rows, cols, seed)
+        # Mass concentrates on the diagonal the seed prefers.
+        assert matrix[0, 0] > 49
+        assert matrix[1, 1] > 49
+
+    def test_inconsistent_totals_rejected(self):
+        with pytest.raises(CalibrationError):
+            ipf_fit([10.0], [20.0], np.ones((1, 1)))
+
+    def test_negative_targets_rejected(self):
+        with pytest.raises(CalibrationError):
+            ipf_fit([-1.0, 2.0], [0.5, 0.5], np.ones((2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CalibrationError):
+            ipf_fit([1.0, 1.0], [2.0], np.ones((3, 3)))
+
+    def test_zero_total_gives_zero_matrix(self):
+        matrix = ipf_fit([0.0, 0.0], [0.0, 0.0], np.ones((2, 2)))
+        assert matrix.sum() == 0.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        rows=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                      min_size=3, max_size=3),
+        cols=st.lists(st.floats(min_value=0.1, max_value=100.0),
+                      min_size=4, max_size=4),
+    )
+    def test_property_marginals_always_matched(self, rows, cols):
+        total_rows = sum(rows)
+        total_cols = sum(cols)
+        if total_rows <= 0:
+            return
+        # Rescale columns to match the row total.
+        cols = [c * total_rows / total_cols for c in cols]
+        seed = np.ones((3, 4))
+        matrix = ipf_fit(rows, cols, seed)
+        assert np.all(matrix >= -1e-12)
+        np.testing.assert_allclose(matrix.sum(axis=1), rows, atol=1e-6)
+        np.testing.assert_allclose(matrix.sum(axis=0), cols, atol=1e-6)
+
+
+class TestFitJoint:
+    def test_marginals_recovered(self):
+        functionality = {F.IO: 40.0, F.APPLICATION_LOGIC: 60.0}
+        leaf = {L.KERNEL: 30.0, L.C_LIBRARIES: 50.0, L.MEMORY: 20.0}
+        joint = fit_joint(functionality, leaf)
+        assert joint.functionality_share(F.IO) == pytest.approx(0.4, abs=1e-6)
+        assert joint.leaf_share(L.KERNEL) == pytest.approx(0.3, abs=1e-6)
+
+    def test_affinity_shapes_the_joint(self):
+        functionality = {F.COMPRESSION: 50.0, F.THREAD_POOL: 50.0}
+        leaf = {L.ZSTD: 50.0, L.SYNCHRONIZATION: 50.0}
+        joint = fit_joint(functionality, leaf)
+        # Compression pairs with ZSTD, thread pool with synchronization.
+        assert joint.cell(F.COMPRESSION, L.ZSTD) > 0.45
+        assert joint.cell(F.THREAD_POOL, L.SYNCHRONIZATION) > 0.45
+
+    def test_leaf_mix_normalized(self):
+        functionality = {F.IO: 70.0, F.LOGGING: 30.0}
+        leaf = {L.KERNEL: 50.0, L.MEMORY: 50.0}
+        joint = fit_joint(functionality, leaf)
+        mix = joint.leaf_mix(F.IO)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_leaf_mix_empty_for_absent_functionality(self):
+        joint = fit_joint({F.IO: 100.0}, {L.KERNEL: 100.0})
+        assert joint.leaf_mix(F.LOGGING) == {}
+
+    def test_no_mass_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_joint({}, {})
+
+    def test_matrix_axes_cover_all_categories(self):
+        joint = fit_joint({F.IO: 100.0}, {L.KERNEL: 100.0})
+        assert joint.matrix.shape == (len(FUNCTIONALITIES), len(LEAVES))

@@ -1,0 +1,133 @@
+"""Tests for the eight calibrated service definitions."""
+
+import pytest
+
+from repro.errors import UnknownServiceError
+from repro.paperdata.breakdowns import (
+    FB_SERVICES,
+    FUNCTIONALITY_BREAKDOWN,
+    LEAF_BREAKDOWN,
+)
+from repro.paperdata.categories import FunctionalityCategory as F, LeafCategory as L
+from repro.workloads import ALL_SERVICES, all_workloads, build_workload
+from repro.workloads.calibration import FUNCTIONALITIES, LEAVES
+
+
+class TestRegistry:
+    def test_all_eight_services_build(self):
+        workloads = all_workloads()
+        assert set(workloads) == set(ALL_SERVICES)
+        assert set(FB_SERVICES) | {"cache3"} == set(ALL_SERVICES)
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(UnknownServiceError):
+            build_workload("cache9")
+
+    def test_memoized(self):
+        assert build_workload("web") is build_workload("web")
+
+
+class TestCalibrationConsistency:
+    @pytest.mark.parametrize("service", list(ALL_SERVICES))
+    def test_joint_plus_kernels_reproduce_marginals(self, service):
+        workload = build_workload(service)
+        functionality = {
+            f: workload.joint.functionality_share(f) for f in FUNCTIONALITIES
+        }
+        leaf = {l: workload.joint.leaf_share(l) for l in LEAVES}
+        for (origin, leaf_cat), fraction in workload._kernel_cells.items():
+            functionality[origin] += fraction
+            leaf[leaf_cat] += fraction
+        for category in FUNCTIONALITIES:
+            assert functionality[category] == pytest.approx(
+                workload.functionality_fractions[category], abs=1e-6
+            ), (service, category)
+        for category in LEAVES:
+            assert leaf[category] == pytest.approx(
+                workload.leaf_fractions[category], abs=1e-6
+            ), (service, category)
+
+    @pytest.mark.parametrize("service", list(FB_SERVICES))
+    def test_marginals_match_published_breakdowns(self, service):
+        workload = build_workload(service)
+        for category, share in FUNCTIONALITY_BREAKDOWN[service].items():
+            assert workload.functionality_fractions[category] == pytest.approx(
+                share / 100.0
+            )
+        for category, share in LEAF_BREAKDOWN[service].items():
+            assert workload.leaf_fractions[category] == pytest.approx(share / 100.0)
+
+
+class TestPaperOffloadCounts:
+    def test_cache1_encryption_near_table6_n(self):
+        kernel = build_workload("cache1").kernels["encryption"]
+        assert kernel.offloads_per_unit == pytest.approx(298_951, rel=0.05)
+
+    def test_cache3_encryption_near_table6_n(self):
+        kernel = build_workload("cache3").kernels["encryption"]
+        assert kernel.offloads_per_unit == pytest.approx(101_863, rel=0.05)
+
+    def test_cache1_allocation_near_table7_n(self):
+        kernel = build_workload("cache1").kernels["allocation"]
+        assert kernel.offloads_per_unit == pytest.approx(51_695, rel=0.05)
+
+    def test_ads1_memcpy_same_order_as_table7_n(self):
+        kernel = build_workload("ads1").kernels["memcpy"]
+        assert kernel.offloads_per_unit == pytest.approx(1_473_681, rel=0.25)
+
+    def test_feed1_compression_breakeven_near_425B(self):
+        """COMPRESSION_CB was chosen so the off-chip Sync break-even lands
+        at the paper's 425 B."""
+        from repro.core import (
+            AcceleratorSpec,
+            OffloadCosts,
+            Placement,
+            ThreadingDesign,
+            min_profitable_granularity,
+        )
+
+        profile = build_workload("feed1").kernel_profile("compression")
+        threshold = min_profitable_granularity(
+            ThreadingDesign.SYNC,
+            profile.cycles_per_byte,
+            AcceleratorSpec(27.0, Placement.OFF_CHIP),
+            OffloadCosts(interface_cycles=2_300),
+        )
+        assert threshold == pytest.approx(425, abs=5)
+
+    def test_feed1_lucrative_fraction_near_642(self):
+        workload = build_workload("feed1")
+        distribution = workload.granularity_distribution("compression")
+        fraction = distribution.count_fraction_at_least(425)
+        assert fraction == pytest.approx(0.642, abs=0.06)
+
+
+class TestKernelStructure:
+    @pytest.mark.parametrize("service", list(FB_SERVICES))
+    def test_every_service_has_memcpy_and_allocation(self, service):
+        workload = build_workload(service)
+        assert "memcpy" in workload.kernels
+        assert "allocation" in workload.kernels
+
+    def test_cache1_has_encryption_and_compression(self):
+        kernels = build_workload("cache1").kernels
+        assert {"encryption", "compression"} <= set(kernels)
+
+    def test_memcpy_origins_match_fig4(self):
+        from repro.paperdata.breakdowns import COPY_ORIGINS
+
+        workload = build_workload("web")
+        kernel = workload.kernels["memcpy"]
+        origins = kernel.target.normalized_origins()
+        assert origins[F.IO_PROCESSING] == pytest.approx(
+            COPY_ORIGINS["web"]["io_prepost"] / 100.0
+        )
+
+    def test_kernel_specs_share_name_across_origins(self):
+        kernel = build_workload("ads1").kernels["memcpy"]
+        names = {spec.name for spec in kernel.specs.values()}
+        assert names == {"memcpy"}
+
+    def test_us_scale_caches_have_small_requests(self):
+        assert build_workload("cache1").request_cycles < 1e5
+        assert build_workload("web").request_cycles >= 1e6
