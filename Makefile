@@ -1,0 +1,26 @@
+PYTHON ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+WORKERS ?= 4
+
+.PHONY: test perf bench figures clean-cache
+
+# Tier-1 correctness suite (perf benchmarks excluded via pyproject addopts).
+test:
+	$(PYTHON) -m pytest -q
+
+# Opt-in performance regression tests.
+perf:
+	$(PYTHON) -m pytest -m perf benchmarks/test_perf_runtime.py -q
+
+# Absolute numbers: events/sec + batch wall-clock, written to BENCH_runtime.json.
+bench:
+	$(PYTHON) scripts/bench_runtime.py --workers $(WORKERS)
+
+# Paper-figure benchmark harness (pytest-benchmark based).
+figures:
+	$(PYTHON) -m pytest benchmarks -q
+
+clean-cache:
+	$(PYTHON) -c "from repro.runtime import ResultCache; print(ResultCache().clear(), 'entries removed')"

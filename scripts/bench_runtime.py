@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Benchmark the simulation runtime: DES event rate and batch wall-clock.
+
+Measures three things and writes them to ``BENCH_runtime.json``:
+
+1. **DES hot path** -- sustained events/second of the engine+CPU core
+   loop on the Cache1 characterization workload (single process, the
+   number the hot-path optimizations move).
+2. **Batch executor** -- wall-clock of the 24-cell validation matrix run
+   serially and with ``--workers`` processes (speedup requires real
+   CPUs; on a single-CPU container the two are expected to tie).
+3. **Result cache** -- the same matrix served entirely from a warm
+   on-disk cache (no simulation at all).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_runtime.py [--workers N]
+        [--repeat K] [--output BENCH_runtime.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.characterization import characterize
+from repro.runtime import BatchReport, ResultCache
+from repro.simulator import SimulationConfig, run_simulation
+from repro.simulator.service import Microservice
+from repro.validation.matrix import validation_matrix
+from repro.workloads import build_workload
+
+
+def bench_event_rate(repeat: int = 3, window_cycles: float = 4.0e6) -> dict:
+    """Events/second of the DES hot path (best of *repeat*)."""
+    workload = build_workload("cache1")
+    config = SimulationConfig(num_cores=2, window_cycles=window_cycles)
+    best = None
+    for index in range(repeat):
+        rng = np.random.default_rng(0)
+
+        def build(engine, cpu, metrics):
+            service = Microservice(engine, cpu, metrics, name="cache1")
+            return service, workload.request_factory(rng)
+
+        start = time.perf_counter()
+        result = run_simulation(build, config)
+        elapsed = time.perf_counter() - start
+        rate = result.events_processed / elapsed
+        sample = {
+            "events": result.events_processed,
+            "wall_seconds": elapsed,
+            "events_per_second": rate,
+        }
+        if best is None or rate > best["events_per_second"]:
+            best = sample
+    return best
+
+
+def bench_characterize(repeat: int = 2) -> dict:
+    """Wall-clock of one full service characterization."""
+    best = None
+    for index in range(repeat):
+        start = time.perf_counter()
+        run = characterize("cache1", seed=2020, requests_target=200)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best["wall_seconds"]:
+            best = {
+                "wall_seconds": elapsed,
+                "events": run.simulation.events_processed,
+                "events_per_second": run.simulation.events_processed / elapsed,
+            }
+    return best
+
+
+def bench_matrix(workers: int) -> dict:
+    """24-cell validation matrix: serial vs pool vs warm cache."""
+    start = time.perf_counter()
+    serial = validation_matrix(workers=1, cache=None)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = validation_matrix(workers=workers, cache=None)
+    pool_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        validation_matrix(workers=1, cache=cache)
+        report = BatchReport()
+        start = time.perf_counter()
+        cached = validation_matrix(workers=1, cache=cache, report=report)
+        cache_seconds = time.perf_counter() - start
+
+    identical = (serial.cells == pooled.cells == cached.cells)
+    return {
+        "cells": len(serial.cells),
+        "serial_seconds": serial_seconds,
+        "pool_workers": workers,
+        "pool_seconds": pool_seconds,
+        "pool_speedup": serial_seconds / pool_seconds,
+        "warm_cache_seconds": cache_seconds,
+        "warm_cache_speedup": serial_seconds / cache_seconds,
+        "warm_cache_simulated_nothing": report.simulated_nothing,
+        "results_bit_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="pool size for the parallel matrix run")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions for the event-rate benchmark")
+    parser.add_argument("--output", default="BENCH_runtime.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    print("benchmarking DES hot path ...", flush=True)
+    event_rate = bench_event_rate(repeat=args.repeat)
+    print(f"  {event_rate['events_per_second']:,.0f} events/s "
+          f"({event_rate['events']} events in "
+          f"{event_rate['wall_seconds']:.3f}s)")
+
+    print("benchmarking characterization ...", flush=True)
+    char = bench_characterize()
+    print(f"  cache1 characterization: {char['wall_seconds']:.2f}s")
+
+    print(f"benchmarking 24-cell matrix (workers={args.workers}) ...",
+          flush=True)
+    matrix = bench_matrix(args.workers)
+    print(f"  serial {matrix['serial_seconds']:.2f}s | "
+          f"pool {matrix['pool_seconds']:.2f}s "
+          f"({matrix['pool_speedup']:.2f}x) | "
+          f"warm cache {matrix['warm_cache_seconds']:.3f}s "
+          f"({matrix['warm_cache_speedup']:.0f}x)")
+
+    payload = {
+        "schema": "bench-runtime-v1",
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "cpu_affinity": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else None,
+        "event_rate": event_rate,
+        "characterize_cache1": char,
+        "validation_matrix": matrix,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,6 +120,8 @@ def run_point(
 def oversubscription_study(
     config: OversubscriptionStudyConfig = OversubscriptionStudyConfig(),
     levels: Sequence[int] = (1, 2, 3, 4, 6),
+    workers: int = 1,
+    cache=None,
 ) -> List[OversubscriptionPoint]:
     """Measure throughput/latency across oversubscription levels.
 
@@ -128,8 +130,19 @@ def oversubscription_study(
     per core as blocking windows get filled with other threads' work,
     then flattens once cores are saturated -- while latency rises
     monotonically with queueing and switch overheads.
+
+    Levels are independent, so they run through the batch executor
+    (*workers* processes, optional result *cache*).
     """
-    return [run_point(config, level) for level in levels]
+    from ..runtime import RunSpec, execute_batch
+
+    specs = [
+        RunSpec.create(
+            "oversubscription_point", config=config, threads_per_core=level
+        )
+        for level in levels
+    ]
+    return list(execute_batch(specs, workers=workers, cache=cache))
 
 
 def saturation_level(points: Sequence[OversubscriptionPoint],

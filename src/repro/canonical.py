@@ -1,0 +1,99 @@
+"""Deterministic canonical encoding of plain Python values.
+
+The runtime layer needs a *stable* textual form of a value -- one that is
+identical across processes, interpreter runs, and machines -- to derive
+content-addressed cache keys for :class:`~repro.runtime.RunSpec` and
+bit-exact fingerprints of :class:`~repro.simulator.summary.RunSummary`.
+``repr`` is not good enough (floats, enums, and dict ordering are all
+hazards), so :func:`canonicalize` defines one explicitly:
+
+* floats are encoded with ``float.hex()`` (lossless, locale-independent),
+* enums by ``ClassName.MEMBER_NAME``,
+* mappings are sorted by their canonically-encoded keys,
+* dataclasses by class name plus their fields in declaration order,
+* numpy scalars and arrays by their (nested) ``tolist()`` form.
+
+Objects that are none of the above may opt in by defining a
+``__canonical__()`` method returning a canonicalizable value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import math
+from typing import Any
+
+try:  # numpy is a hard dependency of the package, but stay defensive.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None
+
+
+def _canonical_float(value: float) -> str:
+    if math.isnan(value):
+        return "f:nan"
+    if math.isinf(value):
+        return "f:inf" if value > 0 else "f:-inf"
+    return f"f:{float(value).hex()}"
+
+
+def canonicalize(value: Any) -> str:
+    """Encode *value* into a deterministic string.
+
+    Raises :class:`TypeError` for values with no stable encoding (live
+    objects, functions, open handles ...), which is deliberate: such
+    values must not silently poison cache keys.
+    """
+    if value is None:
+        return "none"
+    if value is True:
+        return "b:1"
+    if value is False:
+        return "b:0"
+    if isinstance(value, enum.Enum):
+        return f"e:{type(value).__name__}.{value.name}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return _canonical_float(value)
+    if isinstance(value, str):
+        return f"s:{value!r}"
+    if isinstance(value, bytes):
+        return f"y:{value.hex()}"
+    if _np is not None:
+        if isinstance(value, _np.integer):
+            return f"i:{int(value)}"
+        if isinstance(value, _np.floating):
+            return _canonical_float(float(value))
+        if isinstance(value, _np.ndarray):
+            return f"a:{canonicalize(value.tolist())}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={canonicalize(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"d:{type(value).__name__}({fields})"
+    if isinstance(value, (tuple, list)):
+        return f"t:({','.join(canonicalize(item) for item in value)})"
+    if isinstance(value, (set, frozenset)):
+        return f"fs:({','.join(sorted(canonicalize(item) for item in value))})"
+    if isinstance(value, dict):
+        items = sorted(
+            (canonicalize(key), canonicalize(item)) for key, item in value.items()
+        )
+        return f"m:({','.join(f'{k}->{v}' for k, v in items)})"
+    custom = getattr(value, "__canonical__", None)
+    if custom is not None:
+        return f"o:{type(value).__name__}:{canonicalize(custom())}"
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} value {value!r}; "
+        "use plain data, dataclasses, enums, or define __canonical__()"
+    )
+
+
+def canonical_digest(value: Any, *, salt: str = "") -> str:
+    """SHA-256 hex digest of the canonical encoding (optionally salted)."""
+    payload = f"{salt}|{canonicalize(value)}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()

@@ -14,6 +14,8 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..errors import ProfileError
 from ..paperdata.categories import FunctionalityCategory, LeafCategory
 from ..paperdata.platforms import PLATFORMS
+from ..runtime import RunSpec, execute_batch
+from ..runtime.batch import CacheArg
 from .pipeline import CharacterizationRun, characterize
 
 GENERATIONS: Tuple[str, ...] = ("GenA", "GenB", "GenC")
@@ -39,18 +41,29 @@ FIG10_CATEGORIES: Tuple[FunctionalityCategory, ...] = (
 def characterize_across_generations(
     service: str = "cache1",
     seed: int = 2020,
+    workers: int = 1,
+    cache: CacheArg = None,
     **kwargs,
 ) -> Dict[str, CharacterizationRun]:
     """Run the same service once per CPU generation.
 
     The same seed is used for every generation so the workload is
     identical and only the platform's IPC differs -- the paper's
-    same-service, different-hardware comparison.
+    same-service, different-hardware comparison.  Generations execute
+    through the batch executor (*workers* processes, optional *cache*).
     """
-    return {
-        generation: characterize(service, platform=generation, seed=seed, **kwargs)
+    specs = [
+        RunSpec.create(
+            "characterize",
+            seed=seed,
+            service=service,
+            platform=generation,
+            **kwargs,
+        )
         for generation in GENERATIONS
-    }
+    ]
+    runs = execute_batch(specs, workers=workers, cache=cache)
+    return dict(zip(GENERATIONS, runs))
 
 
 def fig8_leaf_ipc(

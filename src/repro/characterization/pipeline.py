@@ -21,17 +21,23 @@ from ..profiling import (
     StackSampler,
     capture_trace_profile,
 )
-from ..simulator import SimulationConfig, SimulationResult, run_simulation
+from ..runtime import RunSpec, execute_batch
+from ..runtime.batch import BatchReport, CacheArg
+from ..simulator import RunSummary, SimulationConfig, run_simulation
 from ..simulator.service import Microservice
 from ..workloads import ServiceWorkload, build_workload
 
 
 @dataclasses.dataclass
 class CharacterizationRun:
-    """One characterized service: simulation result plus profile."""
+    """One characterized service: simulation summary plus profile.
+
+    ``simulation`` is a detached :class:`RunSummary` (picklable), so
+    characterizations can be produced by worker processes and cached.
+    """
 
     workload: ServiceWorkload
-    simulation: SimulationResult
+    simulation: RunSummary
     profile: ExecutionProfile
 
     @property
@@ -73,18 +79,37 @@ def characterize(
         result.metrics, sampler, ipc_model, service=service
     )
     return CharacterizationRun(
-        workload=workload, simulation=result, profile=profile
+        workload=workload, simulation=result.summarize(), profile=profile
     )
 
 
 def characterize_all(
-    services=None, platform: str = "GenC", seed: int = 2020, **kwargs
+    services=None,
+    platform: str = "GenC",
+    seed: int = 2020,
+    workers: int = 1,
+    cache: CacheArg = None,
+    report: Optional[BatchReport] = None,
+    **kwargs,
 ) -> Dict[str, CharacterizationRun]:
-    """Characterize several services (default: the seven of Fig. 9)."""
+    """Characterize several services (default: the seven of Fig. 9).
+
+    Runs go through the batch executor: *workers* > 1 characterizes
+    services in parallel processes, and *cache* serves previously
+    simulated (service, platform, seed, ...) combinations from disk.
+    """
     from ..paperdata.breakdowns import FB_SERVICES
 
     services = tuple(services or FB_SERVICES)
-    return {
-        service: characterize(service, platform=platform, seed=seed + i, **kwargs)
+    specs = [
+        RunSpec.create(
+            "characterize",
+            seed=seed + i,
+            service=service,
+            platform=platform,
+            **kwargs,
+        )
         for i, service in enumerate(services)
-    }
+    ]
+    runs = execute_batch(specs, workers=workers, cache=cache, report=report)
+    return dict(zip(services, runs))

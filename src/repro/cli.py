@@ -22,6 +22,28 @@ def _print(text: str) -> None:
     print(text)
 
 
+def _runtime_kwargs(args: argparse.Namespace) -> dict:
+    """Map the shared --workers/--no-cache flags onto the batch
+    executor's keyword arguments.  Caching defaults ON for the CLI (the
+    runs it issues are exact repeats across figure commands); pass
+    --no-cache to force fresh simulation."""
+    return {
+        "workers": getattr(args, "workers", 1),
+        "cache": not getattr(args, "no_cache", False),
+    }
+
+
+def _add_runtime_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for independent simulation runs (default 1)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache and re-simulate",
+    )
+
+
 # ---------------------------------------------------------------------------
 # Figure commands.
 # ---------------------------------------------------------------------------
@@ -51,7 +73,9 @@ def _cmd_table4(args: argparse.Namespace) -> None:
         from .characterization import characterize_all, findings_report
 
         services = args.services.split(",") if args.services else None
-        runs = characterize_all(services, seed=args.seed)
+        runs = characterize_all(
+            services, seed=args.seed, **_runtime_kwargs(args)
+        )
         _print("")
         _print(findings_report(runs))
 
@@ -60,7 +84,7 @@ def _characterize_services(args: argparse.Namespace):
     from .characterization import characterize_all
 
     services = args.services.split(",") if args.services else None
-    return characterize_all(services, seed=args.seed)
+    return characterize_all(services, seed=args.seed, **_runtime_kwargs(args))
 
 
 def _cmd_fig1(args: argparse.Namespace) -> None:
@@ -137,7 +161,9 @@ def _cmd_fig8(args: argparse.Namespace) -> None:
         fig8_leaf_ipc,
     )
 
-    runs = characterize_across_generations(seed=args.seed)
+    runs = characterize_across_generations(
+        seed=args.seed, **_runtime_kwargs(args)
+    )
     _print("Fig. 8: Cache1 per-core IPC per leaf category")
     for category, by_gen in fig8_leaf_ipc(runs).items():
         cells = "  ".join(f"{gen}={ipc:.2f}" for gen, ipc in by_gen.items())
@@ -204,7 +230,7 @@ def _cmd_table6(args: argparse.Namespace) -> None:
     _print("Table 6: case-study validation (model vs simulated A/B)")
     _print(f"{'study':12s} {'model':>8s} {'simulated':>10s} "
            f"{'paper est':>10s} {'paper real':>11s} {'|m-s|':>7s}")
-    for name, outcome in run_all_case_studies().items():
+    for name, outcome in run_all_case_studies(**_runtime_kwargs(args)).items():
         _print(
             f"{name:12s} {outcome.model_speedup_pct:7.2f}% "
             f"{outcome.simulated_speedup_pct:9.2f}% "
@@ -227,20 +253,17 @@ def _cmd_fig20(args: argparse.Namespace) -> None:
 
 def _cmd_fig16(args: argparse.Namespace) -> None:
     from .paperdata.categories import FunctionalityCategory
-    from .validation import (
-        functionality_shift,
-        simulate_aes_ni,
-        simulate_cache3_encryption,
-        simulate_remote_inference,
-    )
+    from .validation import functionality_shift, simulate_all_case_studies
 
-    experiments = {
-        "fig16 (Cache1 + AES-NI)": simulate_aes_ni,
-        "fig17 (Cache3 + encryption device)": simulate_cache3_encryption,
-        "fig18 (Ads1 + remote inference)": simulate_remote_inference,
+    titles = {
+        "aes-ni": "fig16 (Cache1 + AES-NI)",
+        "encryption": "fig17 (Cache3 + encryption device)",
+        "inference": "fig18 (Ads1 + remote inference)",
     }
-    for title, runner in experiments.items():
-        shift = functionality_shift(runner())
+    results = simulate_all_case_studies(**_runtime_kwargs(args))
+    for name, result in results.items():
+        title = titles.get(name, name)
+        shift = functionality_shift(result)
         _print(f"{title}: freed {shift.freed_cycle_fraction * 100:.1f}% of cycles")
         baseline = shift.baseline_shares_pct()
         accelerated = shift.accelerated_shares_pct()
@@ -387,13 +410,14 @@ def _cmd_export_data(args: argparse.Namespace) -> None:
     from .characterization import characterize_across_generations, characterize_all
     from .export import export_figure_data
 
+    runtime = _runtime_kwargs(args)
     services = args.services.split(",") if args.services else None
     runs = characterize_all(services, seed=args.seed,
-                            requests_target=args.requests)
+                            requests_target=args.requests, **runtime)
     generation_runs = None
     if not args.skip_ipc:
         generation_runs = characterize_across_generations(
-            seed=args.seed, requests_target=args.requests
+            seed=args.seed, requests_target=args.requests, **runtime
         )
     for name, path in export_figure_data(args.output, runs,
                                          generation_runs).items():
@@ -403,7 +427,7 @@ def _cmd_export_data(args: argparse.Namespace) -> None:
 def _cmd_validate_matrix(args: argparse.Namespace) -> None:
     from .validation import validation_matrix
 
-    summary = validation_matrix()
+    summary = validation_matrix(**_runtime_kwargs(args))
     _print(f"{'design':24s} {'alpha':>6s} {'L':>7s} {'model':>8s} "
            f"{'sim':>8s} {'|err|':>7s}")
     for cell in summary.cells:
@@ -419,7 +443,7 @@ def _cmd_validate_matrix(args: argparse.Namespace) -> None:
 def _cmd_oversubscription(args: argparse.Namespace) -> None:
     from .application import oversubscription_study, saturation_level
 
-    points = oversubscription_study()
+    points = oversubscription_study(**_runtime_kwargs(args))
     _print(f"{'threads/core':>12s} {'throughput':>12s} {'mean lat':>10s} "
            f"{'p99 lat':>10s}")
     for point in points:
@@ -436,13 +460,14 @@ def _cmd_render(args: argparse.Namespace) -> None:
     from .characterization import characterize_across_generations, characterize_all
     from .viz import render_all
 
+    runtime = _runtime_kwargs(args)
     services = args.services.split(",") if args.services else None
     runs = characterize_all(services, seed=args.seed,
-                            requests_target=args.requests)
+                            requests_target=args.requests, **runtime)
     generation_runs = None
     if not args.skip_ipc:
         generation_runs = characterize_across_generations(
-            seed=args.seed, requests_target=args.requests
+            seed=args.seed, requests_target=args.requests, **runtime
         )
     written = render_all(args.output, runs, generation_runs)
     for name, path in written.items():
@@ -489,7 +514,8 @@ def _cmd_recommend(args: argparse.Namespace) -> None:
 def _cmd_report(args: argparse.Namespace) -> None:
     from .reports import generate_report
 
-    text = generate_report(seed=args.seed, requests_target=args.requests)
+    text = generate_report(seed=args.seed, requests_target=args.requests,
+                           **_runtime_kwargs(args))
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -519,7 +545,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add(name: str, func, help_text: str, characterizes: bool = False):
+    def add(name: str, func, help_text: str, characterizes: bool = False,
+            simulates: bool = False):
         p = sub.add_parser(name, help=help_text)
         p.set_defaults(func=func)
         p.add_argument("--seed", type=int, default=2020)
@@ -528,6 +555,8 @@ def build_parser() -> argparse.ArgumentParser:
                 "--services", default="",
                 help="comma-separated service subset (default: all seven)",
             )
+        if characterizes or simulates:
+            _add_runtime_arguments(p)
         return p
 
     add("table1", _cmd_table1, "CPU platform attributes")
@@ -549,17 +578,18 @@ def build_parser() -> argparse.ArgumentParser:
         characterizes=True)
     add("fig7", lambda a: _sub_breakdown_cmd(a, "fig7"), "C-library breakdown",
         characterizes=True)
-    add("fig8", _cmd_fig8, "IPC scaling (also prints fig10)")
+    add("fig8", _cmd_fig8, "IPC scaling (also prints fig10)", simulates=True)
     add("fig9", _cmd_fig9, "functionality breakdown", characterizes=True)
-    add("fig10", _cmd_fig8, "IPC scaling (alias of fig8)")
+    add("fig10", _cmd_fig8, "IPC scaling (alias of fig8)", simulates=True)
     add("fig15", _cmd_fig15, "encryption granularity CDF")
-    add("fig16", _cmd_fig16, "case-study breakdown shifts (figs 16-18)")
-    add("fig17", _cmd_fig16, "alias of fig16")
-    add("fig18", _cmd_fig16, "alias of fig16")
+    add("fig16", _cmd_fig16, "case-study breakdown shifts (figs 16-18)",
+        simulates=True)
+    add("fig17", _cmd_fig16, "alias of fig16", simulates=True)
+    add("fig18", _cmd_fig16, "alias of fig16", simulates=True)
     add("fig19", _cmd_fig19, "compression granularity CDF")
     add("fig21", _cmd_fig21, "memory-copy granularity CDF")
     add("fig22", _cmd_fig22, "allocation granularity CDF")
-    add("table6", _cmd_table6, "case-study validation")
+    add("table6", _cmd_table6, "case-study validation", simulates=True)
     add("fig20", _cmd_fig20, "projection table (Table 7)")
     add("table7", _cmd_fig20, "alias of fig20")
 
@@ -640,18 +670,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=200)
     p.add_argument("--services", default="")
     p.add_argument("--skip-ipc", action="store_true")
+    _add_runtime_arguments(p)
 
     p = sub.add_parser(
         "validate-matrix",
         help="sim-vs-model error grid across designs and parameters",
     )
     p.set_defaults(func=_cmd_validate_matrix)
+    _add_runtime_arguments(p)
 
     p = sub.add_parser(
         "oversubscription",
         help="measured throughput/latency vs threads per core (Sync-OS)",
     )
     p.set_defaults(func=_cmd_oversubscription)
+    _add_runtime_arguments(p)
 
     p = sub.add_parser("render", help="render the figures as SVG files")
     p.set_defaults(func=_cmd_render)
@@ -662,6 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated service subset (default: all seven)")
     p.add_argument("--skip-ipc", action="store_true",
                    help="skip the three-generation IPC figures")
+    _add_runtime_arguments(p)
 
     p = sub.add_parser(
         "evaluate",
@@ -693,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requests per core per characterization run")
     p.add_argument("--output", default="",
                    help="write to a file instead of stdout")
+    _add_runtime_arguments(p)
 
     p = sub.add_parser("fleet", help="fleet-wide projection")
     p.set_defaults(func=_cmd_fleet)

@@ -1,0 +1,109 @@
+"""Batch executor: run many :class:`RunSpec`s fast, once each, in order.
+
+The executor is the funnel every fleet-style experiment in the repo goes
+through (service characterization, the validation matrix, case studies,
+oversubscription sweeps, application topologies).  It guarantees:
+
+* **Deterministic ordering** -- results come back positionally aligned
+  with the input specs regardless of worker scheduling.
+* **Bit-identical results** -- every run depends only on its spec (each
+  runner builds its own seeded RNG), so a pool run equals a serial run
+  equals a cache replay, value for value.
+* **No duplicate work** -- specs with equal cache keys are executed once
+  per batch, and cached results are never re-simulated.
+* **Serial fallback** -- ``workers=1`` runs in-process with no pool (and
+  no pickling), which is also the degenerate path used under pytest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import ParameterError
+from .cache import ResultCache, resolve_cache
+from .runners import run_spec
+from .spec import RunSpec
+
+CacheArg = Union[None, bool, ResultCache]
+
+
+def execute_run(spec: RunSpec) -> Any:
+    """Execute one spec.  Module-level so worker processes can unpickle
+    the callable by reference."""
+    return run_spec(spec)
+
+
+@dataclasses.dataclass
+class BatchReport:
+    """Accounting for one :func:`execute_batch` call."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+    @property
+    def simulated_nothing(self) -> bool:
+        """True when the whole batch was served without running a single
+        simulation (the warm-cache fast path)."""
+        return self.executed == 0 and self.total > 0
+
+
+def execute_batch(
+    specs: Iterable[RunSpec],
+    *,
+    workers: int = 1,
+    cache: CacheArg = None,
+    report: Optional[BatchReport] = None,
+) -> List[Any]:
+    """Execute *specs*, returning results in input order.
+
+    *workers* > 1 fans uncached specs across a ``ProcessPoolExecutor``;
+    *cache* (``True`` / a :class:`ResultCache`) serves repeats from disk
+    and stores fresh results.  Pass a :class:`BatchReport` to observe how
+    much work was actually done.
+    """
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    spec_list = list(specs)
+    store = resolve_cache(cache)
+    results: List[Any] = [None] * len(spec_list)
+    if report is None:
+        report = BatchReport()
+    report.total += len(spec_list)
+
+    # Cache pass + key-level dedup of the remainder.
+    pending: Dict[str, List[int]] = {}
+    for index, spec in enumerate(spec_list):
+        key = spec.key()
+        if store is not None:
+            found, value = store.lookup(key)
+            if found:
+                results[index] = value
+                report.cache_hits += 1
+                continue
+        pending.setdefault(key, []).append(index)
+
+    unique: List[Tuple[str, RunSpec]] = [
+        (key, spec_list[indices[0]]) for key, indices in pending.items()
+    ]
+    report.deduplicated += sum(len(v) - 1 for v in pending.values())
+    report.executed += len(unique)
+
+    if not unique:
+        return results
+    if workers == 1 or len(unique) == 1:
+        outputs = [execute_run(spec) for _, spec in unique]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(unique))) as pool:
+            # Executor.map preserves submission order: deterministic.
+            outputs = list(pool.map(execute_run, [spec for _, spec in unique]))
+
+    for (key, _), value in zip(unique, outputs):
+        if store is not None:
+            store.put(key, value)
+        for index in pending[key]:
+            results[index] = value
+    return results

@@ -25,6 +25,7 @@ from .interface import (
     on_chip_interface,
     pcie_interface,
 )
+from .guards import require_positive_window
 from .metrics import CycleKind, MetricSink, OffloadRecord, RequestRecord
 from .runner import (
     SimulationConfig,
@@ -33,6 +34,7 @@ from .runner import (
     measured_speedup,
     run_simulation,
 )
+from .summary import RunSummary, summarize
 from .service import (
     KernelInvocation,
     KernelSpec,
@@ -43,11 +45,12 @@ from .service import (
     SegmentWork,
 )
 from .trace_export import export_chrome_trace, trace_events
-from .workload import OpenLoopDriver, request_stream
+from .workload import BlockSampler, OpenLoopDriver, request_stream
 
 __all__ = [
     "AcceleratorDevice",
     "AcceleratorStats",
+    "BlockSampler",
     "CPU",
     "Compute",
     "Core",
@@ -67,11 +70,14 @@ __all__ = [
     "RequestRecord",
     "RequestSpec",
     "ResponseHandler",
+    "RunSummary",
     "SegmentWork",
     "SimThread",
     "SimulationConfig",
     "SimulationResult",
     "ThreadState",
+    "require_positive_window",
+    "summarize",
     "export_chrome_trace",
     "measured_latency_reduction",
     "measured_speedup",

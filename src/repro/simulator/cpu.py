@@ -37,7 +37,7 @@ from .metrics import CycleKind, MetricSink
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Compute:
     """Consume *cycles* of core time, attributed to a category."""
 
@@ -47,7 +47,7 @@ class Compute:
     kind: CycleKind = CycleKind.USEFUL
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class HoldCore:
     """Block this thread *and its core* until externally resumed (Sync).
 
@@ -59,7 +59,7 @@ class HoldCore:
     leaf: LeafCategory = LeafCategory.MISCELLANEOUS
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ReleaseCore:
     """Block this thread but free its core for other work (Sync-OS).
 
@@ -70,7 +70,7 @@ class ReleaseCore:
     resume_charge: float = 0.0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class YieldCore:
     """Cooperatively hand the core to the next runnable thread.
 
@@ -96,6 +96,19 @@ class ThreadState(enum.Enum):
 class SimThread:
     """One simulated software thread."""
 
+    __slots__ = (
+        "thread_id",
+        "name",
+        "body",
+        "state",
+        "core",
+        "resume_charge",
+        "block_started",
+        "block_functionality",
+        "block_leaf",
+        "advance_callback",
+    )
+
     _next_id = 0
 
     def __init__(self, body: ThreadBody, name: Optional[str] = None) -> None:
@@ -109,6 +122,10 @@ class SimThread:
         self.block_started: Optional[float] = None
         self.block_functionality = FunctionalityCategory.MISCELLANEOUS
         self.block_leaf = LeafCategory.MISCELLANEOUS
+        #: Continuation bound to the thread's current core assignment; the
+        #: CPU re-uses it for every Compute event instead of allocating a
+        #: fresh closure per event.
+        self.advance_callback: Optional[Callable[[], None]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimThread {self.name} {self.state.value}>"
@@ -116,6 +133,8 @@ class SimThread:
 
 class Core:
     """One logical core."""
+
+    __slots__ = ("index", "current", "idle_since")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -238,6 +257,9 @@ class CPU:
         core.current = thread
         thread.core = core
         thread.state = ThreadState.RUNNING
+        # One continuation per (thread, core) assignment, reused by every
+        # Compute event this thread runs on this core.
+        thread.advance_callback = lambda: self._advance(core, thread)
         if thread.resume_charge > 0:
             charge = thread.resume_charge
             thread.resume_charge = 0.0
@@ -247,7 +269,7 @@ class CPU:
                 LeafCategory.KERNEL,
                 CycleKind.THREAD_SWITCH,
             )
-            self.engine.after(charge, lambda: self._advance(core, thread))
+            self.engine.after(charge, thread.advance_callback)
         else:
             self._advance(core, thread)
 
@@ -259,9 +281,17 @@ class CPU:
         except StopIteration:
             self._finish(core, thread)
             return
-        if isinstance(op, Compute):
-            self.metrics.charge(op.cycles, op.functionality, op.leaf, op.kind)
-            self.engine.after(op.cycles, lambda: self._advance(core, thread))
+        if type(op) is Compute or isinstance(op, Compute):
+            cycles = op.cycles
+            if cycles < 0:
+                raise SimulationError(f"cannot compute negative cycles: {cycles}")
+            self.metrics.cycles[(op.functionality, op.leaf, op.kind)] += cycles
+            callback = thread.advance_callback
+            if callback is None:  # direct _advance without _assign (tests)
+                callback = thread.advance_callback = lambda: self._advance(
+                    core, thread
+                )
+            self.engine.after(cycles, callback)
         elif isinstance(op, HoldCore):
             thread.state = ThreadState.BLOCKED_HOLD
             thread.block_started = self.engine.now

@@ -17,6 +17,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
 from ..paperdata.categories import FunctionalityCategory, LeafCategory
+from .guards import require_positive_window
 
 
 class CycleKind(enum.Enum):
@@ -38,7 +39,7 @@ class CycleKind(enum.Enum):
     IDLE = "idle"
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class OffloadRecord:
     """Lifecycle timestamps of one offload, in simulated cycles."""
 
@@ -50,7 +51,7 @@ class OffloadRecord:
     completed_at: Optional[float] = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class RequestRecord:
     """One request's lifecycle."""
 
@@ -185,9 +186,8 @@ class MetricSink:
 
     def throughput(self, window_cycles: float) -> float:
         """Completed requests per time unit of *window_cycles*."""
-        if window_cycles <= 0:
-            raise ValueError("window_cycles must be positive")
-        return len(self.completed_requests()) / (window_cycles / 1.0)
+        window = require_positive_window(window_cycles)
+        return len(self.completed_requests()) / window
 
     def mean_latency(self) -> float:
         completed = self.completed_requests()

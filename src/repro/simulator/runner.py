@@ -15,8 +15,10 @@ from typing import Callable, Optional, Tuple
 from ..errors import ParameterError
 from .cpu import CPU
 from .engine import Engine
+from .guards import require_positive_window
 from .metrics import MetricSink
 from .service import Microservice, RequestSpec
+from .summary import RunSummary
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,9 +62,14 @@ class SimulationResult:
         return len(self.metrics.completed_requests())
 
     @property
+    def events_processed(self) -> int:
+        return self.engine.events_processed
+
+    @property
     def throughput(self) -> float:
         """Requests completed per window."""
-        return self.completed_requests / self.config.window_cycles
+        window = require_positive_window(self.config.window_cycles)
+        return self.completed_requests / window
 
     @property
     def mean_latency_cycles(self) -> float:
@@ -99,6 +106,10 @@ class SimulationResult:
             )
         )
         return consumed / completed
+
+    def summarize(self) -> RunSummary:
+        """Detach a picklable :class:`RunSummary` from this live result."""
+        return RunSummary.from_result(self)
 
 
 ServiceBuilder = Callable[[Engine, CPU, MetricSink], Tuple[Microservice, Callable[[], RequestSpec]]]

@@ -1,0 +1,147 @@
+"""Portable, picklable summaries of simulation runs.
+
+:class:`~repro.simulator.runner.SimulationResult` is a *live* object graph:
+it holds the engine (a heap of closures), the CPU (suspended generator
+threads), and the service runtime.  None of that survives pickling, so it
+can neither cross a process boundary nor live in an on-disk result cache.
+
+:class:`RunSummary` is the serializable counterpart factored out of
+``runner.py``/``metrics.py``: the run's configuration, its full
+:class:`~repro.simulator.metrics.MetricSink` measurement record (plain
+data -- cycle attribution, per-request latencies, kernel and offload
+counters), the engine's event count, and every derived measurement the
+rest of the repository reads (throughput, latency percentiles,
+cycles-per-request).  It is the unit the :mod:`repro.runtime` batch
+executor ships between worker processes and stores in the result cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from ..canonical import canonical_digest
+from ..errors import ParameterError
+from .guards import require_positive_window
+from .metrics import CycleKind, MetricSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import SimulationConfig, SimulationResult
+
+#: Latency percentiles pre-tabulated into every summary fingerprint.
+SUMMARY_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 95.0, 99.0)
+
+#: Core-consuming cycle kinds (the model's critical-path quantity).
+_CONSUMING_KINDS = (
+    CycleKind.USEFUL,
+    CycleKind.OFFLOAD_OVERHEAD,
+    CycleKind.THREAD_SWITCH,
+    CycleKind.BLOCKED,
+)
+
+
+@dataclasses.dataclass
+class RunSummary:
+    """Measurements from one run, detached from the live simulator.
+
+    Mirrors the measurement surface of
+    :class:`~repro.simulator.runner.SimulationResult` (same property
+    names, same semantics) so call sites accept either interchangeably.
+    """
+
+    config: "SimulationConfig"
+    metrics: MetricSink
+    events_processed: int
+
+    @classmethod
+    def from_result(cls, result: "SimulationResult") -> "RunSummary":
+        """Detach a summary from a live :class:`SimulationResult`."""
+        return cls(
+            config=result.config,
+            metrics=result.metrics,
+            events_processed=result.engine.events_processed,
+        )
+
+    # -- the SimulationResult measurement surface -------------------------
+
+    @property
+    def completed_requests(self) -> int:
+        return len(self.metrics.completed_requests())
+
+    @property
+    def throughput(self) -> float:
+        """Requests completed per window cycle."""
+        window = require_positive_window(self.config.window_cycles)
+        return self.completed_requests / window
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        return self.metrics.mean_latency()
+
+    def latency_percentile(self, percentile: float) -> float:
+        return self.metrics.latency_percentile(percentile)
+
+    @property
+    def host_cycles_per_request(self) -> float:
+        """Busy host cycles consumed per completed request."""
+        completed = self.completed_requests
+        if completed == 0:
+            raise ParameterError("no completed requests in the window")
+        return self.metrics.busy_cycles() / completed
+
+    @property
+    def core_time_per_request(self) -> float:
+        """Core time (busy + blocked) per completed request."""
+        completed = self.completed_requests
+        if completed == 0:
+            raise ParameterError("no completed requests in the window")
+        return self.metrics.total_cycles(_CONSUMING_KINDS) / completed
+
+    # -- serialization helpers -------------------------------------------
+
+    def measurement_record(self) -> Dict[str, object]:
+        """Every scalar measurement, as one canonicalizable mapping.
+
+        This is the value the determinism tests compare and the
+        fingerprint hashes: if two runs agree on this record, they are the
+        same measurement bit for bit.
+        """
+        sink = self.metrics
+        completed = self.completed_requests
+        record: Dict[str, object] = {
+            "config": self.config,
+            "events_processed": self.events_processed,
+            "completed_requests": completed,
+            "throughput": self.throughput if completed else 0.0,
+            "cycles": dict(sink.cycles),
+            "kernel_invocations": dict(sink.kernel_invocations),
+            "kernel_cycles": dict(sink.kernel_cycles),
+            "kernel_cycles_by_origin": dict(sink.kernel_cycles_by_origin),
+            "offload_count": len(sink.offloads),
+            "mean_queue_cycles": sink.mean_queue_cycles(),
+            "latencies": tuple(
+                request.completed_at - request.started_at
+                for request in sink.requests
+                if request.completed_at is not None
+            ),
+        }
+        if completed:
+            record["mean_latency_cycles"] = self.mean_latency_cycles
+            record["percentiles"] = {
+                p: self.latency_percentile(p) for p in SUMMARY_PERCENTILES
+            }
+        return record
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 digest of the full measurement record.
+
+        Identical across serial, pooled, and cached executions of the
+        same :class:`~repro.runtime.RunSpec` -- the bit-identity contract
+        the determinism regression tests enforce.
+        """
+        return canonical_digest(self.measurement_record(), salt="run-summary")
+
+
+def summarize(result: "SimulationResult") -> RunSummary:
+    """Convenience alias for :meth:`RunSummary.from_result`."""
+    return RunSummary.from_result(result)

@@ -17,6 +17,67 @@ from .engine import Engine
 from .service import Microservice, RequestSpec
 
 
+class BlockSampler:
+    """Pre-sampled draws from one distribution of a shared generator.
+
+    Vectorized numpy sampling (``rng.exponential(scale, size=n)``) draws
+    the *same* values, bit for bit, as ``n`` sequential scalar calls on the
+    same :class:`~numpy.random.Generator` -- so pulling a block up front
+    and replaying it is stream-identical as long as draws from this
+    distribution are not interleaved with other draws on the same
+    generator.  This turns per-event RNG calls (the DES hot path's main
+    Python-overhead source after the engine loop itself) into one
+    amortized vectorized call per *block_size* events.
+    """
+
+    __slots__ = ("_draw", "_block_size", "_buffer", "_index")
+
+    def __init__(
+        self,
+        draw: Callable[[int], np.ndarray],
+        block_size: int = 1024,
+    ) -> None:
+        if block_size < 1:
+            raise ParameterError("block_size must be >= 1")
+        self._draw = draw
+        self._block_size = block_size
+        self._buffer: np.ndarray = np.empty(0)
+        self._index = 0
+
+    def next(self) -> float:
+        """The next pre-sampled value."""
+        if self._index >= len(self._buffer):
+            self._buffer = self._draw(self._block_size)
+            self._index = 0
+        value = self._buffer[self._index]
+        self._index += 1
+        return float(value)
+
+    def take(self, count: int) -> np.ndarray:
+        """The next *count* pre-sampled values as an array.
+
+        Draws the same values :meth:`next` called *count* times would.
+        """
+        if count < 0:
+            raise ParameterError("count must be >= 0")
+        buffer, index = self._buffer, self._index
+        available = len(buffer) - index
+        if count <= available:
+            self._index = index + count
+            return buffer[index : index + count].copy()
+        parts = [buffer[index:]]
+        remaining = count - available
+        block_size = self._block_size
+        while remaining > block_size:
+            parts.append(self._draw(block_size))
+            remaining -= block_size
+        block = self._draw(block_size)
+        parts.append(block[:remaining])
+        self._buffer = block
+        self._index = remaining
+        return np.concatenate(parts)
+
+
 def request_stream(
     factory: Callable[[], RequestSpec], limit: Optional[int] = None
 ) -> Iterator[RequestSpec]:
@@ -55,8 +116,14 @@ class OpenLoopDriver:
         self._engine = engine
         self._service = service
         self._factory = factory
-        self._mean_gap = unit_cycles / arrivals_per_unit
+        mean_gap = unit_cycles / arrivals_per_unit
+        self._mean_gap = mean_gap
         self._rng = rng
+        # Stream-identical to per-arrival rng.exponential(mean_gap) calls:
+        # the driver owns every exponential draw on this generator.
+        self._gaps = BlockSampler(
+            lambda n: rng.exponential(mean_gap, size=n), block_size=256
+        )
         self._stopped = False
         self.arrivals = 0
 
@@ -67,8 +134,7 @@ class OpenLoopDriver:
         self._stopped = True
 
     def _schedule_next(self) -> None:
-        gap = float(self._rng.exponential(self._mean_gap))
-        self._engine.after(gap, self._arrive)
+        self._engine.after(self._gaps.next(), self._arrive)
 
     def _arrive(self) -> None:
         if self._stopped:

@@ -13,6 +13,7 @@ from .simulate import (
     ApplicationSimResult,
     ApplicationSimulation,
     simulate_application,
+    simulate_applications,
 )
 
 __all__ = [
@@ -21,6 +22,7 @@ __all__ = [
     "ApplicationSimResult",
     "ApplicationSimulation",
     "simulate_application",
+    "simulate_applications",
     "Call",
     "CallGraph",
     "ServiceAcceleration",

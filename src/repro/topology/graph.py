@@ -108,6 +108,21 @@ class CallGraph:
     def services(self) -> Tuple[ServiceNode, ...]:
         return tuple(self._services.values())
 
+    def __canonical__(self):
+        """Stable encoding for runtime cache keys (see
+        :mod:`repro.canonical`): services and calls in sorted order plus
+        the root, fully determining the graph."""
+        calls = tuple(
+            call
+            for caller in sorted(self._calls_by_caller)
+            for call in self._calls_by_caller[caller]
+        )
+        return (
+            tuple(sorted(self.services, key=lambda node: node.name)),
+            calls,
+            self.root,
+        )
+
     def service(self, name: str) -> ServiceNode:
         if name not in self._services:
             raise ParameterError(f"unknown service {name!r}")

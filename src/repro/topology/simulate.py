@@ -27,7 +27,7 @@ import numpy as np
 
 from ..errors import ParameterError, SimulationError
 from ..paperdata.categories import FunctionalityCategory as F, LeafCategory as L
-from ..simulator import CPU, Compute, Engine, MetricSink, ReleaseCore
+from ..simulator import CPU, BlockSampler, Compute, Engine, MetricSink, ReleaseCore
 from .graph import CallGraph
 
 
@@ -165,17 +165,22 @@ class ApplicationSimulation:
         mean_gap = 1.0e9 / self.config.arrivals_per_unit
         root = self._hosts[self.graph.root]
         config = self.config
+        # Stream-identical pre-sampling: the arrival process owns every
+        # draw on this generator.
+        gaps = BlockSampler(
+            lambda n: rng.exponential(mean_gap, size=n), block_size=256
+        )
 
         def arrive() -> None:
             started = self.engine.now
             root.handle_rpc(
                 lambda: self._latencies.append(self.engine.now - started)
             )
-            gap = float(rng.exponential(mean_gap))
+            gap = gaps.next()
             if self.engine.now + gap <= config.window_cycles:
                 self.engine.after(gap, arrive)
 
-        self.engine.at(float(rng.exponential(mean_gap)), arrive)
+        self.engine.at(gaps.next(), arrive)
         self.engine.run_until(config.window_cycles)
         for host in self._hosts.values():
             host.cpu.finalize(config.window_cycles)
@@ -206,3 +211,44 @@ def simulate_application(
     return ApplicationSimulation(
         graph, config, latency_scale, extra_delay
     ).run()
+
+
+def _spec_mapping(mapping: Optional[Dict[str, float]]):
+    """Dicts are unhashable inside a RunSpec; encode as sorted pairs."""
+    if not mapping:
+        return None
+    return tuple(sorted(mapping.items()))
+
+
+def simulate_applications(
+    scenarios,
+    *,
+    workers: int = 1,
+    cache=None,
+) -> List[ApplicationSimResult]:
+    """Run several application scenarios through the batch executor.
+
+    *scenarios* is a sequence of ``(graph, config, latency_scale,
+    extra_delay)`` tuples (trailing elements optional, as in
+    :func:`simulate_application`).  Scenarios are independent, so
+    *workers* > 1 simulates them in parallel processes; *cache* replays
+    previously simulated (graph, config, overrides) combinations.
+    """
+    from ..runtime import RunSpec, execute_batch
+
+    specs = []
+    for scenario in scenarios:
+        graph, *rest = scenario if isinstance(scenario, tuple) else (scenario,)
+        config = rest[0] if len(rest) > 0 else None
+        latency_scale = rest[1] if len(rest) > 1 else None
+        extra_delay = rest[2] if len(rest) > 2 else None
+        specs.append(
+            RunSpec.create(
+                "application_topology",
+                graph=graph,
+                config=config,
+                latency_scale=_spec_mapping(latency_scale),
+                extra_delay=_spec_mapping(extra_delay),
+            )
+        )
+    return list(execute_batch(specs, workers=workers, cache=cache))

@@ -17,6 +17,7 @@ from .case_studies import (
     run_case_study,
     scenario_for,
     simulate_aes_ni,
+    simulate_all_case_studies,
     simulate_cache3_encryption,
     simulate_remote_inference,
     validation_error_pct,
@@ -39,6 +40,7 @@ __all__ = [
     "run_case_study",
     "scenario_for",
     "simulate_aes_ni",
+    "simulate_all_case_studies",
     "simulate_cache3_encryption",
     "simulate_remote_inference",
     "validation_error_pct",

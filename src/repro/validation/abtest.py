@@ -13,8 +13,8 @@ import dataclasses
 from typing import Optional
 
 from ..simulator import (
+    RunSummary,
     SimulationConfig,
-    SimulationResult,
     measured_latency_reduction,
     measured_speedup,
     run_simulation,
@@ -24,10 +24,15 @@ from ..simulator.runner import ServiceBuilder
 
 @dataclasses.dataclass
 class ABTestResult:
-    """Outcome of one A/B experiment."""
+    """Outcome of one A/B experiment.
 
-    baseline: SimulationResult
-    accelerated: SimulationResult
+    Holds detached :class:`RunSummary` measurements (not live simulator
+    graphs) so A/B results can cross process boundaries and live in the
+    runtime's result cache.
+    """
+
+    baseline: RunSummary
+    accelerated: RunSummary
 
     @property
     def speedup(self) -> float:
@@ -63,7 +68,9 @@ def ab_test(
     conditions and compare."""
     baseline = run_simulation(build_baseline, config)
     accelerated = run_simulation(build_accelerated, config)
-    return ABTestResult(baseline=baseline, accelerated=accelerated)
+    return ABTestResult(
+        baseline=baseline.summarize(), accelerated=accelerated.summarize()
+    )
 
 
 def model_error_percentage_points(

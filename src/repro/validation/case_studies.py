@@ -343,11 +343,29 @@ class CaseStudyOutcome:
         return abs(self.model_speedup_pct - self.paper_estimated_pct)
 
 
-_SIMULATORS = {
+CASE_STUDY_SIMULATORS = {
     "aes-ni": simulate_aes_ni,
     "encryption": simulate_cache3_encryption,
     "inference": simulate_remote_inference,
 }
+
+# Backwards-compatible alias.
+_SIMULATORS = CASE_STUDY_SIMULATORS
+
+
+def simulate_all_case_studies(
+    workers: int = 1, cache=None, **kwargs
+) -> Dict[str, ABTestResult]:
+    """Run all three case-study A/B simulations through the batch
+    executor (*workers* parallel processes, optional result *cache*)."""
+    from ..runtime import RunSpec, execute_batch
+
+    names = tuple(CASE_STUDY_SIMULATORS)
+    specs = [
+        RunSpec.create("case_study", name=name, **kwargs) for name in names
+    ]
+    results = execute_batch(specs, workers=workers, cache=cache)
+    return dict(zip(names, results))
 
 
 def run_case_study(name: str, **kwargs) -> CaseStudyOutcome:
@@ -359,7 +377,7 @@ def run_case_study(name: str, **kwargs) -> CaseStudyOutcome:
         )
     record = records[name]
     estimate = model_estimate(record)
-    simulated = _SIMULATORS[name](**kwargs)
+    simulated = CASE_STUDY_SIMULATORS[name](**kwargs)
     return CaseStudyOutcome(
         record=record,
         model_speedup_pct=estimate.speedup_percent,
@@ -369,6 +387,23 @@ def run_case_study(name: str, **kwargs) -> CaseStudyOutcome:
     )
 
 
-def run_all_case_studies(**kwargs) -> Dict[str, CaseStudyOutcome]:
-    """All three Table-6 studies."""
-    return {name: run_case_study(name, **kwargs) for name in _SIMULATORS}
+def run_all_case_studies(
+    workers: int = 1, cache=None, **kwargs
+) -> Dict[str, CaseStudyOutcome]:
+    """All three Table-6 studies (simulated via the batch executor)."""
+    records = {record.name: record for record in TABLE6_CASE_STUDIES}
+    simulations = simulate_all_case_studies(
+        workers=workers, cache=cache, **kwargs
+    )
+    outcomes: Dict[str, CaseStudyOutcome] = {}
+    for name, simulated in simulations.items():
+        record = records[name]
+        estimate = model_estimate(record)
+        outcomes[name] = CaseStudyOutcome(
+            record=record,
+            model_speedup_pct=estimate.speedup_percent,
+            simulated_speedup_pct=simulated.speedup_percent,
+            paper_estimated_pct=record.estimated_speedup_pct,
+            paper_real_pct=record.real_speedup_pct,
+        )
+    return outcomes

@@ -23,6 +23,8 @@ from ..core import (
     Placement,
     ThreadingDesign,
 )
+from ..runtime import RunSpec, execute_batch
+from ..runtime.batch import BatchReport, CacheArg
 from ..paperdata.categories import FunctionalityCategory as F, LeafCategory as L
 from ..simulator import (
     AcceleratorDevice,
@@ -174,17 +176,29 @@ def validation_matrix(
     alphas: Sequence[float] = (0.1, 0.3, 0.6),
     interface_cycles: Sequence[float] = (0.0, 500.0),
     thread_switch_cycles: float = 300.0,
+    workers: int = 1,
+    cache: CacheArg = None,
+    report: BatchReport = None,
     **cell_kwargs,
 ) -> MatrixSummary:
-    """Validate the full grid; returns the error summary."""
-    cells: List[MatrixCell] = []
-    for design in designs:
-        for alpha in alphas:
-            for latency in interface_cycles:
-                cells.append(
-                    validate_cell(
-                        design, alpha, latency, thread_switch_cycles,
-                        **cell_kwargs,
-                    )
-                )
+    """Validate the full grid; returns the error summary.
+
+    All grid cells are mutually independent, so they run through the
+    batch executor: *workers* > 1 validates cells in parallel processes
+    and *cache* replays identical cells from disk.
+    """
+    specs: List[RunSpec] = [
+        RunSpec.create(
+            "matrix_cell",
+            design=design,
+            alpha=alpha,
+            interface_cycles=latency,
+            thread_switch_cycles=thread_switch_cycles,
+            **cell_kwargs,
+        )
+        for design in designs
+        for alpha in alphas
+        for latency in interface_cycles
+    ]
+    cells = execute_batch(specs, workers=workers, cache=cache, report=report)
     return MatrixSummary(cells=tuple(cells))

@@ -33,6 +33,7 @@ from ..paperdata.categories import (
 )
 from ..profiling.stacks import TraceTemplate
 from ..simulator.service import KernelInvocation, KernelSpec, RequestSpec, SegmentWork
+from ..simulator.workload import BlockSampler
 from .calibration import FUNCTIONALITIES, LEAVES, JointBreakdown, fit_joint
 
 #: Frame names that make the default :class:`TraceBucketer` recover each
@@ -293,22 +294,49 @@ class ServiceWorkload:
             for functionality in FUNCTIONALITIES
         }
 
-        def factory() -> RequestSpec:
-            scale = (
-                float(rng.gamma(shape, 1.0 / shape)) if shape is not None else 1.0
-            )
-            invocations_by_origin: Dict[FunctionalityCategory, list] = {}
-            for kernel in self.kernels.values():
-                for origin, rate in kernel.origin_rates.items():
-                    count = int(rng.poisson(rate))
-                    if count == 0:
-                        continue
-                    sizes = kernel.target.granularity.sample(rng, count)
-                    spec = kernel.specs[origin]
-                    invocations_by_origin.setdefault(origin, []).extend(
-                        KernelInvocation(kernel=spec, granularity=float(size))
-                        for size in np.atleast_1d(sizes)
+        # Pre-sampled draws: vectorized numpy calls amortized over many
+        # requests replace three-plus scalar RNG calls per request on the
+        # simulator hot path.  Distributions are identical; only the order
+        # of draws on the shared generator changes.
+        scale_sampler = (
+            BlockSampler(lambda n: rng.gamma(shape, 1.0 / shape, size=n))
+            if shape is not None
+            else None
+        )
+        kernel_samplers = []
+        for kernel in self.kernels.values():
+            dist = kernel.target.granularity
+            sizes_arr = np.asarray(dist.sizes, dtype=float)
+            probs = np.asarray(dist.counts, dtype=float)
+            probs = probs / probs.sum()
+            for origin, rate in kernel.origin_rates.items():
+                kernel_samplers.append(
+                    (
+                        origin,
+                        kernel.specs[origin],
+                        BlockSampler(
+                            lambda n, r=rate: rng.poisson(r, size=n)
+                        ),
+                        BlockSampler(
+                            lambda n, s=sizes_arr, p=probs: rng.choice(
+                                s, size=n, p=p
+                            )
+                        ),
                     )
+                )
+
+        def factory() -> RequestSpec:
+            scale = scale_sampler.next() if scale_sampler is not None else 1.0
+            invocations_by_origin: Dict[FunctionalityCategory, list] = {}
+            for origin, spec, count_sampler, size_sampler in kernel_samplers:
+                count = int(count_sampler.next())
+                if count == 0:
+                    continue
+                sizes = size_sampler.take(count)
+                invocations_by_origin.setdefault(origin, []).extend(
+                    KernelInvocation(kernel=spec, granularity=float(size))
+                    for size in sizes
+                )
             segments = []
             for functionality in FUNCTIONALITIES:
                 cycles = plain[functionality] * scale

@@ -1,0 +1,106 @@
+"""Batch executor: ordering, dedup, caching, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime import (
+    BatchReport,
+    ResultCache,
+    RunSpec,
+    execute_batch,
+    register_runner,
+)
+
+# A tiny deterministic runner so executor tests never pay for a real
+# simulation.  Registered at import time; keys include the kind, so these
+# specs can never collide with real cached results.
+@register_runner("test_square")
+def _square(spec: RunSpec) -> float:
+    params = spec.params_dict()
+    return params["value"] * params["value"] + params.get("offset", 0.0)
+
+
+def _specs(values):
+    return [RunSpec.create("test_square", value=v) for v in values]
+
+
+def test_results_align_with_input_order():
+    values = [3.0, 1.0, 4.0, 1.0, 5.0]
+    assert execute_batch(_specs(values)) == [9.0, 1.0, 16.0, 1.0, 25.0]
+
+
+def test_pool_results_match_serial():
+    values = [float(v) for v in range(8)]
+    serial = execute_batch(_specs(values), workers=1)
+    pooled = execute_batch(_specs(values), workers=2)
+    assert pooled == serial
+
+
+def test_duplicate_specs_execute_once():
+    report = BatchReport()
+    results = execute_batch(_specs([2.0, 2.0, 2.0]), report=report)
+    assert results == [4.0, 4.0, 4.0]
+    assert report.total == 3
+    assert report.executed == 1
+    assert report.deduplicated == 2
+
+
+def test_cache_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = BatchReport()
+    execute_batch(_specs([2.0, 3.0]), cache=cache, report=cold)
+    assert cold.executed == 2 and cold.cache_hits == 0
+    assert not cold.simulated_nothing
+
+    warm = BatchReport()
+    results = execute_batch(_specs([2.0, 3.0]), cache=cache, report=warm)
+    assert results == [4.0, 9.0]
+    assert warm.executed == 0 and warm.cache_hits == 2
+    assert warm.simulated_nothing
+
+
+def test_partial_cache_hits(tmp_path):
+    cache = ResultCache(tmp_path)
+    execute_batch(_specs([2.0]), cache=cache)
+    report = BatchReport()
+    results = execute_batch(_specs([2.0, 5.0]), cache=cache, report=report)
+    assert results == [4.0, 25.0]
+    assert report.cache_hits == 1 and report.executed == 1
+
+
+def test_distinct_params_are_distinct_cache_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    a = execute_batch(
+        [RunSpec.create("test_square", value=2.0, offset=1.0)], cache=cache
+    )
+    b = execute_batch(
+        [RunSpec.create("test_square", value=2.0, offset=2.0)], cache=cache
+    )
+    assert a == [5.0] and b == [6.0]
+    assert len(cache) == 2
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(ParameterError):
+        execute_batch(_specs([1.0]), workers=0)
+    with pytest.raises(ValueError):
+        execute_batch(_specs([1.0]), workers=-3)
+
+
+def test_empty_batch():
+    report = BatchReport()
+    assert execute_batch([], report=report) == []
+    assert report.total == 0
+    assert not report.simulated_nothing
+
+
+def test_report_accumulates_across_batches(tmp_path):
+    cache = ResultCache(tmp_path)
+    report = BatchReport()
+    execute_batch(_specs([1.0]), cache=cache, report=report)
+    execute_batch(_specs([1.0]), cache=cache, report=report)
+    assert report.total == 2
+    assert report.executed == 1
+    assert report.cache_hits == 1

@@ -1,0 +1,93 @@
+"""On-disk result cache behaviour."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime import ResultCache, default_cache_root, resolve_cache
+
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_miss_then_hit_roundtrip(cache):
+    hit, value = cache.lookup(KEY)
+    assert not hit and value is None
+    cache.put(KEY, {"answer": 42})
+    hit, value = cache.lookup(KEY)
+    assert hit
+    assert value == {"answer": 42}
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_entries_are_sharded_by_key_prefix(cache):
+    cache.put(KEY, 1)
+    path = cache.path_for(KEY)
+    assert path.parent.name == KEY[:2]
+    assert path.exists()
+
+
+def test_contains_and_len(cache):
+    assert KEY not in cache
+    assert len(cache) == 0
+    cache.put(KEY, 1)
+    cache.put(OTHER, 2)
+    assert KEY in cache and OTHER in cache
+    assert len(cache) == 2
+
+
+def test_put_overwrites_atomically(cache):
+    cache.put(KEY, "old")
+    cache.put(KEY, "new")
+    assert cache.get(KEY) == "new"
+    # No stray temp files left next to the entry.
+    leftovers = [
+        name for name in os.listdir(cache.path_for(KEY).parent)
+        if not name.endswith(".pkl")
+    ]
+    assert leftovers == []
+
+
+def test_corrupt_entry_is_deleted_and_treated_as_miss(cache):
+    cache.put(KEY, [1, 2, 3])
+    cache.path_for(KEY).write_bytes(b"not a pickle")
+    hit, value = cache.lookup(KEY)
+    assert not hit and value is None
+    assert not cache.path_for(KEY).exists()
+
+
+def test_clear_removes_everything(cache):
+    cache.put(KEY, 1)
+    cache.put(OTHER, 2)
+    removed = cache.clear()
+    assert removed == 2
+    assert len(cache) == 0
+    assert KEY not in cache
+
+
+def test_default_root_honours_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-root"))
+    assert default_cache_root() == tmp_path / "env-root"
+    cache = ResultCache()
+    cache.put(KEY, "via-env")
+    assert (tmp_path / "env-root").exists()
+    assert cache.get(KEY) == "via-env"
+
+
+def test_resolve_cache_forms(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "resolved"))
+    assert resolve_cache(None) is None
+    assert resolve_cache(False) is None
+    explicit = ResultCache(tmp_path / "explicit")
+    assert resolve_cache(explicit) is explicit
+    implicit = resolve_cache(True)
+    assert isinstance(implicit, ResultCache)
+    assert implicit.root == tmp_path / "resolved"

@@ -1,0 +1,97 @@
+"""Determinism regression suite: serial == pool == cache, bit for bit.
+
+The batch executor's whole contract is that *how* a run executes (in
+process, in a worker, or replayed from disk) never changes *what* it
+returns.  These tests pin that with RunSummary fingerprints -- canonical
+SHA-256 digests over every measured quantity -- across all seven services
+and two seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import characterize, characterize_all
+from repro.paperdata.breakdowns import FB_SERVICES
+from repro.runtime import BatchReport, ResultCache
+from repro.validation.matrix import validation_matrix
+
+# Small runs: determinism does not depend on simulation length.
+FAST = dict(requests_target=30, num_cores=2)
+SEEDS = (2020, 77)
+
+
+def _fingerprints(runs):
+    return {name: run.simulation.fingerprint() for name, run in runs.items()}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_serial_pool_and_cache_agree_across_services(seed, tmp_path):
+    cache = ResultCache(tmp_path)
+    serial = characterize_all(seed=seed, **FAST)
+    pooled = characterize_all(seed=seed, workers=2, **FAST)
+    cached_cold = characterize_all(seed=seed, cache=cache, **FAST)
+    replay = BatchReport()
+    cached_warm = characterize_all(
+        seed=seed, cache=cache, report=replay, **FAST
+    )
+
+    assert set(serial) == set(FB_SERVICES)
+    expected = _fingerprints(serial)
+    assert _fingerprints(pooled) == expected
+    assert _fingerprints(cached_cold) == expected
+    assert _fingerprints(cached_warm) == expected
+    # The warm pass replayed everything from disk.
+    assert replay.simulated_nothing
+    assert replay.cache_hits == len(FB_SERVICES)
+
+
+def test_distinct_seeds_give_distinct_measurements():
+    a = characterize_all(services=["web"], seed=SEEDS[0], **FAST)
+    b = characterize_all(services=["web"], seed=SEEDS[1], **FAST)
+    assert (a["web"].simulation.fingerprint()
+            != b["web"].simulation.fingerprint())
+
+
+def test_batch_matches_direct_characterize_call():
+    direct = characterize("cache1", seed=2020, **FAST)
+    batched = characterize_all(services=["cache1"], seed=2020, **FAST)
+    assert (batched["cache1"].simulation.fingerprint()
+            == direct.simulation.fingerprint())
+
+
+def test_warm_cache_characterize_all_skips_all_simulation(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = BatchReport()
+    characterize_all(seed=2020, cache=cache, report=cold, **FAST)
+    assert cold.executed == len(FB_SERVICES)
+
+    warm = BatchReport()
+    runs = characterize_all(seed=2020, cache=cache, report=warm, **FAST)
+    assert warm.simulated_nothing
+    assert warm.executed == 0
+    assert warm.cache_hits == len(FB_SERVICES)
+    # Replayed results still carry the full measurement surface.
+    for run in runs.values():
+        assert run.simulation.completed_requests > 0
+        assert run.simulation.throughput > 0
+
+
+def test_matrix_cells_identical_serial_pool_cache(tmp_path):
+    # A 1x2x1 slice keeps this quick; full-grid parity is covered by the
+    # perf benchmark where the cost is justified.
+    from repro.core import ThreadingDesign
+
+    kwargs = dict(
+        designs=(ThreadingDesign.SYNC,),
+        alphas=(0.1, 0.3),
+        interface_cycles=(0.0,),
+        window_cycles=2.0e6,
+    )
+    cache = ResultCache(tmp_path)
+    serial = validation_matrix(**kwargs)
+    pooled = validation_matrix(workers=2, **kwargs)
+    validation_matrix(cache=cache, **kwargs)
+    replayed = validation_matrix(cache=cache, **kwargs)
+    assert pooled.cells == serial.cells
+    assert replayed.cells == serial.cells

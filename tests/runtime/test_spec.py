@@ -1,0 +1,77 @@
+"""RunSpec construction and key stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime import SCHEMA_VERSION, RunSpec, run_spec
+from repro.canonical import canonical_digest
+
+
+def test_create_sorts_params():
+    spec = RunSpec.create("characterize", service="web", platform="GenC")
+    assert spec.params == (("platform", "GenC"), ("service", "web"))
+
+
+def test_create_drops_none_values():
+    spec = RunSpec.create("characterize", service="web", platform=None)
+    assert spec.params == (("service", "web"),)
+
+
+def test_key_is_param_order_invariant():
+    a = RunSpec.create("characterize", service="web", platform="GenC")
+    b = RunSpec.create("characterize", platform="GenC", service="web")
+    assert a == b
+    assert a.key() == b.key()
+
+
+def test_key_depends_on_every_field():
+    base = RunSpec.create("characterize", service="web", seed=1)
+    assert base.key() != RunSpec.create("characterize", service="ads1",
+                                        seed=1).key()
+    assert base.key() != RunSpec.create("characterize", service="web",
+                                        seed=2).key()
+    assert base.key() != RunSpec.create("matrix_cell", service="web",
+                                        seed=1).key()
+
+
+def test_key_is_stable_across_instances():
+    key = RunSpec.create("characterize", service="web", seed=7).key()
+    again = RunSpec.create("characterize", service="web", seed=7).key()
+    assert key == again
+    assert len(key) == 64  # sha256 hex
+
+
+def test_key_is_salted_with_schema_version():
+    spec = RunSpec.create("characterize", service="web")
+    assert spec.key() == canonical_digest(spec, salt=SCHEMA_VERSION)
+
+
+def test_float_params_hash_exactly():
+    a = RunSpec.create("matrix_cell", alpha=0.3)
+    b = RunSpec.create("matrix_cell", alpha=0.1 + 0.2)  # one ulp above 0.3
+    assert a.key() != b.key()
+    assert (RunSpec.create("matrix_cell", alpha=0.1 + 0.2).key()
+            == b.key())
+
+
+def test_uncanonicalizable_param_fails_fast():
+    with pytest.raises(TypeError):
+        RunSpec.create("characterize", bad=object())
+
+
+def test_params_dict_roundtrip():
+    spec = RunSpec.create("characterize", service="web", platform="GenC")
+    assert spec.params_dict() == {"service": "web", "platform": "GenC"}
+
+
+def test_describe_mentions_kind_and_params():
+    text = RunSpec.create("characterize", service="web").describe()
+    assert "characterize" in text
+    assert "web" in text
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ParameterError):
+        run_spec(RunSpec.create("no-such-runner"))
