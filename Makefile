@@ -4,11 +4,33 @@ export PYTHONPATH
 
 WORKERS ?= 4
 
-.PHONY: test perf bench figures clean-cache
+.PHONY: test perf bench figures clean-cache lint check
 
 # Tier-1 correctness suite (perf benchmarks excluded via pyproject addopts).
-test:
+# Linting runs first: a determinism or spec-hygiene violation invalidates
+# the runs the tests would otherwise bless.
+test: lint
 	$(PYTHON) -m pytest -q
+
+# The repo's own AST invariant linter (determinism, spec hygiene,
+# hot-path __slots__, unit discipline, API surface).
+lint:
+	$(PYTHON) -m repro lint
+
+# lint + third-party checkers where available (ruff/mypy are optional:
+# the pinned container does not ship them, so each is skipped with a
+# notice when missing rather than failing the target).
+check: lint
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro scripts tests; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 # Opt-in performance regression tests.
 perf:

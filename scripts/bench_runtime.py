@@ -14,8 +14,12 @@ Measures three things and writes them to ``BENCH_runtime.json``:
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_runtime.py [--workers N]
+    python scripts/bench_runtime.py [--workers N]
         [--repeat K] [--output BENCH_runtime.json]
+
+Runs from any working directory: the script adds the repository's
+``src/`` to ``sys.path`` itself when ``repro`` is not already
+importable, so no ``PYTHONPATH`` setup is needed.
 """
 
 from __future__ import annotations
@@ -28,6 +32,10 @@ import sys
 import tempfile
 import time
 from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 import numpy as np
 

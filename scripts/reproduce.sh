@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
-# One-shot reproduction: tests, benchmarks, figures, data, and report.
+# One-shot reproduction: lint, tests, benchmarks, figures, data, and report.
 # Usage: scripts/reproduce.sh [output-dir]
+# Runs from any working directory; output-dir is resolved against the
+# caller's cwd before we cd to the repository root.
 set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 OUT="${1:-artifacts}"
+case "$OUT" in
+  /*) ;;
+  *) OUT="$(pwd)/$OUT" ;;
+esac
 mkdir -p "$OUT"
+
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== invariant lint =="
+python -m repro lint 2>&1 | tee "$OUT/lint_output.txt" | tail -1
 
 echo "== unit/integration/property tests =="
 python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt" | tail -1

@@ -1,0 +1,62 @@
+"""AST-based invariant linter for the reproduction's unwritten rules.
+
+The runtime (PR 1) and the Accelerometer model are correct only while
+the code keeps promises no test asserts directly: simulated paths draw
+entropy exclusively from seeded generators, spec objects stay hashable
+and picklable, the DES hot path stays ``__slots__``-clean, cycle
+arithmetic never mixes units, and package facades export what they
+declare.  This package makes those promises mechanical:
+
+* :func:`analyze_paths` / :func:`analyze_sources` -- the driver;
+* :class:`Rule` + :func:`register_rule` -- the pluggable rule registry
+  (see :mod:`repro.analysis.rules` for the built-in pack);
+* :class:`Finding` / :class:`Severity` -- typed findings with
+  ``path:line:column`` locations and fix hints;
+* ``# repro: noqa[RULE]`` pragmas and :class:`Baseline` files for
+  deliberate exceptions and staged adoption;
+* text/JSON reporters and the ``repro lint`` CLI glue.
+
+Run it as ``python -m repro lint`` (or ``make lint``).
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    save_baseline,
+)
+from .engine import (
+    AnalysisContext,
+    AnalysisResult,
+    analyze_paths,
+    analyze_sources,
+    collect_files,
+)
+from .findings import Finding, Severity
+from .registry import Rule, all_rules, register_rule, resolve_rules
+from .reporters import render_json, render_text
+from .source import SourceFile, parse_suppressions
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "all_rules",
+    "analyze_paths",
+    "analyze_sources",
+    "collect_files",
+    "load_baseline",
+    "parse_suppressions",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "save_baseline",
+]

@@ -1,0 +1,113 @@
+"""Baseline store: grandfathered findings that do not fail the build.
+
+A baseline lets the linter be adopted on a codebase with pre-existing
+findings: known violations are recorded once (``--write-baseline``) and
+subsequent runs only fail on *new* findings.  The shipped repository
+baseline is kept empty -- real violations are fixed, not grandfathered
+-- but the mechanism is load-bearing for forks and for staged rule
+rollouts.
+
+Entries match on ``(rule, path, message)`` and deliberately ignore line
+numbers, so unrelated edits that shift a grandfathered finding around a
+file do not resurrect it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import ParameterError
+from .findings import Finding
+
+#: Default baseline filename, looked up at the project root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+@dataclasses.dataclass
+class Baseline:
+    """An in-memory baseline: a multiset of grandfathered findings."""
+
+    entries: Tuple[BaselineEntry, ...] = ()
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(
+            entries=tuple(
+                BaselineEntry(rule=f.rule, path=f.path, message=f.message)
+                for f in sorted(findings, key=Finding.sort_key)
+            )
+        )
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into ``(fresh, grandfathered)``.
+
+        Matching is count-aware: an entry appearing once in the baseline
+        absorbs at most one matching finding, so a violation that
+        *multiplies* still fails the build.
+        """
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + 1
+        fresh: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                grandfathered.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, grandfathered
+
+    def stale_entries(self, findings: Sequence[Finding]) -> List[BaselineEntry]:
+        """Entries no longer matched by any finding (fixed violations
+        whose baseline rows should be deleted)."""
+        live = {f.baseline_key() for f in findings}
+        return [entry for entry in self.entries if entry.key() not in live]
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise ParameterError(
+            f"unsupported baseline format in {path}; expected "
+            f'{{"version": {_FORMAT_VERSION}, "entries": [...]}}'
+        )
+    entries = []
+    for row in payload.get("entries", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=row["rule"], path=row["path"], message=row["message"]
+                )
+            )
+        except (TypeError, KeyError) as exc:
+            raise ParameterError(f"malformed baseline entry {row!r}") from exc
+    return Baseline(entries=tuple(entries))
+
+
+def save_baseline(baseline: Baseline, path: Union[str, Path]) -> None:
+    payload = {
+        "version": _FORMAT_VERSION,
+        "entries": [dataclasses.asdict(entry) for entry in baseline.entries],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,110 @@
+"""The ``repro lint`` command implementation.
+
+Kept separate from :mod:`repro.cli` so the analysis package is usable as
+a library (tests drive :func:`run_lint` directly) and the top-level CLI
+module stays a thin dispatcher.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    load_baseline,
+    save_baseline,
+)
+from .engine import analyze_paths
+from .registry import all_rules
+from .reporters import render_json, render_text
+
+#: What ``repro lint`` covers when no paths are given: the package
+#: sources and the repository scripts (which must obey the same
+#: invariants wherever the path-scoped rules apply).
+DEFAULT_LINT_PATHS = ("src/repro", "scripts")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=[],
+        help=f"files/directories to analyze (default: "
+        f"{' '.join(DEFAULT_LINT_PATHS)})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    parser.add_argument(
+        "--rules", default="",
+        help="comma-separated rule subset (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file of grandfathered findings (default: "
+        f"{DEFAULT_BASELINE_NAME} at the project root when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="project root paths are resolved against (default: cwd)",
+    )
+
+
+def _resolve_baseline(
+    args: argparse.Namespace, root: Path
+) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return load_baseline(args.baseline)
+    default = root / DEFAULT_BASELINE_NAME
+    if default.is_file():
+        return load_baseline(default)
+    return None
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            scope = "project" if rule.project_rule else "file"
+            print(f"{rule.name}  [{rule.severity.value}, {scope}]  "
+                  f"{rule.description}")
+        return 0
+
+    root = Path(args.root)
+    paths: List[str] = list(args.paths) or [
+        path for path in DEFAULT_LINT_PATHS if (root / path).exists()
+    ]
+    rule_names = [name for name in args.rules.split(",") if name.strip()]
+    baseline = None if args.write_baseline else _resolve_baseline(args, root)
+
+    result = analyze_paths(
+        paths, root=root, rules=rule_names or None, baseline=baseline
+    )
+
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline else (
+            root / DEFAULT_BASELINE_NAME
+        )
+        save_baseline(Baseline.from_findings(result.findings), target)
+        print(f"wrote {len(result.findings)} entries to {target}")
+        return 0
+
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1

@@ -1,0 +1,183 @@
+"""The analysis driver: collect files, run rules, apply suppressions.
+
+:func:`analyze_paths` is the single entry point the CLI and the tests
+share.  It walks the requested paths, parses every ``.py`` file once,
+hands the parsed :class:`~repro.analysis.source.SourceFile`s to each
+selected rule (file rules per file, project rules once over the whole
+set), drops findings silenced by ``# repro: noqa`` pragmas, and applies
+the baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ParameterError
+from .baseline import Baseline
+from .findings import Finding, Severity
+from .registry import Rule, resolve_rules
+from .source import SourceFile
+
+#: Directory names never descended into.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".venv",
+    "venv",
+    "node_modules",
+    "build",
+    "dist",
+}
+
+
+def collect_files(paths: Sequence[Union[str, Path]], root: Path) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen = set()
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(
+                    part in _SKIP_DIRS or part.endswith(".egg-info")
+                    for part in p.parts
+                )
+            )
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise ParameterError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return collected
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclasses.dataclass
+class AnalysisContext:
+    """Everything a rule can see: the project root and all sources."""
+
+    root: Path
+    sources: Tuple[SourceFile, ...]
+
+    def by_relpath(self, relpath: str) -> Optional[SourceFile]:
+        for source in self.sources:
+            if source.relpath == relpath:
+                return source
+        return None
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Outcome of one :func:`analyze_paths` run."""
+
+    #: Fresh findings (not suppressed, not baselined), sorted by location.
+    findings: List[Finding]
+
+    #: Findings absorbed by the baseline.
+    grandfathered: List[Finding]
+
+    #: Findings silenced by ``# repro: noqa`` pragmas.
+    suppressed: List[Finding]
+
+    #: Number of files analyzed.
+    files: int
+
+    #: Rules that ran.
+    rules: Tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+
+def analyze_sources(
+    sources: Iterable[SourceFile],
+    *,
+    root: Union[str, Path] = ".",
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Run the selected rules over pre-built sources (test entry point)."""
+    selected = resolve_rules(rules)
+    context = AnalysisContext(root=Path(root), sources=tuple(sources))
+
+    raw: List[Finding] = []
+    for source in context.sources:
+        if source.parse_error is not None:
+            raw.append(
+                Finding(
+                    rule="PARSE",
+                    path=source.relpath,
+                    line=1,
+                    column=0,
+                    message=f"file does not parse: {source.parse_error}",
+                    hint="fix the syntax error; unparsable files are "
+                    "invisible to every other rule",
+                )
+            )
+            continue
+        for rule in selected:
+            if rule.project_rule:
+                continue
+            raw.extend(rule.check(source, context))
+    for rule in selected:
+        if rule.project_rule:
+            raw.extend(rule.check_project(context))
+
+    raw.sort(key=Finding.sort_key)
+
+    by_path = {source.relpath: source for source in context.sources}
+    visible: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        source = by_path.get(finding.path)
+        if source is not None and source.is_suppressed(finding.rule, finding.line):
+            suppressed.append(finding)
+        else:
+            visible.append(finding)
+
+    if baseline is None:
+        fresh, grandfathered = visible, []
+    else:
+        fresh, grandfathered = baseline.filter(visible)
+
+    return AnalysisResult(
+        findings=fresh,
+        grandfathered=grandfathered,
+        suppressed=suppressed,
+        files=len(context.sources),
+        rules=tuple(rule.name for rule in selected),
+    )
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    root: Union[str, Path] = ".",
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisResult:
+    """Analyze every ``.py`` file under *paths* (the CLI entry point)."""
+    root_path = Path(root)
+    files = collect_files(paths, root_path)
+    sources = [SourceFile.load(path, _relpath(path, root_path)) for path in files]
+    return analyze_sources(sources, root=root_path, rules=rules, baseline=baseline)

@@ -1,0 +1,84 @@
+"""Rule registry.
+
+Rules are classes with ``name``/``severity``/``description`` metadata
+and a ``check`` method; registering is a decorator so a rule module is
+self-contained.  File rules receive one :class:`~repro.analysis.source
+.SourceFile` at a time; project rules (``project_rule = True``) run once
+over the whole file set -- for cross-file invariants like package export
+consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from ..errors import ParameterError
+from .findings import Severity
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses define:
+
+    * ``name`` -- stable identifier (``DET001`` ...), used in reports,
+      suppressions, ``--rules`` selection, and baselines;
+    * ``severity`` -- default :class:`Severity` of findings;
+    * ``description`` -- one-line summary for ``--list-rules``;
+    * ``invariant`` -- what breaks when the rule is violated (docs);
+    * ``check(source, context)`` (file rules) or
+      ``check_project(context)`` (project rules) yielding findings.
+    """
+
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    invariant: str = ""
+    project_rule: bool = False
+
+    def check(self, source, context) -> Iterable:  # pragma: no cover - abstract
+        return ()
+
+    def check_project(self, context) -> Iterable:  # pragma: no cover - abstract
+        return ()
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register the rule by name."""
+    if not cls.name:
+        raise ParameterError(f"rule class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ParameterError(f"rule {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by name."""
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def resolve_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Rules selected by *names* (all of them when ``None``)."""
+    _ensure_loaded()
+    if not names:
+        return all_rules()
+    selected = []
+    for raw in names:
+        name = raw.strip().upper()
+        if not name:
+            continue
+        if name not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ParameterError(f"unknown rule {name!r}; known rules: {known}")
+        selected.append(_REGISTRY[name])
+    return sorted(selected, key=lambda rule: rule.name)
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in rule pack (idempotent)."""
+    from . import rules  # noqa: F401  -- registration side effect

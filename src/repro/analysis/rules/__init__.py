@@ -1,0 +1,15 @@
+"""The built-in rule pack.
+
+Importing this package registers every rule with the registry; the
+modules group rules by the invariant family they protect.
+"""
+
+from . import api, determinism, perf, specs, units
+
+__all__ = [
+    "api",
+    "determinism",
+    "perf",
+    "specs",
+    "units",
+]

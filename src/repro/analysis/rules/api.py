@@ -1,0 +1,185 @@
+"""API001: package export surfaces stay consistent.
+
+Every subpackage ``__init__`` in this repository is a curated facade:
+it re-exports the package's public names and declares them in
+``__all__``.  The two ways that contract rots are *silent exports*
+(a name imported into the facade but missing from ``__all__``, so
+``import *`` and documentation tooling disagree with attribute access)
+and *phantom exports* (``__all__`` naming something that is not actually
+bound, which breaks ``from package import *`` at runtime).  Shadowed
+re-exports -- the same name bound twice -- hide one of the two origins.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register_rule
+
+
+def _all_assignment(tree: ast.Module) -> Optional[Tuple[ast.expr, List[str]]]:
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                names: List[str] = []
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.append(element.value)
+                return value, names
+    return None
+
+
+@register_rule
+class ExportSurface(Rule):
+    """API001: package __init__ exports match __all__ exactly."""
+
+    name = "API001"
+    severity = Severity.ERROR
+    description = (
+        "package __init__ re-exports are declared in __all__, every "
+        "__all__ entry is bound, and nothing is shadowed"
+    )
+    invariant = (
+        "the public API surface is the promise other layers (and cached "
+        "pickles, which resolve classes by qualified name) build on; an "
+        "undeclared or phantom export makes refactors silently change "
+        "what downstream code can import"
+    )
+    project_rule = True
+
+    def check_project(self, context) -> Iterator[Finding]:
+        for source in context.sources:
+            if source.name != "__init__.py" or source.tree is None:
+                continue
+            yield from self._check_init(source)
+
+    def _check_init(self, source) -> Iterator[Finding]:
+        tree = source.tree
+        #: name -> first binding line, for shadow detection.
+        bound: Dict[str, int] = {}
+        reexports: Dict[str, int] = {}
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom):
+                relative = node.level > 0
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    if local in bound and relative:
+                        yield Finding(
+                            rule=self.name,
+                            path=source.relpath,
+                            line=node.lineno,
+                            column=node.col_offset,
+                            message=(
+                                f"re-export {local!r} shadows an earlier "
+                                f"binding from line {bound[local]}"
+                            ),
+                            hint="drop or rename one of the two imports",
+                            severity=self.severity,
+                        )
+                    bound[local] = node.lineno
+                    if relative and not local.startswith("_"):
+                        reexports[local] = node.lineno
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    bound[local] = node.lineno
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound[node.name] = node.lineno
+                if not node.name.startswith("_"):
+                    reexports[node.name] = node.lineno
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound[target.id] = node.lineno
+                        if not target.id.startswith("_") or (
+                            target.id == "__version__"
+                        ):
+                            if target.id != "__all__":
+                                reexports[target.id] = node.lineno
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                bound[node.target.id] = node.lineno
+                if not node.target.id.startswith("_"):
+                    reexports[node.target.id] = node.lineno
+
+        declared = _all_assignment(tree)
+        if declared is None:
+            if reexports:
+                first_line = min(reexports.values())
+                yield Finding(
+                    rule=self.name,
+                    path=source.relpath,
+                    line=first_line,
+                    column=0,
+                    message=(
+                        f"package facade re-exports {len(reexports)} public "
+                        "names but declares no __all__"
+                    ),
+                    hint="add an __all__ naming the intended public surface",
+                    severity=self.severity,
+                )
+            return
+        all_node, names = declared
+
+        seen = set()
+        for name in names:
+            if name in seen:
+                yield Finding(
+                    rule=self.name,
+                    path=source.relpath,
+                    line=all_node.lineno,
+                    column=all_node.col_offset,
+                    message=f"__all__ lists {name!r} more than once",
+                    hint="remove the duplicate entry",
+                    severity=self.severity,
+                )
+            seen.add(name)
+            if name not in bound:
+                yield Finding(
+                    rule=self.name,
+                    path=source.relpath,
+                    line=all_node.lineno,
+                    column=all_node.col_offset,
+                    message=(
+                        f"__all__ exports {name!r} but the name is not "
+                        "bound in the module"
+                    ),
+                    hint=(
+                        "import the symbol in the facade or remove the "
+                        "entry; 'from package import *' would raise "
+                        "AttributeError"
+                    ),
+                    severity=self.severity,
+                )
+        for name, line in sorted(reexports.items()):
+            if name not in seen:
+                yield Finding(
+                    rule=self.name,
+                    path=source.relpath,
+                    line=line,
+                    column=0,
+                    message=(
+                        f"public symbol {name!r} is bound in the facade "
+                        "but missing from __all__"
+                    ),
+                    hint=(
+                        "add it to __all__ (or rename with a leading "
+                        "underscore if it is internal)"
+                    ),
+                    severity=self.severity,
+                )

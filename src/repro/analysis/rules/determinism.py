@@ -1,0 +1,188 @@
+"""Determinism rules: DET001 (ambient entropy) and DET002 (unordered
+iteration).
+
+The runtime's core contract is *serial == pool == cache, bit for bit*: a
+:class:`~repro.runtime.RunSpec` fully determines its result, so a cached
+result can replace a fresh simulation forever.  Both rules police the
+two ways that contract silently dies: reading entropy the spec does not
+control (wall clocks, unseeded RNGs) and iterating containers whose
+order varies across interpreter processes (sets under hash
+randomization).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register_rule
+from ._ast_util import import_map, resolve_target
+
+#: Directories whose code runs inside (or feeds) simulated execution.
+_SIMULATED_SCOPES = ("simulator", "runtime", "workloads")
+
+#: Call targets that read ambient entropy: wall clocks and OS randomness.
+_BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "time.process_time": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy read",
+    "uuid.uuid1": "clock/MAC-derived identifier",
+    "uuid.uuid4": "OS entropy read",
+    "random.SystemRandom": "OS entropy source",
+}
+
+#: numpy.random attributes that are *constructors of seeded streams* and
+#: therefore fine; every other ``numpy.random.*`` call hits the global
+#: unseeded singleton.
+_NUMPY_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+@register_rule
+class UnseededEntropy(Rule):
+    """DET001: ambient entropy reachable from simulated paths."""
+
+    name = "DET001"
+    severity = Severity.ERROR
+    description = (
+        "no wall clocks or unseeded RNGs in simulator/, runtime/, or "
+        "workloads/"
+    )
+    invariant = (
+        "serial == pool == cache bit-identity: a RunSpec must fully "
+        "determine its result, so simulated paths may only draw from "
+        "explicitly seeded generators and the simulated clock"
+    )
+
+    def check(self, source, context) -> Iterator[Finding]:
+        if not source.in_scope(*_SIMULATED_SCOPES):
+            return
+        imports = import_map(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_target(node.func, imports)
+            if target is None:
+                continue
+            reason = _BANNED_CALLS.get(target)
+            if reason is None and target.startswith("random."):
+                if target not in ("random.Random",):
+                    reason = "module-level stdlib RNG (unseeded shared state)"
+            if reason is None and target.startswith("numpy.random."):
+                attribute = target.rsplit(".", 1)[-1]
+                if attribute not in _NUMPY_ALLOWED:
+                    reason = "global numpy RNG singleton (unseeded shared state)"
+            if reason is None:
+                continue
+            yield Finding(
+                rule=self.name,
+                path=source.relpath,
+                line=node.lineno,
+                column=node.col_offset,
+                message=f"call to {target} ({reason}) in a simulated path",
+                hint=(
+                    "thread an explicitly seeded numpy Generator (or the "
+                    "engine's simulated clock) from the RunSpec instead; "
+                    "wall-clock benchmarking belongs in scripts/ or "
+                    "benchmarks/"
+                ),
+                severity=self.severity,
+            )
+
+
+#: Directories whose iteration order feeds cache keys, fingerprints, or
+#: summary aggregation.
+_ORDERED_SCOPES = ("runtime", "simulator", "characterization")
+
+#: Files outside those directories that also aggregate or hash.
+_ORDERED_FILES = ("canonical.py",)
+
+#: Order-sensitive single-argument consumers: feeding them an unordered
+#: set changes the result (or its float rounding) across processes.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "sum", "enumerate", "reversed"}
+
+
+def _set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register_rule
+class UnorderedIteration(Rule):
+    """DET002: iterating a set where order reaches a measurement."""
+
+    name = "DET002"
+    severity = Severity.ERROR
+    description = (
+        "no unordered set iteration in cache-key, fingerprint, or "
+        "aggregation code"
+    )
+    invariant = (
+        "cache keys and summary fingerprints must be identical across "
+        "interpreter processes; set iteration order depends on hash "
+        "randomization, so it must pass through sorted() first"
+    )
+
+    def check(self, source, context) -> Iterator[Finding]:
+        in_scope = source.in_scope(*_ORDERED_SCOPES) or (
+            source.name in _ORDERED_FILES
+        )
+        if not in_scope:
+            return
+        for node in ast.walk(source.tree):
+            sites = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                sites.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                sites.extend(generator.iter for generator in node.generators)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                ):
+                    sites.append(node.args[0])
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                ):
+                    sites.append(node.args[0])
+            for site in sites:
+                if _set_expression(site):
+                    yield Finding(
+                        rule=self.name,
+                        path=source.relpath,
+                        line=site.lineno,
+                        column=site.col_offset,
+                        message=(
+                            "iteration over a set in order-sensitive code; "
+                            "set order varies across processes"
+                        ),
+                        hint="wrap the set in sorted(...) before iterating",
+                        severity=self.severity,
+                    )

@@ -1,0 +1,179 @@
+"""PERF001: hot-path hygiene in the discrete-event simulator.
+
+PR 1's throughput work (~214k events/s) leans on two mechanical
+properties of everything the event loop touches: instances carry
+``__slots__`` (no per-object ``__dict__``), and the drain loops allocate
+no containers per event.  Both erode invisibly -- a new helper class or
+a convenience dict inside ``run_until`` costs percent-level throughput
+without failing any test -- so this rule pins them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register_rule
+from ._ast_util import (
+    decorator_name,
+    import_map,
+    is_constant_true,
+    keyword_value,
+)
+
+#: Base classes that exempt a class from the slots requirement.
+_EXEMPT_BASES = {
+    "Enum",
+    "IntEnum",
+    "StrEnum",
+    "Flag",
+    "IntFlag",
+    "Exception",
+    "BaseException",
+    "Protocol",
+    "ABC",
+    "NamedTuple",
+}
+
+#: Engine/CPU methods that form the per-event drain path.
+_HOT_FUNCTIONS = {
+    "run_until",
+    "run_to_completion",
+    "step",
+    "_advance",
+    "_dispatch",
+}
+
+_ALLOC_CALLS = {"dict", "list", "set"}
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _has_slots(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        targets = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+@register_rule
+class HotPathHygiene(Rule):
+    """PERF001: simulator classes need __slots__; drain loops must not
+    allocate containers per event."""
+
+    name = "PERF001"
+    severity = Severity.WARNING
+    description = (
+        "simulator classes define __slots__ (or dataclass slots=True); "
+        "event drain loops allocate no per-event containers"
+    )
+    invariant = (
+        "DES hot-path throughput: per-event attribute access and object "
+        "creation dominate the drain loop, so every class the loop "
+        "touches avoids __dict__ overhead and loop bodies avoid "
+        "container churn"
+    )
+
+    def check(self, source, context) -> Iterator[Finding]:
+        if not source.in_scope("simulator"):
+            return
+        imports = import_map(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node, imports)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in _HOT_FUNCTIONS:
+                    yield from self._check_hot_function(source, node)
+
+    def _check_class(self, source, node: ast.ClassDef, imports):
+        bases = {_base_name(base) for base in node.bases}
+        if bases & _EXEMPT_BASES:
+            return
+        if node.name.endswith(("Error", "Exception", "Warning")):
+            return
+        dataclass_dec = None
+        for dec in node.decorator_list:
+            name = decorator_name(dec, imports)
+            if name in ("dataclass", "dataclasses.dataclass"):
+                dataclass_dec = dec
+                break
+        if dataclass_dec is not None:
+            if isinstance(dataclass_dec, ast.Call) and is_constant_true(
+                keyword_value(dataclass_dec, "slots")
+            ):
+                return
+            yield Finding(
+                rule=self.name,
+                path=source.relpath,
+                line=node.lineno,
+                column=node.col_offset,
+                message=(
+                    f"dataclass {node.name} in simulator/ lacks slots=True"
+                ),
+                hint="decorate with @dataclasses.dataclass(slots=True)",
+                severity=self.severity,
+            )
+            return
+        if not _has_slots(node):
+            yield Finding(
+                rule=self.name,
+                path=source.relpath,
+                line=node.lineno,
+                column=node.col_offset,
+                message=f"class {node.name} in simulator/ lacks __slots__",
+                hint=(
+                    "declare __slots__ with the instance attributes; "
+                    "simulator objects are allocated on the event hot path"
+                ),
+                severity=self.severity,
+            )
+
+    def _check_hot_function(self, source, func):
+        for loop in ast.walk(func):
+            if not isinstance(loop, (ast.While, ast.For)):
+                continue
+            for node in ast.walk(loop):
+                alloc = None
+                if isinstance(
+                    node,
+                    (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
+                     ast.SetComp),
+                ):
+                    alloc = type(node).__name__.lower()
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _ALLOC_CALLS
+                ):
+                    alloc = f"{node.func.id}()"
+                if alloc is None:
+                    continue
+                yield Finding(
+                    rule=self.name,
+                    path=source.relpath,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    message=(
+                        f"per-event {alloc} allocation inside "
+                        f"{func.name}()'s drain loop"
+                    ),
+                    hint=(
+                        "hoist the container out of the loop or batch the "
+                        "accounting; the drain loop runs once per "
+                        "simulated event"
+                    ),
+                    severity=self.severity,
+                )

@@ -1,0 +1,117 @@
+"""Parsed source files and ``# repro: noqa`` suppression pragmas.
+
+A :class:`SourceFile` bundles everything a rule needs about one file:
+its project-relative path (rules scope themselves by path), the raw
+text, the parsed ``ast`` tree, and the per-line suppression table.
+
+Suppressions use a repo-specific pragma so they never collide with
+flake8/ruff ``# noqa`` comments::
+
+    risky_line()  # repro: noqa            -- suppress every rule here
+    risky_line()  # repro: noqa[DET001]    -- suppress only DET001
+    risky_line()  # repro: noqa[DET001,PERF001]
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, Optional, Tuple
+
+#: Matches ``# repro: noqa`` with an optional ``[RULE,...]`` selector.
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel rule-set meaning "suppress everything on this line".
+SUPPRESS_ALL: FrozenSet[str] = frozenset({"*"})
+
+
+def parse_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule names suppressed there."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = SUPPRESS_ALL
+        else:
+            table[lineno] = frozenset(
+                name.strip().upper() for name in rules.split(",") if name.strip()
+            )
+    return table
+
+
+@dataclasses.dataclass
+class SourceFile:
+    """One parsed Python file presented to the rules."""
+
+    #: Absolute filesystem path.
+    path: Path
+
+    #: Project-relative POSIX path -- what findings report and what
+    #: scope checks match against (e.g. ``src/repro/simulator/cpu.py``).
+    relpath: str
+
+    text: str
+    tree: Optional[ast.Module]
+
+    #: Syntax error message when parsing failed (rules are skipped).
+    parse_error: Optional[str] = None
+
+    suppressions: Dict[int, FrozenSet[str]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def load(cls, path: Path, relpath: str) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        return cls.from_text(text, path=path, relpath=relpath)
+
+    @classmethod
+    def from_text(
+        cls, text: str, *, relpath: str, path: Optional[Path] = None
+    ) -> "SourceFile":
+        """Build a source file from in-memory text (the fixture path used
+        by the rule tests, which simulate arbitrary repo locations)."""
+        tree: Optional[ast.Module] = None
+        error: Optional[str] = None
+        try:
+            tree = ast.parse(text, filename=relpath)
+        except SyntaxError as exc:
+            error = f"{exc.msg} (line {exc.lineno})"
+        return cls(
+            path=path if path is not None else Path(relpath),
+            relpath=relpath,
+            text=text,
+            tree=tree,
+            parse_error=error,
+            suppressions=parse_suppressions(text),
+        )
+
+    # -- path scoping ------------------------------------------------------
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return tuple(self.relpath.split("/"))
+
+    def in_scope(self, *directories: str) -> bool:
+        """Whether the file lives under any of *directories* (matched as
+        path components, so ``"simulator"`` matches
+        ``src/repro/simulator/engine.py`` and fixture paths alike)."""
+        parts = self.parts[:-1]  # directories only
+        return any(directory in parts for directory in directories)
+
+    @property
+    def name(self) -> str:
+        return self.parts[-1]
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return rules is SUPPRESS_ALL or "*" in rules or rule.upper() in rules

@@ -524,6 +524,12 @@ def _cmd_report(args: argparse.Namespace) -> None:
         _print(text)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> None:
     from .fleet import default_fleet, fleet_projection
 
@@ -735,14 +741,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--speedups", required=True,
                    help="per-service speedups, e.g. 'web=1.05,cache1=1.14'")
 
+    p = sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant linter (determinism, spec "
+        "hygiene, hot-path slots, units, API surface)",
+    )
+    p.set_defaults(func=_cmd_lint)
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    status = args.func(args)
+    return int(status) if status is not None else 0
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ from ..errors import ParameterError
 from .engine import Engine
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class AcceleratorStats:
     """Aggregate device statistics."""
 
@@ -41,6 +41,9 @@ class AcceleratorDevice:
       receipt (the Sync-OS driver-ack semantics).
     * ``on_complete()`` fires when service finishes.
     """
+
+    __slots__ = ("_engine", "peak_speedup", "placement", "name", "_free_at",
+                 "stats")
 
     def __init__(
         self,

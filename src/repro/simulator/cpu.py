@@ -148,6 +148,8 @@ class Core:
 class CPU:
     """A multi-core host executing simulated threads."""
 
+    __slots__ = ("engine", "metrics", "cores", "run_queue", "_on_thread_done")
+
     def __init__(
         self,
         engine: Engine,

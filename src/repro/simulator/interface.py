@@ -15,7 +15,7 @@ from ..core.strategies import Placement
 from ..errors import ParameterError
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class InterfaceModel:
     """Cost model for moving offloads between host and accelerator."""
 

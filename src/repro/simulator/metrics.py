@@ -69,6 +69,9 @@ class RequestRecord:
 class MetricSink:
     """Accumulates simulator measurements."""
 
+    __slots__ = ("cycles", "offloads", "requests", "kernel_invocations",
+                 "kernel_cycles", "kernel_cycles_by_origin")
+
     def __init__(self) -> None:
         self.cycles: Dict[
             Tuple[FunctionalityCategory, LeafCategory, CycleKind], float

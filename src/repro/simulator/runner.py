@@ -21,7 +21,7 @@ from .service import Microservice, RequestSpec
 from .summary import RunSummary
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SimulationConfig:
     """Knobs for one simulation run."""
 
@@ -47,7 +47,7 @@ class SimulationConfig:
             raise ParameterError("window_cycles must be > 0")
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class SimulationResult:
     """Measurements from one run."""
 

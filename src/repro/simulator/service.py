@@ -37,7 +37,7 @@ from .metrics import CycleKind, MetricSink, OffloadRecord
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class KernelSpec:
     """A named, offloadable kernel (e.g. "compression")."""
 
@@ -54,7 +54,7 @@ class KernelSpec:
         return self.cycles_per_byte * granularity_bytes**self.complexity_exponent
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class KernelInvocation:
     """One kernel call within a request."""
 
@@ -62,7 +62,12 @@ class KernelInvocation:
     granularity: float
 
 
-@dataclasses.dataclass(frozen=True)
+def _miscellaneous_leaf_mix() -> Mapping[LeafCategory, float]:
+    """Default leaf attribution: all plain cycles are miscellaneous."""
+    return {LeafCategory.MISCELLANEOUS: 1.0}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class SegmentWork:
     """Work in one functionality category within a request."""
 
@@ -71,12 +76,12 @@ class SegmentWork:
     plain_cycles: float = 0.0
     #: Shares of *plain_cycles* per leaf category (normalized internally).
     leaf_mix: Mapping[LeafCategory, float] = dataclasses.field(
-        default_factory=lambda: {LeafCategory.MISCELLANEOUS: 1.0}
+        default_factory=_miscellaneous_leaf_mix
     )
     invocations: Tuple[KernelInvocation, ...] = ()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RequestSpec:
     """A full request: ordered functionality segments."""
 
@@ -97,7 +102,7 @@ class RequestSpec:
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _BatchState:
     """Accumulated invocations awaiting a batched dispatch."""
 
@@ -120,7 +125,7 @@ class _BatchState:
         return summary
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class OffloadConfig:
     """How one kernel is offloaded."""
 
@@ -184,6 +189,8 @@ class ResponseHandler:
     the same as (3) with only one thread switching overhead").
     """
 
+    __slots__ = ("_cpu", "_o1", "_pending", "_parked", "_thread")
+
     def __init__(self, cpu: CPU, thread_switch_cycles: float) -> None:
         if thread_switch_cycles < 0:
             raise SimulationError("thread_switch_cycles must be >= 0")
@@ -229,6 +236,8 @@ class ResponseHandler:
 class _RequestContext:
     """Tracks outstanding gating offloads for one in-flight request."""
 
+    __slots__ = ("_engine", "_record", "_outstanding", "_body_done")
+
     def __init__(self, engine: Engine, record) -> None:
         self._engine = engine
         self._record = record
@@ -259,6 +268,9 @@ class _RequestContext:
 
 class Microservice:
     """Executes request streams on a :class:`CPU` with optional offloads."""
+
+    __slots__ = ("engine", "cpu", "metrics", "name", "offloads",
+                 "_request_counter")
 
     def __init__(
         self,

@@ -40,7 +40,7 @@ _CONSUMING_KINDS = (
 )
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class RunSummary:
     """Measurements from one run, detached from the live simulator.
 

@@ -100,6 +100,9 @@ class OpenLoopDriver:
     device saturation).
     """
 
+    __slots__ = ("_engine", "_service", "_factory", "_mean_gap", "_rng",
+                 "_gaps", "_stopped", "arrivals")
+
     def __init__(
         self,
         engine: Engine,

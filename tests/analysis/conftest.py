@@ -1,0 +1,32 @@
+"""Shared helpers for the analysis-package tests.
+
+Rule tests run real fixture files through the real driver, but from
+in-memory :class:`SourceFile` objects with *virtual* relative paths --
+the path is what scopes a rule (``simulator/`` vs ``profiling/``), so
+the same fixture can prove both the firing and the out-of-scope case.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import SourceFile, analyze_sources
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixture_source():
+    def _load(name: str, relpath: str) -> SourceFile:
+        text = (FIXTURES / name).read_text(encoding="utf-8")
+        return SourceFile.from_text(text, relpath=relpath)
+
+    return _load
+
+
+@pytest.fixture
+def run_fixture(fixture_source):
+    def _run(name: str, relpath: str, rules=None):
+        return analyze_sources([fixture_source(name, relpath)], rules=rules)
+
+    return _run

@@ -1,0 +1,6 @@
+"""Fixture: a consistent facade (API001 silent as an __init__)."""
+
+from .alpha import compute
+from .gamma import helper
+
+__all__ = ["compute", "helper"]

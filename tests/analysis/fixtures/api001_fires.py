@@ -1,0 +1,7 @@
+"""Fixture: facade export violations (API001 fires 3x as an __init__)."""
+
+from .alpha import compute
+from .beta import compute
+from .gamma import helper
+
+__all__ = ["compute", "missing", "compute", "helper"]

@@ -1,0 +1,17 @@
+"""Fixture: explicitly seeded generators only (DET001 silent)."""
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def make_stream(seed):
+    return random.Random(seed)
+
+
+def draw(rng):
+    return rng.exponential(1.0)

@@ -1,0 +1,24 @@
+"""Fixture: ambient entropy in a simulated path (DET001 fires 4x)."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def stamp_now():
+    return time.time()
+
+
+def shuffled(values):
+    random.shuffle(values)
+    return values
+
+
+def noisy_sample():
+    return np.random.randint(0, 10)
+
+
+def token():
+    return os.urandom(8)

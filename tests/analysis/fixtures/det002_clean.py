@@ -1,0 +1,16 @@
+"""Fixture: ordered iteration only (DET002 silent)."""
+
+
+def fingerprint(parts):
+    return ",".join(sorted({p.lower() for p in parts}))
+
+
+def aggregate(mapping):
+    total = 0.0
+    for key in mapping:
+        total += mapping[key]
+    return total
+
+
+def ordered(names):
+    return sorted(set(names))

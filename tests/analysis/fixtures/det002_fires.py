@@ -1,0 +1,16 @@
+"""Fixture: set iteration feeding order-sensitive code (DET002 fires 3x)."""
+
+
+def fingerprint(parts):
+    return ",".join({p.lower() for p in parts})
+
+
+def aggregate(values):
+    total = 0.0
+    for value in {round(v, 3) for v in values}:
+        total += value
+    return total
+
+
+def ordered(names):
+    return list(set(names))

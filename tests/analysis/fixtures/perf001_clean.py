@@ -1,0 +1,30 @@
+"""Fixture: slots everywhere, allocation-free drain loop (PERF001 silent)."""
+
+import dataclasses
+import enum
+
+
+class Kind(enum.Enum):
+    ALPHA = "alpha"
+
+
+class FixtureError(Exception):
+    pass
+
+
+@dataclasses.dataclass(slots=True)
+class Sample:
+    value: float = 0.0
+
+
+class Drainer:
+    __slots__ = ("pending",)
+
+    def __init__(self):
+        self.pending = []
+
+    def run_until(self, deadline):
+        processed = 0
+        while processed < deadline:
+            processed += 1
+        return processed

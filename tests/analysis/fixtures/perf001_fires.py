@@ -1,0 +1,27 @@
+"""Fixture: hot-path hygiene violations (PERF001 fires 3x in simulator/)."""
+
+import dataclasses
+
+
+class EventBox:
+    def __init__(self):
+        self.payload = None
+
+
+@dataclasses.dataclass
+class Sample:
+    value: float = 0.0
+
+
+class Drainer:
+    __slots__ = ("pending",)
+
+    def __init__(self):
+        self.pending = []
+
+    def run_until(self, deadline):
+        processed = 0
+        while processed < deadline:
+            scratch = {"seen": processed}
+            processed += len(scratch)
+        return processed

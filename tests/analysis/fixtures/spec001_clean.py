@@ -1,0 +1,22 @@
+"""Fixture: hashable spec defaults (SPEC001 silent)."""
+
+import dataclasses
+from typing import Mapping, Tuple
+
+
+def _default_weights() -> Mapping[str, float]:
+    return {"a": 1.0}
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    name: str
+    points: Tuple[int, ...] = ()
+    weights: Mapping[str, float] = dataclasses.field(
+        default_factory=_default_weights
+    )
+
+
+@dataclasses.dataclass
+class MutableScratch:
+    values: list = dataclasses.field(default_factory=list)

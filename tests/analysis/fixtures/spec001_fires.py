@@ -1,0 +1,16 @@
+"""Fixture: bad defaults on frozen spec dataclasses (SPEC001 fires 3x)."""
+
+import dataclasses
+from typing import List
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    name: str
+    points: List[int] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class FrozenParams:
+    values: tuple = dataclasses.field(default_factory=list)
+    table: object = dataclasses.field(default_factory=lambda: {})

@@ -1,0 +1,13 @@
+"""Fixture: consistent units, structural constants only (UNIT001 silent)."""
+
+
+def total_cycles(compute_cycles, transfer_cycles):
+    return compute_cycles + transfer_cycles
+
+
+def halved(host_cycles):
+    return host_cycles * 0.5
+
+
+def with_ratio(compute_cycles, cycles_per_byte):
+    return compute_cycles + cycles_per_byte * 2

@@ -1,0 +1,10 @@
+"""Fixture: unit mixing and a magic equation constant (UNIT001 fires 2x
+when placed as core/equations.py)."""
+
+
+def total_latency(compute_cycles, transfer_seconds):
+    return compute_cycles + transfer_seconds
+
+
+def scaled(host_cycles):
+    return host_cycles * 3.7

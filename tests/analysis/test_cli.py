@@ -1,0 +1,73 @@
+"""End-to-end ``python -m repro lint`` behavior on a synthetic project."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+CLEAN = "def stamp(now):\n    return now\n"
+
+
+@pytest.fixture
+def project(tmp_path):
+    package = tmp_path / "src" / "repro" / "runtime"
+    package.mkdir(parents=True)
+    (package / "clock.py").write_text(VIOLATION)
+    (package / "fine.py").write_text(CLEAN)
+    return tmp_path
+
+
+def _lint(project, *extra):
+    return main(["lint", "--root", str(project), "src", *extra])
+
+
+def test_lint_exit_codes(project, capsys):
+    assert _lint(project) == 1
+    out = capsys.readouterr().out
+    assert "src/repro/runtime/clock.py:5:" in out
+    assert "DET001" in out
+
+    (project / "src" / "repro" / "runtime" / "clock.py").write_text(CLEAN)
+    assert _lint(project) == 0
+
+
+def test_lint_json_output(project, capsys):
+    assert _lint(project, "--json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert [f["rule"] for f in payload["findings"]] == ["DET001"]
+
+
+def test_lint_rules_filter(project):
+    # PERF001 cannot fire on this tree, so filtering to it passes.
+    assert _lint(project, "--rules", "PERF001") == 0
+    assert _lint(project, "--rules", "DET001") == 1
+
+
+def test_lint_list_rules(project, capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in ("DET001", "DET002", "SPEC001", "PERF001", "UNIT001",
+                 "API001"):
+        assert name in out
+
+
+def test_lint_baseline_workflow(project, capsys):
+    # Record the pre-existing violation ...
+    assert _lint(project, "--write-baseline") == 0
+    baseline = project / "lint-baseline.json"
+    assert baseline.is_file()
+    capsys.readouterr()
+
+    # ... the default run now picks the baseline up and passes ...
+    assert _lint(project) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # ... --no-baseline still exposes it ...
+    assert _lint(project, "--no-baseline") == 1
+
+    # ... and a *new* violation fails even with the baseline active.
+    (project / "src" / "repro" / "runtime" / "fine.py").write_text(VIOLATION)
+    assert _lint(project) == 1

@@ -1,0 +1,168 @@
+"""Framework plumbing: suppressions, baselines, rule selection, parse
+errors, and reporters."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    SourceFile,
+    analyze_sources,
+    load_baseline,
+    parse_suppressions,
+    render_json,
+    render_text,
+    resolve_rules,
+    save_baseline,
+)
+from repro.errors import ParameterError
+
+RUNTIME = "src/repro/runtime/fixture.py"
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def _analyze(text, relpath=RUNTIME, rules=("DET001",), baseline=None):
+    source = SourceFile.from_text(text, relpath=relpath)
+    return analyze_sources([source], rules=list(rules), baseline=baseline)
+
+
+# -- suppressions -----------------------------------------------------------
+
+
+def test_parse_suppressions_variants():
+    table = parse_suppressions(
+        "a = 1\n"
+        "b = 2  # repro: noqa\n"
+        "c = 3  # repro: noqa[DET001]\n"
+        "d = 4  # repro: noqa[det001, perf001]\n"
+    )
+    assert 1 not in table
+    assert "*" in table[2]
+    assert table[3] == frozenset({"DET001"})
+    assert table[4] == frozenset({"DET001", "PERF001"})
+
+
+def test_targeted_pragma_suppresses_only_named_rule():
+    text = VIOLATION.replace(
+        "return time.time()", "return time.time()  # repro: noqa[DET001]"
+    )
+    result = _analyze(text)
+    assert result.clean
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0].rule == "DET001"
+
+
+def test_bare_pragma_suppresses_everything():
+    text = VIOLATION.replace(
+        "return time.time()", "return time.time()  # repro: noqa"
+    )
+    result = _analyze(text)
+    assert result.clean and len(result.suppressed) == 1
+
+
+def test_mismatched_pragma_does_not_suppress():
+    text = VIOLATION.replace(
+        "return time.time()", "return time.time()  # repro: noqa[PERF001]"
+    )
+    result = _analyze(text)
+    assert not result.clean
+    assert not result.suppressed
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    result = _analyze(VIOLATION)
+    baseline = Baseline.from_findings(result.findings)
+    path = tmp_path / "lint-baseline.json"
+    save_baseline(baseline, path)
+    assert load_baseline(path) == baseline
+
+    rerun = _analyze(VIOLATION, baseline=load_baseline(path))
+    assert rerun.clean
+    assert len(rerun.grandfathered) == 1
+
+
+def test_baseline_matching_is_count_aware():
+    doubled = VIOLATION + "\n\ndef stamp_again():\n    return time.time()\n"
+    one_entry = Baseline.from_findings(_analyze(VIOLATION).findings)
+    result = _analyze(doubled, baseline=one_entry)
+    # One occurrence is absorbed; the second still fails the build.
+    assert len(result.grandfathered) == 1
+    assert len(result.findings) == 1
+
+
+def test_baseline_reports_stale_entries():
+    baseline = Baseline(
+        entries=(BaselineEntry("DET001", "src/gone.py", "old message"),)
+    )
+    assert baseline.stale_entries([]) == list(baseline.entries)
+
+
+def test_load_baseline_rejects_unknown_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ParameterError):
+        load_baseline(path)
+
+
+# -- rule selection and parse errors ---------------------------------------
+
+
+def test_resolve_rules_rejects_unknown_names():
+    with pytest.raises(ParameterError, match="unknown rule"):
+        resolve_rules(["NOPE999"])
+
+
+def test_rules_filter_limits_what_runs():
+    # PERF001 would fire on this simulator-scoped class, DET001 cannot.
+    text = "class Box:\n    def __init__(self):\n        self.x = 1\n"
+    result = _analyze(text, relpath="src/repro/simulator/box.py",
+                      rules=("DET001",))
+    assert result.clean
+    assert result.rules == ("DET001",)
+
+
+def test_syntax_errors_surface_as_parse_findings():
+    result = _analyze("def broken(:\n")
+    assert [f.rule for f in result.findings] == ["PARSE"]
+
+
+# -- reporters --------------------------------------------------------------
+
+
+def test_text_report_locations_are_clickable():
+    result = _analyze(VIOLATION)
+    report = render_text(result)
+    # path:line:column prefix -- terminals and editors link this form.
+    assert f"{RUNTIME}:5:" in report
+    assert "DET001" in report
+    assert "1 finding" in report
+
+
+def test_json_report_shape():
+    payload = json.loads(render_json(_analyze(VIOLATION)))
+    assert payload["clean"] is False
+    assert payload["files"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "DET001"
+    assert finding["path"] == RUNTIME
+    assert finding["line"] == 5
+    assert finding["severity"] == "error"
+
+
+def test_finding_sorting_is_stable():
+    findings = [
+        Finding(rule="B", path="b.py", line=1, column=0, message="m"),
+        Finding(rule="A", path="a.py", line=9, column=0, message="m"),
+        Finding(rule="A", path="a.py", line=2, column=0, message="m"),
+    ]
+    ordered = sorted(findings, key=Finding.sort_key)
+    assert [(f.path, f.line) for f in ordered] == [
+        ("a.py", 2), ("a.py", 9), ("b.py", 1)
+    ]

@@ -1,0 +1,29 @@
+"""Tier-1 gate: the repository satisfies its own invariant linter.
+
+This is the test that makes every rule a *contract*: a PR reintroducing
+an unseeded RNG on a simulated path, a slotless simulator class, or a
+facade/__all__ mismatch fails here with the exact location and fix hint.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import DEFAULT_BASELINE_NAME, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_lint_clean():
+    result = analyze_paths(["src/repro", "scripts"], root=REPO_ROOT)
+    details = "\n".join(
+        f"{f.location}: {f.rule} {f.message}" for f in result.findings
+    )
+    assert result.clean, f"lint violations:\n{details}"
+
+
+def test_shipped_baseline_is_empty():
+    # Real violations get fixed, not grandfathered: the checked-in
+    # baseline must stay empty so the previous test has teeth.
+    baseline = REPO_ROOT / DEFAULT_BASELINE_NAME
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload["entries"] == []

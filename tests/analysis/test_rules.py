@@ -1,0 +1,171 @@
+"""Every built-in rule: proof it fires on violations and stays silent on
+clean code (and out-of-scope placements of the same violations)."""
+
+from repro.analysis import all_rules
+
+SIM = "src/repro/simulator/fixture.py"
+RUNTIME = "src/repro/runtime/fixture.py"
+
+
+def _rules_fired(result):
+    return [finding.rule for finding in result.findings]
+
+
+# -- DET001 ----------------------------------------------------------------
+
+
+def test_det001_fires_on_ambient_entropy(run_fixture):
+    result = run_fixture("det001_fires.py", RUNTIME, rules=["DET001"])
+    assert _rules_fired(result) == ["DET001"] * 4
+    messages = " ".join(f.message for f in result.findings)
+    assert "time.time" in messages
+    assert "random.shuffle" in messages
+    assert "numpy.random.randint" in messages
+    assert "os.urandom" in messages
+
+
+def test_det001_silent_on_seeded_generators(run_fixture):
+    result = run_fixture("det001_clean.py", RUNTIME, rules=["DET001"])
+    assert result.clean
+
+
+def test_det001_out_of_scope_in_scripts(run_fixture):
+    # Wall-clock benchmarking in scripts/ is legitimate.
+    result = run_fixture("det001_fires.py", "scripts/bench.py",
+                         rules=["DET001"])
+    assert result.clean
+
+
+# -- DET002 ----------------------------------------------------------------
+
+
+def test_det002_fires_on_set_iteration(run_fixture):
+    result = run_fixture("det002_fires.py", RUNTIME, rules=["DET002"])
+    assert _rules_fired(result) == ["DET002"] * 3
+
+
+def test_det002_silent_when_sorted(run_fixture):
+    result = run_fixture("det002_clean.py", RUNTIME, rules=["DET002"])
+    assert result.clean
+
+
+def test_det002_out_of_scope_elsewhere(run_fixture):
+    result = run_fixture("det002_fires.py", "src/repro/viz/fixture.py",
+                         rules=["DET002"])
+    assert result.clean
+
+
+# -- SPEC001 ---------------------------------------------------------------
+
+
+def test_spec001_fires_on_bad_defaults(run_fixture):
+    result = run_fixture("spec001_fires.py", RUNTIME, rules=["SPEC001"])
+    assert _rules_fired(result) == ["SPEC001"] * 3
+    messages = " ".join(f.message for f in result.findings)
+    assert "SweepSpec.points" in messages
+    assert "default_factory=list" in messages
+    assert "lambda default_factory" in messages
+
+
+def test_spec001_silent_on_hashable_specs(run_fixture):
+    # Named factories, tuple defaults, and *non-frozen* scratch
+    # dataclasses with mutable factories are all fine.
+    result = run_fixture("spec001_clean.py", RUNTIME, rules=["SPEC001"])
+    assert result.clean
+
+
+def test_spec001_applies_everywhere(run_fixture):
+    # Spec hygiene is not path-scoped: frozen dataclasses anywhere feed
+    # cache keys.
+    result = run_fixture("spec001_fires.py", "src/repro/viz/fixture.py",
+                         rules=["SPEC001"])
+    assert len(result.findings) == 3
+
+
+# -- PERF001 ---------------------------------------------------------------
+
+
+def test_perf001_fires_in_simulator_scope(run_fixture):
+    result = run_fixture("perf001_fires.py", SIM, rules=["PERF001"])
+    assert _rules_fired(result) == ["PERF001"] * 3
+    messages = " ".join(f.message for f in result.findings)
+    assert "EventBox" in messages          # plain class without __slots__
+    assert "Sample" in messages            # dataclass without slots=True
+    assert "run_until" in messages         # per-event dict allocation
+
+
+def test_perf001_silent_on_clean_hot_path(run_fixture):
+    result = run_fixture("perf001_clean.py", SIM, rules=["PERF001"])
+    assert result.clean
+
+
+def test_perf001_out_of_scope_outside_simulator(run_fixture):
+    result = run_fixture("perf001_fires.py", "src/repro/profiling/fixture.py",
+                         rules=["PERF001"])
+    assert result.clean
+
+
+# -- UNIT001 ---------------------------------------------------------------
+
+
+def test_unit001_fires_on_mixing_and_magic_constants(run_fixture):
+    result = run_fixture("unit001_fires.py", "src/repro/core/equations.py",
+                         rules=["UNIT001"])
+    assert _rules_fired(result) == ["UNIT001"] * 2
+    messages = " ".join(f.message for f in result.findings)
+    assert "cycles + seconds" in messages
+    assert "3.7" in messages
+
+
+def test_unit001_silent_on_consistent_units(run_fixture):
+    result = run_fixture("unit001_clean.py", "src/repro/core/equations.py",
+                         rules=["UNIT001"])
+    assert result.clean
+
+
+def test_unit001_magic_constants_only_in_equation_files(run_fixture):
+    # Outside equations.py/model.py/projections.py only the unit-mixing
+    # half applies.
+    result = run_fixture("unit001_fires.py", "src/repro/core/helpers.py",
+                         rules=["UNIT001"])
+    assert len(result.findings) == 1
+    assert "mixing units" in result.findings[0].message
+
+
+# -- API001 ----------------------------------------------------------------
+
+
+def test_api001_fires_on_facade_rot(run_fixture):
+    result = run_fixture("api001_fires.py", "src/repro/fake/__init__.py",
+                         rules=["API001"])
+    assert _rules_fired(result) == ["API001"] * 3
+    messages = " ".join(f.message for f in result.findings)
+    assert "shadows" in messages
+    assert "more than once" in messages
+    assert "not bound" in messages
+
+
+def test_api001_silent_on_consistent_facade(run_fixture):
+    result = run_fixture("api001_clean.py", "src/repro/fake/__init__.py",
+                         rules=["API001"])
+    assert result.clean
+
+
+def test_api001_requires_all_declaration(run_fixture):
+    # The same module under a non-__init__ name is not a facade.
+    result = run_fixture("api001_fires.py", "src/repro/fake/module.py",
+                         rules=["API001"])
+    assert result.clean
+
+
+# -- catalog metadata -------------------------------------------------------
+
+
+def test_every_rule_documents_itself():
+    rules = all_rules()
+    assert {r.name for r in rules} >= {
+        "DET001", "DET002", "SPEC001", "PERF001", "UNIT001", "API001"
+    }
+    for rule in rules:
+        assert rule.description, rule.name
+        assert rule.invariant, rule.name
