@@ -4,7 +4,7 @@ export PYTHONPATH
 
 WORKERS ?= 4
 
-.PHONY: test perf bench figures clean-cache lint check
+.PHONY: test perf bench figures clean-cache lint lint-deep graphs check
 
 # Tier-1 correctness suite (perf benchmarks excluded via pyproject addopts).
 # Linting runs first: a determinism or spec-hygiene violation invalidates
@@ -13,9 +13,21 @@ test: lint
 	$(PYTHON) -m pytest -q
 
 # The repo's own AST invariant linter (determinism, spec hygiene,
-# hot-path __slots__, unit discipline, API surface).
+# hot-path __slots__, unit discipline, API surface), per-file rules
+# plus the whole-program pass (call-graph taint, unit flow, dead
+# exports).
 lint:
 	$(PYTHON) -m repro lint
+	$(PYTHON) -m repro lint --deep
+
+# Whole-program rules only, against files changed since origin's view
+# of HEAD -- the fast pre-push loop.
+lint-deep:
+	$(PYTHON) -m repro lint --deep --changed
+
+# Deterministic call-graph artifacts (callgraph.json / callgraph.dot).
+graphs:
+	$(PYTHON) -m repro lint --export-graph build/graphs
 
 # lint + third-party checkers where available (ruff/mypy are optional:
 # the pinned container does not ship them, so each is skipped with a

@@ -11,12 +11,18 @@ declare.  This package makes those promises mechanical:
 * :class:`Rule` + :func:`register_rule` -- the pluggable rule registry
   (see :mod:`repro.analysis.rules` for the built-in pack);
 * :class:`Finding` / :class:`Severity` -- typed findings with
-  ``path:line:column`` locations and fix hints;
+  ``path:line:column`` locations, fix hints, and (for whole-program
+  findings) a supporting trace;
 * ``# repro: noqa[RULE]`` pragmas and :class:`Baseline` files for
   deliberate exceptions and staged adoption;
-* text/JSON reporters and the ``repro lint`` CLI glue.
+* the whole-program layer behind ``--deep``: :class:`ProjectModel`
+  (module graph + symbol table), :func:`build_call_graph`,
+  :func:`find_taint_paths` (interprocedural nondeterminism), and
+  :class:`UnitFlowAnalyzer` (units through dataflow);
+* text/JSON/SARIF reporters and the ``repro lint`` CLI glue.
 
-Run it as ``python -m repro lint`` (or ``make lint``).
+Run it as ``python -m repro lint`` (or ``make lint``); add ``--deep``
+for the whole-program passes.
 """
 
 from .baseline import (
@@ -32,31 +38,49 @@ from .engine import (
     analyze_paths,
     analyze_sources,
     collect_files,
+    load_sources,
 )
 from .findings import Finding, Severity
+from .graph import CallGraph, build_call_graph
+from .incremental import changed_python_files
+from .project import ProjectModel, module_name_for
 from .registry import Rule, all_rules, register_rule, resolve_rules
 from .reporters import render_json, render_text
+from .sarif import render_sarif, sarif_findings
 from .source import SourceFile, parse_suppressions
+from .taint import TaintPath, find_taint_paths
+from .unitflow import UnitFlowAnalyzer
 
 __all__ = [
     "AnalysisContext",
     "AnalysisResult",
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
     "DEFAULT_BASELINE_NAME",
     "Finding",
+    "ProjectModel",
     "Rule",
     "Severity",
     "SourceFile",
+    "TaintPath",
+    "UnitFlowAnalyzer",
     "all_rules",
     "analyze_paths",
     "analyze_sources",
+    "build_call_graph",
+    "changed_python_files",
     "collect_files",
+    "find_taint_paths",
     "load_baseline",
+    "load_sources",
+    "module_name_for",
     "parse_suppressions",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_rules",
+    "sarif_findings",
     "save_baseline",
 ]

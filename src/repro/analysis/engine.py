@@ -6,13 +6,35 @@ hands the parsed :class:`~repro.analysis.source.SourceFile`s to each
 selected rule (file rules per file, project rules once over the whole
 set), drops findings silenced by ``# repro: noqa`` pragmas, and applies
 the baseline.
+
+Two whole-program extensions ride on the same driver:
+
+* ``deep=True`` additionally selects the deep rules (DET003, UNIT002,
+  API002, DEEP001), which build the :class:`~repro.analysis.project
+  .ProjectModel` and call graph lazily through the context;
+* ``restrict`` (the ``--changed`` incremental mode) limits *non-deep*
+  findings to a set of relpaths while deep rules keep seeing the whole
+  program -- interprocedural properties do not respect diff boundaries.
+
+A rule that crashes never takes the run down: the exception is captured
+as an *internal analyzer error* on :attr:`AnalysisResult.internal`,
+reported separately from findings so a broken analyzer is never
+mistaken for a broken program (exit code 2, not 1).
 """
 
 from __future__ import annotations
 
 import dataclasses
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Collection,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import ParameterError
 from .baseline import Baseline
@@ -68,6 +90,18 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def load_sources(
+    paths: Sequence[Union[str, Path]], root: Union[str, Path] = "."
+) -> List[SourceFile]:
+    """Parse every ``.py`` file under *paths* into sources with
+    project-relative names (shared by the driver and graph export)."""
+    root_path = Path(root)
+    return [
+        SourceFile.load(path, _relpath(path, root_path))
+        for path in collect_files(paths, root_path)
+    ]
+
+
 @dataclasses.dataclass
 class AnalysisContext:
     """Everything a rule can see: the project root and all sources."""
@@ -75,11 +109,42 @@ class AnalysisContext:
     root: Path
     sources: Tuple[SourceFile, ...]
 
+    #: Consumer-only sources (tests, examples, benchmarks): they feed
+    #: the project model's usage index so dead-export detection knows
+    #: its audience, but no rule reports findings against them and the
+    #: call-graph/taint/unit passes do not analyze them.
+    reference_sources: Tuple[SourceFile, ...] = ()
+
+    _project_model: Optional[object] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    _call_graph: Optional[object] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
     def by_relpath(self, relpath: str) -> Optional[SourceFile]:
         for source in self.sources:
             if source.relpath == relpath:
                 return source
         return None
+
+    def project_model(self):
+        """The whole-program model, built once per run on demand."""
+        if self._project_model is None:
+            from .project import ProjectModel
+
+            self._project_model = ProjectModel.build(
+                self.sources, self.reference_sources
+            )
+        return self._project_model
+
+    def call_graph(self):
+        """The call graph over :meth:`project_model`, built on demand."""
+        if self._call_graph is None:
+            from .graph import build_call_graph
+
+            self._call_graph = build_call_graph(self.project_model())
+        return self._call_graph
 
 
 @dataclasses.dataclass
@@ -101,12 +166,60 @@ class AnalysisResult:
     #: Rules that ran.
     rules: Tuple[str, ...]
 
+    #: Internal analyzer errors: a rule crashed.  These are *not*
+    #: findings about the program -- they mean the report above may be
+    #: incomplete and must fail the run distinguishably (exit code 2).
+    internal: List[Finding] = dataclasses.field(default_factory=list)
+
     @property
     def clean(self) -> bool:
         return not self.findings
 
+    @property
+    def ok(self) -> bool:
+        """Clean *and* every selected rule actually completed."""
+        return self.clean and not self.internal
+
     def errors(self) -> List[Finding]:
         return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 findings, 2 internal analyzer error."""
+        if self.internal:
+            return 2
+        return 0 if self.clean else 1
+
+
+def _run_rule(
+    rule: Rule,
+    invoke,
+    raw: List[Finding],
+    internal: List[Finding],
+    path: str,
+) -> None:
+    """Run one rule invocation, converting a crash into an internal
+    analyzer error instead of a traceback."""
+    try:
+        raw.extend(invoke())
+    except Exception as exc:  # noqa: BLE001 -- the whole point
+        internal.append(
+            Finding(
+                rule="INTERNAL",
+                path=path,
+                line=1,
+                column=0,
+                message=(
+                    f"rule {rule.name} crashed: "
+                    f"{exc.__class__.__name__}: {exc}"
+                ),
+                hint=(
+                    "this is an analyzer bug, not a program finding; "
+                    "the report may be incomplete"
+                ),
+                severity=Severity.ERROR,
+            )
+        )
 
 
 def analyze_sources(
@@ -115,12 +228,22 @@ def analyze_sources(
     root: Union[str, Path] = ".",
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
+    deep: bool = False,
+    restrict: Optional[Collection[str]] = None,
+    reference_sources: Iterable[SourceFile] = (),
 ) -> AnalysisResult:
     """Run the selected rules over pre-built sources (test entry point)."""
-    selected = resolve_rules(rules)
-    context = AnalysisContext(root=Path(root), sources=tuple(sources))
+    selected = resolve_rules(rules, deep=deep)
+    context = AnalysisContext(
+        root=Path(root),
+        sources=tuple(sources),
+        reference_sources=tuple(reference_sources),
+    )
+    restrict_set = set(restrict) if restrict is not None else None
+    deep_rule_names = {rule.name for rule in selected if rule.deep}
 
     raw: List[Finding] = []
+    internal: List[Finding] = []
     for source in context.sources:
         if source.parse_error is not None:
             raw.append(
@@ -138,10 +261,35 @@ def analyze_sources(
         for rule in selected:
             if rule.project_rule:
                 continue
-            raw.extend(rule.check(source, context))
+            _run_rule(
+                rule,
+                lambda rule=rule, source=source: list(
+                    rule.check(source, context)
+                ),
+                raw,
+                internal,
+                source.relpath,
+            )
     for rule in selected:
         if rule.project_rule:
-            raw.extend(rule.check_project(context))
+            _run_rule(
+                rule,
+                lambda rule=rule: list(rule.check_project(context)),
+                raw,
+                internal,
+                "<project>",
+            )
+
+    if restrict_set is not None:
+        # Incremental mode: per-file and project findings narrow to the
+        # changed files; deep findings stay whole-program (a taint path
+        # is real no matter which file the diff touched).
+        raw = [
+            finding
+            for finding in raw
+            if finding.path in restrict_set
+            or finding.rule in deep_rule_names
+        ]
 
     raw.sort(key=Finding.sort_key)
 
@@ -166,6 +314,7 @@ def analyze_sources(
         suppressed=suppressed,
         files=len(context.sources),
         rules=tuple(rule.name for rule in selected),
+        internal=internal,
     )
 
 
@@ -175,9 +324,27 @@ def analyze_paths(
     root: Union[str, Path] = ".",
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
+    deep: bool = False,
+    restrict: Optional[Collection[str]] = None,
+    reference_paths: Sequence[Union[str, Path]] = (),
 ) -> AnalysisResult:
     """Analyze every ``.py`` file under *paths* (the CLI entry point)."""
     root_path = Path(root)
-    files = collect_files(paths, root_path)
-    sources = [SourceFile.load(path, _relpath(path, root_path)) for path in files]
-    return analyze_sources(sources, root=root_path, rules=rules, baseline=baseline)
+    sources = load_sources(paths, root_path)
+    reference_sources: List[SourceFile] = []
+    if reference_paths:
+        primary = {source.relpath for source in sources}
+        reference_sources = [
+            source
+            for source in load_sources(reference_paths, root_path)
+            if source.relpath not in primary
+        ]
+    return analyze_sources(
+        sources,
+        root=root_path,
+        rules=rules,
+        baseline=baseline,
+        deep=deep,
+        restrict=restrict,
+        reference_sources=reference_sources,
+    )

@@ -53,6 +53,11 @@ class Finding:
 
     severity: Severity = Severity.ERROR
 
+    #: Supporting evidence chain for whole-program findings: one line
+    #: per hop of a source->sink path or inference trail.  Empty for
+    #: per-file findings.
+    trace: Tuple[str, ...] = ()
+
     @property
     def location(self) -> str:
         """Clickable ``path:line:column`` form."""
@@ -70,7 +75,7 @@ class Finding:
         return (self.rule, self.path, self.message)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -79,3 +84,6 @@ class Finding:
             "message": self.message,
             "hint": self.hint,
         }
+        if self.trace:
+            payload["trace"] = list(self.trace)
+        return payload

@@ -1,0 +1,65 @@
+"""Git-aware incremental linting: ``repro lint --changed``.
+
+Asks git which ``.py`` files differ from a base revision (uncommitted
+edits and untracked files included) and returns them as project-relative
+POSIX paths.  The CLI narrows *per-file* findings to that set; the deep
+whole-program passes still see everything -- an interprocedural taint
+path is real no matter which side of the diff each hop lives on -- but
+their findings are only new work when the diff could have created them,
+so they stay whole-program by design (see ``analyze_sources``'s
+``restrict`` handling).
+
+Everything here shells out to ``git``; a missing binary or a non-repo
+root raises :class:`~repro.errors.ParameterError` with git's own words
+rather than guessing.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List
+
+from ..errors import ParameterError
+
+#: Base revision compared against when ``--changed`` is given bare.
+DEFAULT_BASE = "HEAD"
+
+
+def _git_lines(args: List[str], root: Path) -> List[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *args],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except FileNotFoundError as exc:
+        raise ParameterError("--changed requires git on PATH") from exc
+    if completed.returncode != 0:
+        detail = completed.stderr.strip() or completed.stdout.strip()
+        raise ParameterError(
+            f"git {' '.join(args)} failed: {detail or 'unknown error'}"
+        )
+    return [line.strip() for line in completed.stdout.splitlines() if line.strip()]
+
+
+def changed_python_files(root: Path, base: str = DEFAULT_BASE) -> List[str]:
+    """Project-relative ``.py`` paths differing from *base*, sorted.
+
+    Includes files with staged or unstaged modifications relative to
+    *base* and untracked files; deletions are dropped (there is nothing
+    left to lint).
+    """
+    changed = set(
+        _git_lines(["diff", "--name-only", "--diff-filter=d", base], root)
+    )
+    changed.update(
+        _git_lines(["ls-files", "--others", "--exclude-standard"], root)
+    )
+    return sorted(
+        path
+        for path in changed
+        if path.endswith(".py") and (root / path).is_file()
+    )

@@ -36,6 +36,11 @@ class Rule:
     invariant: str = ""
     project_rule: bool = False
 
+    #: Deep rules reason over the whole-program model (module graph,
+    #: call graph, taint/unit flow).  They are excluded from default
+    #: runs and selected by ``--deep`` or by naming them in ``--rules``.
+    deep: bool = False
+
     def check(self, source, context) -> Iterable:  # pragma: no cover - abstract
         return ()
 
@@ -62,11 +67,17 @@ def all_rules() -> List[Rule]:
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
 
-def resolve_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Rules selected by *names* (all of them when ``None``)."""
+def resolve_rules(
+    names: Optional[Sequence[str]] = None, *, deep: bool = False
+) -> List[Rule]:
+    """Rules selected by *names* (all of them when ``None``).
+
+    With no explicit names, deep rules are included only when *deep* is
+    true; explicitly-named rules are always honored.
+    """
     _ensure_loaded()
     if not names:
-        return all_rules()
+        return [rule for rule in all_rules() if deep or not rule.deep]
     selected = []
     for raw in names:
         name = raw.strip().upper()

@@ -17,44 +17,11 @@ from typing import Iterator
 
 from ..findings import Finding, Severity
 from ..registry import Rule, register_rule
+from ..taint import classify_entropy_call, is_set_expression
 from ._ast_util import import_map, resolve_target
 
 #: Directories whose code runs inside (or feeds) simulated execution.
 _SIMULATED_SCOPES = ("simulator", "runtime", "workloads")
-
-#: Call targets that read ambient entropy: wall clocks and OS randomness.
-_BANNED_CALLS = {
-    "time.time": "wall-clock read",
-    "time.time_ns": "wall-clock read",
-    "time.monotonic": "wall-clock read",
-    "time.monotonic_ns": "wall-clock read",
-    "time.perf_counter": "wall-clock read",
-    "time.perf_counter_ns": "wall-clock read",
-    "time.process_time": "wall-clock read",
-    "datetime.datetime.now": "wall-clock read",
-    "datetime.datetime.utcnow": "wall-clock read",
-    "datetime.datetime.today": "wall-clock read",
-    "datetime.date.today": "wall-clock read",
-    "os.urandom": "OS entropy read",
-    "uuid.uuid1": "clock/MAC-derived identifier",
-    "uuid.uuid4": "OS entropy read",
-    "random.SystemRandom": "OS entropy source",
-}
-
-#: numpy.random attributes that are *constructors of seeded streams* and
-#: therefore fine; every other ``numpy.random.*`` call hits the global
-#: unseeded singleton.
-_NUMPY_ALLOWED = {
-    "default_rng",
-    "Generator",
-    "SeedSequence",
-    "BitGenerator",
-    "PCG64",
-    "PCG64DXSM",
-    "Philox",
-    "MT19937",
-    "SFC64",
-}
 
 
 @register_rule
@@ -83,14 +50,7 @@ class UnseededEntropy(Rule):
             target = resolve_target(node.func, imports)
             if target is None:
                 continue
-            reason = _BANNED_CALLS.get(target)
-            if reason is None and target.startswith("random."):
-                if target not in ("random.Random",):
-                    reason = "module-level stdlib RNG (unseeded shared state)"
-            if reason is None and target.startswith("numpy.random."):
-                attribute = target.rsplit(".", 1)[-1]
-                if attribute not in _NUMPY_ALLOWED:
-                    reason = "global numpy RNG singleton (unseeded shared state)"
+            reason = classify_entropy_call(target)
             if reason is None:
                 continue
             yield Finding(
@@ -119,14 +79,6 @@ _ORDERED_FILES = ("canonical.py",)
 #: Order-sensitive single-argument consumers: feeding them an unordered
 #: set changes the result (or its float rounding) across processes.
 _ORDER_SENSITIVE_CALLS = {"list", "tuple", "sum", "enumerate", "reversed"}
-
-
-def _set_expression(node: ast.expr) -> bool:
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in ("set", "frozenset")
-    return False
 
 
 @register_rule
@@ -173,7 +125,7 @@ class UnorderedIteration(Rule):
                 ):
                     sites.append(node.args[0])
             for site in sites:
-                if _set_expression(site):
+                if is_set_expression(site):
                     yield Finding(
                         rule=self.name,
                         path=source.relpath,

@@ -12,29 +12,11 @@ appearing inside the model equations.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator
 
 from ..findings import Finding, Severity
 from ..registry import Rule, register_rule
-
-#: Identifier tokens implying a unit.  Names containing "per" are ratios
-#: and excluded (cycles_per_byte is neither cycles nor bytes).
-_UNIT_TOKENS = {
-    "cycles": "cycles",
-    "gigacycles": "cycles",
-    "seconds": "seconds",
-    "secs": "seconds",
-    "nanoseconds": "nanoseconds",
-    "microseconds": "microseconds",
-    "milliseconds": "milliseconds",
-    "hz": "hertz",
-    "ghz": "hertz",
-    "frequency": "hertz",
-    "bytes": "bytes",
-    "kib": "bytes",
-    "mib": "bytes",
-    "gib": "bytes",
-}
+from ..unitflow import name_unit
 
 #: Files holding the model equations proper, where bare numeric
 #: constants are banned from arithmetic (each constant in an equation is
@@ -44,23 +26,6 @@ _EQUATION_FILES = ("equations.py", "model.py", "projections.py")
 #: Constants that are structure, not data: identity/doubling/halving and
 #: ratio<->percent conversion.
 _ALLOWED_CONSTANTS = {0, 1, 2, -1, 0.5, 100, 1000}
-
-
-def _name_unit(node: ast.expr) -> Optional[str]:
-    if isinstance(node, ast.Attribute):
-        identifier = node.attr
-    elif isinstance(node, ast.Name):
-        identifier = node.id
-    else:
-        return None
-    tokens = identifier.lower().split("_")
-    if "per" in tokens:
-        return None
-    for token in reversed(tokens):
-        unit = _UNIT_TOKENS.get(token)
-        if unit is not None:
-            return unit
-    return None
 
 
 @register_rule
@@ -94,8 +59,8 @@ class UnitDiscipline(Rule):
                 continue
             if not isinstance(node.op, (ast.Add, ast.Sub)):
                 continue
-            left = _name_unit(node.left)
-            right = _name_unit(node.right)
+            left = name_unit(node.left)
+            right = name_unit(node.right)
             if left is None or right is None or left == right:
                 continue
             operator = "+" if isinstance(node.op, ast.Add) else "-"

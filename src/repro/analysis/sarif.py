@@ -1,0 +1,130 @@
+"""SARIF 2.1.0 export for ``repro lint`` findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+UIs (GitHub code scanning, VS Code SARIF viewer) ingest; emitting it
+lets the deep findings -- taint paths included -- show up as inline
+annotations instead of terminal text.
+
+The emitter maps one :class:`~repro.analysis.findings.Finding` to one
+SARIF ``result``:
+
+* ``severity`` maps ERROR->``error``, WARNING->``warning``,
+  INFO->``note`` (and back);
+* the fix hint and the whole-program trace ride in the result's
+  ``properties`` bag so :func:`sarif_findings` can reconstruct the exact
+  :class:`Finding` -- the round trip is lossless and tested;
+* SARIF columns are 1-based where findings are 0-based, so the emitter
+  adds 1 and the parser subtracts it.
+
+Output is deterministic: findings keep their sorted order and keys are
+serialized sorted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import AnalysisResult
+from .findings import Finding, Severity
+from .registry import all_rules
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL_FOR = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+_SEVERITY_FOR = {level: severity for severity, level in _LEVEL_FOR.items()}
+
+
+def _rule_descriptors(names: List[str]) -> List[Dict[str, object]]:
+    by_name = {rule.name: rule for rule in all_rules()}
+    descriptors: List[Dict[str, object]] = []
+    for name in sorted(set(names)):
+        descriptor: Dict[str, object] = {"id": name}
+        rule = by_name.get(name)
+        if rule is not None:
+            descriptor["shortDescription"] = {"text": rule.description}
+            if rule.invariant:
+                descriptor["fullDescription"] = {"text": rule.invariant}
+        descriptors.append(descriptor)
+    return descriptors
+
+
+def _result_for(finding: Finding) -> Dict[str, object]:
+    properties: Dict[str, object] = {}
+    if finding.hint:
+        properties["hint"] = finding.hint
+    if finding.trace:
+        properties["trace"] = list(finding.trace)
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _LEVEL_FOR[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def render_sarif(result: AnalysisResult, *, tool_name: str = "repro-lint") -> str:
+    """One SARIF run covering the fresh findings of *result*."""
+    results = [_result_for(finding) for finding in result.findings]
+    rule_names = [finding.rule for finding in result.findings]
+    payload = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": _rule_descriptors(rule_names),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sarif_findings(text: str) -> List[Finding]:
+    """Parse a SARIF document back into findings (round-trip inverse)."""
+    payload = json.loads(text)
+    findings: List[Finding] = []
+    for run in payload.get("runs", []):
+        for result in run.get("results", []):
+            location = result["locations"][0]["physicalLocation"]
+            region = location.get("region", {})
+            properties = result.get("properties", {})
+            findings.append(
+                Finding(
+                    rule=result["ruleId"],
+                    path=location["artifactLocation"]["uri"],
+                    line=int(region.get("startLine", 1)),
+                    column=int(region.get("startColumn", 1)) - 1,
+                    message=result["message"]["text"],
+                    hint=properties.get("hint", ""),
+                    severity=_SEVERITY_FOR[result.get("level", "error")],
+                    trace=tuple(properties.get("trace", ())),
+                )
+            )
+    return findings

@@ -1,0 +1,405 @@
+"""Interprocedural units/dimension inference: cycles, seconds, bytes,
+hertz, requests flowing through assignments, arithmetic, and calls.
+
+The syntactic UNIT001 rule can only compare two *names* on either side
+of ``+``/``-``.  It cannot see a seconds-valued **call result** added to
+a cycle count, or a seconds-typed variable passed across a module
+boundary into a ``*_cycles`` parameter of one of the Accelerometer
+equations.  This pass can: it seeds units from identifier suffixes (the
+same vocabulary as UNIT001, extended with ``requests``), from the
+constants in :mod:`repro.units` (``GIGACYCLES``, ``KIB``/``MIB``/
+``GIB``), and from function signatures (parameter names declare the
+units of their arguments, ``*_to_X``/``X_for_*`` conversion names
+declare their return unit), then propagates those units through each
+function body and checks every resolved call boundary.
+
+Owned here and imported by the syntactic rule so the two vocabularies
+stay in lockstep.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from .graph import CallResolver
+from .project import FunctionInfo, ModuleInfo, ProjectModel
+
+#: Identifier tokens implying a unit.  Names containing "per" are ratios
+#: and excluded (cycles_per_byte is neither cycles nor bytes).
+UNIT_TOKENS = {
+    "cycles": "cycles",
+    "gigacycles": "cycles",
+    "seconds": "seconds",
+    "secs": "seconds",
+    "nanoseconds": "nanoseconds",
+    "microseconds": "microseconds",
+    "milliseconds": "milliseconds",
+    "hz": "hertz",
+    "ghz": "hertz",
+    "frequency": "hertz",
+    "bytes": "bytes",
+    "kib": "bytes",
+    "mib": "bytes",
+    "gib": "bytes",
+    "requests": "requests",
+}
+
+#: Modules that *define* conversions: unit mixing inside them is the
+#: point, so their bodies are exempt (calls into them are still checked).
+_CONVERSION_MODULES = ("units",)
+
+
+def identifier_unit(identifier: str) -> Optional[str]:
+    """Unit declared by an identifier's suffix tokens, or None."""
+    tokens = identifier.lower().split("_")
+    if "per" in tokens:
+        return None
+    for token in reversed(tokens):
+        unit = UNIT_TOKENS.get(token)
+        if unit is not None:
+            return unit
+    return None
+
+
+def name_unit(node: ast.expr) -> Optional[str]:
+    """Unit declared by a Name/Attribute's own identifier (what the
+    syntactic UNIT001 rule sees)."""
+    if isinstance(node, ast.Attribute):
+        return identifier_unit(node.attr)
+    if isinstance(node, ast.Name):
+        return identifier_unit(node.id)
+    return None
+
+
+def return_unit(function_name: str) -> Optional[str]:
+    """Unit of a function's return value, from its name.
+
+    Conversion names are directional: ``ns_to_cycles`` returns cycles,
+    ``duration_for_cycles`` returns a duration.  Everything else falls
+    back to the suffix rule (``host_cycles`` returns cycles).
+    """
+    tokens = function_name.lower().split("_")
+    if "to" in tokens:
+        index = tokens.index("to")
+        if index + 1 < len(tokens):
+            return UNIT_TOKENS.get(tokens[index + 1])
+        return None
+    if "for" in tokens:
+        index = tokens.index("for")
+        if index > 0:
+            return UNIT_TOKENS.get(tokens[index - 1])
+        return None
+    return identifier_unit(function_name)
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitViolation:
+    """One cross-dimension mix the flow analysis established."""
+
+    relpath: str
+    line: int
+    column: int
+    kind: str  # "arithmetic" | "argument"
+    message: str
+    #: Inference trail: how each side got its unit.
+    trail: Tuple[str, ...] = ()
+
+
+class UnitFlowAnalyzer:
+    """Propagate units through the project and collect violations."""
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        self.resolver = CallResolver(model)
+
+    def analyze(self) -> List[UnitViolation]:
+        violations: List[UnitViolation] = []
+        for func in self.model.functions():
+            module = self.model.modules[func.module]
+            if module.name.split(".")[-1] in _CONVERSION_MODULES:
+                continue
+            violations.extend(self._analyze_function(func, module))
+        violations.sort(key=lambda v: (v.relpath, v.line, v.column, v.message))
+        return violations
+
+    # -- per-function flow -------------------------------------------------
+
+    def _analyze_function(
+        self, func: FunctionInfo, module: ModuleInfo
+    ) -> List[UnitViolation]:
+        violations: List[UnitViolation] = []
+        type_env = self.resolver.function_env(func, module)
+        units: Dict[str, str] = {}
+        trail: Dict[str, str] = {}
+
+        args = func.node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            unit = identifier_unit(arg.arg)
+            if unit is not None:
+                units[arg.arg] = unit
+                trail[arg.arg] = f"parameter {arg.arg!r} declares {unit}"
+
+        body = func.node.body
+
+        def visit_statements(statements: List[ast.stmt]) -> None:
+            for statement in statements:
+                visit(statement)
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, ast.Assign):
+                unit, how = self._expr_unit(
+                    node.value, units, trail, type_env, module
+                )
+                check_expr(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if unit is not None:
+                            units[target.id] = unit
+                            trail[target.id] = how or f"assigned {unit}"
+                        else:
+                            units.pop(target.id, None)
+                return
+            if isinstance(node, ast.AnnAssign) and node.value is not None:
+                check_expr(node.value)
+                if isinstance(node.target, ast.Name):
+                    unit, how = self._expr_unit(
+                        node.value, units, trail, type_env, module
+                    )
+                    if unit is not None:
+                        units[node.target.id] = unit
+                        trail[node.target.id] = how or f"assigned {unit}"
+                return
+            if isinstance(node, ast.AugAssign):
+                check_expr(node.value)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested defs: check their bodies with the outer env.
+                visit_statements(node.body)
+                return
+            if isinstance(node, ast.Return) and node.value is not None:
+                check_expr(node.value)
+                return
+            if isinstance(node, ast.Expr):
+                check_expr(node.value)
+                return
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    check_expr(child)
+                else:
+                    visit(child)
+
+        def check_expr(expr: ast.expr) -> None:
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.BinOp) and isinstance(
+                    sub.op, (ast.Add, ast.Sub)
+                ):
+                    self._check_arithmetic(
+                        sub, units, trail, type_env, module, func, violations
+                    )
+                elif isinstance(sub, ast.Call):
+                    self._check_call(
+                        sub, units, trail, type_env, module, func, violations
+                    )
+
+        visit_statements(body)
+        return violations
+
+    # -- unit inference ----------------------------------------------------
+
+    def _expr_unit(
+        self,
+        expr: ast.expr,
+        units: Dict[str, str],
+        trail: Dict[str, str],
+        type_env,
+        module: ModuleInfo,
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """(unit, how-it-was-inferred) for *expr*, or (None, None)."""
+        if isinstance(expr, ast.Name):
+            if expr.id in units:
+                return units[expr.id], trail.get(expr.id)
+            unit = identifier_unit(expr.id)
+            if unit is not None:
+                return unit, f"name {expr.id!r} declares {unit}"
+            # A module-level constant whose name declares a unit.
+            resolution = self.model.resolve_name(module, expr.id)
+            if resolution.kind == "constant":
+                unit = identifier_unit(resolution.fq.rsplit(".", 1)[-1])
+                if unit is not None:
+                    return unit, f"constant {resolution.fq} declares {unit}"
+            return None, None
+        if isinstance(expr, ast.Attribute):
+            unit = identifier_unit(expr.attr)
+            if unit is not None:
+                return unit, f"attribute {expr.attr!r} declares {unit}"
+            return None, None
+        if isinstance(expr, ast.Call):
+            kind, target, info = self.resolver.resolve_call(
+                expr, type_env, module
+            )
+            callee_name = None
+            if info is not None:
+                callee_name = info.name
+            elif target is not None:
+                callee_name = target.rsplit(".", 1)[-1]
+            if callee_name:
+                unit = return_unit(callee_name)
+                if unit is not None:
+                    return unit, f"call to {target} returns {unit}"
+            return None, None
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, (ast.Add, ast.Sub)):
+                left, how = self._expr_unit(
+                    expr.left, units, trail, type_env, module
+                )
+                right, _ = self._expr_unit(
+                    expr.right, units, trail, type_env, module
+                )
+                if left is not None and left == right:
+                    return left, how
+                return None, None
+            if isinstance(expr.op, ast.Mult):
+                # Pure scaling keeps the unit; unit*unit (or unit
+                # times an unknown) does not.
+                left_u, how_l = self._expr_unit(
+                    expr.left, units, trail, type_env, module
+                )
+                right_u, how_r = self._expr_unit(
+                    expr.right, units, trail, type_env, module
+                )
+                if left_u is not None and _is_scalar(expr.right):
+                    return left_u, how_l
+                if right_u is not None and _is_scalar(expr.left):
+                    return right_u, how_r
+                return None, None
+            return None, None
+        if isinstance(expr, ast.UnaryOp):
+            return self._expr_unit(expr.operand, units, trail, type_env, module)
+        if isinstance(expr, ast.IfExp):
+            body_u, how = self._expr_unit(
+                expr.body, units, trail, type_env, module
+            )
+            else_u, _ = self._expr_unit(
+                expr.orelse, units, trail, type_env, module
+            )
+            if body_u is not None and body_u == else_u:
+                return body_u, how
+            return None, None
+        return None, None
+
+    # -- checks ------------------------------------------------------------
+
+    def _check_arithmetic(
+        self,
+        node: ast.BinOp,
+        units: Dict[str, str],
+        trail: Dict[str, str],
+        type_env,
+        module: ModuleInfo,
+        func: FunctionInfo,
+        violations: List[UnitViolation],
+    ) -> None:
+        left, how_left = self._expr_unit(
+            node.left, units, trail, type_env, module
+        )
+        right, how_right = self._expr_unit(
+            node.right, units, trail, type_env, module
+        )
+        if left is None or right is None or left == right:
+            return
+        # UNIT001 already reports the purely-syntactic case where both
+        # operand *names* declare their units; only report mixes the
+        # flow analysis established.
+        if name_unit(node.left) is not None and name_unit(node.right) is not None:
+            return
+        operator = "+" if isinstance(node.op, ast.Add) else "-"
+        violations.append(
+            UnitViolation(
+                relpath=func.relpath,
+                line=node.lineno,
+                column=node.col_offset,
+                kind="arithmetic",
+                message=(
+                    f"mixing units across dataflow: {left} {operator} "
+                    f"{right} in {func.fq}"
+                ),
+                trail=tuple(
+                    how for how in (how_left, how_right) if how is not None
+                ),
+            )
+        )
+
+    def _check_call(
+        self,
+        call: ast.Call,
+        units: Dict[str, str],
+        trail: Dict[str, str],
+        type_env,
+        module: ModuleInfo,
+        func: FunctionInfo,
+        violations: List[UnitViolation],
+    ) -> None:
+        kind, target, info = self.resolver.resolve_call(call, type_env, module)
+        if kind != "internal" or info is None:
+            return
+        callee_module = self.model.modules.get(info.module)
+        if (
+            callee_module is not None
+            and callee_module.name.split(".")[-1] in _CONVERSION_MODULES
+        ):
+            # Conversions take one unit and return another by design;
+            # their parameter names still declare what they expect, so
+            # fall through and check the arguments normally.
+            pass
+        params = _parameter_names(info)
+        bindings: List[Tuple[str, ast.expr]] = []
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(params):
+                bindings.append((params[index], arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                bindings.append((keyword.arg, keyword.value))
+        for param, arg in bindings:
+            declared = identifier_unit(param)
+            if declared is None:
+                continue
+            actual, how = self._expr_unit(arg, units, trail, type_env, module)
+            if actual is None or actual == declared:
+                continue
+            violations.append(
+                UnitViolation(
+                    relpath=func.relpath,
+                    line=arg.lineno,
+                    column=arg.col_offset,
+                    kind="argument",
+                    message=(
+                        f"{actual}-valued argument flows into parameter "
+                        f"{param!r} ({declared}) of {info.fq}"
+                    ),
+                    trail=tuple(how for how in (how,) if how is not None),
+                )
+            )
+
+
+def _parameter_names(info: FunctionInfo) -> List[str]:
+    args = info.node.args
+    names = [arg.arg for arg in list(args.posonlyargs) + list(args.args)]
+    if info.class_name is not None and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _is_scalar(expr: ast.expr) -> bool:
+    """Whether *expr* is a dimensionless scaling factor (a bare number
+    or a unary sign thereof)."""
+    if isinstance(expr, ast.UnaryOp):
+        expr = expr.operand
+    return isinstance(expr, ast.Constant) and isinstance(
+        expr.value, (int, float)
+    )

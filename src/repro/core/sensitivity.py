@@ -122,8 +122,11 @@ def sensitivity(scenario: OffloadScenario) -> SensitivityReport:
     else:
         d_d_alpha = -1.0
     elasticities["alpha"] = -alpha * d_d_alpha / denominator
+    # Report in the declared parameter order (Table-5 convention), which
+    # also guarantees the report covers exactly the advertised set.
+    ordered = {name: elasticities[name] for name in SENSITIVITY_PARAMETERS}
     return SensitivityReport(
-        scenario=scenario, speedup=speedup, elasticities=elasticities
+        scenario=scenario, speedup=speedup, elasticities=ordered
     )
 
 

@@ -30,3 +30,30 @@ def run_fixture(fixture_source):
         return analyze_sources([fixture_source(name, relpath)], rules=rules)
 
     return _run
+
+
+def load_deep_sources(name: str):
+    """All sources of one ``fixtures/deep/<name>/`` tree, with relpaths
+    relative to the tree root -- a miniature program the whole-program
+    passes can model (``src/repro/...`` layouts resolve to ``repro.*``
+    module names exactly like the real repository)."""
+    rootdir = FIXTURES / "deep" / name
+    sources = []
+    for path in sorted(rootdir.rglob("*.py")):
+        rel = path.relative_to(rootdir).as_posix()
+        text = path.read_text(encoding="utf-8")
+        sources.append(SourceFile.from_text(text, relpath=rel))
+    return sources
+
+
+@pytest.fixture
+def deep_sources():
+    return load_deep_sources
+
+
+@pytest.fixture
+def run_deep(deep_sources):
+    def _run(name: str, rules=None):
+        return analyze_sources(deep_sources(name), rules=rules, deep=True)
+
+    return _run

@@ -1,0 +1,9 @@
+"""Fixture twin consumer: uses both exports."""
+
+from .widgets import make_widget, retire_widget
+
+
+def run():
+    widget = make_widget(3)
+    retire_widget(widget)
+    return widget

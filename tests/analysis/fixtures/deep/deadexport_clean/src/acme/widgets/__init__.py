@@ -1,0 +1,5 @@
+"""Fixture twin: every export resolves and has a consumer."""
+
+from .impl import make_widget, retire_widget
+
+__all__ = ["make_widget", "retire_widget"]

@@ -1,0 +1,9 @@
+"""Fixture twin: two definitions, both consumed."""
+
+
+def make_widget(size):
+    return {"size": size}
+
+
+def retire_widget(widget):
+    widget.clear()

@@ -1,0 +1,7 @@
+"""Fixture consumer: uses only ``make_widget``."""
+
+from .widgets import make_widget
+
+
+def run():
+    return make_widget(3)

@@ -1,0 +1,6 @@
+"""Fixture: a facade exporting one live name, one dead name, and one
+name whose re-export chain resolves to nothing."""
+
+from .impl import ghost_widget, make_widget, retire_widget
+
+__all__ = ["ghost_widget", "make_widget", "retire_widget"]

@@ -1,0 +1,9 @@
+"""Fixture: two definitions; ``ghost_widget`` deliberately missing."""
+
+
+def make_widget(size):
+    return {"size": size}
+
+
+def retire_widget(widget):
+    widget.clear()

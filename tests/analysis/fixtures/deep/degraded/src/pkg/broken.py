@@ -1,0 +1,5 @@
+"""Fixture: deliberately unparsable -- the deep pass must degrade to a
+diagnostic finding, never a traceback."""
+
+def broken(:
+    return

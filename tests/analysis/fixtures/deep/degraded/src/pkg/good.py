@@ -1,0 +1,5 @@
+"""Fixture: a healthy module next to a broken one."""
+
+
+def double(value: int) -> int:
+    return value * 2

@@ -1,0 +1,7 @@
+"""Fixture twin: the same call shape with no entropy anywhere."""
+
+from ..util.stamp import build_salt
+
+
+def make_cache_key(payload: str, seed: int) -> str:
+    return payload + "-" + build_salt(seed)

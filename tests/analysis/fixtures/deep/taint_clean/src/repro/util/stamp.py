@@ -1,0 +1,9 @@
+"""Fixture twin: the salt derives from the caller's seed, not a clock."""
+
+
+def derive_salt_value(seed: int) -> int:
+    return seed * 2654435761 % 2**32
+
+
+def build_salt(seed: int) -> str:
+    return str(derive_salt_value(seed))

@@ -1,0 +1,12 @@
+"""Fixture: a cache key that transitively reads the wall clock.
+
+No entropy appears in this file -- the read is two calls away in
+another module, which is exactly the case the per-file DET001 rule
+cannot see and DET003 must.
+"""
+
+from ..util.stamp import build_salt
+
+
+def make_cache_key(payload: str) -> str:
+    return payload + "-" + build_salt()

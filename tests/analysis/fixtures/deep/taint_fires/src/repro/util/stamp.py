@@ -1,0 +1,16 @@
+"""Fixture: helper chain ending in a wall-clock read.
+
+This module is outside DET001's simulated scopes, so the syntactic
+rule stays silent; only the interprocedural pass connects it to the
+cache key in ``repro.runtime.spec``.
+"""
+
+import time
+
+
+def read_clock_value() -> float:
+    return time.time()
+
+
+def build_salt() -> str:
+    return str(read_clock_value())

@@ -1,0 +1,13 @@
+"""Fixture twin: the dimension changes through a conversion call."""
+
+from .timing import elapsed_seconds, seconds_to_cycles, spend_budget
+
+
+def total_budget(host_cycles: float, sample: float, frequency_hz: float) -> float:
+    wait_cycles = seconds_to_cycles(elapsed_seconds(sample), frequency_hz)
+    return host_cycles + wait_cycles
+
+
+def schedule(sample: float, frequency_hz: float) -> float:
+    wait_cycles = seconds_to_cycles(elapsed_seconds(sample), frequency_hz)
+    return spend_budget(wait_cycles)

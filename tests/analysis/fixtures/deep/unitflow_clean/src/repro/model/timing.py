@@ -1,0 +1,13 @@
+"""Fixture twin: the same providers plus an explicit conversion."""
+
+
+def elapsed_seconds(sample: float) -> float:
+    return sample * 0.001
+
+
+def spend_budget(total_cycles: float) -> float:
+    return total_cycles * 2.0
+
+
+def seconds_to_cycles(raw_seconds: float, frequency_hz: float) -> float:
+    return raw_seconds * frequency_hz

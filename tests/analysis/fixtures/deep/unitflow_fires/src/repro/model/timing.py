@@ -1,0 +1,9 @@
+"""Fixture: providers whose names declare their units."""
+
+
+def elapsed_seconds(sample: float) -> float:
+    return sample * 0.001
+
+
+def spend_budget(total_cycles: float) -> float:
+    return total_cycles * 2.0

@@ -1,10 +1,15 @@
 """End-to-end ``python -m repro lint`` behavior on a synthetic project."""
 
 import json
+import shutil
+import subprocess
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
+
+DEEP_FIXTURES = Path(__file__).parent / "fixtures" / "deep"
 
 VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
 CLEAN = "def stamp(now):\n    return now\n"
@@ -71,3 +76,89 @@ def test_lint_baseline_workflow(project, capsys):
     # ... and a *new* violation fails even with the baseline active.
     (project / "src" / "repro" / "runtime" / "fine.py").write_text(VIOLATION)
     assert _lint(project) == 1
+
+
+@pytest.fixture
+def taint_project(tmp_path):
+    shutil.copytree(DEEP_FIXTURES / "taint_fires", tmp_path / "proj")
+    return tmp_path / "proj"
+
+
+def test_lint_deep_flag(taint_project, capsys):
+    # The per-file rules cannot see the cross-module clock read ...
+    assert _lint(taint_project) == 0
+    capsys.readouterr()
+    # ... the deep pass can, and prints the call chain.
+    assert _lint(taint_project, "--deep") == 1
+    out = capsys.readouterr().out
+    assert "DET003" in out
+    assert "-> calls repro.util.stamp.build_salt" in out
+
+
+def test_lint_list_rules_tags_deep(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "DET003" in out and "deep" in out
+
+
+def test_lint_sarif_output(taint_project, capsys):
+    target = taint_project / "report.sarif"
+    assert _lint(taint_project, "--deep", "--sarif", str(target)) == 1
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    assert payload["version"] == "2.1.0"
+    [run] = payload["runs"]
+    assert [r["ruleId"] for r in run["results"]] == ["DET003"]
+    assert run["results"][0]["properties"]["trace"]
+
+
+def test_lint_sarif_stdout(taint_project, capsys):
+    assert _lint(taint_project, "--deep", "--sarif", "-") == 1
+    out = capsys.readouterr().out
+    assert '"$schema"' in out
+
+
+def test_lint_export_graph(taint_project, capsys):
+    out_dir = taint_project / "graphs"
+    assert _lint(taint_project, "--export-graph", str(out_dir)) == 0
+    first = (out_dir / "callgraph.json").read_bytes()
+    assert (out_dir / "callgraph.dot").exists()
+    payload = json.loads(first)
+    assert payload["counts"]["edges"] >= 2
+    # Re-export is byte-identical.
+    assert _lint(taint_project, "--export-graph", str(out_dir)) == 0
+    assert (out_dir / "callgraph.json").read_bytes() == first
+
+
+def test_lint_changed_narrows_per_file_findings(project, capsys):
+    def git(*args):
+        subprocess.run(
+            ["git", *args], cwd=project, check=True, capture_output=True,
+            env={"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@example.invalid",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@example.invalid",
+                 "HOME": str(project), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+
+    git("init", "-q")
+    git("add", "-A")
+    git("commit", "-q", "-m", "seed")
+    # Nothing changed: the pre-existing violation is out of scope.
+    assert _lint(project, "--changed") == 0
+    capsys.readouterr()
+    # Touch the violating file: it is back in scope.
+    clock = project / "src" / "repro" / "runtime" / "clock.py"
+    clock.write_text(clock.read_text() + "\n")
+    assert _lint(project, "--changed") == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_lint_internal_error_exits_2(taint_project, capsys, monkeypatch):
+    from repro.analysis.rules import deep as deep_rules
+
+    def boom(self, context):
+        raise RuntimeError("synthetic analyzer bug")
+
+    monkeypatch.setattr(deep_rules.DeepCoverage, "check_project", boom)
+    assert _lint(taint_project, "--deep") == 2
+    out = capsys.readouterr().out
+    assert "internal analyzer error" in out
+    assert "DEEP001 crashed" in out

@@ -1,0 +1,169 @@
+"""The deep rule pack (DET003, UNIT002, API002, DEEP001) against the
+fixture program trees under ``fixtures/deep/``.
+
+Every firing fixture has a clean twin proving the rule keys on the
+defect, not on the shape of the code around it.
+"""
+
+import pytest
+
+from repro.analysis import Severity, analyze_sources
+from repro.analysis.rules import deep as deep_rules
+
+from .conftest import load_deep_sources
+
+
+class TestInterproceduralTaint:
+    def test_cross_module_clock_read_reaches_cache_key(self, run_deep):
+        result = run_deep("taint_fires")
+        [finding] = result.findings
+        assert finding.rule == "DET003"
+        assert finding.severity is Severity.ERROR
+        assert finding.path == "src/repro/runtime/spec.py"
+        assert "make_cache_key" in finding.message
+        assert "wall-clock read" in finding.message
+        assert "through 2 calls" in finding.message
+
+    def test_full_call_chain_in_trace(self, run_deep):
+        [finding] = run_deep("taint_fires").findings
+        assert len(finding.trace) == 4
+        assert finding.trace[0].startswith(
+            "repro.runtime.spec.make_cache_key [cache-key construction]"
+        )
+        assert "-> calls repro.util.stamp.build_salt" in finding.trace[1]
+        assert "-> calls repro.util.stamp.read_clock_value" in finding.trace[2]
+        assert finding.trace[3].startswith(
+            "** call to time.time (wall-clock read)"
+        )
+        assert "src/repro/util/stamp.py" in finding.trace[3]
+
+    def test_clean_twin_is_clean(self, run_deep):
+        result = run_deep("taint_clean")
+        assert result.ok
+        assert result.findings == []
+
+
+class TestUnitFlow:
+    def test_seconds_reach_cycle_arithmetic_and_parameter(self, run_deep):
+        result = run_deep("unitflow_fires")
+        assert [f.rule for f in result.findings] == ["UNIT002", "UNIT002"]
+        arithmetic, argument = result.findings
+        assert arithmetic.path == "src/repro/model/measure.py"
+        assert arithmetic.line == 13
+        assert "mixing units across dataflow: cycles + seconds" in (
+            arithmetic.message
+        )
+        assert argument.line == 18
+        assert (
+            "seconds-valued argument flows into parameter 'total_cycles'"
+            in argument.message
+        )
+
+    def test_violations_carry_dataflow_trail(self, run_deep):
+        arithmetic, argument = run_deep("unitflow_fires").findings
+        assert arithmetic.trace  # where the seconds value came from
+        assert argument.trace
+
+    def test_clean_twin_with_explicit_conversion(self, run_deep):
+        result = run_deep("unitflow_clean")
+        assert result.ok
+        assert result.findings == []
+
+
+class TestDeadExport:
+    def test_dead_and_broken_exports(self, run_deep):
+        result = run_deep("deadexport_fires")
+        assert [f.rule for f in result.findings] == ["API002", "API002"]
+        broken = next(
+            f for f in result.findings if "ghost_widget" in f.message
+        )
+        dead = next(
+            f for f in result.findings if "retire_widget" in f.message
+        )
+        assert broken.severity is Severity.ERROR
+        assert "re-export chain that never reaches a definition" in (
+            broken.message
+        )
+        assert dead.severity is Severity.WARNING
+        assert "referenced by no analyzed module" in dead.message
+        assert all(
+            f.path == "src/acme/widgets/__init__.py"
+            for f in result.findings
+        )
+
+    def test_clean_twin_uses_every_export(self, run_deep):
+        result = run_deep("deadexport_clean")
+        assert result.ok
+        assert result.findings == []
+
+
+class TestGracefulDegradation:
+    def test_unparsable_module_degrades_to_findings(self, run_deep):
+        result = run_deep("degraded")
+        rules = {f.rule for f in result.findings}
+        assert rules == {"PARSE", "DEEP001"}
+        coverage = next(
+            f for f in result.findings if f.rule == "DEEP001"
+        )
+        assert coverage.path == "src/pkg/broken.py"
+        assert "excluded from the whole-program model" in coverage.message
+
+    def test_degradation_is_findings_not_internal_error(self, run_deep):
+        result = run_deep("degraded")
+        assert result.internal == []
+        assert result.exit_code == 1  # program findings, not analyzer bug
+
+
+class TestSelection:
+    def test_deep_rules_off_by_default(self):
+        result = analyze_sources(load_deep_sources("taint_fires"))
+        assert "DET003" not in result.rules
+        assert not any(f.rule == "DET003" for f in result.findings)
+
+    def test_deep_flag_selects_them(self, run_deep):
+        result = run_deep("taint_clean")
+        for name in ("DET003", "UNIT002", "API002", "DEEP001"):
+            assert name in result.rules
+
+    def test_explicit_rule_name_works_without_deep(self):
+        result = analyze_sources(
+            load_deep_sources("taint_fires"), rules=["DET003"]
+        )
+        assert result.rules == ("DET003",)
+        assert [f.rule for f in result.findings] == ["DET003"]
+
+
+class TestInternalErrors:
+    def test_rule_crash_is_internal_not_finding(self, monkeypatch):
+        def boom(self, context):
+            raise RuntimeError("synthetic analyzer bug")
+
+        monkeypatch.setattr(deep_rules.DeepCoverage, "check_project", boom)
+        result = analyze_sources(
+            load_deep_sources("taint_clean"), deep=True
+        )
+        assert result.findings == []  # the program is still clean
+        [error] = result.internal
+        assert error.rule == "INTERNAL"
+        assert "DEEP001 crashed" in error.message
+        assert "synthetic analyzer bug" in error.message
+        assert result.exit_code == 2
+
+    def test_other_rules_still_complete(self, monkeypatch):
+        def boom(self, context):
+            raise RuntimeError("synthetic analyzer bug")
+
+        monkeypatch.setattr(deep_rules.DeepCoverage, "check_project", boom)
+        result = analyze_sources(
+            load_deep_sources("taint_fires"), deep=True
+        )
+        # The crash did not swallow the genuine taint finding.
+        assert [f.rule for f in result.findings] == ["DET003"]
+        assert result.exit_code == 2
+
+
+@pytest.mark.parametrize(
+    "tree", ["taint_clean", "unitflow_clean", "deadexport_clean"]
+)
+def test_clean_twins_produce_no_deep_findings(run_deep, tree):
+    assert run_deep(tree).ok

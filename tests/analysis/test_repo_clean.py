@@ -21,6 +21,23 @@ def test_repository_is_lint_clean():
     assert result.clean, f"lint violations:\n{details}"
 
 
+def test_repository_is_deep_lint_clean():
+    # The whole-program pass has the same teeth as the per-file rules:
+    # no taint path into a cache key, no cross-module unit mixing, no
+    # dead facade exports, and every module inside the model.
+    result = analyze_paths(
+        ["src/repro", "scripts"],
+        root=REPO_ROOT,
+        deep=True,
+        reference_paths=["tests", "examples", "benchmarks"],
+    )
+    details = "\n".join(
+        f"{f.location}: {f.rule} {f.message}" for f in result.findings
+    )
+    assert result.clean, f"deep lint violations:\n{details}"
+    assert not result.internal, "deep analyzer crashed on its own repo"
+
+
 def test_shipped_baseline_is_empty():
     # Real violations get fixed, not grandfathered: the checked-in
     # baseline must stay empty so the previous test has teeth.

@@ -96,3 +96,14 @@ class TestABMeasurement:
         slow = run_simulation(simple_build(1000.0), config)
         fast = run_simulation(simple_build(500.0), config)
         assert measured_latency_reduction(slow, fast) == pytest.approx(2.0)
+
+
+class TestSummarizeAlias:
+    def test_free_function_matches_method(self):
+        from repro.simulator import summarize
+
+        config = SimulationConfig(num_cores=1, window_cycles=50_000)
+        result = run_simulation(simple_build(1000.0), config)
+        summary = summarize(result)
+        assert summary.fingerprint() == result.summarize().fingerprint()
+        assert summary.events_processed == result.engine.events_processed
