@@ -4,13 +4,20 @@ export PYTHONPATH
 
 WORKERS ?= 4
 
-.PHONY: test perf bench figures clean-cache lint lint-deep graphs check
+.PHONY: test faults perf bench figures clean-cache lint lint-deep graphs check
 
 # Tier-1 correctness suite (perf benchmarks excluded via pyproject addopts).
 # Linting runs first: a determinism or spec-hygiene violation invalidates
 # the runs the tests would otherwise bless.
 test: lint
 	$(PYTHON) -m pytest -q
+
+# Fault-injection, metamorphic, and degraded-mode determinism suites.
+faults:
+	$(PYTHON) -m pytest -q tests/faults tests/core/test_metamorphic.py \
+		tests/simulator/test_faulty_offload.py \
+		tests/runtime/test_fault_determinism.py \
+		tests/application/test_resilience.py
 
 # The repo's own AST invariant linter (determinism, spec hygiene,
 # hot-path __slots__, unit discipline, API surface), per-file rules

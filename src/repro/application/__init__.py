@@ -34,6 +34,14 @@ from .slo import (
     max_thread_switch_for_slo,
     remote_delay_budget,
 )
+from .resilience import (
+    Ads1ResiliencePoint,
+    ResilienceGrid,
+    ResiliencePoint,
+    ads1_resilience_sweep,
+    resilience_grid,
+    run_resilience_point,
+)
 from .projections import (
     OverheadProjection,
     fig20_comparison,
@@ -44,7 +52,13 @@ from .projections import (
 )
 
 __all__ = [
+    "Ads1ResiliencePoint",
     "LatencyStudyConfig",
+    "ResilienceGrid",
+    "ResiliencePoint",
+    "ads1_resilience_sweep",
+    "resilience_grid",
+    "run_resilience_point",
     "LoadPoint",
     "OverheadProjection",
     "OversubscriptionPoint",

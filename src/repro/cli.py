@@ -530,6 +530,97 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _fault_policy_from_args(args: argparse.Namespace):
+    from .faults import FaultPolicy
+
+    return FaultPolicy(
+        drop_probability=args.drop,
+        spike_probability=args.spike,
+        spike_cycles=args.spike_cycles,
+        timeout_cycles=args.timeout,
+        max_retries=args.retries,
+        backoff_base_cycles=args.backoff,
+        backoff_multiplier=args.backoff_multiplier,
+        fallback_to_cpu=not args.no_fallback,
+    )
+
+
+def _add_fault_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--drop", type=float, default=0.0,
+                   help="per-attempt offload drop probability")
+    p.add_argument("--spike", type=float, default=0.0,
+                   help="per-attempt latency-spike probability")
+    p.add_argument("--spike-cycles", type=float, default=0.0,
+                   help="extra response delay per latency spike")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="cycles before a dropped offload is declared failed")
+    p.add_argument("--retries", type=int, default=2,
+                   help="re-dispatch attempts before falling back (default 2)")
+    p.add_argument("--backoff", type=float, default=0.0,
+                   help="base backoff cycles before the first retry")
+    p.add_argument("--backoff-multiplier", type=float, default=2.0,
+                   help="exponential backoff growth factor (default 2)")
+    p.add_argument("--no-fallback", action="store_true",
+                   help="drop exhausted offloads instead of re-running them "
+                   "on the host CPU")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    from .application.resilience import run_resilience_point
+
+    policy = _fault_policy_from_args(args)
+    point = run_resilience_point(
+        drop_probability=policy.drop_probability,
+        timeout_cycles=policy.timeout_cycles,
+        design=ThreadingDesign(args.design),
+        max_retries=policy.max_retries,
+        backoff_base_cycles=policy.backoff_base_cycles,
+        alpha=args.alpha,
+        accel_speedup=args.a,
+        seed=args.seed,
+    )
+    _print(f"design:            {point.design.value}")
+    _print(f"model speedup:     {point.model_speedup_pct:8.2f}%")
+    _print(f"simulated speedup: {point.simulated_speedup_pct:8.2f}%")
+    _print(f"model-vs-sim error:{point.error_pct:8.2f}%")
+    _print(f"retries:           {point.retries}")
+    _print(f"fallbacks:         {point.fallbacks}")
+    _print(f"goodput fraction:  {point.goodput_fraction * 100:8.2f}%")
+
+
+def _cmd_resilience(args: argparse.Namespace) -> None:
+    from .application.resilience import ads1_resilience_sweep, resilience_grid
+
+    drops = [float(x) for x in args.drops.split(",")]
+    timeouts = [float(x) for x in args.timeouts.split(",")]
+    grid = resilience_grid(
+        drop_probabilities=drops,
+        timeout_cycles=timeouts,
+        design=ThreadingDesign(args.design),
+        seed=args.seed,
+        **_runtime_kwargs(args),
+    )
+    _print("Degraded-mode validation grid (simulated A/B vs closed form)")
+    _print(f"{'drop':>6s} {'timeout':>9s} {'model':>8s} {'sim':>8s} "
+           f"{'|err|':>7s} {'retries':>8s} {'fallbacks':>9s}")
+    for point in grid.points:
+        _print(
+            f"{point.drop_probability:6.2f} {point.timeout_cycles:9.0f} "
+            f"{point.model_speedup_pct:7.2f}% {point.simulated_speedup_pct:7.2f}% "
+            f"{point.error_pct:6.2f}% {point.retries:8d} {point.fallbacks:9d}"
+        )
+    _print(f"max error {grid.max_error_pct:.2f}%, "
+           f"mean {grid.mean_error_pct:.2f}% over {len(grid.points)} cells")
+    _print("")
+    _print("Ads1 remote-inference speedup erosion (model)")
+    _print(f"{'drop':>6s} {'timeout':>11s} {'speedup':>9s} {'erosion':>9s}")
+    for ads1 in ads1_resilience_sweep():
+        _print(
+            f"{ads1.drop_probability:6.2f} {ads1.timeout_cycles:11.0f} "
+            f"{ads1.degraded_speedup_pct:8.2f}% {ads1.erosion_pp:8.2f}pp"
+        )
+
+
 def _cmd_fleet(args: argparse.Namespace) -> None:
     from .fleet import default_fleet, fleet_projection
 
@@ -733,6 +824,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requests per core per characterization run")
     p.add_argument("--output", default="",
                    help="write to a file instead of stdout")
+    _add_runtime_arguments(p)
+
+    p = sub.add_parser(
+        "simulate",
+        help="A/B-simulate one offload scenario under an injected fault "
+        "regime and compare against the degraded closed form",
+    )
+    p.set_defaults(func=_cmd_simulate)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--alpha", type=float, default=0.3, help="kernel fraction")
+    p.add_argument("--a", type=float, default=8.0, help="peak speedup A")
+    p.add_argument("--design", default="sync",
+                   choices=[d.value for d in ThreadingDesign])
+    _add_fault_arguments(p)
+
+    p = sub.add_parser(
+        "resilience",
+        help="degraded-mode validation grid plus the Ads1 remote-inference "
+        "erosion sweep",
+    )
+    p.set_defaults(func=_cmd_resilience)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--design", default="sync",
+                   choices=[d.value for d in ThreadingDesign])
+    p.add_argument("--drops", default="0.05,0.1,0.2",
+                   help="comma-separated drop probabilities")
+    p.add_argument("--timeouts", default="1000,4000,8000",
+                   help="comma-separated timeout cycles")
     _add_runtime_arguments(p)
 
     p = sub.add_parser("fleet", help="fleet-wide projection")

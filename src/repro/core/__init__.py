@@ -52,6 +52,19 @@ from .multikernel import (
     fusion_benefit,
 )
 from .params import AcceleratorSpec, KernelProfile, OffloadCosts, OffloadScenario
+from .resilience import (
+    degraded_async_distinct_thread_speedup,
+    degraded_async_speedup,
+    degraded_min_profitable_granularity,
+    degraded_offload_margin,
+    degraded_speedup,
+    degraded_sync_os_speedup,
+    degraded_sync_speedup,
+    effective_offload_cost,
+    expected_backoff_cycles,
+    expected_failures,
+    fallback_probability,
+)
 from .queueing import (
     QueueModel,
     empirical_mean_wait,
@@ -140,7 +153,18 @@ __all__ = [
     "classify",
     "compare_designs",
     "crossover",
+    "degraded_async_distinct_thread_speedup",
+    "degraded_async_speedup",
+    "degraded_min_profitable_granularity",
+    "degraded_offload_margin",
+    "degraded_speedup",
+    "degraded_sync_os_speedup",
+    "degraded_sync_speedup",
     "design_for_response",
+    "effective_offload_cost",
+    "expected_backoff_cycles",
+    "expected_failures",
+    "fallback_probability",
     "empirical_mean_wait",
     "fit_power_law",
     "fit_quality",

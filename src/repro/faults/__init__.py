@@ -1,0 +1,30 @@
+"""Seeded fault injection for the offload simulator.
+
+Public API::
+
+    from repro.faults import (
+        FaultPolicy, FaultInjector, AttemptOutcome,
+        DegradationWindow, DegradationSchedule,
+        NO_FAULTS, ALWAYS_HEALTHY,
+    )
+
+Attach a policy to an offload via
+``OffloadConfig(faults=FaultInjector(policy, seed=...))``; the simulator
+then executes retry + exponential backoff + fallback-to-CPU semantics
+whose expected costs are mirrored in closed form by
+:mod:`repro.core.resilience`.
+"""
+
+from .degradation import ALWAYS_HEALTHY, DegradationSchedule, DegradationWindow
+from .injector import FaultInjector
+from .policy import NO_FAULTS, AttemptOutcome, FaultPolicy
+
+__all__ = [
+    "ALWAYS_HEALTHY",
+    "AttemptOutcome",
+    "DegradationSchedule",
+    "DegradationWindow",
+    "FaultInjector",
+    "FaultPolicy",
+    "NO_FAULTS",
+]

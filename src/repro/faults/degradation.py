@@ -1,0 +1,90 @@
+"""Accelerator degradation and outage windows.
+
+Hyperscale accelerators do not fail only per-offload: whole devices
+brown-out (thermal throttling, contending tenants) or black-out (resets,
+link flaps) for windows of time.  A :class:`DegradationSchedule` is a
+deterministic timeline of such windows:
+
+* a **degradation** window multiplies the device's service time by a
+  finite factor while it covers the clock;
+* an **outage** window (``service_multiplier = inf``) makes every offload
+  attempt that starts inside it a guaranteed drop.
+
+Schedules are plain data fixed before the run starts, so they add no
+entropy: two runs with the same schedule degrade identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+from ..errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DegradationWindow:
+    """One contiguous degraded interval ``[start_cycle, end_cycle)``."""
+
+    start_cycle: float
+    end_cycle: float
+
+    #: Service-time multiplier while the window is active;
+    #: ``math.inf`` marks a full outage (no offload can succeed).
+    service_multiplier: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.start_cycle < 0:
+            raise ParameterError(
+                f"start_cycle must be >= 0, got {self.start_cycle}"
+            )
+        if self.end_cycle <= self.start_cycle:
+            raise ParameterError(
+                f"end_cycle must be > start_cycle, got "
+                f"[{self.start_cycle}, {self.end_cycle})"
+            )
+        if not self.service_multiplier >= 1.0:
+            raise ParameterError(
+                "service_multiplier must be >= 1 (or inf for an outage), "
+                f"got {self.service_multiplier}"
+            )
+
+    @property
+    def is_outage(self) -> bool:
+        return math.isinf(self.service_multiplier)
+
+    def covers(self, now: float) -> bool:
+        return self.start_cycle <= now < self.end_cycle
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DegradationSchedule:
+    """A deterministic timeline of degradation/outage windows."""
+
+    windows: Tuple[DegradationWindow, ...] = ()
+
+    @property
+    def is_null(self) -> bool:
+        return not self.windows
+
+    def outage_at(self, now: float) -> bool:
+        """Whether an outage window covers *now*."""
+        return any(w.is_outage and w.covers(now) for w in self.windows)
+
+    def multiplier_at(self, now: float) -> float:
+        """Combined finite service-time multiplier at *now*.
+
+        Overlapping finite windows compound multiplicatively; outage
+        windows are excluded (they are handled as forced drops, not as
+        slow service).
+        """
+        multiplier = 1.0
+        for window in self.windows:
+            if window.covers(now) and not window.is_outage:
+                multiplier *= window.service_multiplier
+        return multiplier
+
+
+#: The empty schedule: the device never degrades.
+ALWAYS_HEALTHY = DegradationSchedule()

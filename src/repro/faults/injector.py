@@ -1,0 +1,86 @@
+"""Seeded, deterministic fault injection.
+
+A :class:`FaultInjector` turns a :class:`~repro.faults.policy.FaultPolicy`
+into a stream of per-attempt :class:`~repro.faults.policy.AttemptOutcome`
+decisions.  Every decision is drawn from one seeded
+:class:`numpy.random.Generator` through a
+:class:`~repro.simulator.workload.BlockSampler`, so the outcome sequence
+is a pure function of ``(policy, seed, schedule)``: two runs with the
+same seed observe identical drops, spikes, retries, and fallbacks --
+the property the fault-determinism regression tests pin.
+
+Outage windows from a :class:`~repro.faults.degradation.DegradationSchedule`
+force drops *without* consuming a random draw, so adding or removing an
+outage window shifts no other decision in the stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ParameterError
+from .degradation import DegradationSchedule
+from .policy import AttemptOutcome, FaultPolicy
+
+#: Uniform draws pre-sampled per vectorized RNG call.
+_UNIFORM_BLOCK = 256
+
+
+class FaultInjector:
+    """Decides the fate of each offload attempt, deterministically."""
+
+    __slots__ = ("policy", "schedule", "seed", "_uniforms")
+
+    def __init__(
+        self,
+        policy: FaultPolicy,
+        seed: int,
+        schedule: Optional[DegradationSchedule] = None,
+    ) -> None:
+        if not isinstance(policy, FaultPolicy):
+            raise ParameterError(
+                f"policy must be a FaultPolicy, got {type(policy).__name__}"
+            )
+        self.policy = policy
+        self.schedule = schedule
+        self.seed = seed
+        # All fault entropy derives from the run seed: the injector owns
+        # every draw on this generator (DET001/DET003 compliance).
+        rng = np.random.default_rng(seed)
+        # Imported late to keep the module graph acyclic: the simulator's
+        # service layer imports repro.faults.policy at import time.
+        from ..simulator.workload import BlockSampler
+
+        self._uniforms = BlockSampler(
+            lambda n: rng.random(size=n), block_size=_UNIFORM_BLOCK
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether this injector can ever produce a fault.
+
+        An inactive injector must be fully transparent: the simulator
+        skips the fault path entirely, leaving measurements bit-identical
+        to a run with no injector attached.
+        """
+        if not self.policy.is_null:
+            return True
+        return self.schedule is not None and not self.schedule.is_null
+
+    def outcome(self, now: float) -> AttemptOutcome:
+        """The fate of an offload attempt dispatched at cycle *now*."""
+        if self.schedule is not None and self.schedule.outage_at(now):
+            # Deterministic outage: no draw is consumed, so the Bernoulli
+            # stream seen outside the window is unchanged.
+            return AttemptOutcome.DROP
+        policy = self.policy
+        if policy.is_null:
+            return AttemptOutcome.OK
+        draw = self._uniforms.next()
+        if draw < policy.drop_probability:
+            return AttemptOutcome.DROP
+        if draw < policy.drop_probability + policy.spike_probability:
+            return AttemptOutcome.SPIKE
+        return AttemptOutcome.OK

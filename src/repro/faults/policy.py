@@ -1,0 +1,117 @@
+"""Fault models for offload execution.
+
+A :class:`FaultPolicy` describes, per offloaded kernel, how unreliable the
+path to the accelerator is: the per-attempt probability that an offload is
+*dropped* (never reaches the device -- a lost RPC, a failed DMA, a
+saturated NIC ring), the probability that it suffers a *latency spike*
+(succeeds, but the response is late by a fixed number of cycles), and what
+the host does about failures -- how long it waits before declaring an
+attempt dead (``timeout_cycles``), how many times it retries, how the
+retry backoff grows, and whether it finally falls back to running the
+kernel on the host CPU.
+
+The policy is a frozen, slotted, all-scalar dataclass so it can ride
+inside a :class:`~repro.runtime.spec.RunSpec` parameter tuple: hashable,
+picklable, and canonicalizable into a cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..errors import ParameterError
+
+
+class AttemptOutcome(enum.Enum):
+    """What happened to one offload attempt."""
+
+    #: The attempt reached the device and completed normally.
+    OK = "ok"
+
+    #: The attempt was lost; the host notices only via its timeout.
+    DROP = "drop"
+
+    #: The attempt succeeded but the response arrived late.
+    SPIKE = "spike"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FaultPolicy:
+    """Failure model and recovery semantics for one offloaded kernel."""
+
+    #: Per-attempt probability the offload is dropped in flight.
+    drop_probability: float = 0.0
+
+    #: Per-attempt probability of a latency spike (drawn from the same
+    #: uniform as drops, so ``drop + spike <= 1`` must hold).
+    spike_probability: float = 0.0
+
+    #: Extra response-latency cycles added by one spike.
+    spike_cycles: float = 0.0
+
+    #: Host cycles waited before a missing response is declared dead.
+    timeout_cycles: float = 0.0
+
+    #: Re-dispatch attempts after the first failure (0 = fail fast).
+    max_retries: int = 0
+
+    #: Backoff before retry ``k`` (0-indexed):
+    #: ``backoff_base_cycles * backoff_multiplier ** k``.
+    backoff_base_cycles: float = 0.0
+    backoff_multiplier: float = 2.0
+
+    #: After exhausting retries, run the kernel on the host CPU (True)
+    #: or give the request up as degraded (False).
+    fallback_to_cpu: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ParameterError(
+                f"drop_probability must be in [0, 1], got {self.drop_probability}"
+            )
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ParameterError(
+                f"spike_probability must be in [0, 1], got {self.spike_probability}"
+            )
+        if self.drop_probability + self.spike_probability > 1.0:
+            raise ParameterError(
+                "drop_probability + spike_probability must be <= 1, got "
+                f"{self.drop_probability + self.spike_probability}"
+            )
+        if self.spike_cycles < 0:
+            raise ParameterError(
+                f"spike_cycles must be >= 0, got {self.spike_cycles}"
+            )
+        if self.timeout_cycles < 0:
+            raise ParameterError(
+                f"timeout_cycles must be >= 0, got {self.timeout_cycles}"
+            )
+        if self.max_retries < 0:
+            raise ParameterError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_cycles < 0:
+            raise ParameterError(
+                f"backoff_base_cycles must be >= 0, got {self.backoff_base_cycles}"
+            )
+        if self.backoff_multiplier <= 0:
+            raise ParameterError(
+                f"backoff_multiplier must be > 0, got {self.backoff_multiplier}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this policy can never produce a fault."""
+        return self.drop_probability == 0.0 and self.spike_probability == 0.0
+
+    def backoff_cycles(self, retry_index: int) -> float:
+        """Backoff paid before 0-indexed retry *retry_index*."""
+        if retry_index < 0:
+            raise ParameterError(f"retry_index must be >= 0, got {retry_index}")
+        return self.backoff_base_cycles * self.backoff_multiplier**retry_index
+
+
+#: The do-nothing policy: attaching it must leave every measurement
+#: bit-identical to not attaching a policy at all.
+NO_FAULTS = FaultPolicy()

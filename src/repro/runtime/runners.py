@@ -105,6 +105,17 @@ def _run_oversubscription_point(spec: RunSpec) -> Any:
     return run_point(config, **kwargs)
 
 
+@register_runner("resilience_point")
+def _run_resilience_point(spec: RunSpec) -> Any:
+    """One (failure-rate, timeout) cell of the degraded-mode study."""
+    from ..application.resilience import run_resilience_point
+
+    kwargs = spec.params_dict()
+    if spec.seed is not None:
+        kwargs["seed"] = spec.seed
+    return run_resilience_point(**kwargs)
+
+
 @register_runner("application_topology")
 def _run_application_topology(spec: RunSpec) -> Any:
     """One whole-application call-graph simulation."""

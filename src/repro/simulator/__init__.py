@@ -26,7 +26,13 @@ from .interface import (
     pcie_interface,
 )
 from .guards import require_positive_window
-from .metrics import CycleKind, MetricSink, OffloadRecord, RequestRecord
+from .metrics import (
+    CycleKind,
+    FaultCounters,
+    MetricSink,
+    OffloadRecord,
+    RequestRecord,
+)
 from .runner import (
     SimulationConfig,
     SimulationResult,
@@ -57,6 +63,7 @@ __all__ = [
     "YieldCore",
     "CycleKind",
     "Engine",
+    "FaultCounters",
     "HoldCore",
     "InterfaceModel",
     "KernelInvocation",

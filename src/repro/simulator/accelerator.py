@@ -10,11 +10,14 @@ simulator's ground truth for the model parameter ``Q``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..core.strategies import Placement
 from ..errors import ParameterError
 from .engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.degradation import DegradationSchedule
 
 
 @dataclasses.dataclass(slots=True)
@@ -24,6 +27,11 @@ class AcceleratorStats:
     offloads_served: int = 0
     busy_cycles: float = 0.0
     total_queue_cycles: float = 0.0
+
+    #: Offloads served while a degradation window was active, and the
+    #: extra service cycles the degradation cost them.
+    degraded_offloads: int = 0
+    degraded_extra_cycles: float = 0.0
 
     def mean_queue_cycles(self) -> float:
         if self.offloads_served == 0:
@@ -43,7 +51,7 @@ class AcceleratorDevice:
     """
 
     __slots__ = ("_engine", "peak_speedup", "placement", "name", "_free_at",
-                 "stats")
+                 "stats", "degradation")
 
     def __init__(
         self,
@@ -52,6 +60,7 @@ class AcceleratorDevice:
         placement: Placement = Placement.OFF_CHIP,
         servers: int = 1,
         name: Optional[str] = None,
+        degradation: Optional["DegradationSchedule"] = None,
     ) -> None:
         if peak_speedup <= 0:
             raise ParameterError("peak_speedup must be > 0")
@@ -64,6 +73,10 @@ class AcceleratorDevice:
         #: Next-free time per engine, in host cycles.
         self._free_at: List[float] = [0.0] * servers
         self.stats = AcceleratorStats()
+        #: Optional deterministic degradation timeline: finite-multiplier
+        #: windows slow service down; outage windows are enforced by the
+        #: fault injector as guaranteed drops before work reaches here.
+        self.degradation = degradation
 
     def service_cycles(self, host_kernel_cycles: float) -> float:
         """Accelerator time for work costing *host_kernel_cycles* on host."""
@@ -90,6 +103,13 @@ class AcceleratorDevice:
         engine_index = min(range(len(self._free_at)), key=self._free_at.__getitem__)
         start = max(arrival_time, self._free_at[engine_index])
         queue_cycles = start - arrival_time
+        if self.degradation is not None:
+            multiplier = self.degradation.multiplier_at(start)
+            if multiplier != 1.0:
+                degraded_service = service * multiplier
+                self.stats.degraded_offloads += 1
+                self.stats.degraded_extra_cycles += degraded_service - service
+                service = degraded_service
         completion = start + service
         self._free_at[engine_index] = completion
 

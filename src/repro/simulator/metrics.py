@@ -52,12 +52,50 @@ class OffloadRecord:
 
 
 @dataclasses.dataclass(slots=True)
+class FaultCounters:
+    """Degraded-mode accounting for one offloaded kernel.
+
+    ``attempts`` counts every dispatch the fault layer adjudicated
+    (including the final successful one); ``drops``/``timeouts`` count
+    failed attempts; ``retries`` counts re-dispatches; ``fallbacks``
+    counts offloads that exhausted their retries.  The ``*_cycles``
+    fields record where the recovery cycles went, so goodput-vs-
+    throughput analyses can separate useful work from fault tax.
+    """
+
+    attempts: int = 0
+    drops: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    latency_spikes: int = 0
+    fallbacks: int = 0
+    lost_offloads: int = 0
+    timeout_cycles: float = 0.0
+    backoff_cycles: float = 0.0
+    fallback_cycles: float = 0.0
+    spike_cycles: float = 0.0
+
+    def merge(self, other: "FaultCounters") -> None:
+        """Accumulate *other* into this counter set."""
+        for field in dataclasses.fields(FaultCounters):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+
+@dataclasses.dataclass(slots=True)
 class RequestRecord:
     """One request's lifecycle."""
 
     request_id: int
     started_at: float
     completed_at: Optional[float] = None
+
+    #: True when a fault degraded this request: an offload fell back to
+    #: the host CPU, or (without fallback) its work was lost outright.
+    degraded: bool = False
 
     @property
     def latency(self) -> float:
@@ -70,7 +108,7 @@ class MetricSink:
     """Accumulates simulator measurements."""
 
     __slots__ = ("cycles", "offloads", "requests", "kernel_invocations",
-                 "kernel_cycles", "kernel_cycles_by_origin")
+                 "kernel_cycles", "kernel_cycles_by_origin", "faults")
 
     def __init__(self) -> None:
         self.cycles: Dict[
@@ -85,6 +123,11 @@ class MetricSink:
         self.kernel_cycles_by_origin: Dict[
             Tuple[str, FunctionalityCategory], float
         ] = defaultdict(float)
+        #: Degraded-mode accounting per offloaded kernel.  Populated only
+        #: when a fault injector actually adjudicated attempts, so a
+        #: fault-free run's measurement record stays byte-identical to one
+        #: taken before the fault layer existed.
+        self.faults: Dict[str, FaultCounters] = {}
 
     # -- cycle attribution ------------------------------------------------
 
@@ -218,3 +261,19 @@ class MetricSink:
         if not self.offloads:
             return 0.0
         return sum(o.queued_cycles for o in self.offloads) / len(self.offloads)
+
+    # -- faults --------------------------------------------------------------
+
+    def fault_counters(self, kernel: str) -> FaultCounters:
+        """The (created-on-first-use) fault counters for *kernel*."""
+        counters = self.faults.get(kernel)
+        if counters is None:
+            counters = self.faults[kernel] = FaultCounters()
+        return counters
+
+    def fault_totals(self) -> FaultCounters:
+        """All per-kernel fault counters merged into one."""
+        total = FaultCounters()
+        for counters in self.faults.values():
+            total.merge(counters)
+        return total

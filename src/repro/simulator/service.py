@@ -13,12 +13,25 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Callable, Deque, Dict, Iterator, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..core.strategies import Placement, ThreadingDesign
 from ..errors import SimulationError
+from ..faults.policy import AttemptOutcome
 from ..paperdata.categories import FunctionalityCategory, LeafCategory
 from .accelerator import AcceleratorDevice
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
 from .cpu import (
     CPU,
     Compute,
@@ -154,6 +167,12 @@ class OffloadConfig:
     #: a size-triggered production batcher.
     batch_size: int = 1
 
+    #: Optional seeded fault injector.  When active, every dispatch of
+    #: this kernel runs through the retry / exponential-backoff /
+    #: fallback-to-CPU state machine in
+    #: :meth:`Microservice._adjudicate_faults`.
+    faults: Optional["FaultInjector"] = None
+
     _batch_state: _BatchState = dataclasses.field(default_factory=_BatchState)
 
     def __post_init__(self) -> None:
@@ -166,6 +185,11 @@ class OffloadConfig:
             raise SimulationError(
                 "batched offload requires an async design: a blocking "
                 "thread cannot wait on a batch it has not filled"
+            )
+        if self.faults is not None and self.batch_size > 1:
+            raise SimulationError(
+                "fault injection is per-dispatch and cannot be combined "
+                "with batched offload (batch_size > 1)"
             )
 
     def gates_request(self) -> bool:
@@ -256,6 +280,10 @@ class _RequestContext:
     def body_finished(self) -> None:
         self._body_done = True
         self._maybe_complete()
+
+    def mark_degraded(self) -> None:
+        """Record that a fault degraded this request (fallback or loss)."""
+        self._record.degraded = True
 
     def _maybe_complete(self) -> None:
         if (
@@ -377,6 +405,17 @@ class Microservice:
         transfer = config.interface.transfer_cycles(invocation.granularity)
         dispatch = config.interface.dispatch_cycles
         o1 = config.thread_switch_cycles
+        extra_delay = 0.0
+        injector = config.faults
+        if injector is not None and injector.active:
+            extra_delay = yield from self._adjudicate_faults(
+                thread, kernel, host_cycles, transfer, dispatch, o1, config,
+                context,
+            )
+            if extra_delay is None:
+                # Retries exhausted: the kernel ran on the host (fallback)
+                # or its work was lost.  Nothing reaches the device.
+                return
         record = OffloadRecord(
             kernel=kernel.name,
             granularity=invocation.granularity,
@@ -387,11 +426,13 @@ class Microservice:
 
         if design is ThreadingDesign.SYNC:
             yield from self._offload_sync(
-                thread, kernel, host_cycles, transfer, dispatch, config, record
+                thread, kernel, host_cycles, transfer, dispatch, config, record,
+                extra_delay,
             )
         elif design is ThreadingDesign.SYNC_OS:
             yield from self._offload_sync_os(
-                thread, kernel, host_cycles, transfer, dispatch, o1, config, record
+                thread, kernel, host_cycles, transfer, dispatch, o1, config,
+                record, extra_delay,
             )
         elif design in (
             ThreadingDesign.ASYNC,
@@ -399,16 +440,162 @@ class Microservice:
             ThreadingDesign.ASYNC_NO_RESPONSE,
         ):
             yield from self._offload_async(
-                kernel, host_cycles, transfer, dispatch, config, record, context
+                kernel, host_cycles, transfer, dispatch, config, record,
+                context, extra_delay,
             )
         else:
             raise SimulationError(f"unsupported threading design {design!r}")
 
+    # -- fault handling ---------------------------------------------------------
+
+    def _adjudicate_faults(
+        self,
+        thread: SimThread,
+        kernel: KernelSpec,
+        host_cycles: float,
+        transfer: float,
+        dispatch: float,
+        o1: float,
+        config: OffloadConfig,
+        context: _RequestContext,
+    ):
+        """Retry loop for one offload under ``config.faults``.
+
+        Returns the response-delay shift of the final successful dispatch
+        (accumulated async timeouts plus any latency spike), or ``None``
+        when the offload exhausted its retries -- in which case the
+        fallback (or the loss) has already been accounted for.
+        """
+        injector = config.faults
+        policy = injector.policy
+        counters = self.metrics.fault_counters(kernel.name)
+        blocking = config.design in (
+            ThreadingDesign.SYNC,
+            ThreadingDesign.SYNC_OS,
+        )
+        waited = 0.0
+        failures = 0
+        while True:
+            outcome = injector.outcome(self.engine.now)
+            counters.attempts += 1
+            if outcome is AttemptOutcome.OK:
+                return waited
+            if outcome is AttemptOutcome.SPIKE:
+                counters.latency_spikes += 1
+                counters.spike_cycles += policy.spike_cycles
+                return waited + policy.spike_cycles
+            # DROP: the attempt never completes; the host pays its share
+            # of the dispatch cost and notices only via the timeout.
+            failures += 1
+            counters.drops += 1
+            counters.timeouts += 1
+            counters.timeout_cycles += policy.timeout_cycles
+            yield from self._failed_attempt(
+                thread, kernel, transfer, dispatch, o1, config
+            )
+            if not blocking:
+                # Async hosts compute through the wait; the lost time
+                # surfaces as response delay instead of core time.
+                waited += policy.timeout_cycles
+            if failures > policy.max_retries:
+                yield from self._fall_back(
+                    kernel, host_cycles, counters, policy, context
+                )
+                return None
+            backoff = policy.backoff_cycles(failures - 1)
+            if backoff > 0:
+                counters.backoff_cycles += backoff
+                yield Compute(
+                    backoff, kernel.functionality, kernel.leaf, CycleKind.BLOCKED
+                )
+            counters.retries += 1
+
+    def _failed_attempt(
+        self,
+        thread: SimThread,
+        kernel: KernelSpec,
+        transfer: float,
+        dispatch: float,
+        o1: float,
+        config: OffloadConfig,
+    ):
+        """Charge one dropped attempt's host-side cost for the design.
+
+        Sync: ``o0`` busy plus the timeout blocked on-core.  Sync-OS:
+        ``o0 + 2*o1`` busy with the timeout spent off-core.  Async family:
+        ``o0 + L`` busy (the bytes were sent), timeout off the host.
+        """
+        design = config.design
+        timeout = config.faults.policy.timeout_cycles
+        if design is ThreadingDesign.SYNC:
+            if dispatch > 0:
+                yield Compute(
+                    dispatch, kernel.functionality, kernel.leaf,
+                    CycleKind.OFFLOAD_OVERHEAD,
+                )
+            if timeout > 0:
+                self.engine.after(timeout, lambda: self.cpu.resume(thread))
+                yield HoldCore(kernel.functionality, kernel.leaf)
+        elif design is ThreadingDesign.SYNC_OS:
+            if dispatch > 0:
+                yield Compute(
+                    dispatch, kernel.functionality, kernel.leaf,
+                    CycleKind.OFFLOAD_OVERHEAD,
+                )
+            if timeout > 0:
+                if o1 > 0:
+                    yield Compute(
+                        o1,
+                        FunctionalityCategory.THREAD_POOL,
+                        LeafCategory.KERNEL,
+                        CycleKind.THREAD_SWITCH,
+                    )
+                self.engine.after(timeout, lambda: self.cpu.resume(thread))
+                yield ReleaseCore(resume_charge=o1)
+            elif o1 > 0:
+                # Immediate detection still pays the pair of switches,
+                # keeping cost parity with eqn. (3)'s 2 * o1.
+                yield Compute(
+                    2.0 * o1,
+                    FunctionalityCategory.THREAD_POOL,
+                    LeafCategory.KERNEL,
+                    CycleKind.THREAD_SWITCH,
+                )
+        else:
+            overhead = dispatch + transfer
+            if overhead > 0:
+                yield Compute(
+                    overhead, kernel.functionality, kernel.leaf,
+                    CycleKind.OFFLOAD_OVERHEAD,
+                )
+
+    def _fall_back(
+        self,
+        kernel: KernelSpec,
+        host_cycles: float,
+        counters,
+        policy,
+        context: _RequestContext,
+    ):
+        """Retries exhausted: run on the host CPU, or lose the work."""
+        context.mark_degraded()
+        if policy.fallback_to_cpu:
+            counters.fallbacks += 1
+            counters.fallback_cycles += host_cycles
+            self.metrics.charge_kernel(
+                kernel.name, host_cycles, origin=kernel.functionality
+            )
+            if host_cycles > 0:
+                yield Compute(host_cycles, kernel.functionality, kernel.leaf)
+        else:
+            counters.lost_offloads += 1
+
     def _offload_sync(
-        self, thread, kernel, host_cycles, transfer, dispatch, config, record
+        self, thread, kernel, host_cycles, transfer, dispatch, config, record,
+        extra_delay=0.0,
     ):
         """Sync (Fig. 12): the core blocks through transfer, queue, and
-        accelerator service."""
+        accelerator service (plus any fault-induced *extra_delay*)."""
         if dispatch > 0:
             yield Compute(
                 dispatch, kernel.functionality, kernel.leaf, CycleKind.OFFLOAD_OVERHEAD
@@ -421,9 +608,12 @@ class Microservice:
             record.completed_at = completion
             self.cpu.resume(thread)
 
+        arrival_time = self.engine.now + transfer
+        if extra_delay:
+            arrival_time += extra_delay
         config.device.submit(
             host_cycles,
-            arrival_time=self.engine.now + transfer,
+            arrival_time=arrival_time,
             on_accept=on_accept,
             on_complete=on_complete,
         )
@@ -431,7 +621,8 @@ class Microservice:
         self.metrics.record_offload(record)
 
     def _offload_sync_os(
-        self, thread, kernel, host_cycles, transfer, dispatch, o1, config, record
+        self, thread, kernel, host_cycles, transfer, dispatch, o1, config,
+        record, extra_delay=0.0,
     ):
         """Sync-OS (Fig. 13): block through the driver ack (if any), then
         switch to another thread; switch back on completion (2 x o1)."""
@@ -448,6 +639,9 @@ class Microservice:
             else:
                 completed_early["flag"] = True
 
+        arrival_time = self.engine.now + transfer
+        if extra_delay:
+            arrival_time += extra_delay
         awaits_ack = (
             config.driver_awaits_ack
             and config.interface.placement is not Placement.REMOTE
@@ -460,7 +654,7 @@ class Microservice:
 
             config.device.submit(
                 host_cycles,
-                arrival_time=self.engine.now + transfer,
+                arrival_time=arrival_time,
                 on_accept=on_accept,
                 on_complete=on_complete,
             )
@@ -472,7 +666,7 @@ class Microservice:
 
             config.device.submit(
                 host_cycles,
-                arrival_time=self.engine.now + transfer,
+                arrival_time=arrival_time,
                 on_accept=on_accept,
                 on_complete=on_complete,
             )
@@ -499,11 +693,14 @@ class Microservice:
         self.metrics.record_offload(record)
 
     def _offload_async(
-        self, kernel, host_cycles, transfer, dispatch, config, record, context
+        self, kernel, host_cycles, transfer, dispatch, config, record, context,
+        extra_delay=0.0,
     ):
         """Async (Fig. 14): the host pays dispatch + transfer cycles and
         keeps running; responses gate request completion (except remote
-        fire-and-forget) and may be consumed by a dedicated thread."""
+        fire-and-forget) and may be consumed by a dedicated thread.
+        Fault-induced *extra_delay* (timeouts waited out off the host,
+        latency spikes) pushes the device arrival into the future."""
         if config.batch_size > 1:
             yield from self._offload_async_batched(
                 kernel, host_cycles, config, record, context
@@ -537,9 +734,12 @@ class Microservice:
             elif gates:
                 context.release_gate()
 
+        arrival_time = self.engine.now
+        if extra_delay:
+            arrival_time += extra_delay
         config.device.submit(
             host_cycles,
-            arrival_time=self.engine.now,
+            arrival_time=arrival_time,
             on_accept=on_accept,
             on_complete=on_complete,
         )

@@ -74,6 +74,34 @@ class RunSummary:
         window = require_positive_window(self.config.window_cycles)
         return self.completed_requests / window
 
+    # -- degraded-mode measurements ---------------------------------------
+
+    @property
+    def degraded_requests(self) -> int:
+        """Completed requests that a fault degraded (an offload fell back
+        to the host CPU, or its work was lost outright)."""
+        return sum(
+            1
+            for record in self.metrics.requests
+            if record.completed_at is not None and record.degraded
+        )
+
+    @property
+    def goodput(self) -> float:
+        """Fully-served (non-degraded) requests completed per window
+        cycle.  Equal to :attr:`throughput` in a fault-free run; the gap
+        between the two is the service quality the fault regime cost."""
+        window = require_positive_window(self.config.window_cycles)
+        return (self.completed_requests - self.degraded_requests) / window
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Share of completed requests that were not degraded."""
+        completed = self.completed_requests
+        if completed == 0:
+            raise ParameterError("no completed requests in the window")
+        return (completed - self.degraded_requests) / completed
+
     @property
     def mean_latency_cycles(self) -> float:
         return self.metrics.mean_latency()
@@ -130,6 +158,13 @@ class RunSummary:
             record["percentiles"] = {
                 p: self.latency_percentile(p) for p in SUMMARY_PERCENTILES
             }
+        if sink.faults:
+            # Only fault-affected runs grow these keys, so a fault-free
+            # run's record (and fingerprint) is bit-identical to one taken
+            # before the fault layer existed.
+            record["faults"] = dict(sink.faults)
+            record["degraded_requests"] = self.degraded_requests
+            record["goodput"] = self.goodput if completed else 0.0
         return record
 
     def fingerprint(self) -> str:

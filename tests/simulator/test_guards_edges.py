@@ -1,0 +1,58 @@
+"""Edge cases of the shared measurement-window guard.
+
+``require_positive_window`` is the last line of defence before every
+throughput division in the simulator; these tests pin down exactly which
+"0-adjacent" values it rejects and what it returns for the ones it lets
+through.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulator.guards import require_positive_window
+
+
+class TestRejections:
+    @pytest.mark.parametrize("bad", [None, "1e6", [1.0e6], {"w": 1.0}])
+    def test_non_numbers_rejected(self, bad):
+        with pytest.raises(ParameterError, match="must be a number"):
+            require_positive_window(bad)
+
+    def test_bool_is_accepted_as_int(self):
+        """``bool`` is an ``int`` subclass; True is a (silly but legal)
+        1-cycle window, False a zero window."""
+        assert require_positive_window(True) == 1.0
+        with pytest.raises(ParameterError, match="must be > 0"):
+            require_positive_window(False)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(ParameterError, match="must be finite"):
+            require_positive_window(bad)
+
+    @pytest.mark.parametrize("bad", [0, 0.0, -0.0, -1, -1.0e9])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ParameterError, match="must be > 0"):
+            require_positive_window(bad)
+
+    def test_context_names_the_failing_parameter(self):
+        with pytest.raises(ParameterError, match="warmup_cycles"):
+            require_positive_window(0.0, context="warmup_cycles")
+
+
+class TestAcceptance:
+    def test_returns_float(self):
+        value = require_positive_window(5)
+        assert isinstance(value, float)
+        assert value == 5.0
+
+    def test_tiny_denormal_window_accepted(self):
+        """Positivity is the contract, not a magnitude floor."""
+        tiny = math.ulp(0.0)
+        assert require_positive_window(tiny) == tiny
+
+    def test_huge_finite_window_accepted(self):
+        huge = math.nextafter(math.inf, 0.0)
+        assert require_positive_window(huge) == huge
