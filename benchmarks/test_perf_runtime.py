@@ -50,6 +50,35 @@ def test_des_event_rate_floor():
     assert best > 80_000, f"event rate collapsed: {best:,.0f} events/s"
 
 
+def test_tracing_overhead_is_bounded():
+    """Span tracing buys its data with wall clock only, and not much of
+    it: a traced run must stay within a small constant factor of the
+    untraced run (BENCH_runtime.json records the measured ratio)."""
+    from repro.observability import SpanTracer
+
+    workload = build_workload("cache1")
+    config = SimulationConfig(num_cores=2, window_cycles=4.0e6)
+
+    def run_once(tracer):
+        rng = np.random.default_rng(0)
+
+        def build(engine, cpu, metrics):
+            service = Microservice(engine, cpu, metrics, name="cache1")
+            return service, workload.request_factory(rng)
+
+        start = time.perf_counter()
+        run_simulation(build, config, tracer=tracer)
+        return time.perf_counter() - start
+
+    best_off = min(run_once(None) for _ in range(3))
+    best_on = min(run_once(SpanTracer(label="bench")) for _ in range(3))
+    # Measured ~1.7x on a throttled container; 4x catches an accidental
+    # per-event allocation or a tracer call that escaped its gate.
+    assert best_on < best_off * 4.0, (
+        f"tracing overhead exploded: {best_on / best_off:.1f}x"
+    )
+
+
 def test_warm_cache_replay_is_fast_and_complete(tmp_path):
     """A warm cache must skip simulation entirely and be near-instant."""
     cache = ResultCache(tmp_path)

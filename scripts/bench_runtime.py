@@ -73,6 +73,44 @@ def bench_event_rate(repeat: int = 3, window_cycles: float = 4.0e6) -> dict:
     return best
 
 
+def bench_tracing_overhead(repeat: int = 3, window_cycles: float = 4.0e6) -> dict:
+    """Wall-clock cost of span tracing: events/s untraced vs traced.
+
+    Simulated-time results are bit-identical either way (the
+    zero-observer-effect regression tests pin that), so wall clock is
+    the only thing tracing is allowed to cost.  Best of *repeat* for
+    each mode."""
+    from repro.observability import SpanTracer
+
+    workload = build_workload("cache1")
+    config = SimulationConfig(num_cores=2, window_cycles=window_cycles)
+
+    def run_once(tracer):
+        rng = np.random.default_rng(0)
+
+        def build(engine, cpu, metrics):
+            service = Microservice(engine, cpu, metrics, name="cache1")
+            return service, workload.request_factory(rng)
+
+        start = time.perf_counter()
+        result = run_simulation(build, config, tracer=tracer)
+        return result.events_processed, time.perf_counter() - start
+
+    best_off = best_on = None
+    events = 0
+    for index in range(repeat):
+        events, off_seconds = run_once(None)
+        _, on_seconds = run_once(SpanTracer(label="bench"))
+        best_off = off_seconds if best_off is None else min(best_off, off_seconds)
+        best_on = on_seconds if best_on is None else min(best_on, on_seconds)
+    return {
+        "events": events,
+        "untraced_events_per_second": events / best_off,
+        "traced_events_per_second": events / best_on,
+        "overhead_pct": (best_on / best_off - 1.0) * 100.0,
+    }
+
+
 def bench_characterize(repeat: int = 2) -> dict:
     """Wall-clock of one full service characterization."""
     best = None
@@ -138,6 +176,12 @@ def main(argv=None) -> int:
           f"({event_rate['events']} events in "
           f"{event_rate['wall_seconds']:.3f}s)")
 
+    print("benchmarking tracing overhead ...", flush=True)
+    tracing = bench_tracing_overhead(repeat=args.repeat)
+    print(f"  untraced {tracing['untraced_events_per_second']:,.0f} events/s | "
+          f"traced {tracing['traced_events_per_second']:,.0f} events/s "
+          f"({tracing['overhead_pct']:+.1f}%)")
+
     print("benchmarking characterization ...", flush=True)
     char = bench_characterize()
     print(f"  cache1 characterization: {char['wall_seconds']:.2f}s")
@@ -152,12 +196,13 @@ def main(argv=None) -> int:
           f"({matrix['warm_cache_speedup']:.0f}x)")
 
     payload = {
-        "schema": "bench-runtime-v1",
+        "schema": "bench-runtime-v2",
         "python": platform.python_version(),
         "cpus": os.cpu_count(),
         "cpu_affinity": len(os.sched_getaffinity(0))
         if hasattr(os, "sched_getaffinity") else None,
         "event_rate": event_rate,
+        "tracing_overhead": tracing,
         "characterize_cache1": char,
         "validation_matrix": matrix,
     }

@@ -1,0 +1,152 @@
+"""OBS001: observability emission must be gated behind the tracer flag.
+
+The observability layer's zero-observer-effect contract has a structural
+half: the simulator and fault machinery only ever *talk to* a tracer
+through an ``is not None`` gate, so an untraced run pays one attribute
+load and one comparison per hook -- no allocation, no call, no way for
+tracing state to leak into simulation decisions.  That discipline erodes
+one convenience call at a time (``self.tracer.record_x(...)`` with no
+guard "works" on every traced test run), so this rule pins it: inside
+``simulator/`` and ``faults/``, every method call on a tracer-named
+receiver must sit under an ``if`` whose test mentions that name.
+
+Recognized gates::
+
+    trace = self.trace
+    if trace is not None:
+        trace.record_interval(...)          # gated
+
+    if tracer is None:
+        return                              # early exit gates the rest
+    tracer.begin_request(...)               # gated
+
+Violations::
+
+    self.tracer.record_interval(...)        # no gate at all
+    if enabled:
+        tracer.end_body(...)                # gate tests the wrong name
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Set
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register_rule
+
+#: Receiver names treated as observability handles.  Matching is by the
+#: terminal name, so both a local ``tracer`` and an attribute
+#: ``self.trace`` are recognized.
+_TRACER_NAMES = {"trace", "tracer", "_tracer", "observer"}
+
+#: Statements that end a suite, making a preceding ``if x is None:``
+#: an effective gate for everything after it.
+_TERMINAL = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+def _tracer_names_in(test: ast.expr) -> FrozenSet[str]:
+    """Tracer-ish names referenced anywhere in a gate expression."""
+    names: Set[str] = set()
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id in _TRACER_NAMES:
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute) and node.attr in _TRACER_NAMES:
+            names.add(node.attr)
+    return frozenset(names)
+
+
+def _receiver_name(func: ast.expr):
+    """The tracer name a method call dispatches on, if any."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = func.value
+    if isinstance(receiver, ast.Name) and receiver.id in _TRACER_NAMES:
+        return receiver.id
+    if isinstance(receiver, ast.Attribute) and receiver.attr in _TRACER_NAMES:
+        return receiver.attr
+    return None
+
+
+def _exits(body) -> bool:
+    return bool(body) and isinstance(body[-1], _TERMINAL)
+
+
+@register_rule
+class GatedObservability(Rule):
+    """OBS001: tracer method calls in simulator/faults code must be
+    inside an ``if`` that tests the tracer name."""
+
+    name = "OBS001"
+    severity = Severity.WARNING
+    description = (
+        "span/metric emission in simulator/ and faults/ is gated behind "
+        "an `if <tracer> ...` check naming the receiver"
+    )
+    invariant = (
+        "zero observer effect: untraced runs execute no tracer calls, so "
+        "every simulator/fault hook costs one attribute load and one "
+        "comparison when observability is off"
+    )
+
+    def check(self, source, context) -> Iterator[Finding]:
+        if not source.in_scope("simulator", "faults"):
+            return
+        yield from self._visit_suite(source, source.tree.body, frozenset())
+
+    def _visit_suite(self, source, statements, guarded: FrozenSet[str]):
+        """Scan a statement suite left to right, accumulating gates from
+        early-exit ``if`` statements."""
+        for statement in statements:
+            if isinstance(statement, ast.If):
+                names = _tracer_names_in(statement.test)
+                yield from self._visit_suite(
+                    source, statement.body, guarded | names
+                )
+                yield from self._visit_suite(
+                    source, statement.orelse, guarded
+                )
+                if names and _exits(statement.body):
+                    guarded = guarded | names
+                continue
+            yield from self._visit_node(source, statement, guarded)
+
+    def _visit_node(self, source, node, guarded: FrozenSet[str]):
+        if isinstance(node, ast.IfExp):
+            names = _tracer_names_in(node.test)
+            yield from self._visit_node(source, node.test, guarded | names)
+            yield from self._visit_node(source, node.body, guarded | names)
+            yield from self._visit_node(source, node.orelse, guarded)
+            return
+        if isinstance(node, ast.Call):
+            name = _receiver_name(node.func)
+            if name is not None and name not in guarded:
+                yield Finding(
+                    rule=self.name,
+                    path=source.relpath,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    message=(
+                        f"tracer call {ast.unparse(node.func)}() is not "
+                        f"gated behind an `if {name} ...` check"
+                    ),
+                    hint=(
+                        "bind the tracer to a local and gate the call: "
+                        f"`{name} = self.{name}` / "
+                        f"`if {name} is not None: {name}.method(...)`"
+                    ),
+                    severity=self.severity,
+                )
+        for _, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    # A nested statement suite (function/loop/with/try
+                    # body): scan it sequentially so early-exit gates
+                    # accumulate at any depth.
+                    yield from self._visit_suite(source, value, guarded)
+                else:
+                    for item in value:
+                        if isinstance(item, ast.AST):
+                            yield from self._visit_node(source, item, guarded)
+            elif isinstance(value, ast.AST):
+                yield from self._visit_node(source, value, guarded)

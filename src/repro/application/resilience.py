@@ -171,6 +171,48 @@ def run_resilience_point(
     )
 
 
+def traced_resilience_run(
+    drop_probability: float,
+    timeout_cycles: float,
+    design: ThreadingDesign = ThreadingDesign.SYNC,
+    max_retries: int = 2,
+    backoff_base_cycles: float = 0.0,
+    alpha: float = 0.3,
+    accel_speedup: float = 8.0,
+    num_cores: int = 2,
+    window_cycles: float = 8.0e6,
+    seed: int = 0,
+):
+    """Re-run one resilience cell's *accelerated* build with a span tracer.
+
+    :class:`ResiliencePoint` stays plain scalars (it must pickle into the
+    result cache), so the traced run is a separate instrument: same
+    builder, same seed, same fault stream, plus a
+    :class:`~repro.observability.SpanTracer` whose finished trace shows
+    each retry, backoff gap, and CPU fallback on the request timeline.
+    Returns the live :class:`~repro.simulator.runner.SimulationResult`
+    with ``result.trace`` populated.
+    """
+    from ..observability import SpanTracer
+
+    policy = FaultPolicy(
+        drop_probability=drop_probability,
+        timeout_cycles=timeout_cycles,
+        max_retries=max_retries,
+        backoff_base_cycles=backoff_base_cycles,
+    )
+    _, build_accelerated, _ = _builds(
+        alpha, design, policy, seed, accel_speedup, num_cores
+    )
+    threads_per_core = 3 if design is ThreadingDesign.SYNC_OS else 1
+    config = SimulationConfig(
+        num_cores=num_cores, threads_per_core=threads_per_core,
+        window_cycles=window_cycles,
+    )
+    tracer = SpanTracer(label=f"resilience-{design.value}")
+    return run_simulation(build_accelerated, config, tracer=tracer)
+
+
 @dataclasses.dataclass(frozen=True)
 class ResilienceGrid:
     """All cells of a failure-rate x timeout sweep."""

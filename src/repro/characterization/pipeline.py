@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..observability import SpanTracer
 from ..profiling import (
     ExecutionProfile,
     IPCModel,
@@ -52,6 +53,7 @@ def characterize(
     window_cycles: Optional[float] = None,
     seed: int = 2020,
     requests_target: int = 400,
+    trace: Optional[bool] = None,
 ) -> CharacterizationRun:
     """Characterize one service on one platform.
 
@@ -59,6 +61,14 @@ def characterize(
     complete per core -- enough for the Poisson kernel sampling to settle
     near its calibrated means without making us-scale services slow to
     simulate.
+
+    *trace* attaches a :class:`~repro.observability.SpanTracer`; the
+    finished :class:`~repro.observability.TraceData` rides on
+    ``run.simulation.trace``.  Tracing changes no simulated-time
+    measurement and no fingerprint (the zero-observer-effect tests pin
+    this), but note that ``trace=None`` and ``trace=False`` hash to the
+    *same* cache key as the parameter being absent, while ``trace=True``
+    keys a distinct (trace-carrying) cache entry.
     """
     workload = build_workload(service)
     if window_cycles is None:
@@ -72,7 +82,8 @@ def characterize(
     config = SimulationConfig(
         num_cores=num_cores, threads_per_core=1, window_cycles=window_cycles
     )
-    result = run_simulation(build, config)
+    tracer = SpanTracer(label=service) if trace else None
+    result = run_simulation(build, config, tracer=tracer)
     ipc_model = IPCModel(platform=platform)
     sampler = StackSampler(workload.trace_templates())
     profile = capture_trace_profile(
@@ -90,6 +101,7 @@ def characterize_all(
     workers: int = 1,
     cache: CacheArg = None,
     report: Optional[BatchReport] = None,
+    trace: bool = False,
     **kwargs,
 ) -> Dict[str, CharacterizationRun]:
     """Characterize several services (default: the seven of Fig. 9).
@@ -97,6 +109,10 @@ def characterize_all(
     Runs go through the batch executor: *workers* > 1 characterizes
     services in parallel processes, and *cache* serves previously
     simulated (service, platform, seed, ...) combinations from disk.
+
+    With *trace* the per-service runs carry span tracers.  A disabled
+    trace is passed as ``None`` so :meth:`RunSpec.create` drops it and
+    untraced cache keys stay byte-identical to pre-observability keys.
     """
     from ..paperdata.breakdowns import FB_SERVICES
 
@@ -107,6 +123,7 @@ def characterize_all(
             seed=seed + i,
             service=service,
             platform=platform,
+            trace=True if trace else None,
             **kwargs,
         )
         for i, service in enumerate(services)

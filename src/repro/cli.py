@@ -565,6 +565,58 @@ def _add_fault_arguments(p: argparse.ArgumentParser) -> None:
                    "on the host CPU")
 
 
+def _export_traced_cell(args: argparse.Namespace, policy, design) -> None:
+    """Shared --trace-out/--metrics-out handling for simulate/resilience:
+    re-run the accelerated cell with a span tracer (same seed, same fault
+    stream -- tracing changes nothing simulated) and export artifacts."""
+    from .application.resilience import traced_resilience_run
+    from .observability import (
+        attribute_requests,
+        fault_cost_cycles,
+        metrics_payload,
+        write_windowed_metrics,
+    )
+    from .simulator.trace_export import export_chrome_trace
+
+    result = traced_resilience_run(
+        drop_probability=policy.drop_probability,
+        timeout_cycles=policy.timeout_cycles,
+        design=design,
+        max_retries=policy.max_retries,
+        backoff_base_cycles=policy.backoff_base_cycles,
+        alpha=getattr(args, "alpha", 0.3),
+        accel_speedup=getattr(args, "a", 8.0),
+        seed=args.seed,
+    )
+    summary = result.summarize()
+    if args.trace_out:
+        path = export_chrome_trace(
+            summary.metrics, args.trace_out, trace=summary.trace
+        )
+        _print(f"wrote {path}")
+    if args.metrics_out:
+        horizon = summary.config.window_cycles
+        payload = metrics_payload(
+            summary.metrics, horizon / 20.0, horizon, trace=summary.trace
+        )
+        path = write_windowed_metrics(payload, args.metrics_out)
+        _print(f"wrote {path}")
+    attributions = attribute_requests(summary.trace)
+    fault_cycles = sum(fault_cost_cycles(a) for a in attributions)
+    total_latency = sum(a.latency for a in attributions)
+    if total_latency > 0:
+        _print(f"fault-recovery cost: {fault_cycles:,.0f} cycles "
+               f"({fault_cycles / total_latency * 100:.1f}% of latency)")
+
+
+def _add_trace_out_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-out", default="",
+                   help="write a Chrome/Perfetto trace of the (traced) "
+                   "accelerated run to this path")
+    p.add_argument("--metrics-out", default="",
+                   help="write windowed time-series metrics JSON to this path")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> None:
     from .application.resilience import run_resilience_point
 
@@ -586,6 +638,8 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     _print(f"retries:           {point.retries}")
     _print(f"fallbacks:         {point.fallbacks}")
     _print(f"goodput fraction:  {point.goodput_fraction * 100:8.2f}%")
+    if args.trace_out or args.metrics_out:
+        _export_traced_cell(args, policy, ThreadingDesign(args.design))
 
 
 def _cmd_resilience(args: argparse.Namespace) -> None:
@@ -619,6 +673,85 @@ def _cmd_resilience(args: argparse.Namespace) -> None:
             f"{ads1.drop_probability:6.2f} {ads1.timeout_cycles:11.0f} "
             f"{ads1.degraded_speedup_pct:8.2f}% {ads1.erosion_pp:8.2f}pp"
         )
+    if args.trace_out or args.metrics_out:
+        from .faults import FaultPolicy
+
+        # Trace the worst-agreement cell: that is the one worth eyeballing.
+        worst = grid.worst_point()
+        _print("")
+        _print(f"tracing worst cell: drop={worst.drop_probability:g} "
+               f"timeout={worst.timeout_cycles:g}")
+        policy = FaultPolicy(
+            drop_probability=worst.drop_probability,
+            timeout_cycles=worst.timeout_cycles,
+            max_retries=worst.max_retries,
+        )
+        _export_traced_cell(args, policy, worst.design)
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .characterization import characterize
+    from .observability import (
+        attribute_requests,
+        attribution_totals,
+        metrics_payload,
+        windowed_series,
+        write_folded_stacks,
+        write_otlp_spans,
+        write_windowed_metrics,
+    )
+    from .simulator.trace_export import export_chrome_trace
+    from .viz import timeline_chart
+
+    run = characterize(
+        args.service, seed=args.seed, requests_target=args.requests,
+        num_cores=args.cores, trace=True,
+    )
+    summary = run.simulation
+    trace = summary.trace
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    horizon = summary.config.window_cycles
+    window = horizon / args.windows
+
+    written = [
+        export_chrome_trace(
+            summary.metrics, out / f"{args.service}-trace.json", trace=trace
+        ),
+        write_otlp_spans(trace, out / f"{args.service}-spans.json"),
+        write_windowed_metrics(
+            metrics_payload(summary.metrics, window, horizon, trace=trace),
+            out / f"{args.service}-metrics.json",
+        ),
+        write_folded_stacks(trace, out / f"{args.service}-profile.folded"),
+    ]
+    series = windowed_series(summary.metrics, window, horizon, trace=trace)
+    svg_path = out / f"{args.service}-windows.svg"
+    svg_path.write_text(timeline_chart(
+        {
+            "arrivals": series.series("arrivals"),
+            "completions": series.series("completions"),
+            "goodput": series.series("goodput"),
+        },
+        title=f"{args.service}: requests per window",
+        y_label="requests/window",
+    ))
+    written.append(svg_path)
+    for path in written:
+        _print(f"wrote {path}")
+
+    attributions = attribute_requests(trace)
+    totals = attribution_totals(attributions)
+    total_latency = sum(a.latency for a in attributions)
+    _print("")
+    _print(f"critical-path attribution over {len(attributions)} requests "
+           f"({len(trace.spans)} spans):")
+    for name, cycles in sorted(totals.items(), key=lambda kv: -kv[1]):
+        if cycles > 0:
+            _print(f"  {name:32s} {cycles:14.0f} cycles "
+                   f"({cycles / total_latency * 100:5.1f}% of latency)")
 
 
 def _cmd_fleet(args: argparse.Namespace) -> None:
@@ -838,6 +971,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--design", default="sync",
                    choices=[d.value for d in ThreadingDesign])
     _add_fault_arguments(p)
+    _add_trace_out_arguments(p)
 
     p = sub.add_parser(
         "resilience",
@@ -853,6 +987,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeouts", default="1000,4000,8000",
                    help="comma-separated timeout cycles")
     _add_runtime_arguments(p)
+    _add_trace_out_arguments(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="characterize one service with span tracing; export a "
+        "Chrome/Perfetto trace, OTLP spans, windowed metrics, folded "
+        "stacks, and a windowed-timeline SVG",
+    )
+    p.set_defaults(func=_cmd_trace)
+    p.add_argument("--service", default="cache1")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--requests", type=int, default=100,
+                   help="requests per core (window sizing)")
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--windows", type=int, default=20,
+                   help="tumbling windows across the run")
+    p.add_argument("--output", default="trace-out",
+                   help="directory for the exported artifacts")
 
     p = sub.add_parser("fleet", help="fleet-wide projection")
     p.set_defaults(func=_cmd_fleet)

@@ -1,0 +1,79 @@
+"""Per-request span tracing, windowed metrics, and critical-path analysis.
+
+The production-observability substrate over the DES, in four pieces:
+
+* :mod:`~repro.observability.spans` / :mod:`~repro.observability.tracer`
+  -- Dapper-style spans with causal parent links and deterministic ids,
+  recorded by a passive :class:`SpanTracer` the simulator calls through
+  ``is not None`` guards (zero observer effect by construction).
+* :mod:`~repro.observability.windows` -- Monarch-style tumbling-window
+  counters and fixed-bucket histograms over simulated time.
+* :mod:`~repro.observability.critical_path` -- per-request latency
+  attribution whose components sum to measured latency.
+* :mod:`~repro.observability.export` -- OTLP span JSON and folded
+  flamegraph stacks (the Chrome/Perfetto exporter lives with the
+  simulator in :mod:`repro.simulator.trace_export`).
+"""
+
+from .critical_path import (
+    RequestAttribution,
+    attribute_requests,
+    attribute_timeline,
+    attribution_totals,
+    fault_cost_cycles,
+)
+from .export import (
+    folded_stack_samples,
+    otlp_payload,
+    write_folded_stacks,
+    write_otlp_spans,
+)
+from .spans import (
+    DegradationTrack,
+    Interval,
+    RequestTimeline,
+    Span,
+    SpanKind,
+    TraceData,
+    span_id_from_sequence,
+    trace_id_from_request,
+)
+from .tracer import SpanTracer, TraceContext
+from .windows import (
+    Histogram,
+    WindowPoint,
+    WindowedSeries,
+    fixed_bucket_histogram,
+    metrics_payload,
+    windowed_series,
+    write_windowed_metrics,
+)
+
+__all__ = [
+    "DegradationTrack",
+    "Histogram",
+    "Interval",
+    "RequestAttribution",
+    "RequestTimeline",
+    "Span",
+    "SpanKind",
+    "SpanTracer",
+    "TraceContext",
+    "TraceData",
+    "WindowPoint",
+    "WindowedSeries",
+    "attribute_requests",
+    "attribute_timeline",
+    "attribution_totals",
+    "fault_cost_cycles",
+    "fixed_bucket_histogram",
+    "folded_stack_samples",
+    "metrics_payload",
+    "otlp_payload",
+    "span_id_from_sequence",
+    "trace_id_from_request",
+    "windowed_series",
+    "write_folded_stacks",
+    "write_otlp_spans",
+    "write_windowed_metrics",
+]

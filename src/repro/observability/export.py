@@ -1,0 +1,144 @@
+"""Exporters: OTLP-shaped span JSON and folded flamegraph stacks.
+
+Two standard interchange formats on top of :class:`TraceData`:
+
+* :func:`otlp_payload` -- the OpenTelemetry OTLP/JSON trace shape
+  (``resourceSpans`` > ``scopeSpans`` > ``spans``), one simulated cycle
+  mapped to one nanosecond, so any OTLP-speaking viewer can load a run.
+* :func:`folded_stack_samples` -- per-request intervals aggregated into
+  ``service;functionality;leaf``-style stacks through the existing
+  :mod:`repro.profiling.folded` serializer, so latency flamegraphs come
+  from the same pipeline as the Strobelight-style cycle flamegraphs.
+
+Both outputs are byte-deterministic: same trace, same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..profiling.folded import to_folded_text
+from ..profiling.stacks import SampledTrace
+from .spans import Span, SpanKind, TraceData
+
+#: OTLP span-kind codes.
+_OTLP_KINDS = {
+    SpanKind.REQUEST: 2,  # SERVER
+    SpanKind.RPC: 2,  # SERVER
+    SpanKind.OFFLOAD: 3,  # CLIENT
+    SpanKind.ATTEMPT: 3,  # CLIENT
+}
+
+#: Scope stamped on every exported span batch.
+OTLP_SCOPE = "repro.observability"
+
+
+def _otlp_value(value: object) -> Dict[str, object]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attributes(
+    attrs: Tuple[Tuple[str, object], ...]
+) -> List[Dict[str, object]]:
+    return [
+        {"key": key, "value": _otlp_value(value)} for key, value in attrs
+    ]
+
+
+def _otlp_span(span: Span) -> Dict[str, object]:
+    end = span.start if span.end is None else span.end
+    payload: Dict[str, object] = {
+        "traceId": span.trace_id,
+        "spanId": span.span_id,
+        "name": span.name,
+        "kind": _OTLP_KINDS.get(span.kind, 1),  # default INTERNAL
+        "startTimeUnixNano": str(int(round(span.start))),
+        "endTimeUnixNano": str(int(round(end))),
+        "attributes": _otlp_attributes(
+            span.attrs + (("span.kind.repro", span.kind.value),)
+        ),
+    }
+    if span.parent_id is not None:
+        payload["parentSpanId"] = span.parent_id
+    if span.end is None:
+        payload["attributes"].append(
+            {"key": "repro.window_truncated", "value": {"boolValue": True}}
+        )
+    return payload
+
+
+def otlp_payload(trace: TraceData) -> Dict[str, object]:
+    """The full OTLP/JSON trace payload for one run."""
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        {
+                            "key": "service.name",
+                            "value": {"stringValue": trace.label},
+                        }
+                    ]
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": OTLP_SCOPE},
+                        "spans": [_otlp_span(span) for span in trace.spans],
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def write_otlp_spans(
+    trace: TraceData, path: Union[str, Path]
+) -> Path:
+    """Write the OTLP span JSON to *path*, byte-deterministically."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(otlp_payload(trace), sort_keys=True, indent=1) + "\n"
+    )
+    return path
+
+
+def folded_stack_samples(trace: TraceData) -> Tuple[SampledTrace, ...]:
+    """Aggregate per-request intervals into flamegraph stacks.
+
+    Frames are ``label; functionality; leaf [kind-or-tag]`` -- the
+    fault tags surface as their own leaves, so a flamegraph shows the
+    backoff/fallback/timeout tax next to the work it interrupted.
+    """
+    totals: Dict[Tuple[str, ...], float] = {}
+    for timeline in trace.timelines:
+        for interval in timeline.intervals:
+            marker = interval.tag if interval.tag is not None else interval.kind
+            if marker == "useful":
+                leaf_frame = interval.leaf
+            else:
+                leaf_frame = f"{interval.leaf} [{marker}]"
+            frames = (trace.label, interval.functionality, leaf_frame)
+            totals[frames] = totals.get(frames, 0.0) + (
+                interval.end - interval.start
+            )
+    return tuple(
+        SampledTrace(frames=frames, cycles=cycles, instructions=cycles)
+        for frames, cycles in sorted(totals.items())
+    )
+
+
+def write_folded_stacks(
+    trace: TraceData, path: Union[str, Path], scale: float = 1.0
+) -> Path:
+    """Write the trace's folded flamegraph stacks to *path*."""
+    path = Path(path)
+    path.write_text(to_folded_text(folded_stack_samples(trace), scale))
+    return path

@@ -19,7 +19,7 @@ from ..canonical import canonical_digest, canonicalize
 #: Version salt folded into every cache key.  Bump whenever the meaning
 #: of a runner, the summary schema, or the simulator's RNG stream
 #: changes: old cache entries become unreachable instead of stale.
-SCHEMA_VERSION = "accelerometer-runtime-v3"
+SCHEMA_VERSION = "accelerometer-runtime-v4"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -107,6 +107,7 @@ class SimThread:
         "block_functionality",
         "block_leaf",
         "advance_callback",
+        "trace_ctx",
     )
 
     _next_id = 0
@@ -126,6 +127,9 @@ class SimThread:
         #: CPU re-uses it for every Compute event instead of allocating a
         #: fresh closure per event.
         self.advance_callback: Optional[Callable[[], None]] = None
+        #: Per-request tracing context, set by the service runtime while a
+        #: traced request runs on this thread (None on untraced runs).
+        self.trace_ctx = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimThread {self.name} {self.state.value}>"
@@ -148,7 +152,8 @@ class Core:
 class CPU:
     """A multi-core host executing simulated threads."""
 
-    __slots__ = ("engine", "metrics", "cores", "run_queue", "_on_thread_done")
+    __slots__ = ("engine", "metrics", "cores", "run_queue", "_on_thread_done",
+                 "trace")
 
     def __init__(
         self,
@@ -163,6 +168,11 @@ class CPU:
         self.cores: List[Core] = [Core(i) for i in range(num_cores)]
         self.run_queue: Deque[SimThread] = deque()
         self._on_thread_done: List[Callable[[SimThread], None]] = []
+        #: Optional :class:`~repro.observability.SpanTracer`.  Every hook
+        #: below is gated on ``is not None`` (enforced by lint rule
+        #: OBS001), so untraced runs pay one load-and-compare per event
+        #: and allocate nothing.
+        self.trace = None
 
     # -- public API ---------------------------------------------------------
 
@@ -192,10 +202,32 @@ class CPU:
                 thread.block_leaf,
                 CycleKind.BLOCKED,
             )
+            trace = self.trace
+            if trace is not None:
+                context = thread.trace_ctx
+                if context is not None:
+                    trace.record_interval(
+                        context,
+                        thread.block_started,
+                        self.engine.now,
+                        thread.block_functionality,
+                        thread.block_leaf,
+                        "hold-wait",
+                    )
             thread.block_started = None
             thread.state = ThreadState.RUNNING
             self._advance(thread.core, thread)
         elif thread.state is ThreadState.BLOCKED_RELEASED:
+            trace = self.trace
+            if trace is not None:
+                context = thread.trace_ctx
+                if context is not None:
+                    trace.record_release_wait(
+                        context,
+                        self.engine.now,
+                        FunctionalityCategory.THREAD_POOL,
+                        LeafCategory.KERNEL,
+                    )
             self._make_runnable(thread)
         else:
             raise SimulationError(f"cannot resume {thread}: not blocked")
@@ -271,6 +303,18 @@ class CPU:
                 LeafCategory.KERNEL,
                 CycleKind.THREAD_SWITCH,
             )
+            trace = self.trace
+            if trace is not None:
+                context = thread.trace_ctx
+                if context is not None:
+                    trace.record_interval(
+                        context,
+                        self.engine.now,
+                        self.engine.now + charge,
+                        FunctionalityCategory.THREAD_POOL,
+                        LeafCategory.KERNEL,
+                        "thread-switch",
+                    )
             self.engine.after(charge, thread.advance_callback)
         else:
             self._advance(core, thread)
@@ -288,6 +332,15 @@ class CPU:
             if cycles < 0:
                 raise SimulationError(f"cannot compute negative cycles: {cycles}")
             self.metrics.cycles[(op.functionality, op.leaf, op.kind)] += cycles
+            trace = self.trace
+            if trace is not None:
+                context = thread.trace_ctx
+                if context is not None:
+                    now = self.engine.now
+                    trace.record_interval(
+                        context, now, now + cycles,
+                        op.functionality, op.leaf, op.kind.value,
+                    )
             callback = thread.advance_callback
             if callback is None:  # direct _advance without _assign (tests)
                 callback = thread.advance_callback = lambda: self._advance(
@@ -300,6 +353,11 @@ class CPU:
             thread.block_functionality = op.functionality
             thread.block_leaf = op.leaf
         elif isinstance(op, ReleaseCore):
+            trace = self.trace
+            if trace is not None:
+                context = thread.trace_ctx
+                if context is not None:
+                    trace.mark_released(context, self.engine.now)
             thread.state = ThreadState.BLOCKED_RELEASED
             thread.resume_charge = op.resume_charge
             thread.core = None

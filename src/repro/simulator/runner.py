@@ -56,6 +56,10 @@ class SimulationResult:
     service: Microservice
     engine: Engine
     cpu: CPU
+    #: Finished :class:`~repro.observability.TraceData` when the run
+    #: carried a tracer; None otherwise.  Excluded from the measurement
+    #: record, so traced and untraced runs fingerprint identically.
+    trace: Optional[object] = None
 
     @property
     def completed_requests(self) -> int:
@@ -118,6 +122,7 @@ ServiceBuilder = Callable[[Engine, CPU, MetricSink], Tuple[Microservice, Callabl
 def run_simulation(
     build: ServiceBuilder,
     config: Optional[SimulationConfig] = None,
+    tracer=None,
 ) -> SimulationResult:
     """Run one closed-loop measurement window.
 
@@ -125,6 +130,14 @@ def run_simulation(
     configured :class:`Microservice` plus a request factory; the runner
     spawns ``num_cores * threads_per_core`` closed-loop workers, runs the
     window, and finalizes accounting.
+
+    *tracer* is an optional :class:`~repro.observability.SpanTracer`.  It
+    is deliberately **not** part of :class:`SimulationConfig`: the config
+    participates in cache keys and summary fingerprints, and observability
+    must never move either.  A traced run records spans and per-request
+    timelines (attached as ``result.trace``) but is bit-identical to the
+    untraced run in every simulated-time measurement -- the tracer only
+    observes, it never schedules events or consumes entropy.
     """
     from .workload import request_stream
 
@@ -133,13 +146,20 @@ def run_simulation(
     metrics = MetricSink()
     cpu = CPU(engine, metrics, config.num_cores)
     service, factory = build(engine, cpu, metrics)
+    if tracer is not None:
+        cpu.trace = tracer
+        service.tracer = tracer
     workers = config.num_cores * config.threads_per_core
     for index in range(workers):
         service.spawn_worker(request_stream(factory), name=f"worker-{index}")
     engine.run_until(config.window_cycles, max_events=config.max_events)
     cpu.finalize(config.window_cycles)
+    trace = None
+    if tracer is not None:
+        trace = tracer.finish()
     return SimulationResult(
-        config=config, metrics=metrics, service=service, engine=engine, cpu=cpu
+        config=config, metrics=metrics, service=service, engine=engine,
+        cpu=cpu, trace=trace,
     )
 
 

@@ -260,13 +260,16 @@ class ResponseHandler:
 class _RequestContext:
     """Tracks outstanding gating offloads for one in-flight request."""
 
-    __slots__ = ("_engine", "_record", "_outstanding", "_body_done")
+    __slots__ = ("_engine", "_record", "_outstanding", "_body_done", "trace")
 
     def __init__(self, engine: Engine, record) -> None:
         self._engine = engine
         self._record = record
         self._outstanding = 0
         self._body_done = False
+        #: Per-request :class:`~repro.observability.TraceContext` when the
+        #: service carries a tracer; None on untraced runs.
+        self.trace = None
 
     def add_gate(self) -> None:
         self._outstanding += 1
@@ -298,7 +301,7 @@ class Microservice:
     """Executes request streams on a :class:`CPU` with optional offloads."""
 
     __slots__ = ("engine", "cpu", "metrics", "name", "offloads",
-                 "_request_counter")
+                 "_request_counter", "tracer")
 
     def __init__(
         self,
@@ -307,6 +310,7 @@ class Microservice:
         metrics: MetricSink,
         name: str = "service",
         offloads: Optional[Dict[str, OffloadConfig]] = None,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.cpu = cpu
@@ -314,6 +318,10 @@ class Microservice:
         self.name = name
         self.offloads = dict(offloads or {})
         self._request_counter = 0
+        #: Optional :class:`~repro.observability.SpanTracer`.  Every span
+        #: emission below is gated on ``is not None`` (lint rule OBS001),
+        #: so untraced runs allocate nothing on the request path.
+        self.tracer = tracer
 
     # -- workers --------------------------------------------------------------
 
@@ -347,9 +355,16 @@ class Microservice:
             arrival_time = None  # only the first request pre-dates scheduling
             record = self.metrics.open_request(self._request_counter, opened_at)
             context = _RequestContext(self.engine, record)
+            tracer = self.tracer
+            if tracer is not None:
+                context.trace = tracer.begin_request(self.name, record)
+                thread.trace_ctx = context.trace
             for segment in spec.segments:
                 yield from self._run_segment(thread, segment, context)
             context.body_finished()
+            if tracer is not None:
+                tracer.end_body(context.trace, self.engine.now)
+                thread.trace_ctx = None
             # Hand the core to any waiting thread (e.g. a response
             # handler) before starting the next request.
             yield YieldCore()
@@ -357,6 +372,12 @@ class Microservice:
     # -- segment execution ------------------------------------------------------
 
     def _run_segment(self, thread: SimThread, segment: SegmentWork, context):
+        tracer = self.tracer
+        span = None
+        if tracer is not None and context.trace is not None:
+            span = tracer.begin_segment(
+                context.trace, segment.functionality, self.engine.now
+            )
         if segment.plain_cycles > 0:
             total_share = sum(segment.leaf_mix.values())
             if total_share <= 0:
@@ -367,6 +388,8 @@ class Microservice:
                     yield Compute(cycles, segment.functionality, leaf)
         for invocation in segment.invocations:
             yield from self._run_invocation(thread, segment, invocation, context)
+        if tracer is not None and span is not None:
+            tracer.end_segment(context.trace, span, self.engine.now)
 
     def _run_invocation(
         self,
@@ -423,6 +446,15 @@ class Microservice:
             service_cycles=config.device.service_cycles(host_cycles),
         )
         design = config.design
+        tracer = self.tracer
+        if (
+            tracer is not None
+            and context.trace is not None
+            and config.batch_size == 1
+        ):
+            # Batched dispatches are spanned at flush time instead, where
+            # the batch record covering every buffered invocation exists.
+            tracer.begin_offload(context.trace, record, design)
 
         if design is ThreadingDesign.SYNC:
             yield from self._offload_sync(
@@ -473,16 +505,32 @@ class Microservice:
             ThreadingDesign.SYNC,
             ThreadingDesign.SYNC_OS,
         )
+        tracer = self.tracer
+        trace_ctx = context.trace if tracer is not None else None
+        if tracer is not None and trace_ctx is not None:
+            tracer.note_degradations(kernel.name, injector.schedule)
         waited = 0.0
         failures = 0
         while True:
+            attempt_started = self.engine.now
             outcome = injector.outcome(self.engine.now)
             counters.attempts += 1
             if outcome is AttemptOutcome.OK:
+                if tracer is not None and trace_ctx is not None:
+                    tracer.record_attempt(
+                        trace_ctx, kernel.name, failures, "ok",
+                        attempt_started, attempt_started,
+                    )
                 return waited
             if outcome is AttemptOutcome.SPIKE:
                 counters.latency_spikes += 1
                 counters.spike_cycles += policy.spike_cycles
+                if tracer is not None and trace_ctx is not None:
+                    tracer.record_attempt(
+                        trace_ctx, kernel.name, failures, "spike",
+                        attempt_started, attempt_started,
+                        spike_cycles=policy.spike_cycles,
+                    )
                 return waited + policy.spike_cycles
             # DROP: the attempt never completes; the host pays its share
             # of the dispatch cost and notices only via the timeout.
@@ -490,24 +538,50 @@ class Microservice:
             counters.drops += 1
             counters.timeouts += 1
             counters.timeout_cycles += policy.timeout_cycles
+            if tracer is not None and trace_ctx is not None:
+                trace_ctx.tag = "fault-timeout"
             yield from self._failed_attempt(
                 thread, kernel, transfer, dispatch, o1, config
             )
+            if tracer is not None and trace_ctx is not None:
+                trace_ctx.tag = None
+                tracer.record_attempt(
+                    trace_ctx, kernel.name, failures - 1, "drop",
+                    attempt_started, self.engine.now,
+                )
             if not blocking:
                 # Async hosts compute through the wait; the lost time
                 # surfaces as response delay instead of core time.
                 waited += policy.timeout_cycles
             if failures > policy.max_retries:
+                fallback_started = self.engine.now
+                if tracer is not None and trace_ctx is not None:
+                    trace_ctx.tag = "fallback"
                 yield from self._fall_back(
                     kernel, host_cycles, counters, policy, context
                 )
+                if tracer is not None and trace_ctx is not None:
+                    trace_ctx.tag = None
+                    tracer.record_fallback(
+                        trace_ctx, kernel.name, fallback_started,
+                        self.engine.now, policy.fallback_to_cpu,
+                    )
                 return None
             backoff = policy.backoff_cycles(failures - 1)
             if backoff > 0:
                 counters.backoff_cycles += backoff
+                backoff_started = self.engine.now
+                if tracer is not None and trace_ctx is not None:
+                    trace_ctx.tag = "backoff"
+                    tracer.record_backoff(
+                        trace_ctx, kernel.name, backoff_started,
+                        backoff_started + backoff,
+                    )
                 yield Compute(
                     backoff, kernel.functionality, kernel.leaf, CycleKind.BLOCKED
                 )
+                if tracer is not None and trace_ctx is not None:
+                    trace_ctx.tag = None
             counters.retries += 1
 
     def _failed_attempt(
@@ -777,6 +851,13 @@ class Microservice:
         )
         design = config.design
         handler = config.response_handler
+        tracer = self.tracer
+        if tracer is not None and context.trace is not None:
+            # Parented by the flushing request; the batch covers every
+            # buffered invocation (batched_invocations attribute).
+            tracer.begin_offload(
+                context.trace, batch_record, design, batched=batch_count
+            )
 
         def release_all() -> None:
             for gated_context in batch_gates:

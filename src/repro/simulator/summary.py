@@ -18,7 +18,7 @@ executor ships between worker processes and stores in the result cache.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..canonical import canonical_digest
 from ..errors import ParameterError
@@ -53,6 +53,14 @@ class RunSummary:
     metrics: MetricSink
     events_processed: int
 
+    #: :class:`~repro.observability.TraceData` from a traced run; None
+    #: otherwise.  Deliberately **excluded** from
+    #: :meth:`measurement_record`, so a traced run's fingerprint equals
+    #: the untraced run's -- the zero-observer-effect contract.  (Adding
+    #: this field changed the pickle layout; the cache SCHEMA_VERSION was
+    #: bumped to v4.)
+    trace: Optional[object] = None
+
     @classmethod
     def from_result(cls, result: "SimulationResult") -> "RunSummary":
         """Detach a summary from a live :class:`SimulationResult`."""
@@ -60,6 +68,7 @@ class RunSummary:
             config=result.config,
             metrics=result.metrics,
             events_processed=result.engine.events_processed,
+            trace=result.trace,
         )
 
     # -- the SimulationResult measurement surface -------------------------

@@ -7,13 +7,24 @@ pile-ups and batching behaviour that aggregate counters hide.
 
 The exporter works from the :class:`MetricSink`'s offload and request
 records, so any completed simulation can be exported after the fact.
+With a finished :class:`~repro.observability.TraceData` it additionally
+renders what the sink alone cannot see: flow arrows binding each
+dispatch on the request track to its device-side completion, per-kernel
+fault tracks (dropped attempts, backoff gaps, CPU fallbacks as range
+events; successful and spiked attempts as instants), and the injected
+degradation/outage windows as shaded ranges on their own tracks.
+
+Output is byte-deterministic: identical inputs produce identical files,
+and an export without a trace is bit-identical to the pre-observability
+exporter's output.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from ..errors import ParameterError
 from .metrics import MetricSink
@@ -23,9 +34,16 @@ DEFAULT_CYCLES_PER_US = 2_000.0
 
 
 def trace_events(
-    metrics: MetricSink, cycles_per_us: float = DEFAULT_CYCLES_PER_US
+    metrics: MetricSink,
+    cycles_per_us: float = DEFAULT_CYCLES_PER_US,
+    trace: Optional[object] = None,
 ) -> List[Dict]:
-    """Build the trace-event list from a metric sink."""
+    """Build the trace-event list from a metric sink.
+
+    *trace* (a :class:`~repro.observability.TraceData`) appends the
+    span-derived tracks; without it the event list is exactly the
+    historical metrics-only export.
+    """
     if cycles_per_us <= 0:
         raise ParameterError("cycles_per_us must be positive")
 
@@ -82,6 +100,113 @@ def trace_events(
                 "service_cycles": offload.service_cycles,
             },
         })
+    if trace is not None:
+        events.extend(_span_events(trace, ts, kernel_tracks, next_tid))
+    return events
+
+
+def _span_events(trace, ts, kernel_tracks: Dict[str, int], next_tid: int) -> List[Dict]:
+    """Span-derived tracks: flow arrows, fault events, outage windows.
+
+    Track ids continue after the per-kernel offload tracks; allocation
+    follows span emission order, which is itself deterministic, so two
+    exports of the same trace are byte-identical.
+    """
+    from ..observability import SpanKind
+
+    if trace is None:
+        return []
+    events: List[Dict] = []
+
+    # Flow arrows: dispatch on the request track -> device completion on
+    # the kernel's offload track.  The flow id is the span id (a per-run
+    # sequence number), so arrows stay stable across exports.
+    for span in trace.spans_of_kind(SpanKind.OFFLOAD):
+        attrs = dict(span.attrs)
+        kernel = attrs["kernel"]
+        tid = kernel_tracks.get(kernel)
+        if tid is None or span.end is None:
+            continue
+        flow_id = int(span.span_id, 16)
+        events.append({
+            "name": span.name, "cat": "offload-flow", "ph": "s",
+            "id": flow_id, "pid": 1, "tid": 1, "ts": ts(span.start),
+        })
+        events.append({
+            "name": span.name, "cat": "offload-flow", "ph": "f", "bp": "e",
+            "id": flow_id, "pid": 1, "tid": tid, "ts": ts(span.end),
+        })
+
+    # Per-kernel fault tracks, allocated at first fault appearance.
+    fault_tracks: Dict[str, int] = {}
+
+    def fault_tid(kernel: str) -> int:
+        nonlocal next_tid
+        if kernel not in fault_tracks:
+            fault_tracks[kernel] = next_tid
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": next_tid,
+                "args": {"name": f"faults:{kernel}"},
+            })
+            next_tid += 1
+        return fault_tracks[kernel]
+
+    for span in trace.spans:
+        attrs = dict(span.attrs)
+        if span.kind is SpanKind.ATTEMPT:
+            tid = fault_tid(attrs["kernel"])
+            outcome = attrs["outcome"]
+            if outcome == "drop":
+                events.append({
+                    "name": f"drop/{attrs['kernel']}", "cat": "fault",
+                    "ph": "X", "pid": 1, "tid": tid, "ts": ts(span.start),
+                    "dur": max(ts(span.end) - ts(span.start), 0.001),
+                    "args": {"retry_index": attrs["retry_index"]},
+                })
+            else:
+                instant = {
+                    "name": f"attempt-{outcome}/{attrs['kernel']}",
+                    "cat": "fault", "ph": "i", "s": "t",
+                    "pid": 1, "tid": tid, "ts": ts(span.start),
+                }
+                if "spike_cycles" in attrs:
+                    instant["args"] = {"spike_cycles": attrs["spike_cycles"]}
+                events.append(instant)
+        elif span.kind is SpanKind.BACKOFF:
+            tid = fault_tid(attrs["kernel"])
+            events.append({
+                "name": f"backoff/{attrs['kernel']}", "cat": "fault",
+                "ph": "X", "pid": 1, "tid": tid, "ts": ts(span.start),
+                "dur": max(ts(span.end) - ts(span.start), 0.001),
+            })
+        elif span.kind is SpanKind.FALLBACK:
+            tid = fault_tid(attrs["kernel"])
+            events.append({
+                "name": f"fallback/{attrs['kernel']}", "cat": "fault",
+                "ph": "X", "pid": 1, "tid": tid, "ts": ts(span.start),
+                "dur": max(ts(span.end) - ts(span.start), 0.001),
+                "args": {"to_cpu": attrs["to_cpu"]},
+            })
+
+    # Injected degradation windows, one track per kernel (already sorted
+    # by kernel in TraceData).  Infinite multipliers (full outages) are
+    # encoded as null: "Infinity" is not valid JSON.
+    for track in trace.degradations:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": next_tid,
+            "args": {"name": f"degraded:{track.kernel}"},
+        })
+        for start, end, multiplier in track.windows:
+            outage = math.isinf(multiplier)
+            events.append({
+                "name": "outage" if outage else "degraded", "cat": "degradation",
+                "ph": "X", "pid": 1, "tid": next_tid, "ts": ts(start),
+                "dur": max(ts(end) - ts(start), 0.001),
+                "args": {
+                    "service_multiplier": None if outage else multiplier,
+                },
+            })
+        next_tid += 1
     return events
 
 
@@ -89,11 +214,12 @@ def export_chrome_trace(
     metrics: MetricSink,
     path: Union[str, Path],
     cycles_per_us: float = DEFAULT_CYCLES_PER_US,
+    trace: Optional[object] = None,
 ) -> Path:
     """Write the trace to *path* (Chrome trace-event JSON format)."""
     path = Path(path)
     payload = {
-        "traceEvents": trace_events(metrics, cycles_per_us),
+        "traceEvents": trace_events(metrics, cycles_per_us, trace=trace),
         "displayTimeUnit": "ms",
     }
     path.write_text(json.dumps(payload))

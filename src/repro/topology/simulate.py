@@ -58,6 +58,10 @@ class ApplicationSimResult:
     mean_latency_cycles: float
     p99_latency_cycles: float
     per_service_busy_fraction: Dict[str, float]
+    #: :class:`~repro.observability.TraceData` of RPC spans when the
+    #: simulation carried a tracer; None otherwise (and always None for
+    #: batch-executed scenarios, which must stay plain picklable data).
+    trace: Optional[object] = None
 
     def utilization(self, service: str) -> float:
         return self.per_service_busy_fraction[service]
@@ -83,17 +87,33 @@ class _ServiceHost:
         self._latency_scale = latency_scale
         self._extra_delay = extra_delay
         self.hosts: Dict[str, "_ServiceHost"] = {}
+        #: Shared :class:`~repro.observability.SpanTracer`; None when the
+        #: simulation runs unobserved.
+        self.tracer = None
 
-    def handle_rpc(self, on_complete: Callable[[], None]) -> None:
+    def handle_rpc(self, on_complete: Callable[[], None], parent=None) -> None:
         """Process one inbound request; *on_complete* fires when this
-        service (and its downstream subtree) is done."""
+        service (and its downstream subtree) is done.
+
+        *parent* is the caller's RPC span (or None at the root), so the
+        trace reconstructs the causal call tree across service hops.
+        """
+        span = None
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.begin_rpc(self.name, parent, self.engine.now)
+            inner = on_complete
+
+            def on_complete(span=span, inner=inner):
+                tracer.end_span(span, self.engine.now)
+                inner()
 
         def factory(thread):
-            return self._request_body(thread, on_complete)
+            return self._request_body(thread, on_complete, span)
 
         self.cpu.spawn(factory, name=f"{self.name}-rpc")
 
-    def _request_body(self, thread, on_complete: Callable[[], None]):
+    def _request_body(self, thread, on_complete: Callable[[], None], span=None):
         node = self.graph.service(self.name)
         compute = node.service_cycles / self._latency_scale.get(self.name, 1.0)
         compute += self._extra_delay.get(self.name, 0.0)
@@ -120,7 +140,8 @@ class _ServiceHost:
                     self.engine.after(
                         network,
                         lambda: callee_host.handle_rpc(
-                            lambda: self.engine.after(network, branch_done)
+                            lambda: self.engine.after(network, branch_done),
+                            span,
                         ),
                     )
 
@@ -140,10 +161,12 @@ class ApplicationSimulation:
         config: Optional[ApplicationSimConfig] = None,
         latency_scale: Optional[Dict[str, float]] = None,
         extra_delay: Optional[Dict[str, float]] = None,
+        tracer=None,
     ) -> None:
         self.graph = graph
         self.config = config or ApplicationSimConfig()
         self.engine = Engine()
+        self.tracer = tracer
         latency_scale = dict(latency_scale or {})
         extra_delay = dict(extra_delay or {})
         for mapping in (latency_scale, extra_delay):
@@ -158,6 +181,7 @@ class ApplicationSimulation:
         }
         for host in self._hosts.values():
             host.hosts = self._hosts
+            host.tracer = tracer
         self._latencies: List[float] = []
 
     def run(self) -> ApplicationSimResult:
@@ -193,11 +217,15 @@ class ApplicationSimulation:
             / (config.window_cycles * config.cores_per_service)
             for name, host in self._hosts.items()
         }
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.finish()
         return ApplicationSimResult(
             completed_requests=len(latencies),
             mean_latency_cycles=sum(latencies) / len(latencies),
             p99_latency_cycles=latencies[index_p99],
             per_service_busy_fraction=busy,
+            trace=trace,
         )
 
 
@@ -206,10 +234,11 @@ def simulate_application(
     config: Optional[ApplicationSimConfig] = None,
     latency_scale: Optional[Dict[str, float]] = None,
     extra_delay: Optional[Dict[str, float]] = None,
+    tracer=None,
 ) -> ApplicationSimResult:
     """Convenience wrapper: build and run one application simulation."""
     return ApplicationSimulation(
-        graph, config, latency_scale, extra_delay
+        graph, config, latency_scale, extra_delay, tracer=tracer
     ).run()
 
 

@@ -8,7 +8,12 @@ value labels, and per-mark tooltips, and the CLI's text tables provide the
 equivalent table view.
 """
 
-from .charts import cdf_chart, grouped_column_chart, stacked_hbar_chart
+from .charts import (
+    cdf_chart,
+    grouped_column_chart,
+    stacked_hbar_chart,
+    timeline_chart,
+)
 from .figures import (
     fig10_svg,
     fig15_svg,
@@ -54,4 +59,5 @@ __all__ = [
     "ink_for",
     "render_all",
     "stacked_hbar_chart",
+    "timeline_chart",
 ]

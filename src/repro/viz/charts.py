@@ -207,6 +207,74 @@ def grouped_column_chart(
     return canvas.to_svg()
 
 
+def timeline_chart(
+    series: Mapping[str, Sequence[float]],
+    title: str,
+    y_label: str,
+    x_label: str = "window",
+    width: float = 720.0,
+    height: float = 330.0,
+    colors: Optional[Mapping[Hashable, str]] = None,
+) -> str:
+    """Windowed time-series lines: one point per tumbling window.
+
+    *series* maps a name to per-window values (all series the same
+    length); the x axis is the window index.  This is the rendered view
+    of :func:`repro.observability.windowed_series` -- ramp-up, outage
+    windows, and recovery show up as dips and plateaus.
+    """
+    if not series:
+        raise ParameterError("chart needs at least one series")
+    lengths = {len(points) for points in series.values()}
+    if len(lengths) != 1:
+        raise ParameterError("all series must cover the same windows")
+    (count,) = lengths
+    if count == 0:
+        raise ParameterError("chart needs at least one window")
+    colors = dict(colors or colors_for(list(series)))
+
+    canvas = SvgCanvas(width, height, title=title)
+    canvas.title_text(title)
+    legend_bottom = _legend(canvas, colors, 60.0, _MARGIN_TOP,
+                            width - 60.0 - _MARGIN_RIGHT)
+    plot_top = legend_bottom + 6
+    plot_bottom = height - 44
+    plot_left, plot_right = 60.0, width - _MARGIN_RIGHT
+    plot_height = plot_bottom - plot_top
+    span = (plot_right - plot_left) / max(count - 1, 1)
+
+    observed_max = max(
+        max(points) for points in series.values()
+    )
+    top = observed_max if observed_max > 0 else 1.0
+    steps = 4
+    for i in range(steps + 1):
+        value = top * i / steps
+        y = plot_bottom - value / top * plot_height
+        canvas.line(plot_left, y, plot_right, y, GRID)
+        canvas.text(plot_left - 6, y + 3.5, f"{value:g}", size=9, anchor="end")
+    canvas.text(plot_left - 40, plot_top - 8, y_label, size=9)
+
+    for index in range(count):
+        if index % max(1, count // 10) == 0 or index == count - 1:
+            canvas.text(plot_left + index * span, plot_bottom + 14,
+                        str(index), size=8, anchor="middle")
+    canvas.text(plot_right, plot_bottom + 28, x_label, size=9, anchor="end")
+
+    for name, points in series.items():
+        coordinates = [
+            (plot_left + i * span, plot_bottom - value / top * plot_height)
+            for i, value in enumerate(points)
+        ]
+        canvas.polyline(coordinates, stroke=colors[name], width=2)
+        end_x, end_y = coordinates[-1]
+        canvas.circle(end_x, end_y, 4, colors[name],
+                      tooltip=f"{name}: {points[-1]:g}")
+        canvas.text(end_x - 4, end_y - 8, name, size=9, fill=TEXT_PRIMARY,
+                    anchor="end")
+    return canvas.to_svg()
+
+
 def cdf_chart(
     series: Mapping[str, Sequence[Tuple[str, float]]],
     title: str,

@@ -1,0 +1,33 @@
+"""Fixture: correctly gated span emission (OBS001 stays silent)."""
+
+
+class Worker:
+    __slots__ = ("trace",)
+
+    def __init__(self):
+        self.trace = None
+
+    def gated_local(self, context, now):
+        trace = self.trace
+        if trace is not None:
+            trace.record_interval(context, now, now + 1.0)
+
+    def gated_compound(self, context, now):
+        trace = self.trace
+        if trace is not None and context is not None:
+            trace.end_body(context, now)
+
+    def gated_by_early_return(self, context, now):
+        trace = self.trace
+        if trace is None:
+            return
+        trace.begin_segment(context, "io", now)
+        trace.end_segment(context, None, now)
+
+    def gated_conditional_expression(self):
+        tracer = self.trace
+        return tracer.finish() if tracer is not None else None
+
+    def unrelated_calls(self, items):
+        items.append(1)
+        return sorted(items)

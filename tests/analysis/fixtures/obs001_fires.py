@@ -1,0 +1,20 @@
+"""Fixture: ungated span emission in a simulated path (OBS001 fires 3x)."""
+
+
+class Worker:
+    __slots__ = ("tracer",)
+
+    def __init__(self):
+        self.tracer = None
+
+    def attribute_call(self, context, now):
+        self.tracer.record_interval(context, now, now + 1.0)
+
+    def local_without_gate(self, context):
+        tracer = self.tracer
+        tracer.begin_request("svc", context)
+
+    def wrong_name_gate(self, context, enabled, now):
+        tracer = self.tracer
+        if enabled:
+            tracer.end_body(context, now)

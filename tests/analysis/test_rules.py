@@ -158,13 +158,48 @@ def test_api001_requires_all_declaration(run_fixture):
     assert result.clean
 
 
+# -- OBS001 ----------------------------------------------------------------
+
+
+def test_obs001_fires_on_ungated_tracer_calls(run_fixture):
+    result = run_fixture("obs001_fires.py", SIM, rules=["OBS001"])
+    assert _rules_fired(result) == ["OBS001"] * 3
+    messages = " ".join(f.message for f in result.findings)
+    assert "record_interval" in messages   # attribute call on self.tracer
+    assert "begin_request" in messages     # ungated local binding
+    assert "end_body" in messages          # gated behind the wrong name
+
+
+def test_obs001_fires_in_faults_scope_too(run_fixture):
+    result = run_fixture("obs001_fires.py", "src/repro/faults/fixture.py",
+                         rules=["OBS001"])
+    assert len(result.findings) == 3
+
+
+def test_obs001_silent_on_gated_emission(run_fixture):
+    # ``is not None`` gates, compound tests, early-return gates, and
+    # conditional expressions all count as gated.
+    result = run_fixture("obs001_clean.py", SIM, rules=["OBS001"])
+    assert result.clean
+
+
+def test_obs001_out_of_scope_outside_the_simulator(run_fixture):
+    # Exporters and analyses run after the simulation; only the hot
+    # path must gate its emission.
+    result = run_fixture("obs001_fires.py",
+                         "src/repro/observability/fixture.py",
+                         rules=["OBS001"])
+    assert result.clean
+
+
 # -- catalog metadata -------------------------------------------------------
 
 
 def test_every_rule_documents_itself():
     rules = all_rules()
     assert {r.name for r in rules} >= {
-        "DET001", "DET002", "SPEC001", "PERF001", "UNIT001", "API001"
+        "DET001", "DET002", "SPEC001", "PERF001", "UNIT001", "API001",
+        "OBS001",
     }
     for rule in rules:
         assert rule.description, rule.name

@@ -1,0 +1,117 @@
+"""Span data model: structure, causal links, deterministic identifiers."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.characterization import characterize
+from repro.observability import (
+    Span,
+    SpanKind,
+    span_id_from_sequence,
+    trace_id_from_request,
+)
+
+TRACED = dict(seed=2020, requests_target=30, num_cores=2, trace=True)
+
+
+class TestIdentifiers:
+    def test_span_id_is_16_hex_chars(self):
+        assert span_id_from_sequence(0) == "0" * 16
+        assert span_id_from_sequence(255) == "00000000000000ff"
+
+    def test_trace_id_is_32_hex_chars(self):
+        assert trace_id_from_request(0) == "0" * 32
+        assert trace_id_from_request(16) == "0" * 30 + "10"
+
+    def test_span_ids_unique_within_run(self, healthy_trace):
+        ids = [span.span_id for span in healthy_trace.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_request_spans_carry_request_trace_ids(self, healthy_trace):
+        for span in healthy_trace.spans_of_kind(SpanKind.REQUEST):
+            request_id = dict(span.attrs)["request_id"]
+            assert span.trace_id == trace_id_from_request(request_id)
+
+
+class TestStructure:
+    def test_expected_kinds_present(self, healthy_trace, faulted_results):
+        # Characterization runs execute on the host alone, so the healthy
+        # trace carries request/segment spans; offload (and recovery)
+        # spans appear on the accelerated faulted runs.
+        kinds = {span.kind for span in healthy_trace.spans}
+        assert {SpanKind.REQUEST, SpanKind.SEGMENT} <= kinds
+        for result in faulted_results.values():
+            kinds = {span.kind for span in result.trace.spans}
+            assert {
+                SpanKind.REQUEST, SpanKind.OFFLOAD, SpanKind.ATTEMPT,
+                SpanKind.BACKOFF,
+            } <= kinds
+
+    def test_parent_links_resolve_within_the_trace(self, healthy_trace):
+        by_id = {span.span_id: span for span in healthy_trace.spans}
+        children = 0
+        for span in healthy_trace.spans:
+            if span.parent_id is None:
+                continue
+            children += 1
+            parent = by_id[span.parent_id]
+            # A child shares its parent's trace and starts within it.
+            assert parent.trace_id == span.trace_id
+            assert parent.start <= span.start
+        assert children > 0
+
+    def test_segments_parent_requests_and_offloads_parent_segments(
+        self, healthy_trace, faulted_results
+    ):
+        by_id = {span.span_id: span for span in healthy_trace.spans}
+        segments = healthy_trace.spans_of_kind(SpanKind.SEGMENT)
+        assert segments
+        for span in segments:
+            assert by_id[span.parent_id].kind is SpanKind.REQUEST
+        trace = faulted_results[next(iter(faulted_results))].trace
+        by_id = {span.span_id: span for span in trace.spans}
+        offloads = trace.spans_of_kind(SpanKind.OFFLOAD)
+        assert offloads
+        for span in offloads:
+            # Dispatched from within a segment, or (batched dispatch
+            # drained after the segment closed) from the request itself.
+            assert by_id[span.parent_id].kind in (
+                SpanKind.SEGMENT, SpanKind.REQUEST,
+            )
+
+    def test_closed_spans_have_nonnegative_duration(self, healthy_trace):
+        closed = [s for s in healthy_trace.spans if s.end is not None]
+        assert closed
+        assert all(span.duration >= 0.0 for span in closed)
+
+    def test_open_span_duration_raises(self):
+        span = Span(
+            span_id="0" * 16, trace_id="0" * 32, parent_id=None,
+            name="open", kind=SpanKind.OFFLOAD, start=1.0,
+        )
+        with pytest.raises(ValueError):
+            span.duration
+
+    def test_timelines_cover_completed_requests(self, traced_run):
+        trace = traced_run.simulation.trace
+        completed = trace.completed_timelines()
+        assert len(completed) == traced_run.simulation.completed_requests
+        for timeline in completed:
+            assert timeline.latency > 0.0
+            assert timeline.intervals
+
+
+class TestDeterminism:
+    def test_same_seed_runs_emit_identical_traces(self, traced_run):
+        again = characterize("cache1", **TRACED)
+        first = traced_run.simulation.trace
+        second = again.simulation.trace
+        assert second.spans == first.spans
+        assert second.timelines == first.timelines
+        assert second.degradations == first.degradations
+
+    def test_trace_survives_pickling_unchanged(self, healthy_trace):
+        assert pickle.loads(pickle.dumps(healthy_trace)) == healthy_trace

@@ -86,7 +86,8 @@ def test_points_are_picklable_frozen_dataclasses():
 
 
 def test_schema_version_was_bumped_for_fault_accounting():
-    """Fault-enabled summaries changed the measurement surface, so the
-    cache key salt must have moved past v2: stale v2 entries become
-    unreachable instead of replaying without fault counters."""
-    assert SCHEMA_VERSION == "accelerometer-runtime-v3"
+    """Fault-enabled summaries changed the measurement surface (v3), and
+    the observability layer changed the RunSummary pickle layout (v4):
+    the cache key salt must keep moving so stale entries become
+    unreachable instead of unpickling into the wrong shape."""
+    assert SCHEMA_VERSION == "accelerometer-runtime-v4"

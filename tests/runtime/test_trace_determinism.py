@@ -1,0 +1,83 @@
+"""Trace-enabled runs obey the batch executor's bit-identity contract.
+
+A traced RunSummary carries the full TraceData across process and disk
+boundaries; these tests pin that serial, pooled, and cache-replayed
+traced executions agree bit for bit -- fingerprints *and* spans -- and
+that trace-enabled runs key distinct cache entries from untraced ones
+while untraced keys stay byte-identical to pre-observability keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import characterize_all
+from repro.runtime import BatchReport, ResultCache
+from repro.runtime.spec import RunSpec
+
+FAST = dict(requests_target=30, num_cores=2)
+SERVICES = ("cache1", "web")
+
+
+def _fingerprints(runs):
+    return {name: run.simulation.fingerprint() for name, run in runs.items()}
+
+
+def _traces(runs):
+    return {name: run.simulation.trace for name, run in runs.items()}
+
+
+def test_traced_serial_pool_and_cache_agree(tmp_path):
+    cache = ResultCache(tmp_path)
+    kwargs = dict(services=SERVICES, seed=2020, trace=True, **FAST)
+    serial = characterize_all(**kwargs)
+    pooled = characterize_all(workers=2, **kwargs)
+    cached_cold = characterize_all(cache=cache, **kwargs)
+    replay = BatchReport()
+    cached_warm = characterize_all(cache=cache, report=replay, **kwargs)
+
+    expected = _fingerprints(serial)
+    assert _fingerprints(pooled) == expected
+    assert _fingerprints(cached_cold) == expected
+    assert _fingerprints(cached_warm) == expected
+    # The trace itself survives the pool and the cache unchanged.
+    traces = _traces(serial)
+    assert all(trace is not None for trace in traces.values())
+    assert _traces(pooled) == traces
+    assert _traces(cached_warm) == traces
+    assert replay.simulated_nothing
+    assert replay.cache_hits == len(SERVICES)
+
+
+def test_traced_and_untraced_fingerprints_agree():
+    kwargs = dict(services=SERVICES, seed=2020, **FAST)
+    untraced = characterize_all(**kwargs)
+    traced = characterize_all(trace=True, **kwargs)
+    assert _fingerprints(traced) == _fingerprints(untraced)
+    assert all(run.simulation.trace is None for run in untraced.values())
+
+
+def test_trace_flag_keys_a_distinct_cache_entry(tmp_path):
+    """trace=True must not be served a stale untraced entry (or vice
+    versa): the trace parameter participates in the cache key exactly
+    when it is enabled."""
+    cache = ResultCache(tmp_path)
+    kwargs = dict(services=("cache1",), seed=2020, cache=cache, **FAST)
+    characterize_all(**kwargs)
+    second = BatchReport()
+    runs = characterize_all(trace=True, report=second, **kwargs)
+    assert second.cache_hits == 0
+    assert second.executed == 1
+    assert runs["cache1"].simulation.trace is not None
+
+
+def test_untraced_cache_keys_match_pre_observability_keys():
+    """``trace=None`` params are dropped at spec creation, so untraced
+    cache keys are byte-identical to keys minted before the observability
+    layer existed."""
+    base = dict(seed=2020, service="cache1", num_cores=2)
+    with_none = RunSpec.create("characterize", trace=None, **base)
+    without = RunSpec.create("characterize", **base)
+    assert with_none.key() == without.key()
+    traced = RunSpec.create("characterize", trace=True, **base)
+    assert traced.key() != without.key()

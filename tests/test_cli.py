@@ -146,3 +146,46 @@ class TestSimulationCommands:
         output = capsys.readouterr().out
         assert "aes-ni" in output
         assert "inference" in output
+
+
+class TestTraceCommand:
+    """The observability CLI surface: `trace` plus the --trace-out /
+    --metrics-out flags on simulate."""
+
+    def test_trace_writes_every_artifact(self, capsys, tmp_path):
+        import json
+
+        assert main([
+            "trace", "--service", "cache1", "--requests", "20",
+            "--windows", "8", "--output", str(tmp_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "critical-path attribution" in output
+        trace = json.loads((tmp_path / "cache1-trace.json").read_text())
+        assert trace["traceEvents"]
+        spans = json.loads((tmp_path / "cache1-spans.json").read_text())
+        assert spans["resourceSpans"]
+        metrics = json.loads((tmp_path / "cache1-metrics.json").read_text())
+        assert metrics["schema"] == "repro-windowed-metrics-v1"
+        assert len(metrics["windows"]) == 8
+        assert (tmp_path / "cache1-profile.folded").read_text().strip()
+        assert (tmp_path / "cache1-windows.svg").read_text().startswith("<svg")
+
+    def test_simulate_trace_out_flags(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "cell.json"
+        metrics_path = tmp_path / "cell-metrics.json"
+        assert main([
+            "simulate", "--drop", "0.2", "--timeout", "2000",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "fault-recovery cost" in output
+        payload = json.loads(trace_path.read_text())
+        phases = {event["ph"] for event in payload["traceEvents"]}
+        assert {"M", "X"} <= phases
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["schema"] == "repro-windowed-metrics-v1"
+        assert sum(w["fault_drops"] for w in metrics["windows"]) > 0
