@@ -4,7 +4,8 @@ export PYTHONPATH
 
 WORKERS ?= 4
 
-.PHONY: test faults perf bench figures clean-cache lint lint-deep graphs check
+.PHONY: test faults perf bench figures clean-cache lint lint-deep graphs \
+	check hotcore
 
 # Tier-1 correctness suite (perf benchmarks excluded via pyproject addopts).
 # Linting runs first: a determinism or spec-hygiene violation invalidates
@@ -50,6 +51,12 @@ check: lint
 	else \
 		echo "mypy not installed; skipping (pip install mypy)"; \
 	fi
+
+# Build the optional compiled hot core (repro._hotcore) in place.  A
+# missing C compiler prints a notice and leaves the pure-Python path
+# selected; results are bit-identical either way.
+hotcore:
+	$(PYTHON) scripts/build_hotcore.py
 
 # Opt-in performance regression tests.
 perf:

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Build the compiled DES hot core (repro._hotcore) in place.
+
+Compiles ``src/repro/_hotcore.c`` into ``src/repro/_hotcore<EXT_SUFFIX>``
+with the C compiler from the environment -- no setuptools, no network,
+no temporary build tree.  The extension is optional: when no compiler is
+available this script reports the fact and exits 0 (unless ``--require``
+is passed), and the simulator falls back to the pure-Python hot core
+with identical results (see docs/hotcore.md).
+
+Usage:
+    python scripts/build_hotcore.py [--require] [--force] [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE = REPO / "src" / "repro" / "_hotcore.c"
+
+
+def target_path() -> Path:
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return SOURCE.with_name("_hotcore" + suffix)
+
+
+def find_compiler() -> str | None:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def build(compiler: str, out: Path, quiet: bool) -> int:
+    include = sysconfig.get_path("include")
+    command = [
+        compiler,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        "-fno-strict-aliasing",
+        "-Wall",
+        f"-I{include}",
+        str(SOURCE),
+        "-o",
+        str(out),
+    ]
+    if not quiet:
+        print("+", " ".join(command))
+    return subprocess.run(command, cwd=REPO).returncode
+
+
+def verify(quiet: bool) -> int:
+    """Import the fresh extension in a clean interpreter and confirm the
+    simulator actually selects it."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_COMPILED"] = "1"
+    probe = (
+        "from repro.simulator import hotcore; "
+        "status = hotcore.status(); "
+        "assert status['compiled'], status; "
+        "print('hotcore:', status['engine'], '/', status['interval_sink'])"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", probe],
+        cwd=REPO,
+        env=env,
+        capture_output=quiet,
+    )
+    return result.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="exit non-zero when the extension cannot be built "
+        "(default: a missing compiler is a clean, visible skip)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even when the extension is newer than the source",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    out = target_path()
+    if (
+        not args.force
+        and out.exists()
+        and out.stat().st_mtime >= SOURCE.stat().st_mtime
+    ):
+        if not args.quiet:
+            print(f"up to date: {out.relative_to(REPO)}")
+        return 0
+
+    compiler = find_compiler()
+    if compiler is None:
+        print(
+            "hotcore: no C compiler found (tried $CC, cc, gcc, clang); "
+            "skipping build -- the pure-Python hot core is used instead",
+            file=sys.stderr,
+        )
+        return 1 if args.require else 0
+
+    status = build(compiler, out, args.quiet)
+    if status != 0:
+        print(f"hotcore: compilation failed (exit {status})", file=sys.stderr)
+        out.unlink(missing_ok=True)
+        return 1 if args.require else 0
+
+    status = verify(args.quiet)
+    if status != 0:
+        print("hotcore: built extension failed its import probe", file=sys.stderr)
+        out.unlink(missing_ok=True)
+        return 1 if args.require else 0
+
+    if not args.quiet:
+        print(f"built: {out.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

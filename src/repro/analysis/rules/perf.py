@@ -47,6 +47,61 @@ _HOT_FUNCTIONS = {
 
 _ALLOC_CALLS = {"dict", "list", "set"}
 
+#: Tracer method-name prefixes that run once per simulated event (the
+#: interval/fault hooks), as opposed to the per-request/per-span
+#: ``begin_*``/``end_*`` lifecycle methods.
+_TRACER_HOT_PREFIXES = ("record", "mark_")
+
+#: Names a tracer is bound to at its call sites (mirrors OBS001).
+_TRACER_NAMES = {"trace", "tracer", "_tracer", "observer"}
+
+
+def _is_tracer_gate(test: ast.expr) -> bool:
+    """Whether *test* is (or contains) a ``<tracer> is not None`` check."""
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, ast.IsNot) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        for operand in operands:
+            if isinstance(operand, ast.Name) and operand.id in _TRACER_NAMES:
+                return True
+            if (
+                isinstance(operand, ast.Attribute)
+                and operand.attr in _TRACER_NAMES
+            ):
+                return True
+    return False
+
+
+def _object_allocations(nodes) -> Iterator[tuple[ast.AST, str]]:
+    """Per-event object allocations: container displays/comprehensions,
+    ``dict()``/``list()``/``set()`` calls, and capitalized constructor
+    calls (``Interval(...)``, ``spans.Span(...)``).  Tuple packing is
+    deliberately allowed -- it is how flat ring rows and dict keys are
+    built."""
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(
+                node,
+                (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
+                 ast.SetComp),
+            ):
+                yield node, type(node).__name__.lower()
+            elif isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name is None:
+                    continue
+                if name in _ALLOC_CALLS:
+                    yield node, f"{name}()"
+                elif name[:1].isupper() and not name.isupper():
+                    yield node, f"{name}(...)"
+
 
 def _base_name(node: ast.expr) -> Optional[str]:
     if isinstance(node, ast.Name):
@@ -78,25 +133,40 @@ class HotPathHygiene(Rule):
     severity = Severity.WARNING
     description = (
         "simulator classes define __slots__ (or dataclass slots=True); "
-        "event drain loops allocate no per-event containers"
+        "event drain loops and tracer record hooks allocate no "
+        "per-event objects"
     )
     invariant = (
         "DES hot-path throughput: per-event attribute access and object "
         "creation dominate the drain loop, so every class the loop "
-        "touches avoids __dict__ overhead and loop bodies avoid "
-        "container churn"
+        "touches avoids __dict__ overhead, loop bodies avoid container "
+        "churn, and the tracer's per-event hooks (record_*/mark_* and "
+        "the is-not-None-gated call sites in the scheduler) append to "
+        "flat ring buffers instead of constructing objects"
     )
 
     def check(self, source, context) -> Iterator[Finding]:
-        if not source.in_scope("simulator"):
+        in_simulator = source.in_scope("simulator")
+        tracer_module = (
+            source.name == "tracer.py" and source.in_scope("observability")
+        )
+        if not (in_simulator or tracer_module):
             return
         imports = import_map(source.tree)
         for node in ast.walk(source.tree):
             if isinstance(node, ast.ClassDef):
-                yield from self._check_class(source, node, imports)
+                if in_simulator:
+                    yield from self._check_class(source, node, imports)
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if node.name in _HOT_FUNCTIONS:
+                if in_simulator and node.name in _HOT_FUNCTIONS:
                     yield from self._check_hot_function(source, node)
+                if tracer_module and node.name.startswith(
+                    _TRACER_HOT_PREFIXES
+                ):
+                    yield from self._check_tracer_hook(source, node)
+            elif isinstance(node, ast.If):
+                if in_simulator and _is_tracer_gate(node.test):
+                    yield from self._check_gated_hook(source, node)
 
     def _check_class(self, source, node: ast.ClassDef, imports):
         bases = {_base_name(base) for base in node.bases}
@@ -137,6 +207,48 @@ class HotPathHygiene(Rule):
                 hint=(
                     "declare __slots__ with the instance attributes; "
                     "simulator objects are allocated on the event hot path"
+                ),
+                severity=self.severity,
+            )
+
+    def _check_tracer_hook(self, source, func):
+        """record_*/mark_* tracer methods run once per simulated event:
+        they must append to the flat ring, never build objects."""
+        for node, alloc in _object_allocations(func.body):
+            yield Finding(
+                rule=self.name,
+                path=source.relpath,
+                line=node.lineno,
+                column=node.col_offset,
+                message=(
+                    f"per-event {alloc} allocation in tracer hook "
+                    f"{func.name}()"
+                ),
+                hint=(
+                    "append a row to the flat ring buffer instead and "
+                    "construct objects once, at decode time (finish())"
+                ),
+                severity=self.severity,
+            )
+
+    def _check_gated_hook(self, source, gate):
+        """Bodies of ``if tracer is not None:`` gates in the scheduler
+        run once per simulated event when tracing is on; object
+        construction there is the overhead the ring buffer removed."""
+        for node, alloc in _object_allocations(gate.body):
+            yield Finding(
+                rule=self.name,
+                path=source.relpath,
+                line=node.lineno,
+                column=node.col_offset,
+                message=(
+                    f"per-event {alloc} allocation inside a tracer "
+                    "is-not-None gate"
+                ),
+                hint=(
+                    "pass scalars to the tracer hook and let the ring "
+                    "buffer store them flat; objects belong in the "
+                    "post-run decode"
                 ),
                 severity=self.severity,
             )

@@ -9,10 +9,26 @@ observability regression tests pin: with a tracer attached, every
 :class:`~repro.simulator.summary.RunSummary` measurement (and therefore
 every fingerprint) is bit-identical to the untraced run.
 
-Identifiers are deterministic: span ids come from a per-tracer sequence
-counter, trace ids from request ids (single-service runs) or a root-RPC
-counter (topology runs).  No wall clocks, no unseeded entropy
-(DET001/DET003).
+Recording is *flat*: hooks append rows to the struct-of-arrays ring
+buffers in :mod:`~repro.observability.ringbuffer` (a handful of array
+stores per call, no object construction) and :meth:`SpanTracer.finish`
+decodes the columns into the same :class:`~repro.observability.TraceData`
+the original object-per-span tracer produced -- bit-identical, pinned by
+test against :class:`~repro.observability.legacy.ObjectSpanTracer`.
+Downstream consumers (``critical_path``, ``windows``, ``export``,
+``trace_export``) never see the ring.  When the compiled hot core is
+importable (see :mod:`repro.simulator.hotcore`), the interval columns
+live in C and the compiled engine appends to them without re-entering
+the interpreter.
+
+Span handles returned by ``begin_segment``/``begin_offload``/
+``begin_rpc`` are ring row indices (plain ints); callers treat them as
+opaque, so nothing changes for the simulator.
+
+Identifiers are deterministic: span ids come from ring row order (the
+per-tracer emission sequence), trace ids from request ids
+(single-service runs) or a root-RPC counter (topology runs).  No wall
+clocks, no unseeded entropy (DET001/DET003).
 
 The simulator calls every method through an ``is not None`` guard (the
 OBS001 lint rule enforces this), so an untraced run pays one attribute
@@ -23,16 +39,40 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from .spans import (
-    DegradationTrack,
-    Interval,
-    RequestTimeline,
-    Span,
-    SpanKind,
-    TraceData,
-    span_id_from_sequence,
-    trace_id_from_request,
+from .ringbuffer import (
+    CODE_BITS,
+    FIELD_BITS,
+    OP_ATTEMPT,
+    OP_BACKOFF,
+    OP_FALLBACK,
+    OP_OFFLOAD,
+    OP_REQUEST,
+    OP_RPC,
+    OP_SEGMENT,
+    PyIntervalSink,
+    SpanRing,
+    decode_spans,
+    decode_timelines,
 )
+from .spans import DegradationTrack, TraceData
+
+
+def _compiled_sink_class():
+    """The C interval sink when the hot core is importable and enabled.
+
+    Resolved through :mod:`repro.simulator.hotcore` so one switch
+    (``REPRO_COMPILED``) governs both the engine and the sink; the
+    simulator package never imports observability at module level, so
+    this import cannot cycle.
+    """
+    try:
+        from ..simulator.hotcore import IntervalSink
+    except ImportError:  # pragma: no cover - hotcore is part of the tree
+        return None
+    return IntervalSink
+
+
+_COMPILED_SINK = _compiled_sink_class()
 
 
 class TraceContext:
@@ -41,28 +81,30 @@ class TraceContext:
     ``tag`` is the active fault-cost override: while the fault state
     machine pays a timeout, backoff, or fallback, it tags the context so
     every interval the CPU records inside the recovery is attributed to
-    the fault rather than to ordinary work.
+    the fault rather than to ordinary work.  ``packed`` is the context
+    id pre-shifted for the interval sink's meta word; ``row`` is the
+    request span's ring row.
     """
 
     __slots__ = (
-        "request_span",
+        "row",
         "record",
-        "intervals",
+        "packed",
         "tag",
         "released_at",
-        "segment_span",
+        "segment_row",
         "body_end",
     )
 
-    def __init__(self, request_span: Span, record) -> None:
-        self.request_span = request_span
+    def __init__(self, row: int, record, packed: int) -> None:
+        self.row = row
         #: The live :class:`~repro.simulator.metrics.RequestRecord`;
         #: completion is read off it when the trace is finished.
         self.record = record
-        self.intervals: List[Interval] = []
+        self.packed = packed
         self.tag: Optional[str] = None
         self.released_at: Optional[float] = None
-        self.segment_span: Optional[Span] = None
+        self.segment_row = -1
         self.body_end: Optional[float] = None
 
 
@@ -71,49 +113,71 @@ class SpanTracer:
 
     __slots__ = (
         "label",
-        "_sequence",
-        "_trace_counter",
-        "_spans",
+        "_ring",
+        "_sink",
+        "record_interval",
         "_contexts",
-        "_pending_offloads",
+        "_offload_records",
         "_degradations",
+        "_strings",
+        "_string_ids",
+        "_func_codes",
     )
 
-    def __init__(self, label: str = "run") -> None:
+    def __init__(
+        self,
+        label: str = "run",
+        *,
+        span_capacity: int = 1024,
+        interval_capacity: int = 16384,
+    ) -> None:
         self.label = label
-        self._sequence = 0
-        self._trace_counter = 0
-        self._spans: List[Span] = []
+        self._ring = SpanRing(span_capacity)
+        sink_class = _COMPILED_SINK or PyIntervalSink
+        self._sink = sink_class(interval_capacity)
+        #: ``record_interval(context, start, end, functionality, leaf,
+        #: kind)`` -- the per-event hook.  The sink's ``record`` has the
+        #: identical signature, so the tracer binds it directly as an
+        #: instance attribute: the CPU scheduler's call lands on the
+        #: sink with no delegation hop on the hottest tracer path in
+        #: the repository.
+        self.record_interval = self._sink.record
         self._contexts: List[TraceContext] = []
-        #: Offload spans whose end is the (asynchronously written)
-        #: device-completion timestamp, resolved at :meth:`finish`.
-        self._pending_offloads: List[Tuple[Span, object]] = []
+        #: Live :class:`~repro.simulator.metrics.OffloadRecord` objects in
+        #: OFFLOAD row order; device-completion timestamps are read off
+        #: them at :meth:`finish`.
+        self._offload_records: List[object] = []
         self._degradations: Dict[str, Tuple[Tuple[float, float, float], ...]] = {}
+        #: Interned strings referenced by span rows (service names,
+        #: functionality values, kernel names, outcomes, designs).
+        self._strings: List[str] = []
+        self._string_ids: Dict[str, int] = {}
+        #: FunctionalityCategory -> interned code, keyed by identity so
+        #: ``begin_segment`` (the busiest span hook, ~1 per event) skips
+        #: both the enum ``.value`` descriptor and the string intern.
+        self._func_codes: Dict[object, int] = {}
 
-    # -- id generation -----------------------------------------------------
+    # -- interning ---------------------------------------------------------
 
-    def _next_span_id(self) -> str:
-        self._sequence += 1
-        return span_id_from_sequence(self._sequence)
-
-    def _emit(self, span: Span) -> Span:
-        self._spans.append(span)
-        return span
+    def _intern(self, text: str) -> int:
+        ids = self._string_ids
+        code = ids.get(text)
+        if code is None:
+            code = len(self._strings)
+            ids[text] = code
+            self._strings.append(text)
+        return code
 
     # -- request lifecycle (single-service runs) ---------------------------
 
     def begin_request(self, service: str, record) -> TraceContext:
         """Open a request span; ``record.started_at`` is the arrival."""
-        span = self._emit(Span(
-            span_id=self._next_span_id(),
-            trace_id=trace_id_from_request(record.request_id),
-            parent_id=None,
-            name=f"{service}/request",
-            kind=SpanKind.REQUEST,
-            start=record.started_at,
-            attrs=(("service", service), ("request_id", record.request_id)),
-        ))
-        context = TraceContext(span, record)
+        context_id = len(self._contexts)
+        row = self._ring.append(
+            OP_REQUEST, record.started_at,
+            context_id, self._intern(service), 0,
+        )
+        context = TraceContext(row, record, context_id << CODE_BITS)
         self._contexts.append(context)
         return context
 
@@ -124,50 +188,42 @@ class SpanTracer:
 
     def begin_segment(
         self, context: TraceContext, functionality, now: float
-    ) -> Span:
-        span = self._emit(Span(
-            span_id=self._next_span_id(),
-            trace_id=context.request_span.trace_id,
-            parent_id=context.request_span.span_id,
-            name=f"segment/{functionality.value}",
-            kind=SpanKind.SEGMENT,
-            start=now,
-            attrs=(("functionality", functionality.value),),
-        ))
-        context.segment_span = span
-        return span
+    ) -> int:
+        codes = self._func_codes
+        code = codes.get(functionality)
+        if code is None:
+            code = codes[functionality] = self._intern(functionality.value)
+        row = self._ring.append(
+            OP_SEGMENT, now,
+            context.packed >> CODE_BITS, code, 0,
+        )
+        context.segment_row = row
+        return row
 
-    def end_segment(self, context: TraceContext, span: Span, now: float) -> None:
-        span.end = now
-        context.segment_span = None
+    def end_segment(self, context: TraceContext, span: int, now: float) -> None:
+        # Inlined set_end: this hook fires once per segment, and the end
+        # patch is a single column store.
+        self._ring.t1[span] = now
+        context.segment_row = -1
 
     # -- offloads ----------------------------------------------------------
 
     def begin_offload(
         self, context: TraceContext, record, design, batched: int = 0
-    ) -> Span:
+    ) -> int:
         """Open a span for one successful offload dispatch.  *record* is
         the live :class:`~repro.simulator.metrics.OffloadRecord`; its
         device-completion timestamp becomes the span end at finish."""
-        parent = context.segment_span or context.request_span
-        attrs: Tuple[Tuple[str, object], ...] = (
-            ("kernel", record.kernel),
-            ("granularity_bytes", record.granularity),
-            ("design", design.value),
+        parent = context.segment_row
+        if parent < 0:
+            parent = context.row
+        row = self._ring.append(
+            OP_OFFLOAD, record.dispatched_at,
+            context.packed >> CODE_BITS, parent,
+            self._intern(design.value) | (batched << FIELD_BITS),
         )
-        if batched:
-            attrs += (("batched_invocations", batched),)
-        span = self._emit(Span(
-            span_id=self._next_span_id(),
-            trace_id=context.request_span.trace_id,
-            parent_id=parent.span_id,
-            name=f"offload/{record.kernel}",
-            kind=SpanKind.OFFLOAD,
-            start=record.dispatched_at,
-            attrs=attrs,
-        ))
-        self._pending_offloads.append((span, record))
-        return span
+        self._offload_records.append(record)
+        return row
 
     # -- fault machinery ---------------------------------------------------
 
@@ -180,40 +236,31 @@ class SpanTracer:
         start: float,
         end: float,
         spike_cycles: float = 0.0,
-    ) -> Span:
-        parent = context.segment_span or context.request_span
-        attrs: Tuple[Tuple[str, object], ...] = (
-            ("kernel", kernel),
-            ("retry_index", retry_index),
-            ("outcome", outcome),
+    ) -> int:
+        parent = context.segment_row
+        if parent < 0:
+            parent = context.row
+        return self._ring.append(
+            OP_ATTEMPT, start,
+            context.packed >> CODE_BITS, parent,
+            self._intern(kernel)
+            | (retry_index << FIELD_BITS)
+            | (self._intern(outcome) << (2 * FIELD_BITS)),
+            t1=end, x=spike_cycles,
         )
-        if spike_cycles:
-            attrs += (("spike_cycles", spike_cycles),)
-        return self._emit(Span(
-            span_id=self._next_span_id(),
-            trace_id=context.request_span.trace_id,
-            parent_id=parent.span_id,
-            name=f"attempt/{kernel}",
-            kind=SpanKind.ATTEMPT,
-            start=start,
-            end=end,
-            attrs=attrs,
-        ))
 
     def record_backoff(
         self, context: TraceContext, kernel: str, start: float, end: float
-    ) -> Span:
-        parent = context.segment_span or context.request_span
-        return self._emit(Span(
-            span_id=self._next_span_id(),
-            trace_id=context.request_span.trace_id,
-            parent_id=parent.span_id,
-            name=f"backoff/{kernel}",
-            kind=SpanKind.BACKOFF,
-            start=start,
-            end=end,
-            attrs=(("kernel", kernel),),
-        ))
+    ) -> int:
+        parent = context.segment_row
+        if parent < 0:
+            parent = context.row
+        return self._ring.append(
+            OP_BACKOFF, start,
+            context.packed >> CODE_BITS, parent,
+            self._intern(kernel),
+            t1=end,
+        )
 
     def record_fallback(
         self,
@@ -222,18 +269,18 @@ class SpanTracer:
         start: float,
         end: float,
         to_cpu: bool,
-    ) -> Span:
-        parent = context.segment_span or context.request_span
-        return self._emit(Span(
-            span_id=self._next_span_id(),
-            trace_id=context.request_span.trace_id,
-            parent_id=parent.span_id,
-            name=f"fallback/{kernel}",
-            kind=SpanKind.FALLBACK,
-            start=start,
-            end=end,
-            attrs=(("kernel", kernel), ("to_cpu", to_cpu)),
-        ))
+    ) -> int:
+        parent = context.segment_row
+        if parent < 0:
+            parent = context.row
+        code = self._intern(kernel)
+        if to_cpu:
+            code |= 1 << FIELD_BITS
+        return self._ring.append(
+            OP_FALLBACK, start,
+            context.packed >> CODE_BITS, parent, code,
+            t1=end,
+        )
 
     def note_degradations(self, kernel: str, schedule) -> None:
         """Capture a kernel's degradation schedule (once) so exports can
@@ -246,24 +293,7 @@ class SpanTracer:
         )
 
     # -- interval recording (called from the CPU scheduler) ----------------
-
-    def record_interval(
-        self,
-        context: TraceContext,
-        start: float,
-        end: float,
-        functionality,
-        leaf,
-        kind: str,
-    ) -> None:
-        context.intervals.append(Interval(
-            start=start,
-            end=end,
-            functionality=functionality.value,
-            leaf=leaf.value,
-            kind=kind,
-            tag=context.tag,
-        ))
+    # (record_interval is bound in __init__: it IS the sink's record.)
 
     def mark_released(self, context: TraceContext, now: float) -> None:
         """The thread released its core (Sync-OS); the off-core wait is
@@ -277,69 +307,55 @@ class SpanTracer:
         if started is None:
             return
         context.released_at = None
-        context.intervals.append(Interval(
-            start=started,
-            end=now,
-            functionality=functionality.value,
-            leaf=leaf.value,
-            kind="release-wait",
-            tag=context.tag,
-        ))
+        self._sink.record(
+            context, started, now, functionality, leaf, "release-wait"
+        )
 
     # -- topology (multi-service) spans ------------------------------------
 
     def begin_rpc(
-        self, service: str, parent: Optional[Span], now: float
-    ) -> Span:
+        self, service: str, parent: Optional[int], now: float
+    ) -> int:
         """Open a span for one service hop.  A root hop (no parent) opens
         a new trace; downstream hops inherit the caller's trace id, so
         the causal chain survives the network."""
-        if parent is None:
-            self._trace_counter += 1
-            trace_id = trace_id_from_request(self._trace_counter)
-            parent_id = None
-        else:
-            trace_id = parent.trace_id
-            parent_id = parent.span_id
-        return self._emit(Span(
-            span_id=self._next_span_id(),
-            trace_id=trace_id,
-            parent_id=parent_id,
-            name=f"rpc/{service}",
-            kind=SpanKind.RPC,
-            start=now,
-            attrs=(("service", service),),
-        ))
+        return self._ring.append(
+            OP_RPC, now,
+            self._intern(service),
+            -1 if parent is None else parent, 0,
+        )
 
-    def end_span(self, span: Span, now: float) -> None:
-        span.end = now
+    def end_span(self, span: int, now: float) -> None:
+        self._ring.set_end(span, now)
 
     # -- finalization ------------------------------------------------------
 
     def finish(self) -> TraceData:
-        """Close open request/offload spans against their live records and
-        freeze everything into a picklable :class:`TraceData`."""
-        for span, record in self._pending_offloads:
-            span.end = record.completed_at
-        timelines = []
+        """Patch open request/offload rows from their live records, then
+        decode the columns into a picklable :class:`TraceData`."""
+        ring = self._ring
+        ends = ring.t1
         for context in self._contexts:
-            record = context.record
-            context.request_span.end = record.completed_at
-            timelines.append(RequestTimeline(
-                request_id=record.request_id,
-                started_at=record.started_at,
-                body_end=context.body_end,
-                completed_at=record.completed_at,
-                degraded=record.degraded,
-                intervals=tuple(context.intervals),
-            ))
+            completed = context.record.completed_at
+            if completed is not None:
+                ends[context.row] = completed
+        if self._offload_records:
+            records = iter(self._offload_records)
+            ops = ring.op
+            for row in range(ring.n):
+                if ops[row] == OP_OFFLOAD:
+                    completed = next(records).completed_at
+                    if completed is not None:
+                        ends[row] = completed
         degradations = tuple(
             DegradationTrack(kernel=kernel, windows=windows)
             for kernel, windows in sorted(self._degradations.items())
         )
         return TraceData(
             label=self.label,
-            spans=tuple(self._spans),
-            timelines=tuple(timelines),
+            spans=decode_spans(
+                ring, self._contexts, self._offload_records, self._strings
+            ),
+            timelines=decode_timelines(self._sink, self._contexts),
             degradations=degradations,
         )

@@ -153,7 +153,7 @@ class CPU:
     """A multi-core host executing simulated threads."""
 
     __slots__ = ("engine", "metrics", "cores", "run_queue", "_on_thread_done",
-                 "trace")
+                 "trace", "_advance_fast")
 
     def __init__(
         self,
@@ -173,6 +173,13 @@ class CPU:
         #: OBS001), so untraced runs pay one load-and-compare per event
         #: and allocate nothing.
         self.trace = None
+        #: The compiled drain loop's native advance (see
+        #: :mod:`repro.simulator.hotcore`): a HotEngine runs Compute
+        #: chains entirely in C, bouncing back here only for slow ops
+        #: (:meth:`_handle_slow_op`) and thread completion
+        #: (:meth:`_finish`).  None on the pure-Python engine.
+        bind = getattr(engine, "bind_cpu", None)
+        self._advance_fast = None if bind is None else bind(self)
 
     # -- public API ---------------------------------------------------------
 
@@ -320,6 +327,10 @@ class CPU:
             self._advance(core, thread)
 
     def _advance(self, core: Core, thread: SimThread) -> None:
+        fast = self._advance_fast
+        if fast is not None:
+            fast(core, thread)
+            return
         if core.current is not thread:
             raise SimulationError(f"{thread} advanced on foreign {core}")
         try:
@@ -337,9 +348,12 @@ class CPU:
                 context = thread.trace_ctx
                 if context is not None:
                     now = self.engine.now
+                    # The CycleKind member itself, not .value: the enum
+                    # descriptor costs a Python call per event and the
+                    # sink interns enum-or-str kinds identically.
                     trace.record_interval(
                         context, now, now + cycles,
-                        op.functionality, op.leaf, op.kind.value,
+                        op.functionality, op.leaf, op.kind,
                     )
             callback = thread.advance_callback
             if callback is None:  # direct _advance without _assign (tests)
@@ -347,7 +361,17 @@ class CPU:
                     core, thread
                 )
             self.engine.after(cycles, callback)
-        elif isinstance(op, HoldCore):
+        else:
+            self._handle_slow_op(core, thread, op)
+
+    def _handle_slow_op(self, core: Core, thread: SimThread, op) -> None:
+        """Advance past a non-Compute op: the blocking primitives.
+
+        Split out of :meth:`_advance` so the compiled drain loop can run
+        Compute chains natively and delegate only these (rare) ops back
+        to the interpreter.
+        """
+        if isinstance(op, HoldCore):
             thread.state = ThreadState.BLOCKED_HOLD
             thread.block_started = self.engine.now
             thread.block_functionality = op.functionality

@@ -1,114 +1,16 @@
-"""Discrete-event simulation core.
+"""Discrete-event simulation core (import facade).
 
-Time is measured in *host cycles* (float), matching the Accelerometer
-model's cycle-denominated parameters.  The engine is a classic
-calendar-queue DES: events are (time, sequence, callback) tuples in a heap;
-:meth:`Engine.run_until` drains them in order.
-
-The drain loop is the hottest code in the repository -- every simulated
-compute segment, offload completion, and arrival passes through it -- so
-:meth:`run_until` inlines the pop instead of delegating to :meth:`step`
-and hoists the heap, heappop, and counters into locals.
+The engine implementation lives in :mod:`repro.simulator.hotcore` -- the
+separately importable hot-core module that also selects the optional
+compiled drain loop via ``REPRO_COMPILED`` -- so the hottest code in the
+repository can be swapped for the C extension without touching any
+consumer.  ``Engine`` is the selected class (compiled when available,
+:class:`~repro.simulator.hotcore.PyEngine` otherwise); both expose the
+identical API and produce bit-identical event orderings.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Callable, List, Optional, Tuple
+from .hotcore import Callback, Engine, PyEngine
 
-from ..errors import SimulationError
-
-Callback = Callable[[], None]
-
-
-class Engine:
-    """A minimal, deterministic discrete-event engine."""
-
-    __slots__ = ("_now", "_sequence", "_queue", "_events_processed")
-
-    def __init__(self) -> None:
-        self._now = 0.0
-        self._sequence = itertools.count()
-        self._queue: List[Tuple[float, int, Callback]] = []
-        self._events_processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in host cycles."""
-        return self._now
-
-    @property
-    def events_processed(self) -> int:
-        return self._events_processed
-
-    @property
-    def pending_events(self) -> int:
-        return len(self._queue)
-
-    def at(self, time: float, callback: Callback) -> None:
-        """Schedule *callback* at absolute simulated *time*."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule event in the past ({time} < {self._now})"
-            )
-        heapq.heappush(self._queue, (time, next(self._sequence), callback))
-
-    def after(self, delay: float, callback: Callback) -> None:
-        """Schedule *callback* after *delay* cycles."""
-        if delay < 0:
-            raise SimulationError(f"delay must be non-negative, got {delay}")
-        heapq.heappush(
-            self._queue, (self._now + delay, next(self._sequence), callback)
-        )
-
-    def step(self) -> bool:
-        """Process the next event.  Returns False when the queue is empty."""
-        if not self._queue:
-            return False
-        time, _, callback = heapq.heappop(self._queue)
-        self._now = time
-        self._events_processed += 1
-        callback()
-        return True
-
-    def run_until(self, horizon: float, max_events: Optional[int] = None) -> None:
-        """Run events with time <= *horizon*.
-
-        Events scheduled beyond the horizon stay queued; simulated time is
-        advanced to the horizon afterwards so measurements cover exactly
-        the requested window.  *max_events* is a runaway-simulation guard:
-        strictly more than *max_events* events within the window raises.
-        """
-        if horizon < self._now:
-            raise SimulationError(
-                f"horizon {horizon} is before current time {self._now}"
-            )
-        queue = self._queue
-        pop = heapq.heappop
-        limit = max_events if max_events is not None else -1
-        processed = 0
-        while queue and queue[0][0] <= horizon:
-            if processed == limit:
-                self._events_processed += processed
-                raise SimulationError(
-                    f"exceeded max_events = {max_events}; "
-                    "likely a zero-delay event loop"
-                )
-            time, _, callback = pop(queue)
-            self._now = time
-            processed += 1
-            callback()
-        self._events_processed += processed
-        self._now = horizon
-
-    def run_to_completion(self, max_events: int = 10_000_000) -> None:
-        """Drain every queued event (for finite workloads)."""
-        processed = 0
-        while self.step():
-            processed += 1
-            if processed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events = {max_events}; "
-                    "likely a zero-delay event loop"
-                )
+__all__ = ["Callback", "Engine", "PyEngine"]

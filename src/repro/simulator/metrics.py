@@ -23,6 +23,12 @@ from .guards import require_positive_window
 class CycleKind(enum.Enum):
     """Why the host spent a cycle."""
 
+    # Identity hashing: members are singletons with identity equality,
+    # and this enum is the third component of the per-event cycle-dict
+    # key, so the C slot hash replaces an interpreted __hash__ on the
+    # DES hot path (see repro.paperdata.categories for the full note).
+    __hash__ = object.__hash__
+
     #: Application work (kernel or non-kernel logic).
     USEFUL = "useful"
 

@@ -14,68 +14,10 @@ import numpy as np
 
 from ..errors import ParameterError
 from .engine import Engine
+from .hotcore import BlockSampler
 from .service import Microservice, RequestSpec
 
-
-class BlockSampler:
-    """Pre-sampled draws from one distribution of a shared generator.
-
-    Vectorized numpy sampling (``rng.exponential(scale, size=n)``) draws
-    the *same* values, bit for bit, as ``n`` sequential scalar calls on the
-    same :class:`~numpy.random.Generator` -- so pulling a block up front
-    and replaying it is stream-identical as long as draws from this
-    distribution are not interleaved with other draws on the same
-    generator.  This turns per-event RNG calls (the DES hot path's main
-    Python-overhead source after the engine loop itself) into one
-    amortized vectorized call per *block_size* events.
-    """
-
-    __slots__ = ("_draw", "_block_size", "_buffer", "_index")
-
-    def __init__(
-        self,
-        draw: Callable[[int], np.ndarray],
-        block_size: int = 1024,
-    ) -> None:
-        if block_size < 1:
-            raise ParameterError("block_size must be >= 1")
-        self._draw = draw
-        self._block_size = block_size
-        self._buffer: np.ndarray = np.empty(0)
-        self._index = 0
-
-    def next(self) -> float:
-        """The next pre-sampled value."""
-        if self._index >= len(self._buffer):
-            self._buffer = self._draw(self._block_size)
-            self._index = 0
-        value = self._buffer[self._index]
-        self._index += 1
-        return float(value)
-
-    def take(self, count: int) -> np.ndarray:
-        """The next *count* pre-sampled values as an array.
-
-        Draws the same values :meth:`next` called *count* times would.
-        """
-        if count < 0:
-            raise ParameterError("count must be >= 0")
-        buffer, index = self._buffer, self._index
-        available = len(buffer) - index
-        if count <= available:
-            self._index = index + count
-            return buffer[index : index + count].copy()
-        parts = [buffer[index:]]
-        remaining = count - available
-        block_size = self._block_size
-        while remaining > block_size:
-            parts.append(self._draw(block_size))
-            remaining -= block_size
-        block = self._draw(block_size)
-        parts.append(block[:remaining])
-        self._buffer = block
-        self._index = remaining
-        return np.concatenate(parts)
+__all__ = ["BlockSampler", "OpenLoopDriver", "request_stream"]
 
 
 def request_stream(

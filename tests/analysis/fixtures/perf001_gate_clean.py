@@ -1,0 +1,17 @@
+"""Fixture: scalar-only tracer gates (PERF001 silent in simulator/)."""
+
+
+class CPU:
+    __slots__ = ("trace",)
+
+    def __init__(self):
+        self.trace = None
+
+    def _charge(self, thread, start, end, functionality, leaf, kind):
+        trace = self.trace
+        if trace is not None:
+            context = thread.trace_ctx
+            if context is not None:
+                trace.record_interval(
+                    context, start, end, functionality, leaf, kind
+                )

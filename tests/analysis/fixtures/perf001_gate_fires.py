@@ -1,0 +1,26 @@
+"""Fixture: object allocation inside tracer is-not-None gates (PERF001
+fires 2x in simulator/)."""
+
+
+class Sample:
+    __slots__ = ("start", "end")
+
+    def __init__(self, start, end):
+        self.start = start
+        self.end = end
+
+
+class CPU:
+    __slots__ = ("trace",)
+
+    def __init__(self):
+        self.trace = None
+
+    def _charge(self, thread, start, end):
+        trace = self.trace
+        if trace is not None:
+            trace.record_interval(thread.ctx, Sample(start, end))
+
+    def _emit(self, tracer, thread, now):
+        if tracer is not None and thread.ctx is not None:
+            tracer.record_marks([now])

@@ -1,0 +1,24 @@
+"""Fixture: flat-ring tracer record hooks (PERF001 silent at
+src/repro/observability/tracer.py)."""
+
+
+class SpanTracer:
+    __slots__ = ("_t0", "_t1", "_meta", "_n")
+
+    def __init__(self, capacity):
+        self._t0 = [0.0] * capacity
+        self._t1 = [0.0] * capacity
+        self._meta = [0] * capacity
+        self._n = 0
+
+    def record_interval(self, context, start, end, functionality, leaf, kind):
+        # Flat column stores only; tuple packing for the intern key is
+        # explicitly allowed.
+        i = self._n
+        self._t0[i] = start
+        self._t1[i] = end
+        self._meta[i] = context.packed
+        self._n = i + 1
+
+    def mark_released(self, context, now):
+        context.released_at = now

@@ -1,0 +1,32 @@
+"""Fixture: per-event allocation in tracer record hooks (PERF001 fires 3x
+when placed at src/repro/observability/tracer.py)."""
+
+
+class Interval:
+    __slots__ = ("start", "end")
+
+    def __init__(self, start, end):
+        self.start = start
+        self.end = end
+
+
+class SpanTracer:
+    __slots__ = ("intervals", "marks")
+
+    def __init__(self):
+        self.intervals = []
+        self.marks = []
+
+    def record_interval(self, context, start, end, functionality, leaf, kind):
+        # Object construction per event: the overhead the ring removed.
+        self.intervals.append(Interval(start, end))
+
+    def record_attempt(self, context, kernel, outcome):
+        self.marks.append({"kernel": kernel, "outcome": outcome})
+
+    def mark_released(self, context, now):
+        self.marks.append([context, now])
+
+    def begin_request(self, service, record):
+        # Lifecycle methods are per-request, not per-event: allowed.
+        return Interval(record.started_at, None)

@@ -105,6 +105,47 @@ def test_perf001_out_of_scope_outside_simulator(run_fixture):
     assert result.clean
 
 
+TRACER = "src/repro/observability/tracer.py"
+
+
+def test_perf001_fires_on_tracer_record_hook_allocation(run_fixture):
+    result = run_fixture("perf001_tracer_fires.py", TRACER,
+                         rules=["PERF001"])
+    assert _rules_fired(result) == ["PERF001"] * 3
+    messages = " ".join(f.message for f in result.findings)
+    assert "record_interval" in messages   # constructor call per event
+    assert "record_attempt" in messages    # dict display per event
+    assert "mark_released" in messages     # list display per event
+    assert "begin_request" not in messages  # lifecycle methods exempt
+
+
+def test_perf001_silent_on_flat_ring_tracer(run_fixture):
+    result = run_fixture("perf001_tracer_clean.py", TRACER,
+                         rules=["PERF001"])
+    assert result.clean
+
+
+def test_perf001_tracer_checks_only_apply_to_tracer_module(run_fixture):
+    # The legacy object tracer is the pinned decode reference; it is
+    # deliberately outside the record-hook scope.
+    result = run_fixture("perf001_tracer_fires.py",
+                         "src/repro/observability/legacy.py",
+                         rules=["PERF001"])
+    assert result.clean
+
+
+def test_perf001_fires_on_allocation_inside_tracer_gate(run_fixture):
+    result = run_fixture("perf001_gate_fires.py", SIM, rules=["PERF001"])
+    fired = _rules_fired(result)
+    assert fired == ["PERF001"] * 2
+    assert all("is-not-None gate" in f.message for f in result.findings)
+
+
+def test_perf001_silent_on_scalar_tracer_gate(run_fixture):
+    result = run_fixture("perf001_gate_clean.py", SIM, rules=["PERF001"])
+    assert result.clean
+
+
 # -- UNIT001 ---------------------------------------------------------------
 
 

@@ -1,0 +1,142 @@
+"""Ring-buffer decode equality and edge cases.
+
+The ring tracer's contract is that :meth:`SpanTracer.finish` decodes its
+flat columns into *exactly* the :class:`TraceData` the legacy
+object-per-span tracer (:mod:`repro.observability.legacy`) produced --
+span ids, parents, attributes, timelines, degradation tracks, all of it.
+These tests pin that equality on a healthy characterization run, on a
+faulted run exercising every fault span opcode, and on a topology run
+with RPC hops, plus the ring-specific edge cases: growth across the
+preallocation boundary and the pure-vs-compiled sink agreement.
+"""
+
+from __future__ import annotations
+
+from unittest import mock
+
+import numpy as np
+import pytest
+
+from repro.observability import SpanTracer
+from repro.observability.legacy import ObjectSpanTracer
+from repro.observability.ringbuffer import PyIntervalSink
+from repro.simulator import SimulationConfig, run_simulation
+from repro.simulator.service import Microservice
+from repro.workloads import build_workload
+
+from .conftest import FAULTED
+
+
+def _trace_cache1(tracer):
+    workload = build_workload("cache1")
+    config = SimulationConfig(num_cores=2, window_cycles=2.0e6)
+    rng = np.random.default_rng(2020)
+
+    def build(engine, cpu, metrics):
+        service = Microservice(engine, cpu, metrics, name="cache1")
+        return service, workload.request_factory(rng)
+
+    result = run_simulation(build, config, tracer=tracer)
+    assert result.trace is not None
+    return result.trace
+
+
+def test_ring_decode_equals_legacy_tracer_on_healthy_run():
+    ring = _trace_cache1(SpanTracer(label="run"))
+    legacy = _trace_cache1(ObjectSpanTracer(label="run"))
+    assert ring.spans, "expected a non-trivial trace"
+    assert ring.spans == legacy.spans
+    assert ring.timelines == legacy.timelines
+    assert ring.degradations == legacy.degradations
+    assert ring == legacy
+
+
+def test_ring_decode_equals_legacy_tracer_on_faulted_run():
+    """Every fault opcode (ATTEMPT/BACKOFF/FALLBACK) and fault-tagged
+    interval decodes identically to the eager object tracer."""
+    from repro.application.resilience import traced_resilience_run
+
+    ring = traced_resilience_run(**FAULTED).trace
+    with mock.patch("repro.observability.SpanTracer", ObjectSpanTracer):
+        legacy = traced_resilience_run(**FAULTED).trace
+    fault_tags = {
+        interval.tag
+        for timeline in ring.timelines
+        for interval in timeline.intervals
+    }
+    assert fault_tags - {None}, "faulted run recorded no fault-tagged work"
+    assert ring == legacy
+
+
+def test_ring_decode_equals_legacy_tracer_on_topology_run():
+    from repro.topology import (
+        ApplicationSimConfig,
+        Call,
+        CallGraph,
+        ServiceNode,
+        simulate_application,
+    )
+
+    graph = CallGraph(
+        [ServiceNode("front", 10_000.0), ServiceNode("leaf", 5_000.0)],
+        [Call("front", "leaf", network_cycles=1_000.0)],
+        root="front",
+    )
+    config = ApplicationSimConfig(
+        cores_per_service=2, arrivals_per_unit=200, window_cycles=2.0e7,
+    )
+    ring = simulate_application(
+        graph, config, tracer=SpanTracer(label="topology")
+    ).trace
+    legacy = simulate_application(
+        graph, config, tracer=ObjectSpanTracer(label="topology")
+    ).trace
+    assert ring.spans, "expected RPC spans"
+    assert ring == legacy
+
+
+def test_ring_growth_across_preallocation_boundary():
+    """Tiny initial capacities force both rings (spans and intervals)
+    through multiple doublings mid-run; the decoded trace must be
+    unchanged."""
+    tiny = _trace_cache1(
+        SpanTracer(label="run", span_capacity=2, interval_capacity=2)
+    )
+    roomy = _trace_cache1(
+        SpanTracer(label="run", span_capacity=65536, interval_capacity=262144)
+    )
+    assert len(tiny.spans) > 2, "run too small to cross the boundary"
+    assert tiny == roomy
+
+
+def test_pure_sink_agrees_with_selected_sink():
+    """Forcing the pure-Python interval sink must not change the decoded
+    trace.  On a checkout without the compiled extension both runs use
+    the pure sink and this degenerates to determinism."""
+    import repro.observability.tracer as tracer_module
+
+    selected = _trace_cache1(SpanTracer(label="run"))
+    with mock.patch.object(tracer_module, "_COMPILED_SINK", None):
+        tracer = SpanTracer(label="run")
+        assert isinstance(tracer._sink, PyIntervalSink)
+        pure = _trace_cache1(tracer)
+    assert selected == pure
+
+
+def test_interval_sink_key_interning_is_bounded():
+    """The packed meta word caps distinct (functionality, leaf, kind,
+    tag) keys; exceeding the cap must be a loud OverflowError, not a
+    silent corruption."""
+    from repro.observability import ringbuffer
+
+    sink = PyIntervalSink(4)
+
+    class Context:
+        packed = 0
+        tag = None
+
+    with mock.patch.object(ringbuffer, "CODE_MASK", 1):
+        sink.record(Context(), 0.0, 1.0, "f0", "l", "k")
+        sink.record(Context(), 1.0, 2.0, "f1", "l", "k")
+        with pytest.raises(OverflowError):
+            sink.record(Context(), 2.0, 3.0, "f2", "l", "k")
