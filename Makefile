@@ -4,8 +4,8 @@ export PYTHONPATH
 
 WORKERS ?= 4
 
-.PHONY: test faults perf bench figures clean-cache lint lint-deep graphs \
-	check hotcore
+.PHONY: test faults perf bench figures clean-cache lint lint-deep \
+	lint-parity graphs check hotcore
 
 # Tier-1 correctness suite (perf benchmarks excluded via pyproject addopts).
 # Linting runs first: a determinism or spec-hygiene violation invalidates
@@ -32,6 +32,12 @@ lint:
 # of HEAD -- the fast pre-push loop.
 lint-deep:
 	$(PYTHON) -m repro lint --deep --changed
+
+# Cross-language parity between _hotcore.c and its Python twins
+# (PAR001-PAR004).  Also covered by `make lint` via --deep; this target
+# isolates the parity pass.  No C toolchain required.
+lint-parity:
+	$(PYTHON) -m repro lint --deep --rules PAR001,PAR002,PAR003,PAR004
 
 # Deterministic call-graph artifacts (callgraph.json / callgraph.dot).
 graphs:

@@ -9,7 +9,11 @@ is passed), and the simulator falls back to the pure-Python hot core
 with identical results (see docs/hotcore.md).
 
 Usage:
-    python scripts/build_hotcore.py [--require] [--force] [--quiet]
+    python scripts/build_hotcore.py [--require] [--force] [--quiet] [--check]
+
+``--check`` builds nothing: it exits 1 when a built extension is older
+than ``_hotcore.c`` (a stale kernel that ``REPRO_COMPILED=auto`` would
+silently select) and 0 otherwise.
 """
 
 from __future__ import annotations
@@ -92,9 +96,27 @@ def main(argv: list[str] | None = None) -> int:
         help="rebuild even when the extension is newer than the source",
     )
     parser.add_argument("--quiet", action="store_true")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="build nothing; exit 1 when a built extension is staler "
+        "than _hotcore.c (no extension at all is fine)",
+    )
     args = parser.parse_args(argv)
 
     out = target_path()
+    if args.check:
+        if out.exists() and out.stat().st_mtime < SOURCE.stat().st_mtime:
+            print(
+                f"stale: {out.relative_to(REPO)} predates _hotcore.c; "
+                "rebuild with `python scripts/build_hotcore.py`",
+                file=sys.stderr,
+            )
+            return 1
+        if not args.quiet:
+            state = "up to date" if out.exists() else "not built"
+            print(f"hotcore: {state} ({out.relative_to(REPO)})")
+        return 0
     if (
         not args.force
         and out.exists()

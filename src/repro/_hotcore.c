@@ -34,6 +34,7 @@
 
 #define SINK_CODE_BITS 21
 #define SINK_CODE_MASK ((1LL << SINK_CODE_BITS) - 1)
+#define SINK_DEFAULT_CAPACITY 16384
 
 /* ---------------------------------------------------------------------
  * Interned attribute names and the SimulationError class, resolved once
@@ -263,7 +264,7 @@ static PyObject *
 sink_new(PyTypeObject *type, PyObject *args, PyObject *kwargs)
 {
     static char *kwlist[] = {"capacity", NULL};
-    Py_ssize_t capacity = 16384;
+    Py_ssize_t capacity = SINK_DEFAULT_CAPACITY;
     if (!PyArg_ParseTupleAndKeywords(args, kwargs, "|n", kwlist, &capacity)) {
         return NULL;
     }
@@ -446,7 +447,8 @@ binding_call(BindingObject *self, PyObject *args, PyObject *kwargs)
         return NULL;
     }
     if (self->engine == NULL) {
-        PyErr_SetString(SimulationError, "advance on a cleared binding");
+        PyErr_SetString(SimulationError, /* compiled-only misuse guard */
+                        "advance on a cleared binding"); /* repro: noqa[PAR002] */
         return NULL;
     }
     if (engine_advance_core(self->engine, self, PyTuple_GET_ITEM(args, 0),
@@ -792,7 +794,8 @@ engine_dispatch(EngineObject *self, Event *event)
                                      event->core, event->thread);
     }
     else {
-        PyErr_SetString(SimulationError, "advance event without a binding");
+        PyErr_SetString(SimulationError, /* compiled-only misuse guard */
+                        "advance event without a binding"); /* repro: noqa[PAR002] */
         status = -1;
     }
     event_clear_refs(event);

@@ -32,12 +32,14 @@ from .baseline import (
     load_baseline,
     save_baseline,
 )
+from .cparse import CSourceFile
 from .engine import (
     AnalysisContext,
     AnalysisResult,
     analyze_paths,
     analyze_sources,
     collect_files,
+    load_c_sources,
     load_sources,
 )
 from .findings import Finding, Severity
@@ -56,6 +58,7 @@ __all__ = [
     "AnalysisResult",
     "Baseline",
     "BaselineEntry",
+    "CSourceFile",
     "CallGraph",
     "DEFAULT_BASELINE_NAME",
     "Finding",
@@ -73,6 +76,7 @@ __all__ = [
     "collect_files",
     "find_taint_paths",
     "load_baseline",
+    "load_c_sources",
     "load_sources",
     "module_name_for",
     "parse_suppressions",

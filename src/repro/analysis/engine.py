@@ -54,8 +54,12 @@ _SKIP_DIRS = {
 }
 
 
-def collect_files(paths: Sequence[Union[str, Path]], root: Path) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+def collect_files(
+    paths: Sequence[Union[str, Path]],
+    root: Path,
+    suffixes: Sequence[str] = (".py",),
+) -> List[Path]:
+    """Expand files/directories into a sorted list of matching files."""
     seen = set()
     collected: List[Path] = []
     for raw in paths:
@@ -65,14 +69,15 @@ def collect_files(paths: Sequence[Union[str, Path]], root: Path) -> List[Path]:
         if path.is_dir():
             candidates = sorted(
                 p
-                for p in path.rglob("*.py")
+                for suffix in suffixes
+                for p in path.rglob(f"*{suffix}")
                 if not any(
                     part in _SKIP_DIRS or part.endswith(".egg-info")
                     for part in p.parts
                 )
             )
         elif path.is_file():
-            candidates = [path]
+            candidates = [path] if path.suffix in suffixes else []
         else:
             raise ParameterError(f"no such file or directory: {path}")
         for candidate in candidates:
@@ -102,6 +107,23 @@ def load_sources(
     ]
 
 
+def load_c_sources(
+    paths: Sequence[Union[str, Path]], root: Union[str, Path] = "."
+) -> List["CSourceFile"]:
+    """Scan every ``.c`` file under *paths* for the parity rules.
+
+    The scan is toolchain-free (see :mod:`repro.analysis.cparse`); a C
+    file the extractor cannot make sense of degrades to an empty
+    extraction rather than an error."""
+    from .cparse import CSourceFile
+
+    root_path = Path(root)
+    return [
+        CSourceFile.load(path, _relpath(path, root_path))
+        for path in collect_files(paths, root_path, suffixes=(".c",))
+    ]
+
+
 @dataclasses.dataclass
 class AnalysisContext:
     """Everything a rule can see: the project root and all sources."""
@@ -114,6 +136,11 @@ class AnalysisContext:
     #: its audience, but no rule reports findings against them and the
     #: call-graph/taint/unit passes do not analyze them.
     reference_sources: Tuple[SourceFile, ...] = ()
+
+    #: Scanned C files (:class:`~repro.analysis.cparse.CSourceFile`) for
+    #: the cross-language parity rules.  Empty unless the analyzed paths
+    #: contain ``.c`` files.
+    c_sources: Tuple = ()
 
     _project_model: Optional[object] = dataclasses.field(
         default=None, repr=False, compare=False
@@ -231,6 +258,7 @@ def analyze_sources(
     deep: bool = False,
     restrict: Optional[Collection[str]] = None,
     reference_sources: Iterable[SourceFile] = (),
+    c_sources: Iterable = (),
 ) -> AnalysisResult:
     """Run the selected rules over pre-built sources (test entry point)."""
     selected = resolve_rules(rules, deep=deep)
@@ -238,6 +266,7 @@ def analyze_sources(
         root=Path(root),
         sources=tuple(sources),
         reference_sources=tuple(reference_sources),
+        c_sources=tuple(c_sources),
     )
     restrict_set = set(restrict) if restrict is not None else None
     deep_rule_names = {rule.name for rule in selected if rule.deep}
@@ -294,6 +323,9 @@ def analyze_sources(
     raw.sort(key=Finding.sort_key)
 
     by_path = {source.relpath: source for source in context.sources}
+    # C files join the same pragma pipeline: /* repro: noqa[...] */
+    # suppresses exactly like # repro: noqa[...] does on the Python side.
+    by_path.update({c.relpath: c for c in context.c_sources})
     visible: List[Finding] = []
     suppressed: List[Finding] = []
     for finding in raw:
@@ -312,7 +344,7 @@ def analyze_sources(
         findings=fresh,
         grandfathered=grandfathered,
         suppressed=suppressed,
-        files=len(context.sources),
+        files=len(context.sources) + len(context.c_sources),
         rules=tuple(rule.name for rule in selected),
         internal=internal,
     )
@@ -328,7 +360,8 @@ def analyze_paths(
     restrict: Optional[Collection[str]] = None,
     reference_paths: Sequence[Union[str, Path]] = (),
 ) -> AnalysisResult:
-    """Analyze every ``.py`` file under *paths* (the CLI entry point)."""
+    """Analyze every ``.py`` (and parity-scanned ``.c``) file under
+    *paths* (the CLI entry point)."""
     root_path = Path(root)
     sources = load_sources(paths, root_path)
     reference_sources: List[SourceFile] = []
@@ -347,4 +380,5 @@ def analyze_paths(
         deep=deep,
         restrict=restrict,
         reference_sources=reference_sources,
+        c_sources=load_c_sources(paths, root_path),
     )

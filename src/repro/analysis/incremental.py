@@ -1,6 +1,7 @@
 """Git-aware incremental linting: ``repro lint --changed``.
 
-Asks git which ``.py`` files differ from a base revision (uncommitted
+Asks git which analyzable files (``.py``, plus ``.c`` for the
+cross-language parity pass) differ from a base revision (uncommitted
 edits and untracked files included) and returns them as project-relative
 POSIX paths.  The CLI narrows *per-file* findings to that set; the deep
 whole-program passes still see everything -- an interprocedural taint
@@ -46,11 +47,13 @@ def _git_lines(args: List[str], root: Path) -> List[str]:
 
 
 def changed_python_files(root: Path, base: str = DEFAULT_BASE) -> List[str]:
-    """Project-relative ``.py`` paths differing from *base*, sorted.
+    """Project-relative analyzable paths differing from *base*, sorted.
 
     Includes files with staged or unstaged modifications relative to
     *base* and untracked files; deletions are dropped (there is nothing
-    left to lint).
+    left to lint).  ``.c`` sources count as analyzable -- an edit to
+    ``src/repro/_hotcore.c`` must re-trigger the parity pass rather than
+    being invisible to the git-aware restriction.
     """
     changed = set(
         _git_lines(["diff", "--name-only", "--diff-filter=d", base], root)
@@ -61,5 +64,5 @@ def changed_python_files(root: Path, base: str = DEFAULT_BASE) -> List[str]:
     return sorted(
         path
         for path in changed
-        if path.endswith(".py") and (root / path).is_file()
+        if path.endswith((".py", ".c")) and (root / path).is_file()
     )

@@ -1,0 +1,395 @@
+"""PAR rules: static parity between C kernels and their Python twins.
+
+The compiled hot core promises bit-identity with the pure path, and the
+dynamic tests that prove it need a C toolchain -- on a toolchain-free
+machine the contract used to be unenforced.  These rules re-state the
+statically checkable half of the promise over the
+:class:`~repro.analysis.cparse.CSourceFile` extraction and the project
+model, so a rename, a reworded error string, or a repacked constant is
+caught by ``make lint`` on every machine.
+
+All four rules are deep project rules: they need the whole reference
+file set, and they skip silently when a contract's reference modules
+are not all present (a subset run proves nothing about drift).  Every
+finding names both sides of the divergence as clickable
+``path:line:column`` locations -- the C occurrence and the Python twin
+(or nearest candidate) -- and carries both in :attr:`Finding.trace`.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, List, Optional
+
+from ..cparse import CSourceFile, normalize_template
+from ..findings import Finding, Severity
+from ..parity import (
+    FALLBACK_ANNOTATION,
+    Loc,
+    ParityContract,
+    attribute_universe,
+    contract_for,
+    fold_python_constant,
+    hot_path_hooks,
+    modules_present,
+    python_error_templates,
+)
+from ..registry import Rule, register_rule
+
+
+def _c_sources(context) -> List[CSourceFile]:
+    return list(getattr(context, "c_sources", ()))
+
+
+def _c_loc(csource: CSourceFile, line: int, column: int) -> str:
+    return f"{csource.relpath}:{line}:{column}"
+
+
+def _closest(name: str, candidates: Iterable[str]) -> Optional[str]:
+    matches = difflib.get_close_matches(name, sorted(candidates), n=1, cutoff=0.5)
+    return matches[0] if matches else None
+
+
+def _trace(c_location: str, py_location: Optional[str]) -> tuple:
+    trace = (f"C side: {c_location}",)
+    if py_location is not None:
+        trace += (f"Python side: {py_location}",)
+    return trace
+
+
+class _ParityRule(Rule):
+    """Shared driving loop: apply each contract to its scanned C file."""
+
+    project_rule = True
+    deep = True
+    severity = Severity.ERROR
+
+    def check_project(self, context) -> Iterable[Finding]:
+        model = context.project_model()
+        for csource in _c_sources(context):
+            contract = contract_for(csource.name)
+            if contract is None:
+                continue
+            if not modules_present(model, contract):
+                continue
+            yield from self.check_contract(csource, contract, model)
+
+    def check_contract(self, csource, contract, model):  # pragma: no cover
+        return ()
+
+
+@register_rule
+class AttributeParityRule(_ParityRule):
+    """PAR001: every name the C code interns, GetAttrs, imports, or
+    exposes must exist on the Python side."""
+
+    name = "PAR001"
+    description = (
+        "C-interned and GetAttr'd names must exist on the Python twins"
+    )
+    invariant = (
+        "the compiled kernel looks up Python attributes by name at "
+        "runtime; a Python-side rename turns those lookups into "
+        "AttributeError (or silent None fallbacks) only on the compiled "
+        "path, breaking bit-identity"
+    )
+
+    def check_contract(self, csource, contract, model):
+        universe = attribute_universe(model, contract)
+        mentions = model.string_mentions()
+        searched = ", ".join(
+            model.modules[m].relpath for m in contract.reference_modules
+        )
+
+        def finding(cstring, kind: str, extra_ok=frozenset()):
+            name = cstring.value
+            if name in universe or name in contract.external_attrs:
+                return None
+            if name in extra_ok:
+                return None
+            c_location = _c_loc(csource, cstring.line, cstring.column)
+            best = _closest(name, universe)
+            if best is not None:
+                py_loc: Optional[Loc] = universe[best]
+                detail = f"; closest Python name is {best!r} at {py_loc.location}"
+            else:
+                py_loc = None
+                detail = f"; searched {searched}"
+            return Finding(
+                rule=self.name,
+                path=csource.relpath,
+                line=cstring.line,
+                column=cstring.column,
+                message=(
+                    f"compiled twin {kind} {name!r} at {c_location} but no "
+                    f"Python twin defines it{detail}"
+                ),
+                hint=(
+                    "rename the C name to match the Python definition (or "
+                    "vice versa); for a deliberately C-only name, extend "
+                    "the contract's internal_names/external_attrs in "
+                    "analysis/parity.py"
+                ),
+                severity=self.severity,
+                trace=_trace(
+                    c_location, py_loc.location if py_loc else None
+                ),
+            )
+
+        for cstring in csource.extraction.interned:
+            result = finding(cstring, "interns attribute name")
+            if result is not None:
+                yield result
+        for cstring in csource.extraction.getattr_names:
+            result = finding(cstring, "looks up attribute")
+            if result is not None:
+                yield result
+        # Exposed names (methods, getsets, tp_name, module exports) may
+        # also be certified by dynamic-access evidence -- a Python-side
+        # getattr(obj, "bind_cpu") string literal -- or be declared
+        # C-internal by the contract.
+        exposed_ok = frozenset(mentions) | contract.internal_names
+        for cstring in csource.extraction.method_names:
+            result = finding(cstring, "exposes", extra_ok=exposed_ok)
+            if result is not None:
+                yield result
+        for cstring in csource.extraction.exports:
+            result = finding(
+                cstring, "exports module attribute", extra_ok=exposed_ok
+            )
+            if result is not None:
+                yield result
+        for cstring in csource.extraction.imports:
+            if cstring.value in model.modules:
+                continue
+            c_location = _c_loc(csource, cstring.line, cstring.column)
+            yield Finding(
+                rule=self.name,
+                path=csource.relpath,
+                line=cstring.line,
+                column=cstring.column,
+                message=(
+                    f"compiled twin imports {cstring.value!r} at "
+                    f"{c_location} but the project defines no such module"
+                ),
+                hint="update the PyImport_ImportModule target to the "
+                "module's current dotted name",
+                severity=self.severity,
+                trace=_trace(c_location, None),
+            )
+
+
+@register_rule
+class ErrorStringParityRule(_ParityRule):
+    """PAR002: C error strings must byte-match a Python raise template."""
+
+    name = "PAR002"
+    description = (
+        "C error strings must byte-match a Python twin's message template"
+    )
+    invariant = (
+        "the bit-identity contract includes error messages: tests and "
+        "callers match on them, so a reworded C string makes the "
+        "compiled path observably different from the pure path"
+    )
+
+    def check_contract(self, csource, contract, model):
+        templates = python_error_templates(model, contract)
+        searched = ", ".join(
+            model.modules[m].relpath for m in contract.error_modules
+        )
+        for error in csource.extraction.error_strings:
+            if error.exc_class not in contract.error_classes:
+                continue
+            normalized = normalize_template(error.template.value)
+            if normalized in templates:
+                continue
+            cstring = error.template
+            c_location = _c_loc(csource, cstring.line, cstring.column)
+            best = _closest(normalized, templates)
+            if best is not None:
+                py_loc: Optional[Loc] = templates[best][0]
+                detail = (
+                    f"; closest Python template is {best!r} at "
+                    f"{py_loc.location}"
+                )
+            else:
+                py_loc = None
+                detail = f"; searched raises in {searched}"
+            yield Finding(
+                rule=self.name,
+                path=csource.relpath,
+                line=cstring.line,
+                column=cstring.column,
+                message=(
+                    f"C {error.exc_class} message {normalized!r} at "
+                    f"{c_location} byte-matches no Python raise "
+                    f"template{detail}"
+                ),
+                hint=(
+                    "make the C format string identical to the Python "
+                    "f-string (placeholders normalize to {}); a "
+                    "deliberately C-only message takes "
+                    "/* repro: noqa[PAR002] */ on its line"
+                ),
+                severity=self.severity,
+                trace=_trace(
+                    c_location, py_loc.location if py_loc else None
+                ),
+            )
+
+
+@register_rule
+class PackedConstantParityRule(_ParityRule):
+    """PAR003: packed-layout #defines must equal the Python constants."""
+
+    name = "PAR003"
+    description = (
+        "C packed-layout constants must equal their Python definitions"
+    )
+    invariant = (
+        "the ring-buffer meta word is packed bit-by-bit on both paths; "
+        "a diverged shift, mask, or capacity decodes the compiled "
+        "path's rows into garbage that only shows up at decode time"
+    )
+
+    def check_contract(self, csource, contract, model):
+        for macro, module_name, py_name in contract.constants:
+            py_value, py_loc = fold_python_constant(model, module_name, py_name)
+            define = csource.extraction.defines.get(macro)
+            if define is None:
+                yield Finding(
+                    rule=self.name,
+                    path=csource.relpath,
+                    line=1,
+                    column=0,
+                    message=(
+                        f"{csource.relpath} defines no macro {macro!r} "
+                        f"twinned with {module_name}.{py_name}"
+                        + (f" at {py_loc.location}" if py_loc else "")
+                    ),
+                    hint=f"#define {macro} to match, or drop the pair "
+                    "from the contract in analysis/parity.py",
+                    severity=self.severity,
+                    trace=_trace(
+                        f"{csource.relpath}:1:0",
+                        py_loc.location if py_loc else None,
+                    ),
+                )
+                continue
+            c_location = _c_loc(csource, define.line, define.column)
+            if py_value is None:
+                where = (
+                    f"at {py_loc.location}" if py_loc is not None else "anywhere"
+                )
+                yield Finding(
+                    rule=self.name,
+                    path=csource.relpath,
+                    line=define.line,
+                    column=define.column,
+                    message=(
+                        f"C macro {macro} at {c_location} is twinned with "
+                        f"{module_name}.{py_name}, which is not a foldable "
+                        f"integer constant {where}"
+                    ),
+                    hint="keep the Python constant a simple integer "
+                    "expression (shifts/masks/arithmetic over literals "
+                    "and sibling constants)",
+                    severity=self.severity,
+                    trace=_trace(
+                        c_location, py_loc.location if py_loc else None
+                    ),
+                )
+                continue
+            if define.value is None:
+                yield Finding(
+                    rule=self.name,
+                    path=csource.relpath,
+                    line=define.line,
+                    column=define.column,
+                    message=(
+                        f"C macro {macro} = {define.expression!r} at "
+                        f"{c_location} is not statically foldable; cannot "
+                        f"certify parity with {module_name}.{py_name}"
+                        + (f" at {py_loc.location}" if py_loc else "")
+                    ),
+                    hint="keep the macro an integer expression over "
+                    "literals and other object-like #defines",
+                    severity=self.severity,
+                    trace=_trace(
+                        c_location, py_loc.location if py_loc else None
+                    ),
+                )
+                continue
+            if define.value != py_value:
+                assert py_loc is not None
+                yield Finding(
+                    rule=self.name,
+                    path=csource.relpath,
+                    line=define.line,
+                    column=define.column,
+                    message=(
+                        f"packed-constant drift: C {macro} = {define.value} "
+                        f"at {c_location} but {module_name}.{py_name} = "
+                        f"{py_value} at {py_loc.location}"
+                    ),
+                    hint="the two paths pack/decode the same words; "
+                    "change both sides together",
+                    severity=self.severity,
+                    trace=_trace(c_location, py_loc.location),
+                )
+
+
+@register_rule
+class HookCoverageParityRule(_ParityRule):
+    """PAR004: Python hot-path hooks need a C counterpart or an explicit
+    fallback annotation."""
+
+    name = "PAR004"
+    description = (
+        "hot-path tracer/metrics hooks need a C counterpart or a "
+        "compiled-fallback annotation"
+    )
+    invariant = (
+        "instrumentation added to the Python hot path but not the "
+        "compiled kernel records nothing when REPRO_COMPILED is active "
+        "-- the traces silently diverge instead of failing"
+    )
+
+    def check_contract(self, csource, contract, model):
+        extraction = csource.extraction
+        known = {
+            cstring.value
+            for bucket in (
+                extraction.interned,
+                extraction.getattr_names,
+                extraction.method_names,
+                extraction.exports,
+            )
+            for cstring in bucket
+        }
+        anchor_line, anchor_column = csource.find_line(
+            contract.twinned_c_anchor
+        )
+        anchor = f"{csource.relpath}:{anchor_line}:{anchor_column}"
+        for hook in hot_path_hooks(model, contract):
+            if hook.annotated or hook.attr in known:
+                continue
+            yield Finding(
+                rule=self.name,
+                path=hook.loc.relpath,
+                line=hook.loc.line,
+                column=hook.loc.column,
+                message=(
+                    f"hot-path hook {hook.chain!r} at {hook.loc.location} "
+                    f"has no counterpart in {contract.twinned_c_anchor} "
+                    f"at {anchor}"
+                ),
+                hint=(
+                    "mirror the hook in the C kernel, or mark the line "
+                    f"with '# {FALLBACK_ANNOTATION}' if the compiled path "
+                    "deliberately bounces this case to Python"
+                ),
+                severity=self.severity,
+                trace=_trace(anchor, hook.loc.location),
+            )

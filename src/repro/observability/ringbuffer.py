@@ -64,6 +64,10 @@ from .spans import (
 CODE_BITS = 21
 CODE_MASK = (1 << CODE_BITS) - 1
 
+#: Ring capacity when the caller does not size the sink.  Twinned with
+#: ``SINK_DEFAULT_CAPACITY`` in ``_hotcore.c`` (PAR003).
+DEFAULT_SINK_CAPACITY = 16384
+
 #: Span operand packing: interned-string ids and small counters are
 #: 20-bit fields stacked in the ``c`` column.
 FIELD_BITS = 20
@@ -173,7 +177,7 @@ class PyIntervalSink:
         "_memo_f", "_memo_l", "_memo_k", "_memo_t", "_memo_code",
     )
 
-    def __init__(self, capacity: int = 16384) -> None:
+    def __init__(self, capacity: int = DEFAULT_SINK_CAPACITY) -> None:
         capacity = max(int(capacity), 2)
         self._t0 = _zeros_d(capacity)
         self._t1 = _zeros_d(capacity)

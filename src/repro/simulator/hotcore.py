@@ -36,6 +36,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import os
+import warnings
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
@@ -237,6 +238,45 @@ else:
                 "`python scripts/build_hotcore.py` or unset REPRO_COMPILED"
             ) from exc
 
+def extension_is_stale(
+    ext_file: Optional[str], source_file: Optional[str] = None
+) -> bool:
+    """True when a built extension predates its C source.
+
+    The build script compiles in place, so the ``.so`` sits next to
+    ``_hotcore.c`` and a plain mtime comparison is exact: an edited C
+    file with an older binary means the importable kernel was compiled
+    from source that no longer exists.  Unreadable mtimes (packaged
+    installs, zipimport) count as fresh -- staleness detection is a
+    development guard, not an import gate.
+    """
+    if not ext_file:
+        return False
+    if source_file is None:
+        source_file = os.path.join(os.path.dirname(ext_file), "_hotcore.c")
+    try:
+        return os.path.getmtime(ext_file) < os.path.getmtime(source_file)
+    except OSError:
+        return False
+
+
+#: True when the importable extension was built from an older
+#: ``_hotcore.c`` than the one on disk.  ``REPRO_COMPILED=auto`` would
+#: happily select such a kernel, so the condition warns loudly below.
+STALE = _ext is not None and extension_is_stale(
+    getattr(_ext, "__file__", None)
+)
+
+if STALE:
+    warnings.warn(
+        "repro._hotcore was compiled from an older _hotcore.c than the "
+        "one on disk; the selected kernel may not match the source. "
+        "Rebuild with `python scripts/build_hotcore.py` (or `make "
+        "hotcore`), or set REPRO_COMPILED=0 to force the pure path.",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+
 #: The compiled engine/sink classes, or None on the pure path.
 HotEngine = getattr(_ext, "HotEngine", None)
 IntervalSink = getattr(_ext, "IntervalSink", None)
@@ -258,4 +298,5 @@ def status() -> dict:
             "IntervalSink" if IntervalSink is not None else "PyIntervalSink"
         ),
         "import_error": _IMPORT_ERROR,
+        "stale": STALE,
     }

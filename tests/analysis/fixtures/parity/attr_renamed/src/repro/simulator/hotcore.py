@@ -1,0 +1,49 @@
+"""Miniature hotcore module for the parity fixtures: the PyEngine twin."""
+
+from ..errors import SimulationError
+
+
+class PyEngine:
+    __slots__ = ("_now", "_queue")
+
+    def at(self, time, callback):
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time} < {self._now})"
+            )
+
+    def after(self, delay, callback):
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+
+    def step(self):
+        return False
+
+    def run_until(self, horizon, max_events=None):
+        if horizon < self._now:
+            raise SimulationError(
+                f"horizon {horizon} is before current time {self._now}"
+            )
+        raise SimulationError(
+            f"exceeded max_events = {max_events}; "
+            "likely a zero-delay event loop"
+        )
+
+    def run_to_completion(self, max_events=10):
+        pass
+
+    @property
+    def now(self):
+        return self._now
+
+    @property
+    def events_processed(self):
+        return 0
+
+    @property
+    def pending_events(self):
+        return 0
+
+
+HotEngine = None
+IntervalSink = None

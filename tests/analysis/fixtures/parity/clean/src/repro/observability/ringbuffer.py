@@ -1,0 +1,18 @@
+"""Miniature ring-buffer module for the parity fixtures."""
+
+CODE_BITS = 21
+CODE_MASK = (1 << CODE_BITS) - 1
+DEFAULT_SINK_CAPACITY = 16384
+
+
+class PyIntervalSink:
+    __slots__ = ("n",)
+
+    def record(self, context, start, end, kind):
+        pass
+
+    def keys(self):
+        return []
+
+    def snapshot(self):
+        return ()

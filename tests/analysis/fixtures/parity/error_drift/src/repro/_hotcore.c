@@ -1,0 +1,133 @@
+/* Miniature compiled twin for the parity fixtures.
+ *
+ * Exercises every construct the extractor understands: object-like
+ * #defines (with continuations and suffixed literals), the INTERN
+ * macro table, GetAttrString lookups, module imports, PyErr_Format /
+ * PyErr_SetString templates (with adjacent-literal concatenation),
+ * PyMethodDef / PyGetSetDef tables, tp_name slots, module exports,
+ * and a comment-borne suppression pragma.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define SINK_CODE_BITS 21
+#define SINK_CODE_MASK ((1LL << SINK_CODE_BITS) - 1)
+#define SINK_DEFAULT_CAPACITY 16384
+
+static PyObject *str_current, *str_body, *str_cycles, *str_functionality,
+    *str_leaf, *str_kind, *str_value, *str_trace, *str_trace_ctx,
+    *str_record_interval, *str_tag, *str_packed, *str_sink_attr,
+    *str_metrics;
+static PyObject *SimulationError;
+
+static int
+engine_advance_core(PyObject *cpu, PyObject *core, PyObject *thread)
+{
+    PyErr_Format(SimulationError, "%S advanced on foreign %S",
+                 thread, core);
+    PyErr_Format(SimulationError,
+                 "cannot compute a negative cycle count: %S", thread);
+    PyErr_SetString(SimulationError,
+                    "advance on a cleared binding"); /* repro: noqa[PAR002] */
+    return -1;
+}
+
+static int
+engine_guards(PyObject *self, PyObject *time_obj, PyObject *now_obj)
+{
+    PyErr_Format(SimulationError,
+                 "cannot schedule event in the past (%S < %S)",
+                 time_obj, now_obj);
+    PyErr_Format(SimulationError,
+                 "delay must be non-negative, got %S", time_obj);
+    PyErr_Format(SimulationError,
+                 "horizon %S is before current time %S", time_obj, now_obj);
+    PyErr_Format(SimulationError,
+                 "exceeded max_events = %lld; "
+                 "likely a zero-delay event loop",
+                 0LL);
+    PyErr_Format(PyExc_TypeError,
+                 "'%.200s' object is not an iterator", "x");
+    return -1;
+}
+
+static int
+bind_cpu_impl(PyObject *cpu)
+{
+    PyObject *module = PyImport_ImportModule("repro.simulator.cpu");
+    PyObject *compute = PyObject_GetAttrString(module, "Compute");
+    PyObject *slow = PyObject_GetAttrString(cpu, "_handle_slow_op");
+    PyObject *finish = PyObject_GetAttrString(cpu, "_finish");
+    (void)compute;
+    (void)slow;
+    (void)finish;
+    return 0;
+}
+
+static PyMethodDef sink_methods[] = {
+    {"record", NULL, METH_VARARGS, "record(context, t0, t1, kind)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMethodDef engine_methods[] = {
+    {"at", NULL, METH_VARARGS, "at(time, callback)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef engine_getset[] = {
+    {"now", NULL, NULL, "Current simulated time.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject EngineType = {
+    .tp_name = "repro._hotcore.HotEngine",
+};
+
+static int
+intern_names(void)
+{
+#define INTERN(var, text)                         \
+    do {                                          \
+        var = PyUnicode_InternFromString(text);   \
+        if (var == NULL) {                        \
+            return -1;                            \
+        }                                         \
+    } while (0)
+    INTERN(str_current, "current");
+    INTERN(str_body, "body");
+    INTERN(str_cycles, "cycles");
+    INTERN(str_functionality, "functionality");
+    INTERN(str_leaf, "leaf");
+    INTERN(str_kind, "kind");
+    INTERN(str_value, "value");
+    INTERN(str_trace, "trace");
+    INTERN(str_trace_ctx, "trace_ctx");
+    INTERN(str_record_interval, "record_interval");
+    INTERN(str_tag, "tag");
+    INTERN(str_packed, "packed");
+    INTERN(str_sink_attr, "_sink");
+    INTERN(str_metrics, "metrics");
+#undef INTERN
+    return 0;
+}
+
+PyMODINIT_FUNC
+PyInit__hotcore(void)
+{
+    PyObject *module = NULL;
+    PyObject *errors = PyImport_ImportModule("repro.errors");
+    if (errors == NULL || intern_names() < 0) {
+        return NULL;
+    }
+    SimulationError = PyObject_GetAttrString(errors, "SimulationError");
+    PyModule_AddObject(module, "HotEngine", (PyObject *)&EngineType);
+    PyModule_AddObject(module, "IntervalSink", NULL);
+    (void)engine_advance_core;
+    (void)engine_guards;
+    (void)bind_cpu_impl;
+    (void)sink_methods;
+    (void)engine_methods;
+    (void)engine_getset;
+    return module;
+}

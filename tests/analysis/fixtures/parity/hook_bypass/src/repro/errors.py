@@ -1,0 +1,13 @@
+"""Miniature errors module for the parity fixtures."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class SimulationError(ReproError):
+    pass
+
+
+class ParameterError(ReproError):
+    pass

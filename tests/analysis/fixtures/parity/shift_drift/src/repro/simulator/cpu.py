@@ -1,0 +1,44 @@
+"""Miniature CPU module for the parity fixtures: the twinned hot path."""
+
+from ..errors import SimulationError
+
+
+class Compute:
+    cycles: float
+    functionality: object
+    leaf: object
+    kind: object
+
+
+class Core:
+    __slots__ = ("index", "current")
+
+
+class SimThread:
+    __slots__ = ("body", "trace_ctx")
+
+
+class CPU:
+    __slots__ = ("engine", "metrics", "trace", "_advance_fast")
+
+    def _advance(self, core, thread):
+        if core.current is not thread:
+            raise SimulationError(f"{thread} advanced on foreign {core}")
+        op = next(thread.body)
+        cycles = op.cycles
+        if cycles < 0:
+            raise SimulationError(f"cannot compute negative cycles: {cycles}")
+        self.metrics.cycles[(op.functionality, op.leaf, op.kind)] += cycles
+        trace = self.trace
+        if trace is not None:
+            context = thread.trace_ctx
+            now = 0.0
+            trace.record_interval(context, now, now + cycles, op.kind)
+            trace.record_window(context, now)  # repro: compiled-fallback
+        return cycles
+
+    def _handle_slow_op(self, core, thread, op):
+        pass
+
+    def _finish(self, core, thread):
+        pass

@@ -1,0 +1,15 @@
+"""Miniature metrics module for the parity fixtures."""
+
+import enum
+
+
+class CycleKind(enum.Enum):
+    USEFUL = "useful"
+    TAX = "tax"
+
+
+class MetricSink:
+    __slots__ = ("cycles",)
+
+    def __init__(self):
+        self.cycles = {}

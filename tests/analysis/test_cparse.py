@@ -1,0 +1,165 @@
+"""The dependency-free C extractor: scanning, folding, pragmas, and the
+extraction of the real ``_hotcore.c``."""
+
+from pathlib import Path
+
+from repro.analysis import CSourceFile, load_c_sources
+from repro.analysis.cparse import (
+    fold_c_expression,
+    normalize_template,
+    parse_c_suppressions,
+    split_call_arguments,
+    string_argument,
+    strip_comments,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestStripComments:
+    def test_comments_blank_but_offsets_survive(self):
+        text = 'int x; /* gone */ int y;\n// line comment\nint z;\n'
+        code, comments = strip_comments(text)
+        assert len(code) == len(text)
+        assert "gone" not in code
+        assert "line comment" not in code
+        assert code.index("int y;") == text.index("int y;")
+        assert [line for line, _ in comments] == [1, 2]
+
+    def test_comment_markers_inside_strings_ignored(self):
+        text = 'const char *s = "/* not a comment */";\n'
+        code, comments = strip_comments(text)
+        assert code == text
+        assert comments == []
+
+    def test_multiline_comment_attributes_per_line(self):
+        text = "/* one\n   two\n   three */\nint x;\n"
+        code, comments = strip_comments(text)
+        assert [line for line, _ in comments] == [1, 2, 3]
+        assert code.count("\n") == text.count("\n")
+
+
+class TestSuppressions:
+    def test_rule_list_pragma(self):
+        _, comments = strip_comments("int x; /* repro: noqa[PAR002] */\n")
+        assert parse_c_suppressions(comments) == {1: frozenset({"PAR002"})}
+
+    def test_bare_pragma_suppresses_all(self):
+        source = CSourceFile.from_text(
+            "int x; // repro: noqa\n", relpath="k.c"
+        )
+        assert source.is_suppressed("PAR001", 1)
+        assert source.is_suppressed("ANYTHING", 1)
+        assert not source.is_suppressed("PAR001", 2)
+
+    def test_multi_rule_pragma_case_insensitive(self):
+        source = CSourceFile.from_text(
+            "int x; /* repro: NOQA[par001, PAR003] */\n", relpath="k.c"
+        )
+        assert source.is_suppressed("PAR001", 1)
+        assert source.is_suppressed("PAR003", 1)
+        assert not source.is_suppressed("PAR002", 1)
+
+
+class TestStrings:
+    def test_adjacent_literals_concatenate(self):
+        code = '("exceeded max_events = %lld; "\n "likely a zero-delay event loop")'
+        args = split_call_arguments(code, 0)
+        offset, arg = args[0]
+        literal = string_argument(code, arg, offset)
+        assert literal.value == (
+            "exceeded max_events = %lld; likely a zero-delay event loop"
+        )
+        assert (literal.line, literal.column) == (1, 1)
+
+    def test_mixed_expression_is_not_a_literal(self):
+        code = '(Py_TYPE(x)->tp_name)'
+        args = split_call_arguments(code, 0)
+        assert string_argument(code, args[0][1], args[0][0]) is None
+
+    def test_nested_parens_split_at_top_level_only(self):
+        code = '(f(a, b), "s", c[1, 2])'
+        args = split_call_arguments(code, 0)
+        assert [a.strip() for _, a in args] == ['f(a, b)', '"s"', "c[1, 2]"]
+
+
+class TestFolding:
+    def test_suffixed_shift_mask(self):
+        assert fold_c_expression("((1LL << 21) - 1)", {}) == (1 << 21) - 1
+
+    def test_defines_resolve_recursively(self):
+        source = CSourceFile.from_text(
+            "#define BITS 21\n"
+            "#define MASK ((1LL << BITS) - 1)\n"
+            "#define CAP 0x4000u\n",
+            relpath="k.c",
+        )
+        defines = source.extraction.defines
+        assert defines["BITS"].value == 21
+        assert defines["MASK"].value == (1 << 21) - 1
+        assert defines["CAP"].value == 16384
+
+    def test_unfoldable_is_none_not_crash(self):
+        assert fold_c_expression("sizeof(int)", {}) is None
+        assert fold_c_expression("UNKNOWN + 1", {}) is None
+
+    def test_function_like_macros_skipped(self):
+        source = CSourceFile.from_text(
+            "#define SQ(x) ((x) * (x))\n#define N 4\n", relpath="k.c"
+        )
+        assert set(source.extraction.defines) == {"N"}
+
+
+class TestNormalizeTemplate:
+    def test_conversions_become_placeholders(self):
+        assert (
+            normalize_template("exceeded max_events = %lld; loop")
+            == "exceeded max_events = {}; loop"
+        )
+        assert normalize_template("%S advanced on foreign %S") == (
+            "{} advanced on foreign {}"
+        )
+        assert normalize_template("'%.200s' object") == "'{}' object"
+
+    def test_percent_escape(self):
+        assert normalize_template("100%% done") == "100% done"
+
+
+class TestRealKernelExtraction:
+    def test_hotcore_extraction_inventory(self):
+        sources = load_c_sources(["src/repro"], root=REPO)
+        assert [s.name for s in sources] == ["_hotcore.c"]
+        extraction = sources[0].extraction
+
+        interned = {s.value for s in extraction.interned}
+        assert {"current", "cycles", "record_interval", "_sink"} <= interned
+
+        lookups = {s.value for s in extraction.getattr_names}
+        assert {"Compute", "_handle_slow_op", "_finish"} <= lookups
+
+        assert {s.value for s in extraction.imports} == {
+            "repro.simulator.cpu",
+            "repro.errors",
+        }
+
+        assert extraction.defines["SINK_CODE_BITS"].value == 21
+        assert extraction.defines["SINK_CODE_MASK"].value == (1 << 21) - 1
+        assert extraction.defines["SINK_DEFAULT_CAPACITY"].value == 16384
+
+        exposed = {s.value for s in extraction.method_names}
+        assert {"record", "bind_cpu", "run_until", "now"} <= exposed
+        assert {s.value for s in extraction.exports} == {
+            "HotEngine",
+            "IntervalSink",
+        }
+
+        templates = {
+            normalize_template(err.template.value)
+            for err in extraction.error_strings
+            if err.exc_class == "SimulationError"
+        }
+        assert "cannot compute negative cycles: {}" in templates
+        assert (
+            "exceeded max_events = {}; likely a zero-delay event loop"
+            in templates
+        )

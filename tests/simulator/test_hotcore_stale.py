@@ -1,0 +1,103 @@
+"""Stale-kernel detection: the mtime guard that keeps REPRO_COMPILED=auto
+from silently selecting an extension built from an older ``_hotcore.c``."""
+
+import importlib.util
+import os
+from pathlib import Path
+
+from repro.simulator.hotcore import extension_is_stale, status
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _stamp(path: Path, mtime: float) -> None:
+    os.utime(path, (mtime, mtime))
+
+
+class TestExtensionIsStale:
+    def test_no_extension_is_not_stale(self):
+        assert extension_is_stale(None) is False
+        assert extension_is_stale("") is False
+
+    def test_fresh_build_is_not_stale(self, tmp_path):
+        source = tmp_path / "_hotcore.c"
+        ext = tmp_path / "_hotcore.so"
+        source.write_text("/* kernel */\n")
+        ext.write_text("elf\n")
+        _stamp(source, 1000.0)
+        _stamp(ext, 2000.0)
+        assert extension_is_stale(str(ext)) is False
+
+    def test_newer_source_marks_stale(self, tmp_path):
+        source = tmp_path / "_hotcore.c"
+        ext = tmp_path / "_hotcore.so"
+        source.write_text("/* edited kernel */\n")
+        ext.write_text("elf\n")
+        _stamp(source, 2000.0)
+        _stamp(ext, 1000.0)
+        assert extension_is_stale(str(ext)) is True
+
+    def test_missing_source_counts_as_fresh(self, tmp_path):
+        # Packaged installs ship no .c next to the .so; staleness is a
+        # development guard, not an import gate.
+        ext = tmp_path / "_hotcore.so"
+        ext.write_text("elf\n")
+        assert extension_is_stale(str(ext)) is False
+
+    def test_explicit_source_path(self, tmp_path):
+        source = tmp_path / "elsewhere.c"
+        ext = tmp_path / "_hotcore.so"
+        source.write_text("/* kernel */\n")
+        ext.write_text("elf\n")
+        _stamp(source, 2000.0)
+        _stamp(ext, 1000.0)
+        assert extension_is_stale(str(ext), str(source)) is True
+
+
+class TestStatusReportsStaleness:
+    def test_status_has_stale_flag(self):
+        report = status()
+        assert isinstance(report["stale"], bool)
+        # This process imported whatever kernel the repo has built; the
+        # repo state itself must never be stale mid-test-run.
+        assert report["stale"] is False
+
+
+class TestBuildScriptCheckMode:
+    def _script(self, tmp_path, monkeypatch):
+        spec = importlib.util.spec_from_file_location(
+            "build_hotcore_under_test", REPO / "scripts" / "build_hotcore.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.setattr(module, "REPO", tmp_path)
+        monkeypatch.setattr(module, "SOURCE", tmp_path / "_hotcore.c")
+        (tmp_path / "_hotcore.c").write_text("/* kernel */\n")
+        return module
+
+    def test_check_passes_with_no_extension(self, tmp_path, monkeypatch, capsys):
+        module = self._script(tmp_path, monkeypatch)
+        assert module.main(["--check"]) == 0
+        assert "not built" in capsys.readouterr().out
+
+    def test_check_passes_with_fresh_extension(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        module = self._script(tmp_path, monkeypatch)
+        out = module.target_path()
+        out.write_text("elf\n")
+        _stamp(module.SOURCE, 1000.0)
+        _stamp(out, 2000.0)
+        assert module.main(["--check"]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_check_fails_on_stale_extension(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        module = self._script(tmp_path, monkeypatch)
+        out = module.target_path()
+        out.write_text("elf\n")
+        _stamp(module.SOURCE, 2000.0)
+        _stamp(out, 1000.0)
+        assert module.main(["--check"]) == 1
+        assert "stale" in capsys.readouterr().err
