@@ -16,9 +16,13 @@ declare.  This package makes those promises mechanical:
 * ``# repro: noqa[RULE]`` pragmas and :class:`Baseline` files for
   deliberate exceptions and staged adoption;
 * the whole-program layer behind ``--deep``: :class:`ProjectModel`
-  (module graph + symbol table), :func:`build_call_graph`,
-  :func:`find_taint_paths` (interprocedural nondeterminism), and
-  :class:`UnitFlowAnalyzer` (units through dataflow);
+  (module graph + symbol table), :func:`build_call_graph`, the shared
+  fixpoint dataflow framework (:class:`DataflowAnalysis`,
+  :func:`compute_summaries`, :class:`SummaryCache`),
+  :func:`find_taint_paths` (interprocedural nondeterminism),
+  :class:`UnitFlowAnalyzer` (units through dataflow), and
+  :class:`EffectAnalysis` (effect & purity summaries behind the
+  EFF001-EFF004 contracts);
 * text/JSON/SARIF reporters and the ``repro lint`` CLI glue.
 
 Run it as ``python -m repro lint`` (or ``make lint``); add ``--deep``
@@ -33,6 +37,19 @@ from .baseline import (
     save_baseline,
 )
 from .cparse import CSourceFile
+from .dataflow import (
+    CallStep,
+    DataflowAnalysis,
+    SummaryCache,
+    compute_summaries,
+)
+from .effects import (
+    EffectAnalysis,
+    find_frozen_writes,
+    find_gate_violations,
+    function_effects,
+    observer_class_names,
+)
 from .engine import (
     AnalysisContext,
     AnalysisResult,
@@ -60,10 +77,14 @@ __all__ = [
     "BaselineEntry",
     "CSourceFile",
     "CallGraph",
+    "CallStep",
     "DEFAULT_BASELINE_NAME",
+    "DataflowAnalysis",
+    "EffectAnalysis",
     "Finding",
     "ProjectModel",
     "Rule",
+    "SummaryCache",
     "Severity",
     "SourceFile",
     "TaintPath",
@@ -74,7 +95,12 @@ __all__ = [
     "build_call_graph",
     "changed_python_files",
     "collect_files",
+    "compute_summaries",
+    "find_frozen_writes",
+    "find_gate_violations",
     "find_taint_paths",
+    "function_effects",
+    "observer_class_names",
     "load_baseline",
     "load_c_sources",
     "load_sources",

@@ -40,6 +40,10 @@ DEFAULT_LINT_PATHS = ("src/repro", "scripts")
 #: part of the analyzed program.
 REFERENCE_PATHS = ("tests", "examples", "benchmarks")
 
+#: Default on-disk cache location for deep runs (content-hash keyed, so
+#: stale entries are misses, never wrong answers).
+DEFAULT_CACHE_DIR = ".repro-cache/analysis"
+
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
@@ -87,6 +91,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="directory for on-disk analysis caches (summaries and "
+        f"project findings; default: {DEFAULT_CACHE_DIR} under the "
+        "project root for --deep runs)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk analysis cache for this run",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -156,6 +170,13 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.changed is not None:
         restrict = changed_python_files(root, args.changed)
 
+    cache_dir: Optional[Path] = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            cache_dir = Path(args.cache_dir)
+        elif args.deep:
+            cache_dir = root / DEFAULT_CACHE_DIR
+
     result = analyze_paths(
         paths,
         root=root,
@@ -164,6 +185,7 @@ def run_lint(args: argparse.Namespace) -> int:
         deep=args.deep,
         restrict=restrict,
         reference_paths=_reference_paths(root) if args.deep else (),
+        cache_dir=cache_dir,
     )
 
     if args.export_graph:

@@ -1,0 +1,1058 @@
+"""Interprocedural effect inference for the EFF rule pack.
+
+Each function gets an *effect set* -- what it does to the world beyond
+returning a value -- inferred locally from its AST and propagated
+bottom-up over the call graph by the shared dataflow framework
+(:mod:`repro.analysis.dataflow`).  Effect kinds:
+
+``mutates-param``
+    writes an attribute/item of (or calls a mutating method on) an
+    object a parameter refers to;
+``mutates-global``
+    writes through a module-level binding;
+``consumes-rng``
+    draws randomness (an ``rng``-named receiver or a resolved call the
+    entropy catalog in :mod:`repro.analysis.taint` classifies as a
+    genuine RNG -- wall clocks are DET003's business, not an effect);
+``schedules-event``
+    books simulation work on an ``engine``-named receiver;
+``performs-io``
+    file/stream writes and other process-visible output;
+``raises``
+    contains a ``raise`` statement (summarized, never propagated);
+``mutates-observer``
+    writes observer-side state (tracer/trace-context/ring fields, or
+    ``self`` inside an observability class).  Not an *engine* effect --
+    it is what tracer hooks exist to do -- but tracked so EFF001 can
+    name exactly which state an ungated hook would touch.
+
+The zero-observer gate scan (:func:`find_gate_violations`) and the
+frozen-spec write scan (:func:`find_frozen_writes`) live here too, so
+the EFF rules stay thin adapters from these results to findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .dataflow import CallStep, DataflowAnalysis
+from .graph import CallGraph
+from .project import ClassInfo, FunctionInfo, ModuleInfo, ProjectModel
+from .taint import classify_entropy_call, _resolved_target
+
+#: Effect kinds that perturb the simulated system: what the zero-
+#: observer and cache-input contracts must prove absent.
+ENGINE_EFFECT_KINDS = (
+    "mutates-param",
+    "mutates-global",
+    "consumes-rng",
+    "schedules-event",
+)
+
+#: Name components marking observer-side state.  A write whose dotted
+#: target contains one of these is the observability layer doing its
+#: job, not an engine effect.
+OBSERVER_COMPONENTS = frozenset(
+    {"trace", "tracer", "trace_ctx", "_tracer", "observer"}
+)
+
+#: Class names that are observer-side wherever they are defined (the
+#: real ones live under ``observability/``; fixtures may not).
+OBSERVER_CLASS_NAMES = frozenset(
+    {"SpanTracer", "PyIntervalSink", "SpanRing", "TraceContext"}
+)
+
+#: Receivers whose method calls draw randomness.
+_RNG_RECEIVERS = frozenset({"rng", "_rng"})
+
+#: Receivers whose ``after``/``at``/``schedule`` calls book simulation
+#: events.
+_ENGINE_RECEIVERS = frozenset({"engine", "_engine"})
+_SCHEDULE_METHODS = frozenset(
+    {"after", "at", "schedule", "call_at", "call_later"}
+)
+
+#: The sanctioned entropy façades: draws lexically inside their
+#: constructor arguments, or inside their methods, are the seeded
+#: streams the determinism contract runs on.
+SANCTIONED_RNG_CLASSES = frozenset({"BlockSampler", "FaultInjector"})
+
+#: Methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Resolved dotted call targets that perform IO.
+_IO_CALLS = (
+    "json.dump",
+    "pickle.dump",
+    "os.remove",
+    "os.unlink",
+    "os.rename",
+    "os.replace",
+    "os.makedirs",
+    "os.mkdir",
+    "os.rmdir",
+    "shutil.",
+    "subprocess.",
+)
+
+#: Builtins that perform IO.
+_IO_BUILTINS = frozenset({"open", "print", "input"})
+
+#: Methods that never count as post-construction mutation.
+CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclasses.dataclass(frozen=True)
+class Effect:
+    """One concrete effect site inside one function."""
+
+    kind: str
+    detail: str
+    relpath: str
+    line: int
+    column: int
+    #: The name the effect is rooted at (mutated root, RNG receiver...).
+    root: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.kind}@{self.relpath}:{self.line}:{self.column}"
+
+
+@dataclasses.dataclass(frozen=True)
+class EffectFact:
+    """An effect transitively reachable from the summarized function."""
+
+    steps: Tuple[CallStep, ...]
+    effect: Effect
+
+    def owner(self, fq: str) -> str:
+        """The function the effect is lexically inside."""
+        return self.steps[-1].callee if self.steps else fq
+
+    def chain(self, head: str) -> List[str]:
+        """Human-readable call chain, caller first (Finding.trace)."""
+        lines = [head]
+        for step in self.steps:
+            lines.append(
+                f"-> calls {step.callee} (at {step.caller}:{step.line})"
+            )
+        lines.append(
+            f"** {self.effect.detail} ({self.effect.kind}) at "
+            f"{self.effect.relpath}:{self.effect.line}:{self.effect.column}"
+        )
+        return lines
+
+
+def hops_phrase(fact: EffectFact) -> str:
+    hops = len(fact.steps)
+    if not hops:
+        return " directly"
+    return f" through {hops} call{'s' if hops != 1 else ''}"
+
+
+def in_effect_scope(relpath: str, *dirs: str) -> bool:
+    """Whether a function's file sits under one of *dirs* (path
+    components, filename excluded) -- mirrors ``SourceFile.in_scope``."""
+    parts = relpath.split("/")[:-1]
+    return any(part in dirs for part in parts)
+
+
+# ---------------------------------------------------------------------------
+# Local extraction.
+# ---------------------------------------------------------------------------
+
+
+def _dotted_parts(node: ast.expr) -> Optional[List[str]]:
+    """Components of a Name/Attribute/Subscript chain, root first.
+
+    Subscripts contribute a ``[]`` marker so the rendered path stays
+    readable; a chain not rooted at a Name yields ``None``.
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            parts.append("[]")
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            parts.reverse()
+            return parts
+        else:
+            return None
+
+
+def _render_path(parts: List[str]) -> str:
+    out = parts[0]
+    for part in parts[1:]:
+        out += "[...]" if part == "[]" else f".{part}"
+    return out
+
+
+class _FunctionScanner:
+    """One function's local effect extraction state."""
+
+    def __init__(
+        self,
+        func: FunctionInfo,
+        module: ModuleInfo,
+        observer_classes: FrozenSet[str],
+    ) -> None:
+        self.func = func
+        self.module = module
+        self.observer_classes = observer_classes
+        args = func.node.args
+        self.params = {
+            arg.arg
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        }
+        self.observer_params = {
+            arg.arg
+            for arg in list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            if arg.annotation is not None
+            and self._annotation_is_observer(arg.annotation)
+        }
+        self.construction = func.name in CONSTRUCTION_METHODS
+        self.in_observer_class = func.class_name is not None and (
+            func.class_name in observer_classes
+        )
+        self.aliases: Dict[str, List[str]] = {}
+        self._collect_aliases()
+        self.sanctioned = self._collect_sanctioned()
+
+    def _annotation_is_observer(self, annotation: ast.expr) -> bool:
+        node = annotation
+        # Unwrap Optional["..."] / string annotations to the bare name.
+        if isinstance(node, ast.Subscript):
+            node = node.slice
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            name = node.value.rsplit(".", 1)[-1].rsplit("[", 1)[0]
+            return name in self.observer_classes
+        parts = _dotted_parts(node)
+        return bool(parts) and parts[-1] in self.observer_classes
+
+    def _collect_aliases(self) -> None:
+        """Local name -> expanded dotted path for ``x = self._ring``-style
+        binds, in source order so chained aliases expand transitively."""
+        assigns = [
+            node
+            for node in ast.walk(self.func.node)
+            if isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ]
+        for node in sorted(assigns, key=lambda n: (n.lineno, n.col_offset)):
+            value = node.value
+            if isinstance(node.value, ast.IfExp):
+                # ``ctx = context.trace if tracer is not None else None``
+                value = node.value.body
+            parts = _dotted_parts(value)
+            target = node.targets[0].id
+            if parts is None:
+                self.aliases.pop(target, None)
+                continue
+            self.aliases[target] = self._expand(parts)
+
+    def _expand(self, parts: List[str]) -> List[str]:
+        through = self.aliases.get(parts[0])
+        if through:
+            return list(through) + parts[1:]
+        return list(parts)
+
+    def _collect_sanctioned(self) -> Set[int]:
+        """AST node ids lexically inside the arguments of a sanctioned
+        sampler constructor (``BlockSampler(lambda n: rng...(n))``)."""
+        sanctioned: Set[int] = set()
+        for node in ast.walk(self.func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _dotted_parts(node.func)
+            if not callee or callee[-1] not in SANCTIONED_RNG_CLASSES:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    sanctioned.add(id(sub))
+        return sanctioned
+
+    # -- classification ----------------------------------------------------
+
+    def effects(self) -> List[Effect]:
+        found: List[Effect] = []
+        for node in ast.walk(self.func.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    effect = self._mutation_effect(target)
+                    if effect is not None:
+                        found.append(effect)
+            elif isinstance(node, ast.Call):
+                found.extend(self._call_effects(node))
+            elif isinstance(node, ast.Raise):
+                found.append(
+                    Effect(
+                        kind="raises",
+                        detail="raise statement",
+                        relpath=self.func.relpath,
+                        line=node.lineno,
+                        column=node.col_offset,
+                    )
+                )
+        found.sort(key=lambda e: (e.line, e.column, e.kind, e.detail))
+        return found
+
+    def _mutation_effect(
+        self, target: ast.expr, *, receiver: bool = False
+    ) -> Optional[Effect]:
+        """Classify one assignment target (or mutating-call receiver)."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                effect = self._mutation_effect(element, receiver=receiver)
+                if effect is not None:
+                    return effect
+            return None
+        if isinstance(target, ast.Name):
+            # A bare-name assignment is a local rebind, never an
+            # effect -- but a mutating-method *receiver* that merely
+            # aliases a longer chain (``buf = self._buf``) mutates
+            # whatever the chain roots at.
+            if not receiver:
+                return None
+            expanded = self._expand([target.id])
+            if len(expanded) < 2:
+                return None
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            parts = _dotted_parts(target)
+            if parts is None:
+                return None
+            expanded = self._expand(parts)
+        else:
+            return None
+        root = expanded[0]
+        rendered = _render_path(expanded)
+        if self.construction and root == "self":
+            return None
+        observer = (
+            any(part in OBSERVER_COMPONENTS for part in expanded)
+            or (root == "self" and self.in_observer_class)
+            or root in self.observer_params
+        )
+        kind: Optional[str] = None
+        if root in self.params:
+            kind = "mutates-observer" if observer else "mutates-param"
+        elif root in self.module.constants or root in self.module.imports:
+            kind = "mutates-observer" if observer else "mutates-global"
+        if kind is None:
+            return None
+        return Effect(
+            kind=kind,
+            detail=f"write to {rendered}",
+            relpath=self.func.relpath,
+            line=target.lineno,
+            column=target.col_offset,
+            root=root,
+        )
+
+    def _call_effects(self, node: ast.Call) -> List[Effect]:
+        found: List[Effect] = []
+        func = node.func
+        # object.__setattr__ escapes frozen-instance protection.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        ):
+            if not self.construction:
+                first = node.args[0] if node.args else None
+                parts = _dotted_parts(first) if first is not None else None
+                rendered = _render_path(self._expand(parts)) if parts else "?"
+                found.append(
+                    Effect(
+                        kind="setattr-escape",
+                        detail=f"object.__setattr__ on {rendered}",
+                        relpath=self.func.relpath,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        root=parts[0] if parts else "",
+                    )
+                )
+            return found
+        # Mutating method call: the receiver chain is the target.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+        ):
+            effect = self._mutation_effect(func.value, receiver=True)
+            if effect is not None:
+                found.append(
+                    dataclasses.replace(
+                        effect,
+                        detail=f"call to .{func.attr}() on "
+                        + effect.detail.removeprefix("write to "),
+                        line=node.lineno,
+                        column=node.col_offset,
+                    )
+                )
+        # RNG draws: rng-named receivers and the entropy catalog.
+        if id(node) not in self.sanctioned and not (
+            self.func.class_name in SANCTIONED_RNG_CLASSES
+        ):
+            receiver = None
+            if isinstance(func, ast.Attribute):
+                parts = _dotted_parts(func.value)
+                if parts:
+                    receiver = self._expand(parts)[-1]
+                    if receiver == "[]":
+                        receiver = None
+            if receiver in _RNG_RECEIVERS:
+                found.append(
+                    Effect(
+                        kind="consumes-rng",
+                        detail=f"draw from RNG {ast.unparse(func)}",
+                        relpath=self.func.relpath,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        root=receiver,
+                    )
+                )
+            else:
+                dotted = _resolved_target(func, self.module)
+                if dotted is not None:
+                    reason = classify_entropy_call(dotted)
+                    if reason is not None and "wall-clock" not in reason:
+                        found.append(
+                            Effect(
+                                kind="consumes-rng",
+                                detail=f"call to {dotted}",
+                                relpath=self.func.relpath,
+                                line=node.lineno,
+                                column=node.col_offset,
+                                root=dotted,
+                            )
+                        )
+        # Event scheduling on an engine-named receiver.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SCHEDULE_METHODS
+        ):
+            parts = _dotted_parts(func.value)
+            if parts and self._expand(parts)[-1] in _ENGINE_RECEIVERS:
+                found.append(
+                    Effect(
+                        kind="schedules-event",
+                        detail=f"call to {ast.unparse(func)}",
+                        relpath=self.func.relpath,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        root=self._expand(parts)[-1],
+                    )
+                )
+        # IO.
+        if isinstance(func, ast.Name) and func.id in _IO_BUILTINS:
+            found.append(
+                Effect(
+                    kind="performs-io",
+                    detail=f"call to {func.id}",
+                    relpath=self.func.relpath,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    root=func.id,
+                )
+            )
+        elif isinstance(func, ast.Attribute):
+            dotted = _resolved_target(func, self.module)
+            if dotted is not None and any(
+                dotted == entry or (entry.endswith(".") and dotted.startswith(entry))
+                for entry in _IO_CALLS
+            ):
+                found.append(
+                    Effect(
+                        kind="performs-io",
+                        detail=f"call to {dotted}",
+                        relpath=self.func.relpath,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        root=dotted,
+                    )
+                )
+        return found
+
+
+def observer_class_names(model: ProjectModel) -> FrozenSet[str]:
+    """Classes that are observer-side: the well-known names plus every
+    class defined in a module under an ``observability`` component."""
+    names = set(OBSERVER_CLASS_NAMES)
+    for module in model.analyzed_modules():
+        if "observability" in module.name.split("."):
+            names.update(module.classes)
+    return frozenset(names)
+
+
+def function_effects(
+    func: FunctionInfo, module: ModuleInfo, observer_classes: FrozenSet[str]
+) -> List[Effect]:
+    """Local effects of one function (nested defs included)."""
+    return _FunctionScanner(func, module, observer_classes).effects()
+
+
+# ---------------------------------------------------------------------------
+# The dataflow instance.
+# ---------------------------------------------------------------------------
+
+
+class EffectAnalysis(DataflowAnalysis):
+    """Effect sets over the shared fixpoint framework.
+
+    Facts are keyed by effect site; ``lift`` prepends one call step and
+    absorbs ``raises`` (a local property -- exception propagation is
+    not this analysis's business); ``prefer`` keeps the shorter witness
+    chain.
+    """
+
+    name = "effects"
+    version = "1"
+
+    def __init__(self) -> None:
+        self._observer_cache: Optional[Tuple[int, FrozenSet[str]]] = None
+
+    def _observer_classes(self, model: ProjectModel) -> FrozenSet[str]:
+        if self._observer_cache is None or self._observer_cache[0] != id(model):
+            self._observer_cache = (id(model), observer_class_names(model))
+        return self._observer_cache[1]
+
+    def local_facts(
+        self, func: FunctionInfo, module: ModuleInfo, model: ProjectModel
+    ) -> Dict[str, object]:
+        observers = self._observer_classes(model)
+        return {
+            effect.key: EffectFact(steps=(), effect=effect)
+            for effect in function_effects(func, module, observers)
+        }
+
+    def lift(
+        self,
+        fact: EffectFact,
+        caller: FunctionInfo,
+        line: int,
+        callee_fq: str,
+    ) -> Optional[EffectFact]:
+        if fact.effect.kind in ("raises", "setattr-escape"):
+            return None
+        step = CallStep(caller=caller.fq, line=line, callee=callee_fq)
+        return EffectFact(steps=(step,) + fact.steps, effect=fact.effect)
+
+    def prefer(self, old: EffectFact, new: EffectFact) -> EffectFact:
+        return new if len(new.steps) < len(old.steps) else old
+
+    def encode_fact(self, fact: EffectFact) -> object:
+        return {
+            "steps": [dataclasses.asdict(step) for step in fact.steps],
+            "effect": dataclasses.asdict(fact.effect),
+        }
+
+    def decode_fact(self, data: object) -> EffectFact:
+        return EffectFact(
+            steps=tuple(CallStep(**step) for step in data["steps"]),
+            effect=Effect(**data["effect"]),
+        )
+
+
+def engine_facts(summary: Dict[str, object]) -> List[EffectFact]:
+    """The engine-effect facts of one summary, deterministically ordered."""
+    return [
+        summary[key]
+        for key in sorted(summary)
+        if summary[key].effect.kind in ENGINE_EFFECT_KINDS
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Zero-observer gate scan (EFF001's simulator-side half).
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class GateViolation:
+    """One zero-observer break in simulator/faults code."""
+
+    kind: str  # "ungated-hook" | "gated-effect"
+    relpath: str
+    line: int
+    column: int
+    message: str
+    trace: Tuple[str, ...] = ()
+
+
+_TERMINAL_STMTS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+def _observer_names_in(test: ast.expr) -> FrozenSet[str]:
+    names: Set[str] = set()
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id in OBSERVER_COMPONENTS:
+            names.add(node.id)
+        elif (
+            isinstance(node, ast.Attribute)
+            and node.attr in OBSERVER_COMPONENTS
+        ):
+            names.add(node.attr)
+    return frozenset(names)
+
+
+def _observer_receiver(func: ast.expr) -> Optional[str]:
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = func.value
+    if isinstance(receiver, ast.Name) and receiver.id in OBSERVER_COMPONENTS:
+        return receiver.id
+    if (
+        isinstance(receiver, ast.Attribute)
+        and receiver.attr in OBSERVER_COMPONENTS
+    ):
+        return receiver.attr
+    return None
+
+
+def _suite_exits(body: List[ast.stmt]) -> bool:
+    return bool(body) and isinstance(body[-1], _TERMINAL_STMTS)
+
+
+class _GateWalker:
+    """Collect gated line spans and ungated observer touches, using the
+    same gate grammar the OBS001 rule recognizes (early-exit ``if x is
+    None`` gates the remainder; gate names accumulate into nested
+    suites)."""
+
+    def __init__(self) -> None:
+        #: (lineno, end_lineno) spans of tracer-gated statements.
+        self.gated_spans: List[Tuple[int, int]] = []
+        #: Ungated method calls on observer-named receivers.
+        self.ungated_calls: List[Tuple[ast.Call, str]] = []
+        #: Ungated writes rooted at an observer-named local.
+        self.ungated_writes: List[Tuple[ast.expr, str]] = []
+
+    def walk_suite(
+        self, statements: List[ast.stmt], guarded: FrozenSet[str]
+    ) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.If):
+                names = _observer_names_in(statement.test)
+                if names:
+                    for gated in statement.body:
+                        self.gated_spans.append(
+                            (gated.lineno, gated.end_lineno or gated.lineno)
+                        )
+                self.walk_suite(statement.body, guarded | names)
+                self.walk_suite(statement.orelse, guarded)
+                if names and _suite_exits(statement.body):
+                    guarded = guarded | names
+                continue
+            self.walk_node(statement, guarded)
+
+    def walk_node(self, node: ast.AST, guarded: FrozenSet[str]) -> None:
+        if isinstance(node, ast.IfExp):
+            names = _observer_names_in(node.test)
+            self.walk_node(node.test, guarded | names)
+            self.walk_node(node.body, guarded | names)
+            self.walk_node(node.orelse, guarded)
+            return
+        if isinstance(node, ast.Call):
+            name = _observer_receiver(node.func)
+            if name is not None and name not in guarded:
+                self.ungated_calls.append((node, name))
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                parts = _dotted_parts(target)
+                if (
+                    parts is not None
+                    and len(parts) > 1
+                    and parts[0] in OBSERVER_COMPONENTS
+                    and parts[0] not in guarded
+                ):
+                    self.ungated_writes.append((target, parts[0]))
+        for _, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    self.walk_suite(value, guarded)
+                else:
+                    for item in value:
+                        if isinstance(item, ast.AST):
+                            self.walk_node(item, guarded)
+            elif isinstance(value, ast.AST):
+                self.walk_node(value, guarded)
+
+
+def observer_hooks(model: ProjectModel) -> Dict[str, FunctionInfo]:
+    """Hook name -> implementation for every observability-class method,
+    including instance-attribute alias hooks bound in ``__init__``
+    (``self.record_interval = self._sink.record`` resolves to the
+    observer method the alias terminates in)."""
+    observers = observer_class_names(model)
+    classes: List[ClassInfo] = []
+    for module in model.analyzed_modules():
+        for cls_info in module.classes.values():
+            if cls_info.name in observers:
+                classes.append(cls_info)
+    classes.sort(key=lambda c: c.fq)
+
+    by_method: Dict[str, FunctionInfo] = {}
+    for cls_info in classes:
+        for method_name in sorted(cls_info.methods):
+            by_method.setdefault(method_name, cls_info.methods[method_name])
+
+    hooks = dict(by_method)
+    for cls_info in classes:
+        init = cls_info.methods.get("__init__")
+        if init is None:
+            continue
+        for node in ast.walk(init.node):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+                and isinstance(node.targets[0].value, ast.Name)
+                and node.targets[0].value.id == "self"
+                and isinstance(node.value, ast.Attribute)
+            ):
+                continue
+            alias = node.targets[0].attr
+            terminal = node.value.attr
+            target = by_method.get(terminal)
+            if target is not None:
+                hooks.setdefault(alias, target)
+    return hooks
+
+
+def find_gate_violations(
+    model: ProjectModel,
+    graph: CallGraph,
+    summaries: Dict[str, Dict[str, object]],
+) -> List[GateViolation]:
+    """EFF001's simulator-side scan.
+
+    Two violation kinds, over every function under ``simulator/`` or
+    ``faults/``:
+
+    * *ungated-hook*: a call on an observer-named receiver (or a write
+      rooted at one) with no enclosing gate naming it -- the finding
+      names the hook implementation and the observer state it mutates;
+    * *gated-effect*: a tracer-gated region that reaches an engine
+      effect (state mutation, RNG draw, event schedule) -- gated code
+      must be write-only with respect to the simulation.
+    """
+    observers = observer_class_names(model)
+    hooks = observer_hooks(model)
+    adjacency = graph.adjacency()
+    infos = {func.fq: func for func in model.functions()}
+    violations: List[GateViolation] = []
+
+    for func in model.functions():
+        if not in_effect_scope(func.relpath, "simulator", "faults"):
+            continue
+        module = model.modules[func.module]
+        walker = _GateWalker()
+        walker.walk_suite(func.node.body, frozenset())
+
+        for call, name in walker.ungated_calls:
+            method = (
+                call.func.attr if isinstance(call.func, ast.Attribute) else "?"
+            )
+            hook = hooks.get(method)
+            if hook is not None:
+                touched = _observer_state_of(hook, summaries)
+                where = hook.fq
+            else:
+                touched = ""
+                where = f"(unresolved hook) .{method}"
+            state = f", which writes {touched}" if touched else ""
+            violations.append(
+                GateViolation(
+                    kind="ungated-hook",
+                    relpath=func.relpath,
+                    line=call.lineno,
+                    column=call.col_offset,
+                    message=(
+                        f"tracer call {ast.unparse(call.func)}() in "
+                        f"{func.fq} is outside any `if {name} ...` gate: "
+                        f"it invokes hook {where}{state}"
+                    ),
+                    trace=_hook_trace(func, call, hook, summaries),
+                )
+            )
+        for target, name in walker.ungated_writes:
+            parts = _dotted_parts(target) or [name]
+            violations.append(
+                GateViolation(
+                    kind="ungated-hook",
+                    relpath=func.relpath,
+                    line=target.lineno,
+                    column=target.col_offset,
+                    message=(
+                        f"write to observer state {_render_path(parts)} in "
+                        f"{func.fq} is outside any `if {name} ...` gate"
+                    ),
+                )
+            )
+
+        if not walker.gated_spans:
+            continue
+
+        def gated(line: int) -> bool:
+            return any(lo <= line <= hi for lo, hi in walker.gated_spans)
+
+        # Direct engine effects lexically inside a gated region.
+        for effect in function_effects(func, module, observers):
+            if effect.kind in ENGINE_EFFECT_KINDS and gated(effect.line):
+                fact = EffectFact(steps=(), effect=effect)
+                violations.append(
+                    GateViolation(
+                        kind="gated-effect",
+                        relpath=func.relpath,
+                        line=effect.line,
+                        column=effect.column,
+                        message=(
+                            f"observer gate in {func.fq} contains "
+                            f"{effect.detail} ({effect.kind}): gated "
+                            "tracing must not touch the simulation"
+                        ),
+                        trace=tuple(
+                            fact.chain(f"{func.fq} [observer gate]")
+                        ),
+                    )
+                )
+        # Calls leaving a gated region into functions with engine
+        # effects (the interprocedural face).
+        seen_callees: Set[str] = set()
+        for callee, line in adjacency.get(func.fq, []):
+            if not gated(line) or callee in seen_callees:
+                continue
+            seen_callees.add(callee)
+            callee_info = infos.get(callee)
+            if callee_info is not None and (
+                callee_info.class_name in observers
+            ):
+                # Calling a hook is what the gate is *for*; the hook's
+                # own purity is EFF001's observability-side half.
+                continue
+            for fact in engine_facts(summaries.get(callee, {})):
+                step = CallStep(caller=func.fq, line=line, callee=callee)
+                lifted = EffectFact(
+                    steps=(step,) + fact.steps, effect=fact.effect
+                )
+                violations.append(
+                    GateViolation(
+                        kind="gated-effect",
+                        relpath=func.relpath,
+                        line=line,
+                        column=0,
+                        message=(
+                            f"observer gate in {func.fq} reaches "
+                            f"{fact.effect.detail} ({fact.effect.kind})"
+                            f"{hops_phrase(lifted)}: gated tracing must "
+                            "not touch the simulation"
+                        ),
+                        trace=tuple(
+                            lifted.chain(f"{func.fq} [observer gate]")
+                        ),
+                    )
+                )
+
+    violations.sort(key=lambda v: (v.relpath, v.line, v.column, v.message))
+    return violations
+
+
+def _observer_state_of(
+    hook: FunctionInfo, summaries: Dict[str, Dict[str, object]]
+) -> str:
+    """The observer state a hook writes, from its effect summary."""
+    targets: List[str] = []
+    for key in sorted(summaries.get(hook.fq, {})):
+        fact = summaries[hook.fq][key]
+        if fact.effect.kind == "mutates-observer":
+            rendered = fact.effect.detail.removeprefix("write to ")
+            rendered = rendered.removeprefix("call to ")
+            if rendered not in targets:
+                targets.append(rendered)
+    return ", ".join(targets[:4])
+
+
+def _hook_trace(
+    func: FunctionInfo,
+    call: ast.Call,
+    hook: Optional[FunctionInfo],
+    summaries: Dict[str, Dict[str, object]],
+) -> Tuple[str, ...]:
+    lines = [f"{func.fq} [ungated tracer call at line {call.lineno}]"]
+    if hook is not None:
+        lines.append(f"-> invokes hook {hook.fq} ({hook.relpath}:{hook.line})")
+        for key in sorted(summaries.get(hook.fq, {})):
+            fact = summaries[hook.fq][key]
+            if fact.effect.kind == "mutates-observer" and not fact.steps:
+                lines.append(
+                    f"** {fact.effect.detail} (mutates-observer) at "
+                    f"{fact.effect.relpath}:{fact.effect.line}:"
+                    f"{fact.effect.column}"
+                )
+    return tuple(lines)
+
+
+# ---------------------------------------------------------------------------
+# Frozen-spec write protection (EFF003's local scan).
+# ---------------------------------------------------------------------------
+
+#: Spec classes protected by name even when the decorator is out of
+#: sight (re-exported, or deliberately slots-only like OffloadConfig).
+SPEC_CLASS_NAMES = frozenset({"RunSpec", "FaultPolicy", "OffloadConfig"})
+
+
+@dataclasses.dataclass(frozen=True)
+class FrozenWrite:
+    """One post-construction write into a frozen spec instance."""
+
+    relpath: str
+    line: int
+    column: int
+    message: str
+
+
+def frozen_class_names(model: ProjectModel) -> FrozenSet[str]:
+    """``dataclass(frozen=True)`` classes plus the named spec classes."""
+    names = set(SPEC_CLASS_NAMES)
+    for module in model.analyzed_modules():
+        for cls_info in module.classes.values():
+            for decorator in cls_info.node.decorator_list:
+                call = decorator
+                if not isinstance(call, ast.Call):
+                    continue
+                target = _dotted_parts(call.func)
+                if not target or target[-1] != "dataclass":
+                    continue
+                for keyword in call.keywords:
+                    if (
+                        keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        names.add(cls_info.name)
+    return frozenset(names)
+
+
+def find_frozen_writes(model: ProjectModel) -> List[FrozenWrite]:
+    protected = frozen_class_names(model)
+    writes: List[FrozenWrite] = []
+    for func in model.functions():
+        if func.name in CONSTRUCTION_METHODS:
+            continue
+        args = func.node.args
+        protected_params = {}
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if arg.annotation is None:
+                continue
+            node = arg.annotation
+            if isinstance(node, ast.Subscript):
+                node = node.slice
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                name = node.value.rsplit(".", 1)[-1].rsplit("[", 1)[0]
+            else:
+                parts = _dotted_parts(node)
+                name = parts[-1] if parts else None
+            if name in protected:
+                protected_params[arg.arg] = name
+        if func.class_name in protected:
+            protected_params.setdefault("self", func.class_name)
+
+        for node in ast.walk(func.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    parts = _dotted_parts(target)
+                    if (
+                        parts is not None
+                        and len(parts) > 1
+                        and parts[0] in protected_params
+                    ):
+                        cls = protected_params[parts[0]]
+                        writes.append(
+                            FrozenWrite(
+                                relpath=func.relpath,
+                                line=target.lineno,
+                                column=target.col_offset,
+                                message=(
+                                    f"{func.fq} writes "
+                                    f"{_render_path(parts)} on frozen spec "
+                                    f"{cls} after construction"
+                                ),
+                            )
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__setattr__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "object"
+            ):
+                first = node.args[0] if node.args else None
+                parts = _dotted_parts(first) if first is not None else None
+                if parts and parts[0] in protected_params:
+                    subject = (
+                        f"frozen spec {protected_params[parts[0]]}"
+                    )
+                else:
+                    subject = (
+                        f"{_render_path(parts)}" if parts else "an instance"
+                    )
+                writes.append(
+                    FrozenWrite(
+                        relpath=func.relpath,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        message=(
+                            f"{func.fq} escapes attribute protection: "
+                            f"object.__setattr__ on {subject} outside "
+                            "construction"
+                        ),
+                    )
+                )
+    writes.sort(key=lambda w: (w.relpath, w.line, w.column, w.message))
+    return writes

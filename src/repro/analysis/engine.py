@@ -142,11 +142,18 @@ class AnalysisContext:
     #: contain ``.c`` files.
     c_sources: Tuple = ()
 
+    #: On-disk :class:`~repro.analysis.dataflow.SummaryCache` shared by
+    #: the dataflow analyses; ``None`` disables persistent caching.
+    cache: Optional[object] = None
+
     _project_model: Optional[object] = dataclasses.field(
         default=None, repr=False, compare=False
     )
     _call_graph: Optional[object] = dataclasses.field(
         default=None, repr=False, compare=False
+    )
+    _summaries: dict = dataclasses.field(
+        default_factory=dict, repr=False, compare=False
     )
 
     def by_relpath(self, relpath: str) -> Optional[SourceFile]:
@@ -172,6 +179,20 @@ class AnalysisContext:
 
             self._call_graph = build_call_graph(self.project_model())
         return self._call_graph
+
+    def summaries(self, analysis):
+        """Fixpoint summaries for one dataflow *analysis*, memoized per
+        run and (when a cache is attached) persisted across runs."""
+        if analysis.name not in self._summaries:
+            from .dataflow import compute_summaries
+
+            self._summaries[analysis.name] = compute_summaries(
+                self.project_model(),
+                self.call_graph(),
+                analysis,
+                cache=self.cache,
+            )
+        return self._summaries[analysis.name]
 
 
 @dataclasses.dataclass
@@ -259,20 +280,53 @@ def analyze_sources(
     restrict: Optional[Collection[str]] = None,
     reference_sources: Iterable[SourceFile] = (),
     c_sources: Iterable = (),
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> AnalysisResult:
-    """Run the selected rules over pre-built sources (test entry point)."""
+    """Run the selected rules over pre-built sources (test entry point).
+
+    *cache_dir* enables the on-disk analysis cache: project-rule
+    findings (and the dataflow summaries behind them) are keyed by a
+    content hash of every analyzed source plus the selected rules'
+    ``cache_version``s, so a warm rerun over unchanged sources replays
+    findings without building the project model at all.
+    """
     selected = resolve_rules(rules, deep=deep)
+    cache = None
+    if cache_dir is not None:
+        from .dataflow import SummaryCache
+
+        cache = SummaryCache(Path(cache_dir))
     context = AnalysisContext(
         root=Path(root),
         sources=tuple(sources),
         reference_sources=tuple(reference_sources),
         c_sources=tuple(c_sources),
+        cache=cache,
     )
     restrict_set = set(restrict) if restrict is not None else None
     deep_rule_names = {rule.name for rule in selected if rule.deep}
 
+    file_rules = [rule for rule in selected if not rule.project_rule]
+    file_key = None
+    cached_files = None
+    if cache is not None and file_rules:
+        from .dataflow import SummaryCache
+
+        # File rules are pure functions of their source text, so one
+        # slot over the whole source set replays every per-file finding
+        # on a warm run without invoking a single rule.
+        file_key = SummaryCache.digest(
+            ["file-findings"]
+            + sorted(
+                f"{rule.name}={rule.cache_version}" for rule in file_rules
+            )
+            + SummaryCache.file_digest_parts(context.sources)
+        )
+        cached_files = cache.load("file-findings", file_key)
+
     raw: List[Finding] = []
     internal: List[Finding] = []
+    file_raw: List[Finding] = []
     for source in context.sources:
         if source.parse_error is not None:
             raw.append(
@@ -287,26 +341,76 @@ def analyze_sources(
                 )
             )
             continue
-        for rule in selected:
-            if rule.project_rule:
-                continue
+        if cached_files is not None:
+            continue
+        for rule in file_rules:
             _run_rule(
                 rule,
                 lambda rule=rule, source=source: list(
                     rule.check(source, context)
                 ),
-                raw,
+                file_raw,
                 internal,
                 source.relpath,
             )
-    for rule in selected:
-        if rule.project_rule:
+    if cached_files is not None:
+        raw.extend(Finding.from_dict(payload) for payload in cached_files)
+    else:
+        raw.extend(file_raw)
+        if cache is not None and file_key is not None and not internal:
+            cache.store(
+                "file-findings",
+                file_key,
+                [
+                    finding.to_dict()
+                    for finding in sorted(file_raw, key=Finding.sort_key)
+                ],
+            )
+    project_rules = [rule for rule in selected if rule.project_rule]
+    project_key = None
+    cached_project = None
+    if cache is not None and project_rules:
+        from .dataflow import SummaryCache
+
+        project_key = SummaryCache.digest(
+            ["project-findings"]
+            + sorted(
+                f"{rule.name}={rule.cache_version}" for rule in project_rules
+            )
+            + SummaryCache.file_digest_parts(context.sources)
+            + SummaryCache.file_digest_parts(context.reference_sources)
+            + SummaryCache.file_digest_parts(context.c_sources)
+        )
+        cached_project = cache.load("project-findings", project_key)
+    if cached_project is not None:
+        # Warm path: replay the stored findings; the project model and
+        # call graph are never built.
+        raw.extend(Finding.from_dict(payload) for payload in cached_project)
+    else:
+        project_raw: List[Finding] = []
+        crashes_before = len(internal)
+        for rule in project_rules:
             _run_rule(
                 rule,
                 lambda rule=rule: list(rule.check_project(context)),
-                raw,
+                project_raw,
                 internal,
                 "<project>",
+            )
+        raw.extend(project_raw)
+        if (
+            cache is not None
+            and project_key is not None
+            and len(internal) == crashes_before
+        ):
+            # A crashed rule means an incomplete report; never cache it.
+            cache.store(
+                "project-findings",
+                project_key,
+                [
+                    finding.to_dict()
+                    for finding in sorted(project_raw, key=Finding.sort_key)
+                ],
             )
 
     if restrict_set is not None:
@@ -359,6 +463,7 @@ def analyze_paths(
     deep: bool = False,
     restrict: Optional[Collection[str]] = None,
     reference_paths: Sequence[Union[str, Path]] = (),
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> AnalysisResult:
     """Analyze every ``.py`` (and parity-scanned ``.c``) file under
     *paths* (the CLI entry point)."""
@@ -381,4 +486,5 @@ def analyze_paths(
         restrict=restrict,
         reference_sources=reference_sources,
         c_sources=load_c_sources(paths, root_path),
+        cache_dir=cache_dir,
     )

@@ -87,3 +87,17 @@ class Finding:
         if self.trace:
             payload["trace"] = list(self.trace)
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (the result-cache round trip)."""
+        return cls(
+            rule=payload["rule"],
+            path=payload["path"],
+            line=payload["line"],
+            column=payload["column"],
+            message=payload["message"],
+            hint=payload.get("hint", ""),
+            severity=Severity(payload.get("severity", "error")),
+            trace=tuple(payload.get("trace", ())),
+        )

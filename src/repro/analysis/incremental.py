@@ -27,7 +27,7 @@ from ..errors import ParameterError
 DEFAULT_BASE = "HEAD"
 
 
-def _git_lines(args: List[str], root: Path) -> List[str]:
+def _git_output(args: List[str], root: Path) -> str:
     try:
         completed = subprocess.run(
             ["git", *args],
@@ -43,23 +43,59 @@ def _git_lines(args: List[str], root: Path) -> List[str]:
         raise ParameterError(
             f"git {' '.join(args)} failed: {detail or 'unknown error'}"
         )
-    return [line.strip() for line in completed.stdout.splitlines() if line.strip()]
+    return completed.stdout
+
+
+def _name_status_paths(root: Path, base: str) -> List[str]:
+    """Surviving paths from ``git diff --name-status -z -M``.
+
+    NUL-delimited output sidesteps git's path quoting, and explicit
+    status parsing makes deletions and renames first-class: a deleted
+    file contributes nothing (there is nothing left to lint), a rename
+    contributes its *new* name only -- the old name no longer exists
+    and must not poison the restriction set.
+    """
+    fields = _git_output(
+        ["diff", "--name-status", "-z", "-M", base], root
+    ).split("\0")
+    paths: List[str] = []
+    index = 0
+    while index < len(fields):
+        status = fields[index]
+        if not status:
+            index += 1
+            continue
+        if status[0] in ("R", "C"):
+            # R<score>\0<old>\0<new> -- keep the postimage.
+            if index + 2 < len(fields):
+                paths.append(fields[index + 2])
+            index += 3
+        elif status[0] == "D":
+            index += 2
+        else:
+            if index + 1 < len(fields):
+                paths.append(fields[index + 1])
+            index += 2
+    return paths
 
 
 def changed_python_files(root: Path, base: str = DEFAULT_BASE) -> List[str]:
     """Project-relative analyzable paths differing from *base*, sorted.
 
     Includes files with staged or unstaged modifications relative to
-    *base* and untracked files; deletions are dropped (there is nothing
-    left to lint).  ``.c`` sources count as analyzable -- an edit to
-    ``src/repro/_hotcore.c`` must re-trigger the parity pass rather than
-    being invisible to the git-aware restriction.
+    *base* and untracked files.  Deletions are dropped and renames
+    resolve to their new name (see :func:`_name_status_paths`).  ``.c``
+    sources count as analyzable -- an edit to ``src/repro/_hotcore.c``
+    must re-trigger the parity pass rather than being invisible to the
+    git-aware restriction.
     """
-    changed = set(
-        _git_lines(["diff", "--name-only", "--diff-filter=d", base], root)
-    )
+    changed = set(_name_status_paths(root, base))
     changed.update(
-        _git_lines(["ls-files", "--others", "--exclude-standard"], root)
+        entry
+        for entry in _git_output(
+            ["ls-files", "--others", "--exclude-standard", "-z"], root
+        ).split("\0")
+        if entry
     )
     return sorted(
         path

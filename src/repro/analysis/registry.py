@@ -41,6 +41,11 @@ class Rule:
     #: runs and selected by ``--deep`` or by naming them in ``--rules``.
     deep: bool = False
 
+    #: Participates in the on-disk result cache key: bump when the
+    #: rule's semantics change so stale cached findings are invalidated
+    #: even though the analyzed sources did not move.
+    cache_version: str = "1"
+
     def check(self, source, context) -> Iterable:  # pragma: no cover - abstract
         return ()
 

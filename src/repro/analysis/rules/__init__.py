@@ -4,12 +4,23 @@ Importing this package registers every rule with the registry; the
 modules group rules by the invariant family they protect.
 """
 
-from . import api, deep, determinism, observability, parity, perf, specs, units
+from . import (
+    api,
+    deep,
+    determinism,
+    effects,
+    observability,
+    parity,
+    perf,
+    specs,
+    units,
+)
 
 __all__ = [
     "api",
     "deep",
     "determinism",
+    "effects",
     "observability",
     "parity",
     "perf",

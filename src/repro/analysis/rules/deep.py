@@ -14,8 +14,8 @@ from typing import Iterator, List
 
 from ..findings import Finding, Severity
 from ..registry import Rule, register_rule
-from ..taint import find_taint_paths
-from ..unitflow import UnitFlowAnalyzer
+from ..taint import TaintAnalysis, find_taint_paths
+from ..unitflow import UnitFlowAnalyzer, UnitSignatureAnalysis
 
 
 @register_rule
@@ -41,7 +41,8 @@ class InterproceduralTaint(Rule):
     def check_project(self, context) -> Iterator[Finding]:
         model = context.project_model()
         graph = context.call_graph()
-        for path in find_taint_paths(model, graph):
+        summaries = context.summaries(TaintAnalysis())
+        for path in find_taint_paths(model, graph, summaries):
             hops = len(path.steps)
             via = (
                 f" through {hops} call{'s' if hops != 1 else ''}"
@@ -88,7 +89,9 @@ class UnitFlow(Rule):
 
     def check_project(self, context) -> Iterator[Finding]:
         model = context.project_model()
-        analyzer = UnitFlowAnalyzer(model)
+        analyzer = UnitFlowAnalyzer(
+            model, signatures=context.summaries(UnitSignatureAnalysis())
+        )
         for violation in analyzer.analyze():
             yield Finding(
                 rule=self.name,

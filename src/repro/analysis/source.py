@@ -46,6 +46,56 @@ def parse_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
     return table
 
 
+def _statement_span(statement: ast.stmt) -> Tuple[int, int]:
+    """The line range a pragma on *statement* anchors to.
+
+    Simple statements own their full ``lineno..end_lineno`` span, so a
+    pragma on the closing line of a multi-line call suppresses the
+    finding reported at the statement's first line.  Compound
+    statements (``if``/``for``/``def``/...) own only their *header*
+    lines -- a pragma inside the body must not silence the whole block.
+    """
+    body = getattr(statement, "body", None)
+    if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+        return statement.lineno, max(statement.lineno, body[0].lineno - 1)
+    return statement.lineno, statement.end_lineno or statement.lineno
+
+
+def expand_suppressions(
+    tree: Optional[ast.Module], table: Dict[int, FrozenSet[str]]
+) -> Dict[int, FrozenSet[str]]:
+    """Widen line-anchored pragmas to their enclosing statement span.
+
+    For each pragma line, the *innermost* statement whose span covers
+    it claims the pragma, and every line of that span inherits the
+    suppressed rule set -- so findings anchored at any line of a
+    multi-line statement match a pragma written on any of its lines.
+    Files that do not parse keep the exact-line table (there is no
+    tree to widen over).
+    """
+    if tree is None or not table:
+        return table
+    spans = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            spans.append(_statement_span(node))
+    expanded: Dict[int, FrozenSet[str]] = dict(table)
+    for pragma_line, rules in table.items():
+        covering = [
+            span
+            for span in spans
+            if span[0] <= pragma_line <= span[1]
+        ]
+        if not covering:
+            continue
+        # Innermost: the latest-starting (then shortest) covering span.
+        start, end = max(covering, key=lambda s: (s[0], -s[1]))
+        for line in range(start, end + 1):
+            existing = expanded.get(line)
+            expanded[line] = rules if existing is None else existing | rules
+    return expanded
+
+
 @dataclasses.dataclass
 class SourceFile:
     """One parsed Python file presented to the rules."""
@@ -90,7 +140,7 @@ class SourceFile:
             text=text,
             tree=tree,
             parse_error=error,
-            suppressions=parse_suppressions(text),
+            suppressions=expand_suppressions(tree, parse_suppressions(text)),
         )
 
     # -- path scoping ------------------------------------------------------

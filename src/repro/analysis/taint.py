@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import ast
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from .dataflow import CallStep, DataflowAnalysis, compute_summaries
 from .graph import CallGraph
 from .project import FunctionInfo, ModuleInfo, ProjectModel
 
@@ -106,13 +107,8 @@ class TaintSource:
     detail: str  # the offending target / construct
 
 
-@dataclasses.dataclass(frozen=True)
-class TaintStep:
-    """One call edge on a source->sink path."""
-
-    caller: str
-    line: int
-    callee: str
+#: One call edge on a source->sink path (the framework's witness step).
+TaintStep = CallStep
 
 
 @dataclasses.dataclass(frozen=True)
@@ -253,74 +249,99 @@ def sink_reason(func: FunctionInfo) -> Optional[str]:
 
 
 # ---------------------------------------------------------------------------
-# Propagation.
+# Propagation (an instance of the shared dataflow framework).
 # ---------------------------------------------------------------------------
 
 
-def find_taint_paths(model: ProjectModel, graph: CallGraph) -> List[TaintPath]:
+@dataclasses.dataclass(frozen=True)
+class TaintFact:
+    """This function transitively reaches the given source function.
+
+    ``steps`` is the witness call chain from the summarized function to
+    the source's enclosing function (empty when the source is local).
+    """
+
+    steps: Tuple[TaintStep, ...]
+    source: TaintSource
+
+
+class TaintAnalysis(DataflowAnalysis):
+    """Entropy reachability, keyed by source-function fq.
+
+    Facts flow from callee to caller with one call step prepended;
+    ``prefer`` keeps the shorter chain (ties keep the incumbent), which
+    together with the framework's sorted first-edge-per-callee order
+    reproduces the breadth-first shortest paths the pre-framework BFS
+    reported.
+    """
+
+    name = "taint"
+    version = "1"
+
+    def local_facts(
+        self, func: FunctionInfo, module: ModuleInfo, model: ProjectModel
+    ) -> Dict[str, object]:
+        found = function_sources(func, module)
+        if not found:
+            return {}
+        source = sorted(found, key=lambda s: (s.line, s.detail))[0]
+        return {func.fq: TaintFact(steps=(), source=source)}
+
+    def lift(
+        self,
+        fact: TaintFact,
+        caller: FunctionInfo,
+        line: int,
+        callee_fq: str,
+    ) -> TaintFact:
+        step = TaintStep(caller=caller.fq, line=line, callee=callee_fq)
+        return TaintFact(steps=(step,) + fact.steps, source=fact.source)
+
+    def prefer(self, old: TaintFact, new: TaintFact) -> TaintFact:
+        return new if len(new.steps) < len(old.steps) else old
+
+    def encode_fact(self, fact: TaintFact) -> object:
+        return {
+            "steps": [dataclasses.asdict(step) for step in fact.steps],
+            "source": dataclasses.asdict(fact.source),
+        }
+
+    def decode_fact(self, data: object) -> TaintFact:
+        return TaintFact(
+            steps=tuple(TaintStep(**step) for step in data["steps"]),
+            source=TaintSource(**data["source"]),
+        )
+
+
+def find_taint_paths(
+    model: ProjectModel,
+    graph: CallGraph,
+    summaries: Optional[Dict[str, Dict[str, object]]] = None,
+) -> List[TaintPath]:
     """Shortest source->sink path for every (sink, source function) pair.
 
-    Deterministic: functions and adjacency lists are sorted, and BFS
-    explores them in that order.
+    Deterministic: the framework visits functions and call edges in
+    sorted order, and the final report is sorted by sink location.
     """
-    sources_by_fq: Dict[str, List[TaintSource]] = {}
-    sinks: List[Tuple[FunctionInfo, str]] = []
-    for func in model.functions():
-        module = model.modules[func.module]
-        found = function_sources(func, module)
-        if found:
-            sources_by_fq[func.fq] = found
-        reason = sink_reason(func)
-        if reason is not None:
-            sinks.append((func, reason))
-
-    adjacency = graph.adjacency()
+    if summaries is None:
+        summaries = compute_summaries(model, graph, TaintAnalysis())
     paths: List[TaintPath] = []
-    for sink, reason in sinks:
-        paths.extend(
-            _paths_from(sink, reason, adjacency, sources_by_fq)
-        )
+    for func in model.functions():
+        reason = sink_reason(func)
+        if reason is None:
+            continue
+        for fact in summaries.get(func.fq, {}).values():
+            paths.append(
+                TaintPath(
+                    sink=func.fq,
+                    sink_relpath=func.relpath,
+                    sink_line=func.line,
+                    sink_reason=reason,
+                    steps=fact.steps,
+                    source=fact.source,
+                )
+            )
     paths.sort(
         key=lambda p: (p.sink_relpath, p.sink_line, p.sink, p.source.fq)
     )
     return paths
-
-
-def _paths_from(
-    sink: FunctionInfo,
-    reason: str,
-    adjacency: Dict[str, List[Tuple[str, int]]],
-    sources_by_fq: Dict[str, List[TaintSource]],
-) -> List[TaintPath]:
-    #: fq -> steps taken from the sink to reach it.
-    visited: Dict[str, Tuple[TaintStep, ...]] = {sink.fq: ()}
-    frontier: List[str] = [sink.fq]
-    found: List[TaintPath] = []
-    reported: Set[str] = set()
-    while frontier:
-        next_frontier: List[str] = []
-        for fq in frontier:
-            steps = visited[fq]
-            if fq in sources_by_fq and fq not in reported:
-                reported.add(fq)
-                source = sorted(
-                    sources_by_fq[fq], key=lambda s: (s.line, s.detail)
-                )[0]
-                found.append(
-                    TaintPath(
-                        sink=sink.fq,
-                        sink_relpath=sink.relpath,
-                        sink_line=sink.line,
-                        sink_reason=reason,
-                        steps=steps,
-                        source=source,
-                    )
-                )
-            for callee, line in adjacency.get(fq, []):
-                if callee not in visited:
-                    visited[callee] = steps + (
-                        TaintStep(caller=fq, line=line, callee=callee),
-                    )
-                    next_frontier.append(callee)
-        frontier = next_frontier
-    return found

@@ -23,6 +23,7 @@ import ast
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from .dataflow import DataflowAnalysis
 from .graph import CallResolver
 from .project import FunctionInfo, ModuleInfo, ProjectModel
 
@@ -95,6 +96,61 @@ def return_unit(function_name: str) -> Optional[str]:
 
 
 @dataclasses.dataclass(frozen=True)
+class UnitSignature:
+    """What a function's signature declares about units.
+
+    Parameter names declare the units of their arguments; the function
+    name declares the unit of the return value (``ns_to_cycles`` and
+    friends).  These are the only facts the flow analysis needs at a
+    call boundary, so they are what the dataflow framework summarizes.
+    """
+
+    fq: str
+    params: Tuple[str, ...]
+    return_unit: Optional[str]
+
+
+class UnitSignatureAnalysis(DataflowAnalysis):
+    """Per-function unit signatures as a (purely local) dataflow instance.
+
+    Units do not propagate through callers the way taint does -- a
+    call boundary is checked against the *callee's own* declaration --
+    so ``lift`` absorbs everything (the framework default) and each
+    summary holds exactly the function's own signature.  Running it
+    through the framework buys the shared traversal and the on-disk
+    summary cache.
+    """
+
+    name = "unitflow-signatures"
+    version = "1"
+
+    def local_facts(
+        self, func: FunctionInfo, module: ModuleInfo, model: ProjectModel
+    ) -> Dict[str, object]:
+        return {
+            func.fq: UnitSignature(
+                fq=func.fq,
+                params=tuple(_parameter_names(func)),
+                return_unit=return_unit(func.name),
+            )
+        }
+
+    def encode_fact(self, fact: UnitSignature) -> object:
+        return {
+            "fq": fact.fq,
+            "params": list(fact.params),
+            "return_unit": fact.return_unit,
+        }
+
+    def decode_fact(self, data: object) -> UnitSignature:
+        return UnitSignature(
+            fq=data["fq"],
+            params=tuple(data["params"]),
+            return_unit=data["return_unit"],
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class UnitViolation:
     """One cross-dimension mix the flow analysis established."""
 
@@ -108,11 +164,34 @@ class UnitViolation:
 
 
 class UnitFlowAnalyzer:
-    """Propagate units through the project and collect violations."""
+    """Propagate units through the project and collect violations.
 
-    def __init__(self, model: ProjectModel) -> None:
+    *signatures* is an optional summary table from
+    :class:`UnitSignatureAnalysis` (``fq -> {fq: UnitSignature}``); when
+    provided (the deep-rule path, where it may come from the on-disk
+    cache), call boundaries consult it instead of re-deriving the
+    callee's declaration from its AST.
+    """
+
+    def __init__(
+        self,
+        model: ProjectModel,
+        signatures: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> None:
         self.model = model
         self.resolver = CallResolver(model)
+        self.signatures = signatures
+
+    def _callee_signature(self, info: FunctionInfo) -> UnitSignature:
+        if self.signatures is not None:
+            fact = self.signatures.get(info.fq, {}).get(info.fq)
+            if isinstance(fact, UnitSignature):
+                return fact
+        return UnitSignature(
+            fq=info.fq,
+            params=tuple(_parameter_names(info)),
+            return_unit=return_unit(info.name),
+        )
 
     def analyze(self) -> List[UnitViolation]:
         violations: List[UnitViolation] = []
@@ -241,15 +320,14 @@ class UnitFlowAnalyzer:
             kind, target, info = self.resolver.resolve_call(
                 expr, type_env, module
             )
-            callee_name = None
             if info is not None:
-                callee_name = info.name
+                unit = self._callee_signature(info).return_unit
             elif target is not None:
-                callee_name = target.rsplit(".", 1)[-1]
-            if callee_name:
-                unit = return_unit(callee_name)
-                if unit is not None:
-                    return unit, f"call to {target} returns {unit}"
+                unit = return_unit(target.rsplit(".", 1)[-1])
+            else:
+                unit = None
+            if unit is not None:
+                return unit, f"call to {target} returns {unit}"
             return None, None
         if isinstance(expr, ast.BinOp):
             if isinstance(expr.op, (ast.Add, ast.Sub)):
@@ -355,7 +433,7 @@ class UnitFlowAnalyzer:
             # their parameter names still declare what they expect, so
             # fall through and check the arguments normally.
             pass
-        params = _parameter_names(info)
+        params = list(self._callee_signature(info).params)
         bindings: List[Tuple[str, ast.expr]] = []
         for index, arg in enumerate(call.args):
             if isinstance(arg, ast.Starred):

@@ -1,0 +1,14 @@
+"""Fixture: a pure observability hook.
+
+The hook writes only observer-owned state (its own span list); the
+effect summary contains nothing EFF001 objects to.
+"""
+
+
+class SpanTracer:
+    def __init__(self, engine):
+        self.engine = engine
+        self.spans = []
+
+    def begin_segment(self, name):
+        self.spans.append((name, self.engine.now))

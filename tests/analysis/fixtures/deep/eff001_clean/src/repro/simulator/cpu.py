@@ -1,0 +1,18 @@
+"""Fixture: disciplined zero-observer gating.
+
+Every tracer touch is behind ``is not None`` and the gate bodies are
+write-only toward the simulation; engine work happens outside.
+"""
+
+
+class Cpu:
+    def __init__(self, tracer, rng):
+        self.tracer = tracer
+        self.rng = rng
+        self.counter = 0
+
+    def step(self):
+        self.counter = self.counter + 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin_segment("step")

@@ -1,0 +1,19 @@
+"""Fixture: an observability hook that perturbs the simulation.
+
+``begin_segment`` looks innocent locally -- the engine effect sits one
+call away in ``_reschedule`` -- so only the interprocedural effect
+summary connects the hook to the ``schedules-event`` effect.
+"""
+
+
+class SpanTracer:
+    def __init__(self, engine):
+        self.engine = engine
+        self.spans = []
+
+    def _reschedule(self, name):
+        self.engine.after(1.0, name)
+
+    def begin_segment(self, name):
+        self.spans.append(name)
+        self._reschedule(name)

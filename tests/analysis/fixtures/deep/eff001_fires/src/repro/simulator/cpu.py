@@ -1,0 +1,18 @@
+"""Fixture: zero-observer breaks on the simulator side.
+
+One tracer call sits outside any ``is not None`` gate, and one gate
+body mutates engine state -- both faces of the EFF001 gate scan.
+"""
+
+
+class Cpu:
+    def __init__(self, tracer, rng):
+        self.tracer = tracer
+        self.rng = rng
+        self.counter = 0
+
+    def step(self):
+        tracer = self.tracer
+        tracer.begin_segment("step")
+        if tracer is not None:
+            self.counter = self.counter + 1

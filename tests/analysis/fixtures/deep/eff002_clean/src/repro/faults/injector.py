@@ -1,0 +1,23 @@
+"""Fixture: sanctioned facades own their streams.
+
+Draws inside ``BlockSampler``/``FaultInjector`` methods are the seeded
+budget itself, not violations.
+"""
+
+import numpy as np
+
+
+class BlockSampler:
+    def __init__(self, draw):
+        self._draw = draw
+
+    def sample(self, n):
+        return self._draw(n)
+
+
+class FaultInjector:
+    def __init__(self, seed):
+        self._rng = np.random.default_rng(seed)
+
+    def roll(self):
+        return self._rng.random()

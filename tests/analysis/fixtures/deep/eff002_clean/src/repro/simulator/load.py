@@ -1,0 +1,14 @@
+"""Fixture: entropy routed through the sanctioned facades.
+
+Draws appear only lexically inside ``BlockSampler`` constructor
+arguments; the stream stays budgeted and spec-seeded.
+"""
+
+import numpy as np
+
+from ..faults.injector import BlockSampler
+
+
+def make_sampler(seed):
+    rng = np.random.default_rng(seed)
+    return BlockSampler(lambda n: rng.random(n))

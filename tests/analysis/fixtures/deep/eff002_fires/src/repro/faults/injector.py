@@ -1,0 +1,9 @@
+"""Fixture: the sanctioned facade, present so the tree resolves."""
+
+
+class BlockSampler:
+    def __init__(self, draw):
+        self._draw = draw
+
+    def sample(self, n):
+        return self._draw(n)

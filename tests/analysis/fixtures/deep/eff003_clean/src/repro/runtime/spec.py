@@ -1,0 +1,23 @@
+"""Fixture: specs treated as values.
+
+Derivation goes through ``dataclasses.replace``; the only
+``object.__setattr__`` sits in ``__post_init__`` (construction, where
+frozen dataclasses legitimately need it).
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    seed: int
+    duration: float
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.label:
+            object.__setattr__(self, "label", f"run-{self.seed}")
+
+
+def retune(spec: RunSpec, seed: int) -> RunSpec:
+    return dataclasses.replace(spec, seed=seed)

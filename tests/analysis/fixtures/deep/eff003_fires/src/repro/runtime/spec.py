@@ -1,0 +1,24 @@
+"""Fixture: post-construction writes into a frozen spec.
+
+One direct attribute write through a protected-annotated parameter,
+and one ``object.__setattr__`` escape outside construction -- both
+desynchronize the spec from every digest derived from it.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    seed: int
+    duration: float
+
+
+def retune(spec: RunSpec, seed: int) -> RunSpec:
+    spec.seed = seed
+    return spec
+
+
+def escape(spec: RunSpec, duration: float) -> RunSpec:
+    object.__setattr__(spec, "duration", duration)
+    return spec

@@ -1,0 +1,11 @@
+"""Fixture: an effect-free cache key.
+
+The key is a pure function of materialized values; probing a cache
+with it cannot change the run.
+"""
+
+from ..util.registry import canonical
+
+
+def make_cache_key(payload: str) -> str:
+    return "k-" + canonical(payload)

@@ -1,0 +1,5 @@
+"""Fixture: pure helper feeding the cache key."""
+
+
+def canonical(payload: str) -> str:
+    return payload.strip().lower()

@@ -1,0 +1,13 @@
+"""Fixture: a cache key whose computation has a side effect.
+
+The mutation is one call away in another module -- keying a run
+registers it in a shared table, so cache probe and cache hit execute
+different programs.
+"""
+
+from ..util.registry import remember
+
+
+def make_cache_key(payload: str) -> str:
+    remember(payload)
+    return "k-" + payload

@@ -1,0 +1,8 @@
+"""Fixture: helper mutating module-level state (the effect EFF004
+connects to the cache key interprocedurally)."""
+
+_SEEN = {}
+
+
+def remember(payload: str) -> None:
+    _SEEN[payload] = len(_SEEN)

@@ -1,0 +1,88 @@
+"""Lint wall-time floor: the on-disk result cache pays for itself.
+
+A warm ``lint --deep`` rerun over unchanged sources must replay
+findings from the summary/result cache -- never rebuilding the project
+model or re-running rules -- and come in at least 3x faster than the
+cold run that populated it.
+"""
+
+import time
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _deep_lint(cache_dir):
+    return analyze_paths(
+        ["src/repro", "scripts"],
+        root=REPO_ROOT,
+        deep=True,
+        reference_paths=["tests", "examples", "benchmarks"],
+        cache_dir=cache_dir,
+    )
+
+
+def test_warm_deep_lint_is_at_least_3x_faster(tmp_path):
+    cache_dir = tmp_path / "analysis-cache"
+
+    start = time.perf_counter()
+    cold = _deep_lint(cache_dir)
+    cold_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = _deep_lint(cache_dir)
+    warm_elapsed = time.perf_counter() - start
+
+    assert not cold.internal and not warm.internal
+    # The cache must be invisible in the results...
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in cold.findings
+    ]
+    assert [f.to_dict() for f in warm.suppressed] == [
+        f.to_dict() for f in cold.suppressed
+    ]
+    # ...and decisive in the wall time.
+    assert warm_elapsed * 3 <= cold_elapsed, (
+        f"warm deep lint took {warm_elapsed:.2f}s vs cold "
+        f"{cold_elapsed:.2f}s -- the result cache is not carrying "
+        "its weight"
+    )
+
+
+def test_cache_slots_are_written(tmp_path):
+    cache_dir = tmp_path / "analysis-cache"
+    _deep_lint(cache_dir)
+    names = sorted(p.name for p in cache_dir.iterdir())
+    assert "file-findings.json" in names
+    assert "project-findings.json" in names
+    assert any(name.startswith("summaries-") for name in names)
+
+
+def test_edited_source_invalidates_the_cache(tmp_path):
+    # Content-hash keying: any byte change anywhere is a miss, so the
+    # cache can go stale silently in neither direction.
+    from repro.analysis import analyze_sources
+    from repro.analysis.source import SourceFile
+
+    cache_dir = tmp_path / "analysis-cache"
+    original = SourceFile.from_text(
+        "import time\n"
+        "def make_cache_key(x):\n"
+        "    return str(x)\n",
+        relpath="pkg/runtime/key.py",
+    )
+    first = analyze_sources(
+        [original], deep=True, rules=["DET003"], cache_dir=cache_dir
+    )
+    assert first.findings == []
+
+    edited = SourceFile.from_text(
+        original.text.replace("str(x)", "str(x) + str(time.time())"),
+        relpath="pkg/runtime/key.py",
+    )
+    second = analyze_sources(
+        [edited], deep=True, rules=["DET003"], cache_dir=cache_dir
+    )
+    assert [f.rule for f in second.findings] == ["DET003"]

@@ -85,6 +85,39 @@ class TestChangedFiles:
         (repo / "pkg" / "a.py").write_text("A = 10\n")
         assert changed_python_files(repo) == ["pkg/a.py", "pkg/z.py"]
 
+    def test_deleted_file_dropped_against_older_base(self, repo):
+        # The deletion is committed, so the file IS in the diff vs.
+        # HEAD~1 -- status D must drop it rather than handing the
+        # driver a path with nothing behind it.
+        (repo / "pkg" / "a.py").unlink()
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-q", "-m", "drop a")
+        assert changed_python_files(repo, "HEAD~1") == []
+
+    def test_renamed_file_reports_only_new_name(self, repo):
+        _git(repo, "mv", "pkg/a.py", "pkg/renamed.py")
+        _git(repo, "commit", "-q", "-m", "rename")
+        assert changed_python_files(repo, "HEAD~1") == ["pkg/renamed.py"]
+
+    def test_rename_with_edit_reports_only_new_name(self, repo):
+        # A below-threshold similarity rename degrades to add+delete;
+        # an above-threshold one is status R -- either way only the
+        # surviving path may come back.
+        _git(repo, "mv", "pkg/a.py", "pkg/moved.py")
+        (repo / "pkg" / "moved.py").write_text("A = 1\nEXTRA = 2\n")
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-q", "-m", "move and edit")
+        assert changed_python_files(repo, "HEAD~1") == ["pkg/moved.py"]
+
+    def test_path_with_spaces_survives_quoting(self, repo):
+        # git quotes unusual paths in line-oriented output; the
+        # NUL-delimited protocol must hand them back verbatim.
+        (repo / "pkg" / "odd name.py").write_text("ODD = 1\n")
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "-q", "-m", "odd")
+        (repo / "pkg" / "odd name.py").write_text("ODD = 2\n")
+        assert changed_python_files(repo) == ["pkg/odd name.py"]
+
     def test_non_repo_root_raises_parameter_error(self, tmp_path):
         outside = tmp_path / "plain"
         outside.mkdir()

@@ -73,6 +73,68 @@ def test_mismatched_pragma_does_not_suppress():
     assert not result.suppressed
 
 
+def test_pragma_on_any_line_of_multiline_statement_anchors():
+    # The finding is reported at the statement's first line; the pragma
+    # sits on a *continuation* line.  Statement-span anchoring must
+    # connect the two.
+    text = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return max(\n"
+        "        time.time(),  # repro: noqa[DET001]\n"
+        "        0.0,\n"
+        "    )\n"
+    )
+    result = _analyze(text)
+    assert result.clean
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0].rule == "DET001"
+
+
+def test_pragma_on_first_line_covers_continuation_findings():
+    # Converse direction: pragma on the opening line, finding anchored
+    # on a later line of the same statement.
+    text = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return max(  # repro: noqa[DET001]\n"
+        "        time.time(),\n"
+        "        0.0,\n"
+        "    )\n"
+    )
+    source = SourceFile.from_text(text, relpath=RUNTIME)
+    assert source.is_suppressed("DET001", 6)
+
+
+def test_pragma_inside_block_does_not_silence_whole_block():
+    # Compound statements own only their header lines: a pragma on one
+    # body statement must not leak to its siblings.
+    text = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    a = time.time()  # repro: noqa[DET001]\n"
+        "    b = time.time()\n"
+        "    return a + b\n"
+    )
+    result = _analyze(text)
+    assert [f.line for f in result.findings] == [6]
+    assert [f.line for f in result.suppressed] == [5]
+
+
+def test_unparsable_file_keeps_exact_line_pragmas():
+    text = "x = (  # repro: noqa[PARSE]\n"  # unterminated -> parse error
+    source = SourceFile.from_text(text, relpath=RUNTIME)
+    assert source.parse_error is not None
+    assert source.is_suppressed("PARSE", 1)
+    assert not source.is_suppressed("PARSE", 2)
+
+
 # -- baseline ---------------------------------------------------------------
 
 
