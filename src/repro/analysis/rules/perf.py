@@ -36,13 +36,17 @@ _EXEMPT_BASES = {
     "NamedTuple",
 }
 
-#: Engine/CPU methods that form the per-event drain path.
+#: Engine/CPU/device methods that form the per-event drain path.
+#: ``submit`` and ``_select_tenant`` are the accelerator's side of it:
+#: one runs per offload arrival, the other per scheduling decision.
 _HOT_FUNCTIONS = {
     "run_until",
     "run_to_completion",
     "step",
     "_advance",
     "_dispatch",
+    "submit",
+    "_select_tenant",
 }
 
 _ALLOC_CALLS = {"dict", "list", "set"}

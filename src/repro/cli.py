@@ -617,9 +617,39 @@ def _add_trace_out_arguments(p: argparse.ArgumentParser) -> None:
                    help="write windowed time-series metrics JSON to this path")
 
 
+def _cmd_simulate_shared(args: argparse.Namespace) -> None:
+    from .application.shared_device import run_shared_device_point
+
+    policy = _fault_policy_from_args(args)
+    point = run_shared_device_point(
+        tenants=args.tenants,
+        weight=args.tenant_weight,
+        batch_size=args.batch_size,
+        drop_probability=policy.drop_probability,
+        timeout_cycles=policy.timeout_cycles,
+        max_retries=policy.max_retries,
+        alpha=args.alpha,
+        accel_speedup=args.a,
+        seed=args.seed,
+    )
+    _print("design:            async (shared device)")
+    _print(f"tenants:           {point.tenants} "
+           f"(tenant-0 weight {point.weight:g})")
+    _print(f"doorbell batch:    {point.batch_size}")
+    _print(f"model speedup:     {point.model_speedup_pct:8.2f}%")
+    _print(f"simulated speedup: {point.simulated_speedup_pct:8.2f}%")
+    _print(f"model-vs-sim error:{point.error_pct:8.2f}%")
+    _print(f"doorbell attempts: {point.attempts}")
+    _print(f"doorbell drops:    {point.drops}")
+    _print(f"device utilization:{point.device_utilization * 100:8.2f}%")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> None:
     from .application.resilience import run_resilience_point
 
+    if args.shared_device:
+        _cmd_simulate_shared(args)
+        return
     policy = _fault_policy_from_args(args)
     point = run_resilience_point(
         drop_probability=policy.drop_probability,
@@ -687,6 +717,38 @@ def _cmd_resilience(args: argparse.Namespace) -> None:
             max_retries=worst.max_retries,
         )
         _export_traced_cell(args, policy, worst.design)
+
+
+def _cmd_contention(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from .application.shared_device import (
+        contention_case_study,
+        contention_report,
+    )
+
+    tenant_counts = [int(x) for x in args.tenants.split(",")]
+    rows = contention_case_study(
+        tenant_counts=tenant_counts,
+        accel_speedup=args.a,
+        seed=args.seed,
+    )
+    _print("Shared-device contention (speedup erosion vs tenant count)")
+    _print(f"{'tenants':>7s} {'private':>9s} {'shared':>9s} {'erosion':>9s} "
+           f"{'util':>6s} {'queue':>10s}")
+    for row in rows:
+        _print(
+            f"{row.tenants:7d} {row.private_speedup:8.4f}x "
+            f"{row.shared_speedup:8.4f}x {row.erosion_pct:8.2f}% "
+            f"{row.device_utilization:6.3f} {row.mean_queue_cycles:10.1f}"
+        )
+    if args.output:
+        payload = json.dumps(contention_report(rows), indent=2,
+                             sort_keys=True)
+        path = Path(args.output)
+        path.write_text(payload + "\n")
+        _print(f"wrote {path}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -970,8 +1032,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--a", type=float, default=8.0, help="peak speedup A")
     p.add_argument("--design", default="sync",
                    choices=[d.value for d in ThreadingDesign])
+    p.add_argument("--shared-device", action="store_true",
+                   help="route the offload through a shared multi-tenant "
+                   "device with fair queueing and doorbell batching "
+                   "(async design)")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="tenant count for --shared-device (default 2)")
+    p.add_argument("--tenant-weight", type=float, default=1.0,
+                   help="tenant 0's fair-queueing weight for "
+                   "--shared-device (default 1)")
+    p.add_argument("--batch-size", type=int, default=1,
+                   help="doorbell batch size for --shared-device "
+                   "(default 1)")
     _add_fault_arguments(p)
     _add_trace_out_arguments(p)
+
+    p = sub.add_parser(
+        "contention",
+        help="shared-device contention case study: how a private-device "
+        "speedup erodes as tenants share one accelerator",
+    )
+    p.set_defaults(func=_cmd_contention)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--a", type=float, default=4.0,
+                   help="peak speedup A of the shared device")
+    p.add_argument("--tenants", default="1,2,4,8",
+                   help="comma-separated tenant counts")
+    p.add_argument("--output", default="",
+                   help="write the JSON report (the CI artifact) to this "
+                   "path")
 
     p = sub.add_parser(
         "resilience",

@@ -54,11 +54,14 @@ from .equations import _validate_accel, _validate_common, _validate_overheads
 __all__ = [
     "degraded_async_distinct_thread_speedup",
     "degraded_async_speedup",
+    "degraded_batched_async_speedup",
+    "degraded_batched_min_profitable_granularity",
     "degraded_min_profitable_granularity",
     "degraded_offload_margin",
     "degraded_speedup",
     "degraded_sync_os_speedup",
     "degraded_sync_speedup",
+    "doorbell_drop_probability",
     "effective_offload_cost",
     "expected_backoff_cycles",
     "expected_failures",
@@ -358,6 +361,139 @@ def degraded_speedup(
             c, alpha, n, o0, l, q, o1, policy
         )
     return degraded_async_speedup(c, alpha, n, o0, l, q, policy)
+
+
+# ---------------------------------------------------------------------------
+# Doorbell batching under failures
+# ---------------------------------------------------------------------------
+
+
+def _validate_batch_size(batch_size: int) -> None:
+    if batch_size < 1:
+        raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+
+
+def doorbell_drop_probability(drop_probability: float, batch_size: int) -> float:
+    """Per-doorbell drop probability for a batch of *batch_size* items.
+
+    The simulator adjudicates every buffered invocation per attempt and
+    any single DROP fails the whole doorbell, so
+    ``p_B = 1 - (1 - p)**B``.  ``batch_size = 1`` returns
+    *drop_probability* unchanged (the complement round trip
+    ``1 - (1 - p)`` is *not* bit-exact for tiny ``p``, so the reduction
+    is gated rather than computed).
+    """
+    _validate_probability(drop_probability)
+    _validate_batch_size(batch_size)
+    if batch_size == 1:
+        return drop_probability
+    return 1.0 - (1.0 - drop_probability) ** batch_size
+
+
+def _batched_fault_terms(policy: FaultPolicy, batch_size: int):
+    """``(E[F], E[B], p_fb)`` at doorbell level for a batch of *batch_size*.
+
+    The retry machine is unchanged -- only the per-attempt failure
+    probability lifts from ``p`` to ``p_B``.  ``batch_size = 1``
+    reproduces :func:`_fault_terms` bit-identically.
+    """
+    p_doorbell = doorbell_drop_probability(policy.drop_probability, batch_size)
+    r = policy.max_retries
+    return (
+        expected_failures(p_doorbell, r),
+        expected_backoff_cycles(
+            p_doorbell, r, policy.backoff_base_cycles, policy.backoff_multiplier
+        ),
+        fallback_probability(p_doorbell, r),
+    )
+
+
+def degraded_batched_async_speedup(
+    c: float,
+    alpha: float,
+    n: float,
+    o0: float,
+    l: float,
+    q: float,
+    policy: FaultPolicy,
+    batch_size: int = 1,
+) -> float:
+    """Async speedup with doorbell batching under *policy*.
+
+    One doorbell covers ``B`` invocations, so each invocation pays an
+    amortized dispatch ``o0 / B`` and queue wait ``q / B`` while the
+    transfer ``L`` stays per-item (bytes scale with the batch).  Fault
+    economics move to doorbell level: a doorbell drops with
+    ``p_B = 1 - (1 - p)**B``, a failed doorbell wastes the whole batch's
+    dispatch (``o0 / B + L`` per item), and an exhausted doorbell falls
+    back the entire batch (``+h`` per item when falling back to CPU).
+
+    ``batch_size = 1`` reduces bit-identically to
+    :func:`degraded_async_speedup` (division by 1.0 is exact and the
+    term order matches), and a null policy at any ``B`` leaves only the
+    amortized base denominator.
+    """
+    _validate_common(c, alpha, n)
+    _validate_overheads(o0=o0, L=l, Q=q)
+    _validate_batch_size(batch_size)
+    b = float(batch_size)
+    denominator = (1.0 - alpha) + (n / c) * (o0 / b + l + q / b)
+    failures, backoff, p_fb = _batched_fault_terms(policy, batch_size)
+    h = _per_offload_kernel_cycles(c, alpha, n)
+    if n > 0:
+        delta = (
+            failures * (o0 / b + l)
+            + backoff / b
+            - p_fb * (o0 / b + l + q / b)
+            + (p_fb * h if policy.fallback_to_cpu else 0.0)
+        )
+        denominator += (n / c) * delta
+    return 1.0 / denominator
+
+
+def degraded_batched_min_profitable_granularity(
+    policy: FaultPolicy,
+    cycles_per_byte: float,
+    *,
+    o0: float,
+    l: float,
+    q: float,
+    batch_size: int = 1,
+    beta: float = 1.0,
+) -> float:
+    """Smallest profitable granularity for batched async under *policy*.
+
+    The async margin coefficients generalize to doorbell level::
+
+        K_B = 1 - p_fb(p_B) * fallback
+        D_B = E[F_B] * (o0/B + L) + E[B_B]/B + (1 - p_fb(p_B)) * (o0/B + L + Q/B)
+
+    and the break-even solves ``K_B * Cb * g**beta >= D_B``.
+    ``batch_size = 1`` reduces bit-identically to
+    :func:`degraded_min_profitable_granularity` for the async design;
+    larger batches pull the break-even left (dispatch amortizes) until
+    the rising doorbell drop rate pushes it back right.
+    """
+    if cycles_per_byte <= 0:
+        raise ParameterError(f"Cb must be > 0, got {cycles_per_byte}")
+    if beta <= 0:
+        raise ParameterError(f"beta must be > 0, got {beta}")
+    _validate_overheads(o0=o0, L=l, Q=q)
+    _validate_batch_size(batch_size)
+    b = float(batch_size)
+    failures, backoff, p_fb = _batched_fault_terms(policy, batch_size)
+    fallback = 1.0 if policy.fallback_to_cpu else 0.0
+    k = 1.0 - p_fb * fallback
+    d = (
+        failures * (o0 / b + l)
+        + backoff / b
+        + (1.0 - p_fb) * (o0 / b + l + q / b)
+    )
+    if d <= 0:
+        return 0.0
+    if k <= 0:
+        return math.inf
+    return ((d / k) / cycles_per_byte) ** (1.0 / beta)
 
 
 # ---------------------------------------------------------------------------

@@ -31,7 +31,7 @@ _UNIFORM_BLOCK = 256
 class FaultInjector:
     """Decides the fate of each offload attempt, deterministically."""
 
-    __slots__ = ("policy", "schedule", "seed", "_uniforms")
+    __slots__ = ("policy", "schedule", "seed", "_uniforms", "draws")
 
     def __init__(
         self,
@@ -56,6 +56,11 @@ class FaultInjector:
         self._uniforms = BlockSampler(
             lambda n: rng.random(size=n), block_size=_UNIFORM_BLOCK
         )
+        #: Uniform draws consumed so far -- the injector's entropy-budget
+        #: odometer.  Outage drops and null policies consume none; the
+        #: batch-alignment tests pin one doorbell attempt over B items to
+        #: exactly B draws (the budget of B unbatched dispatches).
+        self.draws = 0
 
     @property
     def active(self) -> bool:
@@ -79,6 +84,7 @@ class FaultInjector:
         if policy.is_null:
             return AttemptOutcome.OK
         draw = self._uniforms.next()
+        self.draws += 1
         if draw < policy.drop_probability:
             return AttemptOutcome.DROP
         if draw < policy.drop_probability + policy.spike_probability:

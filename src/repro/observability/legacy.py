@@ -141,11 +141,14 @@ class ObjectSpanTracer:
     # -- offloads ----------------------------------------------------------
 
     def begin_offload(
-        self, context: ObjectTraceContext, record, design, batched: int = 0
+        self, context: ObjectTraceContext, record, design, batched: int = 0,
+        tenant: str = "",
     ) -> Span:
         """Open a span for one successful offload dispatch.  *record* is
         the live :class:`~repro.simulator.metrics.OffloadRecord`; its
-        device-completion timestamp becomes the span end at finish."""
+        device-completion timestamp becomes the span end at finish.
+        *tenant* attributes shared-device dispatches; untenanted spans
+        carry no tenant attribute at all."""
         parent = context.segment_span or context.request_span
         attrs: Tuple[Tuple[str, object], ...] = (
             ("kernel", record.kernel),
@@ -154,6 +157,8 @@ class ObjectSpanTracer:
         )
         if batched:
             attrs += (("batched_invocations", batched),)
+        if tenant:
+            attrs += (("tenant", tenant),)
         span = self._emit(Span(
             span_id=self._next_span_id(),
             trace_id=context.request_span.trace_id,

@@ -350,9 +350,12 @@ def decode_spans(
                 ("granularity_bytes", record.granularity),
                 ("design", strings[packed & FIELD_MASK]),
             )
-            batched = packed >> FIELD_BITS
+            batched = (packed >> FIELD_BITS) & FIELD_MASK
             if batched:
                 attrs += (("batched_invocations", batched),)
+            tenant_code = packed >> (2 * FIELD_BITS)
+            if tenant_code:
+                attrs += (("tenant", strings[tenant_code - 1]),)
             name = f"offload/{record.kernel}"
         elif op == OP_ATTEMPT:
             context = contexts[a_col[row]]

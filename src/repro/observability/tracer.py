@@ -209,18 +209,25 @@ class SpanTracer:
     # -- offloads ----------------------------------------------------------
 
     def begin_offload(
-        self, context: TraceContext, record, design, batched: int = 0
+        self, context: TraceContext, record, design, batched: int = 0,
+        tenant: str = "",
     ) -> int:
         """Open a span for one successful offload dispatch.  *record* is
         the live :class:`~repro.simulator.metrics.OffloadRecord`; its
-        device-completion timestamp becomes the span end at finish."""
+        device-completion timestamp becomes the span end at finish.
+        *tenant* attributes shared-device dispatches; the packed word is
+        unchanged when it is empty (interned code + 1, so field value 0
+        means "no tenant"), keeping private-device rings bit-identical."""
         parent = context.segment_row
         if parent < 0:
             parent = context.row
+        packed = self._intern(design.value) | (batched << FIELD_BITS)
+        if tenant:
+            packed |= (self._intern(tenant) + 1) << (2 * FIELD_BITS)
         row = self._ring.append(
             OP_OFFLOAD, record.dispatched_at,
             context.packed >> CODE_BITS, parent,
-            self._intern(design.value) | (batched << FIELD_BITS),
+            packed,
         )
         self._offload_records.append(record)
         return row

@@ -116,6 +116,18 @@ def _run_resilience_point(spec: RunSpec) -> Any:
     return run_resilience_point(**kwargs)
 
 
+@register_runner("shared_device_point")
+def _run_shared_device_point(spec: RunSpec) -> Any:
+    """One (tenants, weight, batch, drop-rate) cell of the shared-device
+    contention study."""
+    from ..application.shared_device import run_shared_device_point
+
+    kwargs = spec.params_dict()
+    if spec.seed is not None:
+        kwargs["seed"] = spec.seed
+    return run_shared_device_point(**kwargs)
+
+
 @register_runner("application_topology")
 def _run_application_topology(spec: RunSpec) -> Any:
     """One whole-application call-graph simulation."""

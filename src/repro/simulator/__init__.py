@@ -7,7 +7,13 @@ leaf categories (the Strobelight role), and implements the Sync / Sync-OS /
 Async offload designs whose costs the Accelerometer model projects.
 """
 
-from .accelerator import AcceleratorDevice, AcceleratorStats
+from .accelerator import (
+    AcceleratorDevice,
+    AcceleratorStats,
+    DeviceConfig,
+    TenantPort,
+    TenantStats,
+)
 from .cpu import (
     CPU,
     Compute,
@@ -62,6 +68,7 @@ __all__ = [
     "Core",
     "YieldCore",
     "CycleKind",
+    "DeviceConfig",
     "Engine",
     "FaultCounters",
     "HoldCore",
@@ -82,6 +89,8 @@ __all__ = [
     "SimThread",
     "SimulationConfig",
     "SimulationResult",
+    "TenantPort",
+    "TenantStats",
     "ThreadState",
     "require_positive_window",
     "summarize",

@@ -115,6 +115,16 @@ class RequestSpec:
 # ---------------------------------------------------------------------------
 
 
+def _tenant_label(device) -> str:
+    """Span attribution label for *device* (a device or a tenant port).
+
+    Private devices have no label; a :class:`~repro.simulator.accelerator.
+    TenantPort` reports its tenant name only in shared mode, keeping
+    single-tenant traces bit-identical to private-device traces.
+    """
+    return getattr(device, "tenant_label", "")
+
+
 @dataclasses.dataclass(slots=True)
 class _BatchState:
     """Accumulated invocations awaiting a batched dispatch."""
@@ -123,18 +133,23 @@ class _BatchState:
     pending_bytes: float = 0.0
     pending_count: int = 0
     gates: list = dataclasses.field(default_factory=list)
+    #: Every request context covered by the pending batch (gating or
+    #: not), so a whole-batch fallback can mark each one degraded.
+    contexts: list = dataclasses.field(default_factory=list)
 
-    def reset(self) -> Tuple[float, float, int, list]:
+    def reset(self) -> Tuple[float, float, int, list, list]:
         summary = (
             self.pending_host_cycles,
             self.pending_bytes,
             self.pending_count,
             self.gates,
+            self.contexts,
         )
         self.pending_host_cycles = 0.0
         self.pending_bytes = 0.0
         self.pending_count = 0
         self.gates = []
+        self.contexts = []
         return summary
 
 
@@ -170,7 +185,13 @@ class OffloadConfig:
     #: Optional seeded fault injector.  When active, every dispatch of
     #: this kernel runs through the retry / exponential-backoff /
     #: fallback-to-CPU state machine in
-    #: :meth:`Microservice._adjudicate_faults`.
+    #: :meth:`Microservice._adjudicate_faults`.  Batched offloads
+    #: adjudicate per *doorbell* instead
+    #: (:meth:`Microservice._adjudicate_batch_faults`): each attempt
+    #: draws one outcome per buffered invocation -- the same entropy
+    #: budget as ``batch_size`` unbatched dispatches -- and a single
+    #: dropped doorbell fails the whole batch while per-item latency
+    #: spikes accrue per item.
     faults: Optional["FaultInjector"] = None
 
     _batch_state: _BatchState = dataclasses.field(default_factory=_BatchState)
@@ -186,12 +207,6 @@ class OffloadConfig:
                 "batched offload requires an async design: a blocking "
                 "thread cannot wait on a batch it has not filled"
             )
-        if self.faults is not None and self.batch_size > 1:
-            raise SimulationError(
-                "fault injection is per-dispatch and cannot be combined "
-                "with batched offload (batch_size > 1)"
-            )
-
     def gates_request(self) -> bool:
         """Whether a request must wait for this kernel's response.
 
@@ -430,7 +445,9 @@ class Microservice:
         o1 = config.thread_switch_cycles
         extra_delay = 0.0
         injector = config.faults
-        if injector is not None and injector.active:
+        if injector is not None and injector.active and config.batch_size == 1:
+            # Batched kernels adjudicate per doorbell at flush time
+            # (:meth:`_adjudicate_batch_faults`), not per invocation.
             extra_delay = yield from self._adjudicate_faults(
                 thread, kernel, host_cycles, transfer, dispatch, o1, config,
                 context,
@@ -454,7 +471,10 @@ class Microservice:
         ):
             # Batched dispatches are spanned at flush time instead, where
             # the batch record covering every buffered invocation exists.
-            tracer.begin_offload(context.trace, record, design)
+            tracer.begin_offload(
+                context.trace, record, design,
+                tenant=_tenant_label(config.device),
+            )
 
         if design is ThreadingDesign.SYNC:
             yield from self._offload_sync(
@@ -664,6 +684,149 @@ class Microservice:
         else:
             counters.lost_offloads += 1
 
+    def _adjudicate_batch_faults(
+        self,
+        kernel: KernelSpec,
+        batch_cycles: float,
+        transfer: float,
+        dispatch: float,
+        config: OffloadConfig,
+        batch_count: int,
+        batch_gates: list,
+        batch_contexts: list,
+        context: _RequestContext,
+    ):
+        """Doorbell-level retry loop for one batched (async) dispatch.
+
+        Each attempt adjudicates every buffered invocation -- consuming
+        exactly *batch_count* entropy draws, the same budget as that many
+        unbatched dispatches -- so seeded fault streams stay aligned
+        across batch sizes.  Any DROP fails the whole doorbell (the
+        device never saw the batch); per-item SPIKEs accrue into the
+        batch's response delay.  Returns the response-delay shift of the
+        final successful doorbell, or ``None`` when retries were
+        exhausted and the whole batch fell back (or was lost).
+        """
+        injector = config.faults
+        policy = injector.policy
+        counters = self.metrics.fault_counters(kernel.name)
+        tracer = self.tracer
+        trace_ctx = context.trace if tracer is not None else None
+        if tracer is not None and trace_ctx is not None:
+            tracer.note_degradations(kernel.name, injector.schedule)
+        waited = 0.0
+        failures = 0
+        while True:
+            attempt_started = self.engine.now
+            dropped = 0
+            spikes = 0
+            for _ in range(batch_count):
+                outcome = injector.outcome(self.engine.now)
+                if outcome is AttemptOutcome.DROP:
+                    dropped += 1
+                elif outcome is AttemptOutcome.SPIKE:
+                    spikes += 1
+            counters.attempts += 1
+            if dropped == 0:
+                if spikes:
+                    spike_cycles = spikes * policy.spike_cycles
+                    counters.latency_spikes += spikes
+                    counters.spike_cycles += spike_cycles
+                    if tracer is not None and trace_ctx is not None:
+                        tracer.record_attempt(
+                            trace_ctx, kernel.name, failures, "spike",
+                            attempt_started, attempt_started,
+                            spike_cycles=spike_cycles,
+                        )
+                    return waited + spike_cycles
+                if tracer is not None and trace_ctx is not None:
+                    tracer.record_attempt(
+                        trace_ctx, kernel.name, failures, "ok",
+                        attempt_started, attempt_started,
+                    )
+                return waited
+            # A dropped doorbell loses the whole dispatch: the host paid
+            # the batch's dispatch + transfer and notices via one timeout.
+            failures += 1
+            counters.drops += dropped
+            counters.timeouts += 1
+            counters.timeout_cycles += policy.timeout_cycles
+            if tracer is not None and trace_ctx is not None:
+                trace_ctx.tag = "fault-timeout"
+            overhead = dispatch + transfer
+            if overhead > 0:
+                yield Compute(
+                    overhead, kernel.functionality, kernel.leaf,
+                    CycleKind.OFFLOAD_OVERHEAD,
+                )
+            if tracer is not None and trace_ctx is not None:
+                trace_ctx.tag = None
+                tracer.record_attempt(
+                    trace_ctx, kernel.name, failures - 1, "drop",
+                    attempt_started, self.engine.now,
+                )
+            # Async hosts compute through the wait; the lost time surfaces
+            # as response delay instead of core time.
+            waited += policy.timeout_cycles
+            if failures > policy.max_retries:
+                fallback_started = self.engine.now
+                if tracer is not None and trace_ctx is not None:
+                    trace_ctx.tag = "fallback"
+                yield from self._fall_back_batch(
+                    kernel, batch_cycles, batch_count, batch_gates,
+                    batch_contexts, counters, policy,
+                )
+                if tracer is not None and trace_ctx is not None:
+                    trace_ctx.tag = None
+                    tracer.record_fallback(
+                        trace_ctx, kernel.name, fallback_started,
+                        self.engine.now, policy.fallback_to_cpu,
+                    )
+                return None
+            backoff = policy.backoff_cycles(failures - 1)
+            if backoff > 0:
+                counters.backoff_cycles += backoff
+                backoff_started = self.engine.now
+                if tracer is not None and trace_ctx is not None:
+                    trace_ctx.tag = "backoff"
+                    tracer.record_backoff(
+                        trace_ctx, kernel.name, backoff_started,
+                        backoff_started + backoff,
+                    )
+                yield Compute(
+                    backoff, kernel.functionality, kernel.leaf, CycleKind.BLOCKED
+                )
+                if tracer is not None and trace_ctx is not None:
+                    trace_ctx.tag = None
+            counters.retries += 1
+
+    def _fall_back_batch(
+        self,
+        kernel: KernelSpec,
+        batch_cycles: float,
+        batch_count: int,
+        batch_gates: list,
+        batch_contexts: list,
+        counters,
+        policy,
+    ):
+        """Doorbell retries exhausted: the whole batch runs on the host
+        CPU (or its work is lost), and every gated request is released."""
+        for covered_context in batch_contexts:
+            covered_context.mark_degraded()
+        if policy.fallback_to_cpu:
+            counters.fallbacks += batch_count
+            counters.fallback_cycles += batch_cycles
+            self.metrics.charge_kernel(
+                kernel.name, batch_cycles, origin=kernel.functionality
+            )
+            if batch_cycles > 0:
+                yield Compute(batch_cycles, kernel.functionality, kernel.leaf)
+        else:
+            counters.lost_offloads += batch_count
+        for gated_context in batch_gates:
+            gated_context.release_gate()
+
     def _offload_sync(
         self, thread, kernel, host_cycles, transfer, dispatch, config, record,
         extra_delay=0.0,
@@ -829,15 +992,29 @@ class Microservice:
         state.pending_host_cycles += host_cycles
         state.pending_bytes += record.granularity
         state.pending_count += 1
+        state.contexts.append(context)
         gates = config.gates_request()
         if gates:
             context.add_gate()
             state.gates.append(context)
         if state.pending_count < config.batch_size:
             return
-        batch_cycles, batch_bytes, batch_count, batch_gates = state.reset()
+        batch = state.reset()
+        batch_cycles, batch_bytes, batch_count, batch_gates, batch_contexts = batch
         transfer = config.interface.transfer_cycles(batch_bytes)
-        overhead = config.interface.dispatch_cycles + transfer
+        dispatch = config.interface.dispatch_cycles
+        extra_delay = 0.0
+        injector = config.faults
+        if injector is not None and injector.active:
+            extra_delay = yield from self._adjudicate_batch_faults(
+                kernel, batch_cycles, transfer, dispatch, config,
+                batch_count, batch_gates, batch_contexts, context,
+            )
+            if extra_delay is None:
+                # Doorbell retries exhausted: the whole batch fell back
+                # to the host (or was lost); nothing reaches the device.
+                return
+        overhead = dispatch + transfer
         if overhead > 0:
             yield Compute(
                 overhead, kernel.functionality, kernel.leaf,
@@ -856,7 +1033,8 @@ class Microservice:
             # Parented by the flushing request; the batch covers every
             # buffered invocation (batched_invocations attribute).
             tracer.begin_offload(
-                context.trace, batch_record, design, batched=batch_count
+                context.trace, batch_record, design, batched=batch_count,
+                tenant=_tenant_label(config.device),
             )
 
         def release_all() -> None:
@@ -877,9 +1055,12 @@ class Microservice:
             else:
                 release_all()
 
+        arrival_time = self.engine.now
+        if extra_delay:
+            arrival_time += extra_delay
         config.device.submit(
             batch_cycles,
-            arrival_time=self.engine.now,
+            arrival_time=arrival_time,
             on_accept=on_accept,
             on_complete=on_complete,
         )

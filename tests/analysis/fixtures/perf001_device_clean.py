@@ -1,0 +1,46 @@
+"""Fixture: accelerator hot path with clean hygiene (PERF001 silent).
+
+Mirrors the real shared device: slotted classes, tuple job records, and
+scan loops that only index and compare -- no per-event containers.
+"""
+
+from collections import deque
+
+
+class TenantQueue:
+    __slots__ = ("name", "weight", "deficit_cycles", "jobs")
+
+    def __init__(self, name, weight):
+        self.name = name
+        self.weight = weight
+        self.deficit_cycles = 0.0
+        self.jobs = deque()
+
+
+class SharedDevice:
+    __slots__ = ("_tenants", "_rr_index", "_free_at")
+
+    def __init__(self, servers):
+        self._tenants = []
+        self._rr_index = 0
+        self._free_at = [0.0] * servers
+
+    def submit(self, queue, service, arrival):
+        queue.jobs.append((service, arrival))
+        return arrival + service
+
+    def _select_tenant(self, now):
+        tenants = self._tenants
+        count = len(tenants)
+        index = self._rr_index
+        scanned = 0
+        while scanned < count:
+            queue = tenants[index]
+            if queue.jobs and queue.jobs[0][1] <= now:
+                self._rr_index = index
+                return queue
+            index += 1
+            scanned += 1
+            if index == count:
+                index = 0
+        return None

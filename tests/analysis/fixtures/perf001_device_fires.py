@@ -1,0 +1,35 @@
+"""Fixture: accelerator hot-path violations (PERF001 fires 3x in simulator/).
+
+A shared-device lookalike whose per-offload ``submit`` and per-decision
+``_select_tenant`` allocate containers inside their scan loops, plus a
+tenant-queue class carrying a ``__dict__``.
+"""
+
+
+class TenantBox:
+    def __init__(self, name):
+        self.name = name
+        self.jobs = []
+
+
+class SharedDevice:
+    __slots__ = ("_tenants", "_rr_index")
+
+    def __init__(self):
+        self._tenants = []
+        self._rr_index = 0
+
+    def submit(self, queue, service, arrival):
+        for pending in queue.jobs:
+            envelope = [service, arrival, pending]
+            queue.jobs.append(envelope)
+        return arrival + service
+
+    def _select_tenant(self, now):
+        index = self._rr_index
+        while index < len(self._tenants):
+            snapshot = {"tenant": self._tenants[index], "now": now}
+            if snapshot["tenant"].jobs:
+                return snapshot["tenant"]
+            index += 1
+        return None

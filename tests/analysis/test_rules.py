@@ -146,6 +146,21 @@ def test_perf001_silent_on_scalar_tracer_gate(run_fixture):
     assert result.clean
 
 
+def test_perf001_fires_on_device_hot_path(run_fixture):
+    # submit/_select_tenant joined the hot set with the shared device.
+    result = run_fixture("perf001_device_fires.py", SIM, rules=["PERF001"])
+    assert _rules_fired(result) == ["PERF001"] * 3
+    messages = " ".join(f.message for f in result.findings)
+    assert "TenantBox" in messages          # queue class without __slots__
+    assert "submit" in messages             # per-offload list allocation
+    assert "_select_tenant" in messages     # per-scan dict allocation
+
+
+def test_perf001_silent_on_clean_device_hot_path(run_fixture):
+    result = run_fixture("perf001_device_clean.py", SIM, rules=["PERF001"])
+    assert result.clean
+
+
 # -- UNIT001 ---------------------------------------------------------------
 
 

@@ -268,16 +268,36 @@ class TestBackoff:
 
 
 class TestConfigValidation:
-    def test_faults_refuse_batched_offload(self):
+    def test_faults_compose_with_batched_offload(self):
+        """Regression for the lifted refusal: fault injection used to
+        raise ``SimulationError("fault injection is per-dispatch and
+        cannot be combined with batched offload (batch_size > 1)")``.
+        Doorbell-level adjudication superseded it -- the combination must
+        now construct, run, and be seed-deterministic."""
+
         def build(engine, cpu, metrics):
-            device = AcceleratorDevice(engine, 8.0)
-            interface = InterfaceModel(Placement.OFF_CHIP)
-            OffloadConfig(
+            device = AcceleratorDevice(engine, 8.0, servers=2)
+            interface = InterfaceModel(Placement.OFF_CHIP, dispatch_cycles=30.0)
+            offloads = {"k": OffloadConfig(
                 device=device, interface=interface,
                 design=ThreadingDesign.ASYNC, batch_size=4,
                 faults=FaultInjector(FaultPolicy(drop_probability=0.1), seed=0),
-            )
+            )}
+            return Microservice(engine, cpu, metrics, offloads=offloads), _factory
 
-        with pytest.raises(SimulationError,
-                           match="cannot be combined with batched"):
-            _run(build)
+        first = _run(build)
+        totals = first.metrics.fault_totals()
+        assert totals.attempts > 0
+        assert totals.drops > 0  # p=0.1 over many doorbells must fire
+        second = _run(build)
+        assert (first.summarize().fingerprint()
+                == second.summarize().fingerprint())
+
+    def test_batched_sync_still_refused(self):
+        """The *sync* refusal is unchanged: a blocking thread cannot wait
+        on a batch it has not filled."""
+        with pytest.raises(SimulationError, match="requires an async design"):
+            OffloadConfig(
+                device=None, interface=InterfaceModel(Placement.OFF_CHIP),
+                design=ThreadingDesign.SYNC, batch_size=4,
+            )

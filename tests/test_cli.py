@@ -148,6 +148,33 @@ class TestSimulationCommands:
         assert "inference" in output
 
 
+class TestSharedDeviceCommands:
+    def test_simulate_shared_device(self, capsys):
+        assert main([
+            "simulate", "--shared-device", "--tenants", "2",
+            "--batch-size", "4", "--drop", "0.1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "async (shared device)" in output
+        assert "doorbell batch:    4" in output
+        assert "doorbell attempts" in output
+        assert "device utilization" in output
+
+    def test_contention_writes_json_report(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "contention.json"
+        assert main([
+            "contention", "--tenants", "1,2",
+            "--output", str(report_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "erosion" in output
+        payload = json.loads(report_path.read_text())
+        assert payload["study"] == "shared-device-contention"
+        assert [row["tenants"] for row in payload["rows"]] == [1, 2]
+
+
 class TestTraceCommand:
     """The observability CLI surface: `trace` plus the --trace-out /
     --metrics-out flags on simulate."""
