@@ -172,6 +172,41 @@ def test_warm_cache_replay_is_fast_and_complete(tmp_path):
            {s: r.simulation.fingerprint() for s, r in cold.items()}
 
 
+def test_batch_telemetry_overhead_is_bounded():
+    """Runtime self-telemetry brackets a handful of stages per *task*,
+    not per simulated event, so its wall cost must be noise-level.
+
+    Statistic: the minimum over paired ratios of adjacent (off, on)
+    runs, the same stable floor the ring-recording test uses -- a
+    throttled container swings absolute walls but moves both halves of
+    a pair together, while a real regression inflates every pair.
+    """
+    from repro.observability import RuntimeTelemetry
+    from repro.runtime import RunSpec, execute_batch
+
+    def specs():
+        return [
+            RunSpec.create("characterize", seed=seed, service="cache1",
+                           num_cores=2, requests_target=60)
+            for seed in (2020, 2021, 2022)
+        ]
+
+    ratios = []
+    for _ in range(5):
+        start = time.perf_counter()
+        execute_batch(specs())
+        off = time.perf_counter() - start
+
+        start = time.perf_counter()
+        execute_batch(specs(), telemetry=RuntimeTelemetry(label="bench"))
+        on = time.perf_counter() - start
+        ratios.append(on / off - 1.0)
+    overhead = min(ratios)
+    assert overhead < 0.10, (
+        f"batch telemetry overhead {overhead:.1%} exceeds the 10% budget"
+    )
+
+
 def test_pool_run_not_pathological():
     """A pool run must never cost materially more than serial.
 

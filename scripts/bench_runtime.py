@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the simulation runtime: DES event rate and batch wall-clock.
 
-Measures five things and writes them to ``BENCH_runtime.json``:
+Measures six things and writes them to ``BENCH_runtime.json``:
 
 1. **DES hot path** -- sustained events/second of the engine+CPU core
    loop on the Cache1 characterization workload (single process, the
@@ -17,6 +17,11 @@ Measures five things and writes them to ``BENCH_runtime.json``:
    CPUs; on a single-CPU container the two are expected to tie).
 5. **Result cache** -- the same matrix served entirely from a warm
    on-disk cache (no simulation at all).
+6. **Batch telemetry** -- wall-clock of a small characterization batch
+   with runtime self-telemetry off vs on (the v4 addition).  Simulation
+   results are bit-identical either way -- the zero-observer tests pin
+   that -- so the paired overhead ratio is the entire cost of the
+   feature.
 
 Every hot-loop number is sampled ``--repeat`` times (default 5).
 Traced-vs-untraced comparisons interleave the two sides and report
@@ -233,6 +238,52 @@ def bench_characterize(repeat: int = 2) -> dict:
     return best
 
 
+def bench_batch_telemetry(repeat: int = 5) -> dict:
+    """Paired telemetry-off vs telemetry-on wall of a small batch.
+
+    Runs the same three-spec characterization batch through
+    ``execute_batch`` with and without a ``RuntimeTelemetry`` observer,
+    interleaved so throttling moves both halves of a pair together.
+    Stage bracketing happens a handful of times per *task* (not per
+    simulated event), so the overhead should be noise-level; the span
+    count records how much structure each observed run captured."""
+    from repro.observability import RuntimeTelemetry
+    from repro.runtime import RunSpec, execute_batch
+
+    def specs():
+        return [
+            RunSpec.create("characterize", seed=seed, service="cache1",
+                           num_cores=2, requests_target=60)
+            for seed in (2020, 2021, 2022)
+        ]
+
+    off, on, ratios = [], [], []
+    spans = 0
+    for _ in range(repeat):
+        start = time.perf_counter()
+        execute_batch(specs())
+        off_seconds = time.perf_counter() - start
+
+        telemetry = RuntimeTelemetry(label="bench")
+        start = time.perf_counter()
+        execute_batch(specs(), telemetry=telemetry)
+        on_seconds = time.perf_counter() - start
+
+        spans = len(telemetry.to_trace_data().spans)
+        off.append(off_seconds)
+        on.append(on_seconds)
+        ratios.append(on_seconds / off_seconds - 1.0)
+    return {
+        "tasks": 3,
+        "untelemetered_seconds": min(off),
+        "telemetered_seconds": min(on),
+        "overhead_pct": statistics.median(ratios) * 100.0,
+        "best_pair_overhead_pct": min(ratios) * 100.0,
+        "spans_per_batch": spans,
+        "samples": repeat,
+    }
+
+
 def bench_matrix(workers: int) -> dict:
     """24-cell validation matrix: serial vs pool vs warm cache."""
     start = time.perf_counter()
@@ -316,8 +367,15 @@ def main(argv=None) -> int:
           f"warm cache {matrix['warm_cache_seconds']:.3f}s "
           f"({matrix['warm_cache_speedup']:.0f}x)")
 
+    print("benchmarking batch telemetry overhead ...", flush=True)
+    batch_telemetry = bench_batch_telemetry(repeat=args.repeat)
+    print(f"  off {batch_telemetry['untelemetered_seconds']:.2f}s | "
+          f"on {batch_telemetry['telemetered_seconds']:.2f}s "
+          f"({batch_telemetry['overhead_pct']:+.1f}% median pair, "
+          f"{batch_telemetry['spans_per_batch']} spans)")
+
     payload = {
-        "schema": "bench-runtime-v3",
+        "schema": "bench-runtime-v4",
         "python": platform.python_version(),
         "cpus": os.cpu_count(),
         "cpu_affinity": len(os.sched_getaffinity(0))
@@ -328,6 +386,7 @@ def main(argv=None) -> int:
         "compiled_kernel": kernel,
         "characterize_cache1": char,
         "validation_matrix": matrix,
+        "batch_telemetry": batch_telemetry,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n")

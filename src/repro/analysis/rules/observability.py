@@ -1,14 +1,21 @@
-"""OBS001: observability emission must be gated behind the tracer flag.
+"""OBS001/OBS002: observability emission must be gated behind its handle.
 
-The observability layer's zero-observer-effect contract has a structural
-half: the simulator and fault machinery only ever *talk to* a tracer
-through an ``is not None`` gate, so an untraced run pays one attribute
-load and one comparison per hook -- no allocation, no call, no way for
-tracing state to leak into simulation decisions.  That discipline erodes
-one convenience call at a time (``self.tracer.record_x(...)`` with no
-guard "works" on every traced test run), so this rule pins it: inside
-``simulator/`` and ``faults/``, every method call on a tracer-named
-receiver must sit under an ``if`` whose test mentions that name.
+The zero-observer-effect contract has a structural half: instrumented
+code only ever *talks to* an observer through an ``is not None`` gate,
+so an unobserved run pays one attribute load and one comparison per
+hook -- no allocation, no call, no way for observability state to leak
+into the observed computation.  That discipline erodes one convenience
+call at a time (``self.tracer.record_x(...)`` with no guard "works" on
+every traced test run), so these rules pin it at both layers:
+
+* **OBS001** -- simulated-time tracing: inside ``simulator/`` and
+  ``faults/``, every method call on a tracer-named receiver must sit
+  under an ``if`` whose test mentions that name.
+* **OBS002** -- runtime self-telemetry: inside ``runtime/``, the same
+  for telemetry-named receivers.  The batch executor and result cache
+  are on every experiment's hot path; an ungated telemetry call would
+  put clock reads and record allocation into *untelemetered* runs,
+  breaking the bit-identity the DET-rule family guarantees.
 
 Recognized gates::
 
@@ -30,40 +37,46 @@ Violations::
 from __future__ import annotations
 
 import ast
-from typing import FrozenSet, Iterator, Set
+from typing import FrozenSet, Iterator, Set, Tuple
 
 from ..findings import Finding, Severity
 from ..registry import Rule, register_rule
 
-#: Receiver names treated as observability handles.  Matching is by the
-#: terminal name, so both a local ``tracer`` and an attribute
-#: ``self.trace`` are recognized.
-_TRACER_NAMES = {"trace", "tracer", "_tracer", "observer"}
+#: Receiver names treated as simulated-time observability handles.
+#: Matching is by the terminal name, so both a local ``tracer`` and an
+#: attribute ``self.trace`` are recognized.
+_TRACER_NAMES = frozenset({"trace", "tracer", "_tracer", "observer"})
+
+#: Receiver names treated as runtime self-telemetry handles.
+_TELEMETRY_NAMES = frozenset({
+    "telemetry", "_telemetry", "batch_telemetry", "cache_telemetry",
+    "recorder",
+})
 
 #: Statements that end a suite, making a preceding ``if x is None:``
 #: an effective gate for everything after it.
 _TERMINAL = (ast.Return, ast.Raise, ast.Continue, ast.Break)
 
 
-def _tracer_names_in(test: ast.expr) -> FrozenSet[str]:
-    """Tracer-ish names referenced anywhere in a gate expression."""
+def _handle_names_in(test: ast.expr, handles: FrozenSet[str]) -> FrozenSet[str]:
+    """Observer-handle names referenced anywhere in a gate expression."""
     names: Set[str] = set()
     for node in ast.walk(test):
-        if isinstance(node, ast.Name) and node.id in _TRACER_NAMES:
+        if isinstance(node, ast.Name) and node.id in handles:
             names.add(node.id)
-        elif isinstance(node, ast.Attribute) and node.attr in _TRACER_NAMES:
+        elif isinstance(node, ast.Attribute) and node.attr in handles:
             names.add(node.attr)
     return frozenset(names)
 
 
-def _receiver_name(func: ast.expr):
-    """The tracer name a method call dispatches on, if any."""
+def _receiver_name(func: ast.expr, handles: FrozenSet[str]):
+    """The handle name a method call dispatches on, if any."""
     if not isinstance(func, ast.Attribute):
         return None
     receiver = func.value
-    if isinstance(receiver, ast.Name) and receiver.id in _TRACER_NAMES:
+    if isinstance(receiver, ast.Name) and receiver.id in handles:
         return receiver.id
-    if isinstance(receiver, ast.Attribute) and receiver.attr in _TRACER_NAMES:
+    if isinstance(receiver, ast.Attribute) and receiver.attr in handles:
         return receiver.attr
     return None
 
@@ -72,25 +85,20 @@ def _exits(body) -> bool:
     return bool(body) and isinstance(body[-1], _TERMINAL)
 
 
-@register_rule
-class GatedObservability(Rule):
-    """OBS001: tracer method calls in simulator/faults code must be
-    inside an ``if`` that tests the tracer name."""
+class _GatedEmission(Rule):
+    """Shared gate-accumulation walker for the OBS rule family.
 
-    name = "OBS001"
-    severity = Severity.WARNING
-    description = (
-        "span/metric emission in simulator/ and faults/ is gated behind "
-        "an `if <tracer> ...` check naming the receiver"
-    )
-    invariant = (
-        "zero observer effect: untraced runs execute no tracer calls, so "
-        "every simulator/fault hook costs one attribute load and one "
-        "comparison when observability is off"
-    )
+    Subclasses set ``scopes`` (path components the rule applies to),
+    ``handle_names`` (receiver names treated as observer handles), and
+    ``handle_word`` (what the findings call them).
+    """
+
+    scopes: Tuple[str, ...] = ()
+    handle_names: FrozenSet[str] = frozenset()
+    handle_word = "observer"
 
     def check(self, source, context) -> Iterator[Finding]:
-        if not source.in_scope("simulator", "faults"):
+        if not source.in_scope(*self.scopes):
             return
         yield from self._visit_suite(source, source.tree.body, frozenset())
 
@@ -99,7 +107,7 @@ class GatedObservability(Rule):
         early-exit ``if`` statements."""
         for statement in statements:
             if isinstance(statement, ast.If):
-                names = _tracer_names_in(statement.test)
+                names = _handle_names_in(statement.test, self.handle_names)
                 yield from self._visit_suite(
                     source, statement.body, guarded | names
                 )
@@ -113,13 +121,13 @@ class GatedObservability(Rule):
 
     def _visit_node(self, source, node, guarded: FrozenSet[str]):
         if isinstance(node, ast.IfExp):
-            names = _tracer_names_in(node.test)
+            names = _handle_names_in(node.test, self.handle_names)
             yield from self._visit_node(source, node.test, guarded | names)
             yield from self._visit_node(source, node.body, guarded | names)
             yield from self._visit_node(source, node.orelse, guarded)
             return
         if isinstance(node, ast.Call):
-            name = _receiver_name(node.func)
+            name = _receiver_name(node.func, self.handle_names)
             if name is not None and name not in guarded:
                 yield Finding(
                     rule=self.name,
@@ -127,12 +135,12 @@ class GatedObservability(Rule):
                     line=node.lineno,
                     column=node.col_offset,
                     message=(
-                        f"tracer call {ast.unparse(node.func)}() is not "
-                        f"gated behind an `if {name} ...` check"
+                        f"{self.handle_word} call {ast.unparse(node.func)}() "
+                        f"is not gated behind an `if {name} ...` check"
                     ),
                     hint=(
-                        "bind the tracer to a local and gate the call: "
-                        f"`{name} = self.{name}` / "
+                        f"bind the {self.handle_word} to a local and gate "
+                        f"the call: `{name} = self.{name}` / "
                         f"`if {name} is not None: {name}.method(...)`"
                     ),
                     severity=self.severity,
@@ -150,3 +158,45 @@ class GatedObservability(Rule):
                             yield from self._visit_node(source, item, guarded)
             elif isinstance(value, ast.AST):
                 yield from self._visit_node(source, value, guarded)
+
+
+@register_rule
+class GatedObservability(_GatedEmission):
+    """OBS001: tracer method calls in simulator/faults code must be
+    inside an ``if`` that tests the tracer name."""
+
+    name = "OBS001"
+    severity = Severity.WARNING
+    description = (
+        "span/metric emission in simulator/ and faults/ is gated behind "
+        "an `if <tracer> ...` check naming the receiver"
+    )
+    invariant = (
+        "zero observer effect: untraced runs execute no tracer calls, so "
+        "every simulator/fault hook costs one attribute load and one "
+        "comparison when observability is off"
+    )
+    scopes = ("simulator", "faults")
+    handle_names = _TRACER_NAMES
+    handle_word = "tracer"
+
+
+@register_rule
+class GatedRuntimeTelemetry(_GatedEmission):
+    """OBS002: telemetry method calls in runtime/ code must be inside
+    an ``if`` that tests the telemetry name."""
+
+    name = "OBS002"
+    severity = Severity.WARNING
+    description = (
+        "runtime self-telemetry emission in runtime/ is gated behind an "
+        "`if <telemetry> ...` check naming the receiver"
+    )
+    invariant = (
+        "zero observer effect at the runtime layer: untelemetered batch "
+        "and cache operations execute no telemetry calls (and therefore "
+        "no clock reads), keeping results and fingerprints bit-identical"
+    )
+    scopes = ("runtime",)
+    handle_names = _TELEMETRY_NAMES
+    handle_word = "telemetry"

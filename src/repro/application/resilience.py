@@ -239,13 +239,16 @@ def resilience_grid(
     workers: int = 1,
     cache: CacheArg = None,
     report: BatchReport = None,
+    telemetry=None,
     **point_kwargs,
 ) -> ResilienceGrid:
     """Sweep the (failure-rate, timeout) grid through the batch executor.
 
     Cells are independent ``resilience_point`` run specs, so they run in
     parallel workers and replay from the result cache like every other
-    study in the repository.
+    study in the repository.  *telemetry* (a
+    :class:`~repro.observability.RuntimeTelemetry`) records the batch's
+    own runtime span tree without touching specs or results.
     """
     if not drop_probabilities or not timeout_cycles:
         raise ParameterError("resilience grid axes must be non-empty")
@@ -261,7 +264,10 @@ def resilience_grid(
         for p in drop_probabilities
         for timeout in timeout_cycles
     ]
-    points = execute_batch(specs, workers=workers, cache=cache, report=report)
+    points = execute_batch(
+        specs, workers=workers, cache=cache, report=report,
+        telemetry=telemetry,
+    )
     return ResilienceGrid(points=tuple(points))
 
 

@@ -102,6 +102,7 @@ def characterize_all(
     cache: CacheArg = None,
     report: Optional[BatchReport] = None,
     trace: bool = False,
+    telemetry=None,
     **kwargs,
 ) -> Dict[str, CharacterizationRun]:
     """Characterize several services (default: the seven of Fig. 9).
@@ -113,6 +114,9 @@ def characterize_all(
     With *trace* the per-service runs carry span tracers.  A disabled
     trace is passed as ``None`` so :meth:`RunSpec.create` drops it and
     untraced cache keys stay byte-identical to pre-observability keys.
+    *telemetry* (a :class:`~repro.observability.RuntimeTelemetry`)
+    records the runtime-level span tree of the batch itself; it rides
+    outside the specs, so cache keys and results are unaffected.
     """
     from ..paperdata.breakdowns import FB_SERVICES
 
@@ -128,5 +132,8 @@ def characterize_all(
         )
         for i, service in enumerate(services)
     ]
-    runs = execute_batch(specs, workers=workers, cache=cache, report=report)
+    runs = execute_batch(
+        specs, workers=workers, cache=cache, report=report,
+        telemetry=telemetry,
+    )
     return dict(zip(services, runs))

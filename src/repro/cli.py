@@ -33,6 +33,59 @@ def _runtime_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _runtime_context(args: argparse.Namespace, label: str):
+    """Like :func:`_runtime_kwargs`, but for commands that report what
+    the runtime actually did: resolves the cache up-front (so hit/miss
+    counters are readable afterwards), attaches a fresh
+    :class:`BatchReport`, and builds a
+    :class:`~repro.observability.RuntimeTelemetry` when --telemetry-out
+    was given.  Returns ``(executor_kwargs, report, store, telemetry)``.
+    """
+    from .runtime.batch import BatchReport
+    from .runtime.cache import resolve_cache
+
+    store = resolve_cache(not getattr(args, "no_cache", False))
+    report = BatchReport()
+    telemetry = None
+    if getattr(args, "telemetry_out", ""):
+        from .observability import RuntimeTelemetry
+
+        telemetry = RuntimeTelemetry(label=label)
+    kwargs = {
+        "workers": getattr(args, "workers", 1),
+        "cache": store,
+        "report": report,
+        "telemetry": telemetry,
+    }
+    return kwargs, report, store, telemetry
+
+
+def _print_batch_report(report, store) -> None:
+    """Surface the executor's accounting (write-only until now)."""
+    if report.total == 0:
+        return
+    line = (
+        f"batch: {report.total} specs — {report.executed} executed, "
+        f"{report.cache_hits} cache hits, "
+        f"{report.deduplicated} deduplicated"
+    )
+    if report.simulated_nothing:
+        line += " (served entirely from cache)"
+    _print(line)
+    if store is not None:
+        _print(f"cache: {store.hits} hits / {store.misses} misses "
+               f"({len(store)} entries on disk)")
+
+
+def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
+    if telemetry is None:
+        return
+    from .observability import write_runtime_telemetry
+
+    path = write_runtime_telemetry(telemetry, args.telemetry_out)
+    _print(f"wrote {path}")
+
+
 def _add_runtime_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--workers", type=int, default=1,
@@ -41,6 +94,15 @@ def _add_runtime_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache and re-simulate",
+    )
+
+
+def _add_telemetry_argument(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry-out", default="",
+        help="record runtime self-telemetry (batch/task/stage spans, "
+        "cache and pool stats) and write the repro-runtime-telemetry-v1 "
+        "JSON artifact to this path",
     )
 
 
@@ -427,7 +489,10 @@ def _cmd_export_data(args: argparse.Namespace) -> None:
 def _cmd_validate_matrix(args: argparse.Namespace) -> None:
     from .validation import validation_matrix
 
-    summary = validation_matrix(**_runtime_kwargs(args))
+    kwargs, report, store, telemetry = _runtime_context(
+        args, label="validate-matrix"
+    )
+    summary = validation_matrix(**kwargs)
     _print(f"{'design':24s} {'alpha':>6s} {'L':>7s} {'model':>8s} "
            f"{'sim':>8s} {'|err|':>7s}")
     for cell in summary.cells:
@@ -438,6 +503,55 @@ def _cmd_validate_matrix(args: argparse.Namespace) -> None:
         )
     _print(f"max error {summary.max_error_pp:.2f} pp, "
            f"mean {summary.mean_error_pp:.2f} pp over {len(summary.cells)} cells")
+    _print_batch_report(report, store)
+    _finish_telemetry(args, telemetry)
+
+
+def _cmd_characterize(args: argparse.Namespace) -> None:
+    from .characterization import characterize_all, fig9_functionality_breakdown
+
+    kwargs, report, store, telemetry = _runtime_context(
+        args, label="characterize"
+    )
+    services = args.services.split(",") if args.services else None
+    runs = characterize_all(
+        services, seed=args.seed, requests_target=args.requests, **kwargs
+    )
+    _print(f"{'service':9s} {'events':>10s}  top functionality shares")
+    for name, run in runs.items():
+        shares = fig9_functionality_breakdown(run)
+        top = sorted(shares.items(), key=lambda kv: -kv[1])[:3]
+        detail = ", ".join(f"{cat.value} {pct:.1f}%" for cat, pct in top)
+        _print(f"{name:9s} {run.simulation.events_processed:10,d}  {detail}")
+    _print_batch_report(report, store)
+    _finish_telemetry(args, telemetry)
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from .observability import (
+        chrome_payload,
+        load_runtime_telemetry,
+        summarize_runtime_telemetry,
+        trace_data_from_payload,
+        write_otlp_spans,
+    )
+
+    payload = load_runtime_telemetry(args.artifact)
+    _print(summarize_runtime_telemetry(payload))
+    if args.otlp_out or args.chrome_out:
+        trace = trace_data_from_payload(payload)
+        if args.otlp_out:
+            _print(f"wrote {write_otlp_spans(trace, args.otlp_out)}")
+        if args.chrome_out:
+            path = Path(args.chrome_out)
+            path.write_text(
+                json.dumps(chrome_payload(trace), sort_keys=True, indent=1)
+                + "\n"
+            )
+            _print(f"wrote {path}")
 
 
 def _cmd_oversubscription(args: argparse.Namespace) -> None:
@@ -677,12 +791,15 @@ def _cmd_resilience(args: argparse.Namespace) -> None:
 
     drops = [float(x) for x in args.drops.split(",")]
     timeouts = [float(x) for x in args.timeouts.split(",")]
+    kwargs, report, store, telemetry = _runtime_context(
+        args, label="resilience"
+    )
     grid = resilience_grid(
         drop_probabilities=drops,
         timeout_cycles=timeouts,
         design=ThreadingDesign(args.design),
         seed=args.seed,
-        **_runtime_kwargs(args),
+        **kwargs,
     )
     _print("Degraded-mode validation grid (simulated A/B vs closed form)")
     _print(f"{'drop':>6s} {'timeout':>9s} {'model':>8s} {'sim':>8s} "
@@ -695,6 +812,8 @@ def _cmd_resilience(args: argparse.Namespace) -> None:
         )
     _print(f"max error {grid.max_error_pct:.2f}%, "
            f"mean {grid.mean_error_pct:.2f}% over {len(grid.points)} cells")
+    _print_batch_report(report, store)
+    _finish_telemetry(args, telemetry)
     _print("")
     _print("Ads1 remote-inference speedup erosion (model)")
     _print(f"{'drop':>6s} {'timeout':>11s} {'speedup':>9s} {'erosion':>9s}")
@@ -970,6 +1089,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_validate_matrix)
     _add_runtime_arguments(p)
+    _add_telemetry_argument(p)
+
+    p = sub.add_parser(
+        "characterize",
+        help="characterize services through the batch executor and report "
+        "what the runtime actually did (batch report, cache counters)",
+    )
+    p.set_defaults(func=_cmd_characterize)
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--services", default="",
+                   help="comma-separated service subset (default: all seven)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="requests per core per characterization run")
+    _add_runtime_arguments(p)
+    _add_telemetry_argument(p)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="summarize a repro-runtime-telemetry-v1 artifact (batches, "
+        "cache outcomes, stragglers, critical chain); optionally export "
+        "the runtime span tree",
+    )
+    p.set_defaults(func=_cmd_telemetry)
+    p.add_argument("artifact",
+                   help="path to a JSON artifact written by --telemetry-out")
+    p.add_argument("--otlp-out", default="",
+                   help="export the runtime spans as OTLP JSON to this path")
+    p.add_argument("--chrome-out", default="",
+                   help="export the runtime spans as a Chrome traceEvents "
+                   "JSON to this path")
 
     p = sub.add_parser(
         "oversubscription",
@@ -1076,6 +1225,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeouts", default="1000,4000,8000",
                    help="comma-separated timeout cycles")
     _add_runtime_arguments(p)
+    _add_telemetry_argument(p)
     _add_trace_out_arguments(p)
 
     p = sub.add_parser(

@@ -13,6 +13,10 @@ The production-observability substrate over the DES, in four pieces:
 * :mod:`~repro.observability.export` -- OTLP span JSON and folded
   flamegraph stacks (the Chrome/Perfetto exporter lives with the
   simulator in :mod:`repro.simulator.trace_export`).
+* :mod:`~repro.observability.telemetry` -- runtime *self*-telemetry:
+  the same span/window vocabulary pointed at the batch executor, worker
+  pool, and result cache that run the model, with a structural/timing
+  artifact split that keeps the deterministic contract intact.
 """
 
 from .critical_path import (
@@ -38,6 +42,17 @@ from .spans import (
     span_id_from_sequence,
     trace_id_from_request,
 )
+from .telemetry import (
+    TELEMETRY_SCHEMA,
+    CacheTelemetry,
+    MonotonicClock,
+    RuntimeTelemetry,
+    chrome_payload,
+    load_runtime_telemetry,
+    summarize_runtime_telemetry,
+    trace_data_from_payload,
+    write_runtime_telemetry,
+)
 from .tracer import SpanTracer, TraceContext
 from .windows import (
     Histogram,
@@ -50,14 +65,18 @@ from .windows import (
 )
 
 __all__ = [
+    "CacheTelemetry",
     "DegradationTrack",
     "Histogram",
     "Interval",
+    "MonotonicClock",
     "RequestAttribution",
     "RequestTimeline",
+    "RuntimeTelemetry",
     "Span",
     "SpanKind",
     "SpanTracer",
+    "TELEMETRY_SCHEMA",
     "TraceContext",
     "TraceData",
     "WindowPoint",
@@ -65,15 +84,20 @@ __all__ = [
     "attribute_requests",
     "attribute_timeline",
     "attribution_totals",
+    "chrome_payload",
     "fault_cost_cycles",
     "fixed_bucket_histogram",
     "folded_stack_samples",
+    "load_runtime_telemetry",
     "metrics_payload",
     "otlp_payload",
     "span_id_from_sequence",
+    "summarize_runtime_telemetry",
+    "trace_data_from_payload",
     "trace_id_from_request",
     "windowed_series",
     "write_folded_stacks",
     "write_otlp_spans",
+    "write_runtime_telemetry",
     "write_windowed_metrics",
 ]

@@ -53,6 +53,17 @@ class SpanKind(enum.Enum):
     #: One service hop in an application topology simulation.
     RPC = "rpc"
 
+    #: One :func:`~repro.runtime.execute_batch` call (runtime
+    #: self-telemetry; wall-clock nanoseconds, not simulated cycles).
+    BATCH = "batch"
+
+    #: One spec execution within a batch (runtime self-telemetry).
+    TASK = "task"
+
+    #: One runtime task stage: queue-wait / cache-lookup / simulate /
+    #: result-store (runtime self-telemetry).
+    STAGE = "stage"
+
 
 def span_id_from_sequence(sequence: int) -> str:
     """16-hex-char span id from a per-run sequence number."""

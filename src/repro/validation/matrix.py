@@ -179,13 +179,16 @@ def validation_matrix(
     workers: int = 1,
     cache: CacheArg = None,
     report: BatchReport = None,
+    telemetry=None,
     **cell_kwargs,
 ) -> MatrixSummary:
     """Validate the full grid; returns the error summary.
 
     All grid cells are mutually independent, so they run through the
     batch executor: *workers* > 1 validates cells in parallel processes
-    and *cache* replays identical cells from disk.
+    and *cache* replays identical cells from disk.  *telemetry* (a
+    :class:`~repro.observability.RuntimeTelemetry`) records the batch's
+    own runtime span tree without touching specs or results.
     """
     specs: List[RunSpec] = [
         RunSpec.create(
@@ -200,5 +203,8 @@ def validation_matrix(
         for alpha in alphas
         for latency in interface_cycles
     ]
-    cells = execute_batch(specs, workers=workers, cache=cache, report=report)
+    cells = execute_batch(
+        specs, workers=workers, cache=cache, report=report,
+        telemetry=telemetry,
+    )
     return MatrixSummary(cells=tuple(cells))

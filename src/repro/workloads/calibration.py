@@ -126,8 +126,11 @@ def ipf_fit(
     if rows.sum() == 0:
         return np.zeros_like(matrix)
     # Tolerance is relative to the marginal mass so percent-scale and
-    # fraction-scale targets converge identically.
-    absolute_tolerance = tolerance * rows.sum()
+    # fraction-scale targets converge identically.  Floored at the
+    # smallest normal float: with subnormal marginal mass the relative
+    # tolerance underflows to 0 while residuals bottom out at the
+    # smallest denormal, which would never satisfy a strict comparison.
+    absolute_tolerance = max(tolerance * rows.sum(), np.finfo(float).tiny)
     for _ in range(max_iterations):
         row_sums = matrix.sum(axis=1)
         scale = np.divide(rows, row_sums, out=np.zeros_like(rows), where=row_sums > 0)

@@ -1,0 +1,33 @@
+"""Fixture: correctly gated telemetry emission (OBS002 stays silent)."""
+
+
+class Executor:
+    __slots__ = ("telemetry",)
+
+    def __init__(self):
+        self.telemetry = None
+
+    def gated_local(self, index):
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.record_outcome(index, "executed")
+
+    def gated_compound(self, index, store):
+        batch_telemetry = self.telemetry
+        if batch_telemetry is not None and store is not None:
+            batch_telemetry.begin_stage(index, "cache-lookup")
+
+    def gated_by_early_return(self, index):
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        telemetry.begin_stage(index, "result-store")
+        telemetry.end_stage(index, "result-store")
+
+    def gated_conditional_expression(self):
+        recorder = self.telemetry
+        return recorder.begin() if recorder is not None else 0.0
+
+    def unrelated_calls(self, items):
+        items.append(1)
+        return sorted(items)

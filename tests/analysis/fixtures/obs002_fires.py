@@ -1,0 +1,20 @@
+"""Fixture: ungated telemetry emission in a runtime path (OBS002 fires 3x)."""
+
+
+class Executor:
+    __slots__ = ("telemetry",)
+
+    def __init__(self):
+        self.telemetry = None
+
+    def attribute_call(self, index):
+        self.telemetry.record_outcome(index, "executed")
+
+    def local_without_gate(self, index):
+        batch_telemetry = self.telemetry
+        batch_telemetry.begin_stage(index, "cache-lookup")
+
+    def wrong_name_gate(self, index, enabled):
+        telemetry = self.telemetry
+        if enabled:
+            telemetry.record_put(0.0, 128)

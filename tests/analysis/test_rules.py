@@ -248,6 +248,42 @@ def test_obs001_out_of_scope_outside_the_simulator(run_fixture):
     assert result.clean
 
 
+# -- OBS002 ----------------------------------------------------------------
+
+
+def test_obs002_fires_on_ungated_telemetry_calls(run_fixture):
+    result = run_fixture("obs002_fires.py", RUNTIME, rules=["OBS002"])
+    assert _rules_fired(result) == ["OBS002"] * 3
+    messages = " ".join(f.message for f in result.findings)
+    assert "record_outcome" in messages    # attribute call on self.telemetry
+    assert "begin_stage" in messages       # ungated local binding
+    assert "record_put" in messages        # gated behind the wrong name
+
+
+def test_obs002_silent_on_gated_emission(run_fixture):
+    # ``is not None`` gates, compound tests, early-return gates, and
+    # conditional expressions all count as gated.
+    result = run_fixture("obs002_clean.py", RUNTIME, rules=["OBS002"])
+    assert result.clean
+
+
+def test_obs002_out_of_scope_outside_the_runtime(run_fixture):
+    # The telemetry module itself owns the clocks and records freely;
+    # only runtime/ must gate its emission.
+    result = run_fixture("obs002_fires.py",
+                         "src/repro/observability/fixture.py",
+                         rules=["OBS002"])
+    assert result.clean
+
+
+def test_obs001_and_obs002_scopes_do_not_overlap(run_fixture):
+    # A tracer-style violation in runtime/ is OBS002's territory only if
+    # it uses telemetry names; OBS001 never fires there.
+    result = run_fixture("obs001_fires.py", RUNTIME,
+                         rules=["OBS001", "OBS002"])
+    assert result.clean
+
+
 # -- catalog metadata -------------------------------------------------------
 
 
@@ -255,7 +291,7 @@ def test_every_rule_documents_itself():
     rules = all_rules()
     assert {r.name for r in rules} >= {
         "DET001", "DET002", "SPEC001", "PERF001", "UNIT001", "API001",
-        "OBS001",
+        "OBS001", "OBS002",
     }
     for rule in rules:
         assert rule.description, rule.name

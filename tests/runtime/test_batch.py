@@ -104,3 +104,45 @@ def test_report_accumulates_across_batches(tmp_path):
     assert report.total == 2
     assert report.executed == 1
     assert report.cache_hits == 1
+
+
+def test_simulated_nothing_semantics():
+    # True only for "work was requested and none of it ran": an empty
+    # report is False, any execution flips it False, and dedup alone
+    # does not count as serving the batch without simulation.
+    assert not BatchReport().simulated_nothing
+    assert BatchReport(total=3, cache_hits=3).simulated_nothing
+    assert not BatchReport(total=3, executed=1, cache_hits=2).simulated_nothing
+    assert not BatchReport(total=3, executed=1, deduplicated=2).simulated_nothing
+    assert BatchReport(total=2, deduplicated=2).simulated_nothing
+
+
+def test_telemetry_rides_outside_results(tmp_path):
+    from repro.observability import RuntimeTelemetry
+
+    values = [2.0, 2.0, 3.0]
+    bare = execute_batch(_specs(values))
+    telemetry = RuntimeTelemetry()
+    observed = execute_batch(_specs(values), telemetry=telemetry)
+    assert observed == bare
+    structural = telemetry.structural_payload()
+    assert structural["outcomes"]["totals"] == {
+        "total": 3, "executed": 2, "cache_hits": 0, "deduplicated": 1,
+    }
+    # The deduplicated twin points back at its executing primary.
+    outcomes = structural["outcomes"]["batches"][0]
+    assert outcomes["outcomes"] == ["executed", "deduplicated", "executed"]
+    assert outcomes["dedup_of"] == [None, 0, None]
+
+
+def test_telemetry_attaches_and_detaches_cache(tmp_path):
+    from repro.observability import RuntimeTelemetry
+
+    cache = ResultCache(tmp_path)
+    telemetry = RuntimeTelemetry()
+    execute_batch(_specs([1.0, 2.0]), cache=cache, telemetry=telemetry)
+    assert cache.telemetry is None          # detached after the batch
+    assert telemetry.cache.misses == 2 and telemetry.cache.puts == 2
+    execute_batch(_specs([1.0, 2.0]), cache=cache, telemetry=telemetry)
+    assert telemetry.cache.hits == 2
+    assert telemetry.structural_payload()["cache"]["hits"] == 2
